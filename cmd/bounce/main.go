@@ -1,0 +1,86 @@
+// Command bounce explores the probabilistic bouncing attack (paper Section
+// 5.3): the feasibility window of Equation 14, the continuation
+// probability, and the Monte-Carlo estimate of the probability that the
+// Byzantine stake proportion exceeds one-third.
+//
+// Usage:
+//
+//	bounce -window                        # Equation 14 window per beta0
+//	bounce -beta0 0.333 -epochs 4000      # Eq 24 vs Monte-Carlo at one epoch
+//	bounce -beta0 0.33 -sweep             # probability curve over the leak
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/gasperleak"
+)
+
+func main() {
+	window := flag.Bool("window", false, "print the Equation 14 attack window for a beta0 sweep")
+	sweep := flag.Bool("sweep", false, "print the probability curve over the leak")
+	beta0 := flag.Float64("beta0", 1.0/3.0, "initial Byzantine stake proportion")
+	p0 := flag.Float64("p0", 0.5, "per-epoch honest placement probability")
+	epochs := flag.Int("epochs", 4000, "evaluation epoch")
+	n := flag.Int("n", 500, "honest validators in the Monte-Carlo")
+	runs := flag.Int("runs", 5, "Monte-Carlo runs")
+	seed := flag.Int64("seed", 1, "random seed")
+	j := flag.Int("j", 8, "first slots with a Byzantine proposer (continuation estimate)")
+	flag.Parse()
+
+	if err := run(*window, *sweep, *beta0, *p0, *epochs, *n, *runs, *seed, *j); err != nil {
+		fmt.Fprintln(os.Stderr, "bounce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(window, sweep bool, beta0, p0 float64, epochs, n, runs int, seed int64, j int) error {
+	if window {
+		fmt.Println("Equation 14 attack window (p0 range) per beta0:")
+		for _, b := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 1.0 / 3.0} {
+			lo, hi := gasperleak.BounceWindow(b)
+			fmt.Printf("  beta0=%.4f  p0 in (%.4f, %.4f)\n", b, lo, hi)
+		}
+		return nil
+	}
+
+	model := gasperleak.BounceModel{P0: p0}
+	params := gasperleak.PaperParams()
+
+	if sweep {
+		fmt.Printf("P[beta > 1/3] over the leak (beta0=%.4f, p0=%.2f):\n", beta0, p0)
+		fmt.Println("epoch  equation24  montecarlo")
+		var epochList []gasperleak.Epoch
+		for e := 1000; e <= 7000; e += 1000 {
+			epochList = append(epochList, gasperleak.Epoch(e))
+		}
+		mc := gasperleak.BounceMC{NHonest: n, Beta0: beta0, P0: p0, Seed: seed}
+		probs, err := mc.ExceedProbability(epochList, runs)
+		if err != nil {
+			return err
+		}
+		for i, e := range epochList {
+			fmt.Printf("%5d  %10.4f  %10.4f\n", e,
+				model.ExceedProbability(float64(e), beta0, params), probs[i])
+		}
+		return nil
+	}
+
+	lo, hi := gasperleak.BounceWindow(beta0)
+	fmt.Printf("beta0=%.4f p0=%.2f (window %.4f..%.4f, inside: %v)\n",
+		beta0, p0, lo, hi, lo < p0 && p0 < hi)
+	cont := gasperleak.BounceContinuationProbability(beta0, j, epochs)
+	fmt.Printf("continuation probability to epoch %d (j=%d): %.3e\n", epochs, j, cont)
+
+	an := model.ExceedProbability(float64(epochs), beta0, params)
+	mc := gasperleak.BounceMC{NHonest: n, Beta0: beta0, P0: p0, Seed: seed}
+	probs, err := mc.ExceedProbability([]gasperleak.Epoch{gasperleak.Epoch(epochs)}, runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P[beta > 1/3] at epoch %d: Equation 24 = %.4f, Monte-Carlo = %.4f\n",
+		epochs, an, probs[0])
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunWindow(t *testing.T) {
+	if err := run(true, false, 0.3, 0.5, 100, 50, 1, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	if err := run(false, false, 1.0/3.0, 0.5, 500, 50, 1, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run(false, true, 0.33, 0.5, 0, 50, 1, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Command figures emits the data series behind every figure of the paper
+// as CSV, either to stdout (one figure) or into a directory (all figures).
+//
+// Usage:
+//
+//	figures -fig 2            # Figure 2 CSV to stdout
+//	figures -fig 10           # Equation 24 curves
+//	figures -fig 10mc -beta0 0.333 -n 1000 -runs 10
+//	figures -all -out data/   # every figure as data/figN.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/gasperleak"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure id: 2, 3, 3sim, 6, 7, 7sim, 9, 10, 10mc")
+	all := flag.Bool("all", false, "emit every figure")
+	out := flag.String("out", ".", "output directory for -all")
+	t := flag.Float64("t", 4024, "epoch for figure 9")
+	beta0 := flag.Float64("beta0", 1.0/3.0, "beta0 for figure 10mc")
+	n := flag.Int("n", 500, "honest validators for figure 10mc")
+	runs := flag.Int("runs", 5, "Monte-Carlo runs for figure 10mc")
+	seed := flag.Int64("seed", 1, "seed for figure 10mc")
+	flag.Parse()
+
+	if err := run(*fig, *all, *out, *t, *beta0, *n, *runs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, all bool, out string, t, beta0 float64, n, runs int, seed int64) error {
+	if all {
+		return emitAll(out, t, beta0, n, runs, seed)
+	}
+	f, err := build(fig, t, beta0, n, runs, seed)
+	if err != nil {
+		return err
+	}
+	return f.WriteCSV(os.Stdout)
+}
+
+func build(fig string, t, beta0 float64, n, runs int, seed int64) (*gasperleak.Figure, error) {
+	switch fig {
+	case "2":
+		return gasperleak.Figure2(), nil
+	case "3":
+		return gasperleak.Figure3(), nil
+	case "3sim":
+		return gasperleak.Figure3Sim(10)
+	case "6":
+		return gasperleak.Figure6()
+	case "7":
+		return gasperleak.Figure7(), nil
+	case "7sim":
+		return gasperleak.Figure7Sim(17)
+	case "9":
+		return gasperleak.Figure9(t), nil
+	case "10":
+		return gasperleak.Figure10(), nil
+	case "10mc":
+		return gasperleak.Figure10MonteCarlo(beta0, n, runs, seed)
+	default:
+		return nil, fmt.Errorf("unknown figure %q (want 2, 3, 3sim, 6, 7, 7sim, 9, 10, 10mc)", fig)
+	}
+}
+
+func emitAll(dir string, t, beta0 float64, n, runs int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, id := range []string{"2", "3", "3sim", "6", "7", "7sim", "9", "10", "10mc"} {
+		f, err := build(id, t, beta0, n, runs, seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "fig"+id+".csv")
+		w, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteCSV(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildEveryFigure(t *testing.T) {
+	for _, id := range []string{"2", "3", "6", "7", "9", "10"} { // sim overlays tested separately
+		f, err := build(id, 4024, 1.0/3.0, 50, 1, 1)
+		if err != nil {
+			t.Errorf("figure %s: %v", id, err)
+			continue
+		}
+		if len(f.X) == 0 || len(f.Series) == 0 {
+			t.Errorf("figure %s: empty", id)
+		}
+	}
+}
+
+func TestBuildMonteCarloFigure(t *testing.T) {
+	f, err := build("10mc", 0, 1.0/3.0, 50, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Errorf("10mc series = %d, want 2", len(f.Series))
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := build("99", 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown figure must error")
+	}
+}
+
+func TestEmitAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := emitAll(dir, 4024, 1.0/3.0, 50, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"2", "3", "3sim", "6", "7", "7sim", "9", "10", "10mc"} {
+		path := filepath.Join(dir, "fig"+id+".csv")
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("missing %s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}

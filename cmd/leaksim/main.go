@@ -1,0 +1,105 @@
+// Command leaksim runs the paper's scenarios at full paper scale and prints
+// their analytic and simulated outcomes.
+//
+// Usage:
+//
+//	leaksim -scenario 5.1  [-p0 0.5]
+//	leaksim -scenario 5.2.1 [-p0 0.5] [-beta0 0.2]
+//	leaksim -scenario 5.2.2 [-p0 0.5] [-beta0 0.2]
+//	leaksim -scenario 5.2.3 [-p0 0.5] [-beta0 0.25]
+//	leaksim -scenario 5.3  [-p0 0.5] [-beta0 0.33] [-seed 1]
+//	leaksim -scenario all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/gasperleak"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "scenario id: 5.1, 5.2.1, 5.2.2, 5.2.3, 5.2.3c, 5.3, or all")
+	p0 := flag.Float64("p0", 0.5, "proportion of honest validators on branch A")
+	beta0 := flag.Float64("beta0", 0.2, "initial Byzantine stake proportion")
+	seed := flag.Int64("seed", 1, "random seed for Monte-Carlo scenarios")
+	flag.Parse()
+
+	if err := run(*scenario, *p0, *beta0, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "leaksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, p0, beta0 float64, seed int64) error {
+	switch scenario {
+	case "all":
+		rows, err := gasperleak.Table1(seed)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		return nil
+	case "5.1":
+		s, err := gasperleak.Scenario51(p0)
+		if err != nil {
+			return err
+		}
+		printSummary(s)
+		fmt.Printf("conflicting finalization after %s\n", gasperleak.FormatEpoch(float64(s.SimEpoch)))
+		return nil
+	case "5.2.1":
+		s, err := gasperleak.Scenario521(p0, beta0)
+		if err != nil {
+			return err
+		}
+		printSummary(s)
+		fmt.Printf("conflicting finalization after %s\n", gasperleak.FormatEpoch(float64(s.SimEpoch)))
+		return nil
+	case "5.2.2":
+		s, err := gasperleak.Scenario522(p0, beta0)
+		if err != nil {
+			return err
+		}
+		printSummary(s)
+		fmt.Printf("conflicting finalization after %s (no slashable offense)\n",
+			gasperleak.FormatEpoch(float64(s.SimEpoch)))
+		return nil
+	case "5.2.3":
+		s, err := gasperleak.Scenario523(p0, beta0)
+		if err != nil {
+			return err
+		}
+		printSummary(s)
+		fmt.Printf("peak Byzantine proportion %.4f at epoch %d (crossed 1/3: %v)\n",
+			s.PeakByzProportion, s.SimEpoch, s.CrossedOneThird)
+		return nil
+	case "5.2.3c":
+		s, err := gasperleak.Scenario523Corner(p0, beta0, 200)
+		if err != nil {
+			return err
+		}
+		printSummary(s)
+		fmt.Printf("footnote-12 corner: finalized 200 epochs before ejection, peak %.4f at epoch %d (crossed 1/3: %v)\n",
+			s.PeakByzProportion, s.SimEpoch, s.CrossedOneThird)
+		return nil
+	case "5.3":
+		s, err := gasperleak.Scenario53(p0, beta0, seed)
+		if err != nil {
+			return err
+		}
+		printSummary(s)
+		fmt.Printf("P[beta > 1/3] at epoch %d: Monte-Carlo %.3f, Equation 24 %.3f\n",
+			s.SimEpoch, s.PeakByzProportion, s.AnalyticEpoch/100)
+		return nil
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+}
+
+func printSummary(s gasperleak.ScenarioSummary) {
+	fmt.Println(s)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAllScenarios(t *testing.T) {
+	for _, sc := range []string{"5.1", "5.2.1", "5.2.2", "5.2.3", "5.2.3c", "5.3", "all"} {
+		beta0 := 0.2
+		if sc == "5.2.3" || sc == "5.2.3c" {
+			beta0 = 0.25
+		}
+		if err := run(sc, 0.5, beta0, 1); err != nil {
+			t.Errorf("scenario %s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run("9.9", 0.5, 0.2, 1); err == nil {
+		t.Error("unknown scenario must error")
+	}
+}

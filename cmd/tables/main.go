@@ -1,0 +1,66 @@
+// Command tables prints the paper's Tables 1-3, each comparing the paper's
+// reported values with the analytic models and the exact integer
+// simulation.
+//
+// Usage:
+//
+//	tables            # all three tables
+//	tables -table 2   # only Table 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/gasperleak"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number (1, 2, 3); 0 = all")
+	seed := flag.Int64("seed", 1, "seed for Table 1's Monte-Carlo scenario")
+	flag.Parse()
+
+	if err := run(*table, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, seed int64) error {
+	want := func(n int) bool { return table == 0 || table == n }
+	if want(1) {
+		t, err := gasperleak.RenderTable1(seed)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if want(2) {
+		t, err := gasperleak.RenderTable2()
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if want(3) {
+		t, err := gasperleak.RenderTable3()
+		if err != nil {
+			return err
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if table != 0 && table < 1 || table > 3 {
+		return fmt.Errorf("unknown table %d (want 1, 2, or 3)", table)
+	}
+	return nil
+}

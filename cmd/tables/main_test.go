@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunSingleTables(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		if err := run(n, 1); err != nil {
+			t.Errorf("table %d: %v", n, err)
+		}
+	}
+}
+
+func TestRunBadTable(t *testing.T) {
+	if err := run(9, 1); err == nil {
+		t.Error("unknown table must error")
+	}
+}

@@ -1,0 +1,57 @@
+// Byzantine-acceleration: sweep the initial Byzantine proportion beta0 and
+// show how much faster Safety breaks under the two Byzantine behaviors of
+// the paper (double-voting vs semi-active), plus the 1/3-threshold scenario.
+//
+// Run with:
+//
+//	go run ./examples/byzantine-acceleration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gasperleak"
+)
+
+func main() {
+	fmt.Println("Epochs until conflicting finalization (p0 = 0.5), integer simulation:")
+	fmt.Println("beta0   double-vote   semi-active   speedup-vs-honest")
+	baseline := 0.0
+	for _, beta0 := range []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.33} {
+		var dv, sa gasperleak.ScenarioSummary
+		var err error
+		if beta0 == 0 {
+			dv, err = gasperleak.Scenario51(0.5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sa = dv
+			baseline = float64(dv.SimEpoch)
+		} else {
+			dv, err = gasperleak.Scenario521(0.5, beta0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sa, err = gasperleak.Scenario522(0.5, beta0)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%.2f    %11d   %11d   %17.1fx\n",
+			beta0, dv.SimEpoch, sa.SimEpoch, baseline/float64(dv.SimEpoch))
+	}
+
+	fmt.Println()
+	fmt.Println("Crossing the 1/3 Safety threshold by delaying finalization (5.2.3):")
+	params := gasperleak.PaperParams()
+	fmt.Printf("analytic minimum beta0 at p0=0.5: %.4f\n", params.ThresholdBeta0(0.5))
+	for _, beta0 := range []float64{0.23, 0.2421, 0.25, 0.3} {
+		s, err := gasperleak.Scenario523(0.5, beta0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("beta0=%.4f  peak proportion %.4f at epoch %d  crossed 1/3: %v\n",
+			beta0, s.PeakByzProportion, s.SimEpoch, s.CrossedOneThird)
+	}
+}

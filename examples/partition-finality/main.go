@@ -1,0 +1,64 @@
+// Partition-finality: run the FULL protocol simulator (block tree,
+// LMD-GHOST, Casper FFG, attestations, inactivity leak) through the paper's
+// Scenario 5.1 — a lasting 50/50 partition with only honest validators —
+// and watch both sides finalize conflicting chains.
+//
+// The run uses a compressed penalty quotient (2^10 instead of 2^26) so the
+// leak completes in ~25 epochs instead of ~4700; every mechanism is
+// unchanged (see types.CompressedSpec).
+//
+// Run with:
+//
+//	go run ./examples/partition-finality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gasperleak"
+)
+
+func main() {
+	const validators = 16
+	cfg := gasperleak.SimConfig{
+		Validators: validators,
+		Spec:       gasperleak.CompressedSpec(1 << 16),
+		GST:        1 << 30, // the partition never heals
+		Delay:      1,
+		Seed:       3,
+		PartitionOf: func(v gasperleak.ValidatorIndex) int {
+			if int(v) < validators/2 {
+				return 0
+			}
+			return 1
+		},
+	}
+	s, err := gasperleak.NewSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("epoch | side A: justified finalized stake | side B: justified finalized stake")
+	for epoch := 1; epoch <= 40; epoch++ {
+		if err := s.RunEpochs(1); err != nil {
+			log.Fatal(err)
+		}
+		a, b := s.Nodes[0], s.Nodes[validators-1]
+		if epoch%4 == 0 || epoch > 20 {
+			fmt.Printf("%5d | %9d %9d %6.0f ETH | %9d %9d %6.0f ETH\n",
+				epoch,
+				a.FFG.LatestJustified().Epoch, a.Finalized().Epoch,
+				a.Registry.TotalStake().ETH(),
+				b.FFG.LatestJustified().Epoch, b.Finalized().Epoch,
+				b.Registry.TotalStake().ETH())
+		}
+		if v := s.CheckFinalitySafety(); v != nil {
+			fmt.Printf("\nSAFETY VIOLATION at epoch %d:\n  %v\n", epoch, v)
+			fmt.Println("\nBoth partitions finalized incompatible branches — exactly the")
+			fmt.Println("paper's Scenario 5.1 outcome, with zero Byzantine validators.")
+			return
+		}
+	}
+	fmt.Println("no violation within 40 epochs (unexpected; check parameters)")
+}

@@ -1,0 +1,56 @@
+// Quickstart: reproduce the paper's headline numbers in a few lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gasperleak"
+)
+
+func main() {
+	// With only honest validators, a lasting 50/50 partition finalizes
+	// two conflicting chains once the inactivity leak has drained the
+	// "unreachable" half on each side (paper Section 5.1).
+	honest, err := gasperleak.Scenario51(0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honest only:     conflicting finalization after %s\n",
+		gasperleak.FormatEpoch(float64(honest.SimEpoch)))
+
+	// Byzantine validators holding 20%% of stake and double-voting on
+	// both branches make it happen ~1.5x faster (Section 5.2.1)...
+	slashable, err := gasperleak.Scenario521(0.5, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("double voting:   conflicting finalization after %s\n",
+		gasperleak.FormatEpoch(float64(slashable.SimEpoch)))
+
+	// ...and with beta0 = 0.33 about ten times faster.
+	fast, err := gasperleak.Scenario521(0.5, 0.33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("beta0=0.33:      conflicting finalization after %s\n",
+		gasperleak.FormatEpoch(float64(fast.SimEpoch)))
+
+	// The same attack without any slashable action (Section 5.2.2).
+	subtle, err := gasperleak.Scenario522(0.5, 0.33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-slashable:   conflicting finalization after %s\n",
+		gasperleak.FormatEpoch(float64(subtle.SimEpoch)))
+
+	// And the minimum initial Byzantine proportion that can cross the
+	// 1/3 Safety threshold on both branches (Section 5.2.3).
+	params := gasperleak.PaperParams()
+	fmt.Printf("threshold:       beta0 >= %.4f can exceed 1/3 on both branches\n",
+		params.ThresholdBeta0(0.5))
+}

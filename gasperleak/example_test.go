@@ -1,0 +1,74 @@
+package gasperleak_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gasperleak"
+)
+
+// The paper's Table 2 headline row: with beta0 = 0.2 of stake double-voting
+// on both branches of a partition, conflicting finalization takes ~3107
+// epochs instead of the honest-only ~4685.
+func ExampleLeakSim() {
+	sim := gasperleak.LeakSim{N: 10000, P0: 0.5, Beta0: 0.2, Mode: gasperleak.ByzDoubleVote}
+	res, err := sim.Run(9000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conflicting finalization at epoch", res.ConflictEpoch)
+	// Output: conflicting finalization at epoch 3109
+}
+
+// Equation 9 in closed form: the same row analytically.
+func ExampleAnalyticParams_conflictEpochSlashing() {
+	p := gasperleak.PaperParams()
+	fmt.Printf("%.0f\n", p.ConflictEpochSlashing(0.5, 0.2))
+	// Output: 3107
+}
+
+// The minimum initial Byzantine proportion that can exceed the 1/3 Safety
+// threshold on both branches of a 50/50 fork (Figure 7's corner).
+func ExampleAnalyticParams_thresholdBeta0() {
+	p := gasperleak.PaperParams()
+	fmt.Printf("%.4f\n", p.ThresholdBeta0(0.5))
+	// Output: 0.2421
+}
+
+// Equation 14: the honest-split window inside which the probabilistic
+// bouncing attack can continue, at beta0 = 1/3.
+func ExampleBounceWindow() {
+	lo, hi := gasperleak.BounceWindow(1.0 / 3.0)
+	fmt.Printf("p0 in (%.2f, %.2f)\n", lo, hi)
+	// Output: p0 in (0.50, 1.00)
+}
+
+// Equation 24 at beta0 = 1/3 evaluates to exactly one half at every epoch
+// of the attack.
+func ExampleBounceModel_ExceedProbability() {
+	m := gasperleak.BounceModel{P0: 0.5}
+	fmt.Printf("%.2f\n", m.ExceedProbability(4000, 1.0/3.0, gasperleak.PaperParams()))
+	// Output: 0.50
+}
+
+// A healthy full-protocol run: 16 honest validators finalize epoch after
+// epoch.
+func ExampleNewSimulation() {
+	s, err := gasperleak.NewSimulation(gasperleak.SimConfig{
+		Validators: 16,
+		Spec:       gasperleak.DefaultSpec(),
+		Delay:      1,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.RunEpochs(8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("finalized epoch:", s.Nodes[0].Finalized().Epoch)
+	fmt.Println("safety violation:", s.CheckFinalitySafety() != nil)
+	// Output:
+	// finalized epoch: 5
+	// safety violation: false
+}

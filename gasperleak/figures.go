@@ -1,0 +1,57 @@
+package gasperleak
+
+import "repro/internal/report"
+
+// Re-exported reporting primitives.
+type (
+	// Figure is a CSV-renderable data series set.
+	Figure = report.Figure
+	// ReportTable is an ASCII-renderable table.
+	ReportTable = report.Table
+)
+
+// Figure2 regenerates the paper's Figure 2 (stake trajectories).
+func Figure2() *Figure { return report.Figure2() }
+
+// Figure3 regenerates Figure 3 (active-stake ratio curves).
+func Figure3() *Figure { return report.Figure3() }
+
+// Figure3Sim overlays the integer simulation on Figure 3's grid.
+func Figure3Sim(every int) (*Figure, error) { return report.Figure3Sim(every) }
+
+// Figure6 regenerates Figure 6 (conflict epoch vs beta0, both behaviors).
+func Figure6() (*Figure, error) { return report.Figure6() }
+
+// Figure7 regenerates Figure 7 (the beta_max >= 1/3 region).
+func Figure7() *Figure { return report.Figure7() }
+
+// Figure7Sim overlays the integer-simulation threshold boundary on
+// Figure 7.
+func Figure7Sim(points int) (*Figure, error) { return report.Figure7Sim(points) }
+
+// Figure9 regenerates Figure 9 (censored stake distribution at epoch t).
+func Figure9(t float64) *Figure { return report.Figure9(t) }
+
+// Figure10 regenerates Figure 10 (Equation 24 probability curves).
+func Figure10() *Figure { return report.Figure10() }
+
+// Figure10MonteCarlo overlays the integer Monte-Carlo on Figure 10.
+func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64) (*Figure, error) {
+	return report.Figure10MonteCarlo(beta0, nHonest, runs, seed)
+}
+
+// RenderTable1 renders the scenario overview (Table 1).
+func RenderTable1(seed int64) (*ReportTable, error) { return report.Table1(seed) }
+
+// RenderTable2 renders Table 2 (paper vs analytic vs integer simulation).
+func RenderTable2() (*ReportTable, error) { return report.Table2() }
+
+// RenderTable3 renders Table 3.
+func RenderTable3() (*ReportTable, error) { return report.Table3() }
+
+// FormatEpoch renders an epoch count with its wall-clock duration.
+func FormatEpoch(epochs float64) string { return report.FormatEpoch(epochs) }
+
+// Timeline renders a protocol-simulation metrics history (from a
+// MetricsRecorder) as a CSV-ready figure.
+func Timeline(history []EpochMetrics) *Figure { return report.Timeline(history) }

@@ -1,0 +1,194 @@
+package gasperleak_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/gasperleak"
+)
+
+// TestPublicAPIQuickstart exercises the facade the way the README does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sim := gasperleak.LeakSim{N: 10000, P0: 0.5, Beta0: 0.2, Mode: gasperleak.ByzDoubleVote}
+	res, err := sim.Run(9000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(res.ConflictEpoch); got < 3105 || got > 3112 {
+		t.Errorf("quickstart conflict epoch = %d, want ~3108", got)
+	}
+}
+
+func TestPublicAnalytic(t *testing.T) {
+	p := gasperleak.PaperParams()
+	if got := p.ThresholdBeta0(0.5); math.Abs(got-0.2421) > 5e-4 {
+		t.Errorf("ThresholdBeta0 = %v, want 0.2421", got)
+	}
+	if gasperleak.StakeActive(100) != 32 {
+		t.Error("StakeActive must be 32")
+	}
+	if !(gasperleak.StakeInactive(1000) < gasperleak.StakeSemiActive(1000)) {
+		t.Error("stake law ordering broken")
+	}
+	lo, hi := gasperleak.BounceWindow(1.0 / 3.0)
+	if lo != 0.5 || hi != 1.0 {
+		t.Errorf("BounceWindow(1/3) = (%v, %v)", lo, hi)
+	}
+	if p := gasperleak.BounceContinuationProbability(1.0/3.0, 8, 7000); p > 1e-100 {
+		t.Errorf("continuation probability = %v, want ~1e-121", p)
+	}
+	bc, err := p.ConflictingFinalization(gasperleak.WithSlashing, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.ConflictEpoch != 3108 {
+		t.Errorf("conflict epoch = %v, want 3108", bc.ConflictEpoch)
+	}
+}
+
+func TestPublicSpecs(t *testing.T) {
+	d := gasperleak.DefaultSpec()
+	if d.InactivityPenaltyQuotient != 1<<26 {
+		t.Error("default quotient must be 2^26")
+	}
+	c := gasperleak.CompressedSpec(1 << 16)
+	if c.InactivityPenaltyQuotient != 1<<10 {
+		t.Error("compressed quotient must be 2^10")
+	}
+}
+
+func TestPublicProtocolSim(t *testing.T) {
+	s, err := gasperleak.NewSimulation(gasperleak.SimConfig{
+		Validators: 8,
+		Spec:       gasperleak.DefaultSpec(),
+		Delay:      1,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(6); err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes[0].Finalized().Epoch < 3 {
+		t.Errorf("finalized epoch = %d, want >= 3", s.Nodes[0].Finalized().Epoch)
+	}
+	if v := s.CheckFinalitySafety(); v != nil {
+		t.Errorf("safety violation on healthy chain: %v", v)
+	}
+}
+
+func TestPublicFigures(t *testing.T) {
+	var b strings.Builder
+	if err := gasperleak.Figure2().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "epoch,active,semi_active,inactive") {
+		t.Error("Figure 2 CSV header missing")
+	}
+	if gasperleak.FormatEpoch(4685) == "" {
+		t.Error("FormatEpoch must render")
+	}
+}
+
+// TestPublicScenarioWrappers exercises every scenario re-export once.
+func TestPublicScenarioWrappers(t *testing.T) {
+	if _, err := gasperleak.Scenario51(0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := gasperleak.Scenario521(0.5, 0.2); err != nil {
+		t.Error(err)
+	}
+	if _, err := gasperleak.Scenario522(0.5, 0.2); err != nil {
+		t.Error(err)
+	}
+	s23, err := gasperleak.Scenario523(0.5, 0.25)
+	if err != nil {
+		t.Error(err)
+	}
+	if !s23.CrossedOneThird {
+		t.Error("scenario 5.2.3 wrapper lost the crossing")
+	}
+	if _, err := gasperleak.Scenario523Corner(0.5, 0.25, 100); err != nil {
+		t.Error(err)
+	}
+	if _, err := gasperleak.Scenario53(0.5, 0.33, 1); err != nil {
+		t.Error(err)
+	}
+	if rows, err := gasperleak.Table1(1); err != nil || len(rows) != 5 {
+		t.Errorf("Table1: %v, %d rows", err, len(rows))
+	}
+}
+
+// TestPublicFigureWrappers exercises every figure re-export once.
+func TestPublicFigureWrappers(t *testing.T) {
+	if f := gasperleak.Figure3(); len(f.Series) != 5 {
+		t.Error("Figure3 wrapper broken")
+	}
+	if f, err := gasperleak.Figure3Sim(2000); err != nil || len(f.Series) != 5 {
+		t.Errorf("Figure3Sim wrapper: %v", err)
+	}
+	if f, err := gasperleak.Figure6(); err != nil || len(f.Series) != 2 {
+		t.Errorf("Figure6 wrapper: %v", err)
+	}
+	if f := gasperleak.Figure7(); len(f.Series) != 3 {
+		t.Error("Figure7 wrapper broken")
+	}
+	if f, err := gasperleak.Figure7Sim(3); err != nil || len(f.Series) != 2 {
+		t.Errorf("Figure7Sim wrapper: %v", err)
+	}
+	if f := gasperleak.Figure9(4024); len(f.Series) != 3 {
+		t.Error("Figure9 wrapper broken")
+	}
+	if f := gasperleak.Figure10(); len(f.Series) != 6 {
+		t.Error("Figure10 wrapper broken")
+	}
+	if f, err := gasperleak.Figure10MonteCarlo(0.33, 50, 1, 1); err != nil || len(f.Series) != 2 {
+		t.Errorf("Figure10MonteCarlo wrapper: %v", err)
+	}
+	for n, f := range map[string]func() (*gasperleak.ReportTable, error){
+		"t1": func() (*gasperleak.ReportTable, error) { return gasperleak.RenderTable1(1) },
+		"t2": gasperleak.RenderTable2,
+		"t3": gasperleak.RenderTable3,
+	} {
+		tbl, err := f()
+		if err != nil || len(tbl.Rows) == 0 {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+// TestPublicAnalyticWrappers covers the remaining analytic re-exports.
+func TestPublicAnalyticWrappers(t *testing.T) {
+	p := gasperleak.ContinuousParams()
+	if p.EjectionEpoch >= gasperleak.PaperParams().EjectionEpoch {
+		t.Error("continuous ejection must precede the paper anchor")
+	}
+	for _, behavior := range []gasperleak.Behavior{
+		gasperleak.HonestOnly, gasperleak.WithSlashing, gasperleak.WithoutSlashing,
+	} {
+		if behavior.String() == "" {
+			t.Error("behavior must render")
+		}
+	}
+	m := gasperleak.BounceModel{P0: 0.5}
+	if got := m.ExceedProbability(2000, 1.0/3.0, gasperleak.PaperParams()); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("BounceModel wrapper = %v, want 0.5", got)
+	}
+}
+
+func TestPublicBouncer(t *testing.T) {
+	adv := gasperleak.NewBouncer(0.7, 1, [2]gasperleak.ValidatorIndex{0, 4})
+	if adv == nil {
+		t.Fatal("NewBouncer returned nil")
+	}
+	mc := gasperleak.BounceMC{NHonest: 100, Beta0: 1.0 / 3.0, P0: 0.5, Seed: 1}
+	probs, err := mc.ExceedProbability([]gasperleak.Epoch{2000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[0]-0.5) > 0.15 {
+		t.Errorf("MC probability = %v, want ~0.5", probs[0])
+	}
+}

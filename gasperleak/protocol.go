@@ -1,0 +1,42 @@
+package gasperleak
+
+import (
+	"repro/internal/beacon"
+	"repro/internal/behavior"
+	"repro/internal/sim"
+)
+
+// Re-exported protocol simulator.
+type (
+	// SimConfig parameterizes a full protocol simulation.
+	SimConfig = sim.Config
+	// Simulation is a running protocol instance: one beacon node per
+	// validator over a partitionable network.
+	Simulation = sim.Simulation
+	// Adversary coordinates the Byzantine validators.
+	Adversary = sim.Adversary
+	// Node is one validator's protocol view.
+	Node = beacon.Node
+	// SafetyViolation describes a detected conflicting finalization.
+	SafetyViolation = sim.SafetyViolation
+	// EpochMetrics snapshots aggregate honest-view state per epoch.
+	EpochMetrics = sim.EpochMetrics
+	// MetricsRecorder accumulates per-epoch metrics via its Hook.
+	MetricsRecorder = sim.Recorder
+
+	// DoubleVoter is the Scenario 5.2.1 adversary.
+	DoubleVoter = behavior.DoubleVoter
+	// SemiActive is the Scenario 5.2.2 / 5.2.3 adversary.
+	SemiActive = behavior.SemiActive
+	// Bouncer is the Scenario 5.3 adversary.
+	Bouncer = behavior.Bouncer
+)
+
+// NewSimulation builds a protocol simulation from cfg.
+func NewSimulation(cfg SimConfig) (*Simulation, error) { return sim.New(cfg) }
+
+// NewBouncer builds the bouncing adversary with the paper's p0 parameter
+// and partition representatives used to locate the fork at GST.
+func NewBouncer(p0 float64, seed int64, reps [2]ValidatorIndex) *Bouncer {
+	return behavior.NewBouncer(p0, seed, reps)
+}

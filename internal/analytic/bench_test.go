@@ -1,0 +1,30 @@
+package analytic
+
+import "testing"
+
+// BenchmarkConflictEpochSlashing measures the Equation 9 closed form.
+func BenchmarkConflictEpochSlashing(b *testing.B) {
+	p := PaperParams()
+	for i := 0; i < b.N; i++ {
+		_ = p.ConflictEpochSlashing(0.5, 0.2)
+	}
+}
+
+// BenchmarkConflictEpochSemiActive measures the Equation 10 Brent solve.
+func BenchmarkConflictEpochSemiActive(b *testing.B) {
+	p := PaperParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ConflictEpochSemiActive(0.5, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExceedProbability measures one Equation 24 evaluation.
+func BenchmarkExceedProbability(b *testing.B) {
+	m := BounceModel{P0: 0.5}
+	params := PaperParams()
+	for i := 0; i < b.N; i++ {
+		_ = m.ExceedProbability(4000, 0.33, params)
+	}
+}

@@ -1,0 +1,137 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// ConflictEpochHonest is Equation 6: the epoch at which a branch with
+// honest-active proportion p0 regains a 2/3 active-stake quorum during a
+// leak with no Byzantine validators, capped by the ejection epoch. Valid
+// for 0 < p0 < 2/3.
+func (p Params) ConflictEpochHonest(p0 float64) float64 {
+	if p0 <= 0 {
+		return math.NaN()
+	}
+	if p0 >= SupermajorityThreshold {
+		// The branch holds a quorum from the start; no leak needed.
+		return 0
+	}
+	t := math.Sqrt(math.Exp2(25) * (math.Log(2*(1-p0)) - math.Log(p0)))
+	return math.Min(t, p.EjectionEpoch)
+}
+
+// ConflictEpochSlashing is Equation 9: the epoch at which a branch regains
+// a 2/3 quorum when Byzantine validators (proportion beta0) double-vote and
+// are active on the branch alongside the honest-active proportion p0.
+func (p Params) ConflictEpochSlashing(p0, beta0 float64) float64 {
+	effective := p0 + beta0/(1-beta0)
+	arg := math.Log(2*(1-p0)) - math.Log(effective)
+	if arg <= 0 {
+		// Quorum already held at t=0.
+		return 0
+	}
+	t := math.Sqrt(math.Exp2(25) * arg)
+	return math.Min(t, p.EjectionEpoch)
+}
+
+// ConflictEpochSemiActive numerically solves Equation 10 = 2/3: the epoch
+// at which a branch regains a 2/3 quorum when Byzantine validators are
+// semi-active (non-slashable). There is no closed form; the paper reports
+// 555.65 for p0=0.5, beta0=0.33. The result is capped by the ejection
+// epoch.
+func (p Params) ConflictEpochSemiActive(p0, beta0 float64) (float64, error) {
+	f := func(t float64) float64 {
+		return p.ActiveRatioSemiActive(t, p0, beta0) - SupermajorityThreshold
+	}
+	if f(0) >= 0 {
+		return 0, nil
+	}
+	if f(p.EjectionEpoch-1e-9) < 0 {
+		// Quorum only returns via ejection.
+		return p.EjectionEpoch, nil
+	}
+	root, err := mathx.Brent(f, 0, p.EjectionEpoch-1e-9, 1e-9)
+	if err != nil {
+		return 0, fmt.Errorf("analytic: solving Equation 10 for p0=%g beta0=%g: %w", p0, beta0, err)
+	}
+	return root, nil
+}
+
+// BranchConflict describes when each branch of a two-branch fork regains
+// finality and when conflicting finalization is reached.
+type BranchConflict struct {
+	// ThresholdA and ThresholdB are the epochs at which branches with
+	// honest-active proportions p0 and 1-p0 regain a 2/3 quorum.
+	ThresholdA, ThresholdB float64
+	// ConflictEpoch is the epoch of conflicting finalization: one epoch
+	// after the slower branch regains its quorum (the extra epoch
+	// finalizes the justified checkpoint, Section 5.1).
+	ConflictEpoch float64
+}
+
+// Behavior selects the Byzantine strategy for conflict computations.
+type Behavior int
+
+// Byzantine behaviors for the conflicting-finalization scenarios.
+const (
+	// HonestOnly is Scenario 5.1: no Byzantine validators.
+	HonestOnly Behavior = iota
+	// WithSlashing is Scenario 5.2.1: double-voting on both branches.
+	WithSlashing
+	// WithoutSlashing is Scenario 5.2.2: semi-active on both branches.
+	WithoutSlashing
+)
+
+// String names the behavior.
+func (b Behavior) String() string {
+	switch b {
+	case HonestOnly:
+		return "honest only"
+	case WithSlashing:
+		return "with slashing"
+	case WithoutSlashing:
+		return "without slashing"
+	default:
+		return fmt.Sprintf("behavior(%d)", int(b))
+	}
+}
+
+// ConflictingFinalization computes when both branches of a fork finalize
+// conflicting checkpoints, for honest split p0 / 1-p0 and Byzantine
+// proportion beta0 following the given behavior.
+func (p Params) ConflictingFinalization(behavior Behavior, p0, beta0 float64) (BranchConflict, error) {
+	var ta, tb float64
+	var err error
+	switch behavior {
+	case HonestOnly:
+		ta = p.ConflictEpochHonest(p0)
+		tb = p.ConflictEpochHonest(1 - p0)
+	case WithSlashing:
+		ta = p.ConflictEpochSlashing(p0, beta0)
+		tb = p.ConflictEpochSlashing(1-p0, beta0)
+	case WithoutSlashing:
+		ta, err = p.ConflictEpochSemiActive(p0, beta0)
+		if err != nil {
+			return BranchConflict{}, err
+		}
+		tb, err = p.ConflictEpochSemiActive(1-p0, beta0)
+		if err != nil {
+			return BranchConflict{}, err
+		}
+	default:
+		return BranchConflict{}, fmt.Errorf("analytic: unknown behavior %d", behavior)
+	}
+	slowest := math.Max(ta, tb)
+	return BranchConflict{
+		ThresholdA:    ta,
+		ThresholdB:    tb,
+		ConflictEpoch: math.Ceil(slowest) + 1,
+	}, nil
+}
+
+// PaperTableEpoch rounds a threshold epoch the way the paper's Tables 2-3
+// report it: the first whole epoch at which the quorum holds.
+func PaperTableEpoch(t float64) int { return int(math.Ceil(t)) }

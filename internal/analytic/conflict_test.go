@@ -1,0 +1,233 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperTable2 reproduces Table 2 exactly: the epoch of finalization on
+// conflicting branches for p0 = 0.5 with slashing (double-voting) Byzantine
+// behavior.
+func TestPaperTable2(t *testing.T) {
+	p := PaperParams()
+	rows := []struct {
+		beta0 float64
+		want  int
+	}{
+		{0, 4685},
+		{0.1, 4066},
+		{0.15, 3622},
+		{0.2, 3107},
+		{0.33, 502},
+	}
+	for _, row := range rows {
+		var got int
+		if row.beta0 == 0 {
+			got = PaperTableEpoch(p.ConflictEpochHonest(0.5))
+		} else {
+			got = PaperTableEpoch(p.ConflictEpochSlashing(0.5, row.beta0))
+		}
+		if got != row.want {
+			t.Errorf("Table 2 beta0=%v: epoch = %d, want %d", row.beta0, got, row.want)
+		}
+	}
+}
+
+// TestPaperTable3 reproduces Table 3 (no slashing, semi-active Byzantine
+// behavior). The paper's own quoted root for beta0=0.33 is 555.65, which we
+// match to two decimals; intermediate rows in the printed table differ from
+// the continuous solution of Equation 10 by up to ~0.6% (see EXPERIMENTS.md),
+// so they are pinned with that tolerance.
+func TestPaperTable3(t *testing.T) {
+	p := PaperParams()
+
+	// The anchor row the paper quotes in prose: t = 555.65 -> 556 epochs.
+	got, err := p.ConflictEpochSemiActive(0.5, 0.33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-555.65) > 0.01 {
+		t.Errorf("Equation 10 root for beta0=0.33 = %v, want 555.65", got)
+	}
+	if PaperTableEpoch(got) != 556 {
+		t.Errorf("Table 3 beta0=0.33: epoch = %d, want 556", PaperTableEpoch(got))
+	}
+
+	rows := []struct {
+		beta0 float64
+		paper float64
+	}{
+		{0, 4685},
+		{0.1, 4221},
+		{0.15, 3819},
+		{0.2, 3328},
+	}
+	for _, row := range rows {
+		got, err := p.ConflictEpochSemiActive(0.5, row.beta0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(got-row.paper) / row.paper; rel > 0.006 {
+			t.Errorf("Table 3 beta0=%v: epoch = %v, paper %v (rel err %.4f > 0.006)",
+				row.beta0, got, row.paper, rel)
+		}
+	}
+}
+
+// TestPaperScenario51Headline pins Section 5.1's headline numbers: with
+// only honest validators, whatever the split, the slower branch reaches its
+// quorum at 4685 and conflicting finalization lands at 4686.
+func TestPaperScenario51Headline(t *testing.T) {
+	p := PaperParams()
+	for _, p0 := range []float64{0.2, 0.35, 0.5} {
+		bc, err := p.ConflictingFinalization(HonestOnly, p0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := math.Max(bc.ThresholdA, bc.ThresholdB)
+		if slow != 4685 {
+			t.Errorf("p0=%v: slower branch threshold = %v, want 4685", p0, slow)
+		}
+		if bc.ConflictEpoch != 4686 {
+			t.Errorf("p0=%v: conflicting finalization = %v, want 4686", p0, bc.ConflictEpoch)
+		}
+	}
+	// p0=0.6: the fast branch finalizes at ~3107, ending its leak; the
+	// minority branch still needs ejection.
+	bc, err := p.ConflictingFinalization(HonestOnly, 0.6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bc.ThresholdA-3106.93) > 0.01 {
+		t.Errorf("p0=0.6 fast branch = %v, want 3106.93", bc.ThresholdA)
+	}
+	if bc.ThresholdB != 4685 {
+		t.Errorf("p0=0.6 slow branch = %v, want 4685", bc.ThresholdB)
+	}
+}
+
+// TestByzantineSpeedupFactors pins the paper's "ten times faster" (with
+// slashing) and "eight times faster" (without slashing) claims for
+// beta0 = 0.33 relative to the honest-only 4685.
+func TestByzantineSpeedupFactors(t *testing.T) {
+	p := PaperParams()
+	slashing := p.ConflictEpochSlashing(0.5, 0.33)
+	if factor := 4685 / slashing; factor < 9 || factor > 10.5 {
+		t.Errorf("slashing speedup factor = %v, want ~10x (paper: 'ten times faster')", factor)
+	}
+	semi, err := p.ConflictEpochSemiActive(0.5, 0.33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if factor := 4685 / semi; factor < 8 || factor > 9 {
+		t.Errorf("semi-active speedup factor = %v, want ~8x (paper: 'eight times faster')", factor)
+	}
+	// Slashable behavior is strictly faster than non-slashable.
+	if !(slashing < semi) {
+		t.Errorf("slashing (%v) must beat semi-active (%v)", slashing, semi)
+	}
+}
+
+// TestFigure6Curves pins Figure 6's shape: both curves decrease in beta0,
+// the slashing curve lies below the non-slashing curve, and both approach
+// zero as beta0 -> 1/3.
+func TestFigure6Curves(t *testing.T) {
+	p := PaperParams()
+	prevSlash, prevSemi := math.Inf(1), math.Inf(1)
+	for _, beta0 := range []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.33} {
+		slash := p.ConflictEpochSlashing(0.5, beta0)
+		semi, err := p.ConflictEpochSemiActive(0.5, beta0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slash > prevSlash || semi > prevSemi {
+			t.Errorf("beta0=%v: curves must decrease (slash %v->%v, semi %v->%v)",
+				beta0, prevSlash, slash, prevSemi, semi)
+		}
+		if slash > semi {
+			t.Errorf("beta0=%v: slashing curve (%v) must lie below semi-active (%v)", beta0, slash, semi)
+		}
+		prevSlash, prevSemi = slash, semi
+	}
+	// As beta0 -> 1/3 with p0 = 0.5, both times collapse toward zero.
+	nearLimit := p.ConflictEpochSlashing(0.5, 0.3333)
+	if nearLimit > 100 {
+		t.Errorf("near-1/3 slashing epoch = %v, want < 100", nearLimit)
+	}
+}
+
+func TestConflictEpochHonestDomain(t *testing.T) {
+	p := PaperParams()
+	if !math.IsNaN(p.ConflictEpochHonest(0)) {
+		t.Error("p0=0 is out of domain")
+	}
+	if got := p.ConflictEpochHonest(0.7); got != 0 {
+		t.Errorf("p0 >= 2/3 holds the quorum immediately, got %v", got)
+	}
+}
+
+func TestConflictEpochSlashingAlreadyQuorate(t *testing.T) {
+	p := PaperParams()
+	// p0(1-b)+b >= 2/3 at t=0: threshold time must be 0.
+	if got := p.ConflictEpochSlashing(0.6, 0.2); got != 0 {
+		t.Errorf("already-quorate branch time = %v, want 0", got)
+	}
+}
+
+func TestConflictEpochSemiActiveAlreadyQuorate(t *testing.T) {
+	p := PaperParams()
+	got, err := p.ConflictEpochSemiActive(0.8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("already-quorate branch time = %v, want 0", got)
+	}
+}
+
+func TestConflictEpochSemiActiveEjectionFallback(t *testing.T) {
+	p := PaperParams()
+	// Tiny honest-active proportion and tiny Byzantine stake: the quorum
+	// only returns via ejection.
+	got, err := p.ConflictEpochSemiActive(0.05, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p.EjectionEpoch {
+		t.Errorf("quorum-via-ejection time = %v, want %v", got, p.EjectionEpoch)
+	}
+}
+
+func TestConflictingFinalizationSymmetry(t *testing.T) {
+	p := PaperParams()
+	a, err := p.ConflictingFinalization(WithSlashing, 0.3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ConflictingFinalization(WithSlashing, 0.7, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ThresholdA != b.ThresholdB || a.ThresholdB != b.ThresholdA {
+		t.Errorf("branch swap must mirror thresholds: %+v vs %+v", a, b)
+	}
+	if a.ConflictEpoch != b.ConflictEpoch {
+		t.Error("conflict epoch must be split-symmetric")
+	}
+}
+
+func TestConflictingFinalizationUnknownBehavior(t *testing.T) {
+	p := PaperParams()
+	if _, err := p.ConflictingFinalization(Behavior(99), 0.5, 0.2); err == nil {
+		t.Error("unknown behavior must error")
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	if HonestOnly.String() == "" || WithSlashing.String() == "" || WithoutSlashing.String() == "" {
+		t.Error("behavior names must be non-empty")
+	}
+	if Behavior(42).String() == "" {
+		t.Error("unknown behavior must still render")
+	}
+}

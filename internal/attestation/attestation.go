@@ -1,0 +1,161 @@
+// Package attestation defines the vote messages of the protocol and the
+// pools that collect them.
+//
+// An attestation carries two votes (paper Section 3.2): a block vote (the
+// head of the chain according to the attester, consumed by the fork-choice
+// rule) and a checkpoint vote (a source->target pair of checkpoints,
+// consumed by the FFG justification machinery). Each validator attests once
+// per epoch.
+package attestation
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// Data is the signed content of an attestation.
+type Data struct {
+	// Slot in which the attestation was produced.
+	Slot types.Slot
+	// Head is the block vote: the attester's view of the chain head.
+	Head types.Root
+	// Source is the checkpoint-vote source: the latest justified
+	// checkpoint in the attester's view.
+	Source types.Checkpoint
+	// Target is the checkpoint-vote target: the checkpoint of the
+	// current epoch on the attester's candidate chain.
+	Target types.Checkpoint
+}
+
+// Digest returns a stable hash of the data for signing and equivocation
+// detection.
+func (d Data) Digest() types.Root {
+	return crypto.HashRoots(
+		uint64(d.Slot)<<32|uint64(d.Source.Epoch)<<16|uint64(d.Target.Epoch),
+		d.Head, d.Source.Root, d.Target.Root,
+	)
+}
+
+// Attestation is a vote attributed to one validator. The simulator treats
+// the attribution as authenticated (signatures are exercised separately in
+// internal/crypto envelopes; carrying them on every simulated message would
+// only slow the large sweeps down without changing any behavior).
+type Attestation struct {
+	Validator types.ValidatorIndex
+	Data      Data
+}
+
+// String renders a compact description for logs.
+func (a Attestation) String() string {
+	return fmt.Sprintf("att(v=%d slot=%d head=%s tgt=%d/%s src=%d)",
+		a.Validator, a.Data.Slot, a.Data.Head,
+		a.Data.Target.Epoch, a.Data.Target.Root, a.Data.Source.Epoch)
+}
+
+// Pool accumulates attestations indexed by target epoch and validator. It
+// retains every distinct vote (an equivocating validator contributes
+// several), which is what both the FFG engine and the slashing detector
+// need. The zero value is not usable; construct with NewPool.
+type Pool struct {
+	// byEpoch[epoch][validator] lists the distinct attestation data
+	// values the validator signed with that target epoch.
+	byEpoch map[types.Epoch]map[types.ValidatorIndex][]Data
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{byEpoch: make(map[types.Epoch]map[types.ValidatorIndex][]Data)}
+}
+
+// Add records an attestation. Duplicate (validator, data) pairs are
+// ignored. It reports whether the attestation was new.
+func (p *Pool) Add(a Attestation) bool {
+	epoch := a.Data.Target.Epoch
+	m, ok := p.byEpoch[epoch]
+	if !ok {
+		m = make(map[types.ValidatorIndex][]Data)
+		p.byEpoch[epoch] = m
+	}
+	digest := a.Data.Digest()
+	for _, existing := range m[a.Validator] {
+		if existing.Digest() == digest {
+			return false
+		}
+	}
+	m[a.Validator] = append(m[a.Validator], a.Data)
+	return true
+}
+
+// VotesForEpoch returns, for each validator, the distinct attestation data
+// with the given target epoch. The inner slices are shared; callers must
+// not mutate them.
+func (p *Pool) VotesForEpoch(e types.Epoch) map[types.ValidatorIndex][]Data {
+	return p.byEpoch[e]
+}
+
+// Voted reports whether the validator cast any attestation with target
+// epoch e.
+func (p *Pool) Voted(e types.Epoch, v types.ValidatorIndex) bool {
+	return len(p.byEpoch[e][v]) > 0
+}
+
+// VotedForTarget reports whether the validator cast an attestation with
+// target epoch e whose target root matches root. The paper's activity
+// criterion: a validator is active on a branch for an epoch iff it sent an
+// attestation whose checkpoint vote is correct for that branch.
+func (p *Pool) VotedForTarget(e types.Epoch, v types.ValidatorIndex, root types.Root) bool {
+	for _, d := range p.byEpoch[e][v] {
+		if d.Target.Root == root {
+			return true
+		}
+	}
+	return false
+}
+
+// TargetWeights sums stake per (source, target) pair for the given target
+// epoch, using the provided stake lookup. Equivocating validators count
+// toward every distinct pair they voted for, exactly as on-chain inclusion
+// would credit them on each branch.
+func (p *Pool) TargetWeights(e types.Epoch, stake func(types.ValidatorIndex) types.Gwei) map[Link]types.Gwei {
+	out := make(map[Link]types.Gwei)
+	for v, datas := range p.byEpoch[e] {
+		seen := make(map[Link]bool, len(datas))
+		for _, d := range datas {
+			l := Link{Source: d.Source, Target: d.Target}
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			out[l] += stake(v)
+		}
+	}
+	return out
+}
+
+// Prune drops all attestations with target epoch strictly below e, bounding
+// pool memory in long simulations.
+func (p *Pool) Prune(e types.Epoch) {
+	for epoch := range p.byEpoch {
+		if epoch < e {
+			delete(p.byEpoch, epoch)
+		}
+	}
+}
+
+// Epochs returns the number of epochs currently retained (for tests and
+// metrics).
+func (p *Pool) Epochs() int { return len(p.byEpoch) }
+
+// Link is a source->target checkpoint pair: the FFG vote proper.
+type Link struct {
+	Source types.Checkpoint
+	Target types.Checkpoint
+}
+
+// String renders the link for logs.
+func (l Link) String() string {
+	return fmt.Sprintf("%d/%s -> %d/%s",
+		l.Source.Epoch, l.Source.Root, l.Target.Epoch, l.Target.Root)
+}

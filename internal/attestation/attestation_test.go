@@ -1,0 +1,166 @@
+package attestation
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func cp(epoch uint64, root uint64) types.Checkpoint {
+	return types.Checkpoint{Epoch: types.Epoch(epoch), Root: types.RootFromUint64(root)}
+}
+
+func att(v uint64, slot uint64, head uint64, src, tgt types.Checkpoint) Attestation {
+	return Attestation{
+		Validator: types.ValidatorIndex(v),
+		Data: Data{
+			Slot:   types.Slot(slot),
+			Head:   types.RootFromUint64(head),
+			Source: src,
+			Target: tgt,
+		},
+	}
+}
+
+func TestDataDigestDistinguishes(t *testing.T) {
+	base := Data{Slot: 5, Head: types.RootFromUint64(1), Source: cp(0, 0), Target: cp(1, 2)}
+	variants := []Data{
+		{Slot: 6, Head: base.Head, Source: base.Source, Target: base.Target},
+		{Slot: 5, Head: types.RootFromUint64(9), Source: base.Source, Target: base.Target},
+		{Slot: 5, Head: base.Head, Source: cp(0, 7), Target: base.Target},
+		{Slot: 5, Head: base.Head, Source: base.Source, Target: cp(1, 7)},
+	}
+	for i, v := range variants {
+		if v.Digest() == base.Digest() {
+			t.Errorf("variant %d has same digest as base", i)
+		}
+	}
+	if base.Digest() != base.Digest() {
+		t.Error("digest must be deterministic")
+	}
+}
+
+func TestPoolAddDeduplicates(t *testing.T) {
+	p := NewPool()
+	a := att(1, 33, 5, cp(0, 0), cp(1, 5))
+	if !p.Add(a) {
+		t.Error("first add should be new")
+	}
+	if p.Add(a) {
+		t.Error("second add of identical attestation should be ignored")
+	}
+	if got := len(p.VotesForEpoch(1)[1]); got != 1 {
+		t.Errorf("stored votes = %d, want 1", got)
+	}
+}
+
+func TestPoolKeepsEquivocations(t *testing.T) {
+	p := NewPool()
+	// Same validator, same target epoch, two different target roots: a
+	// double vote. The pool must retain both.
+	p.Add(att(1, 33, 5, cp(0, 0), cp(1, 5)))
+	p.Add(att(1, 33, 6, cp(0, 0), cp(1, 6)))
+	if got := len(p.VotesForEpoch(1)[1]); got != 2 {
+		t.Errorf("stored votes = %d, want 2 (equivocation retained)", got)
+	}
+}
+
+func TestVoted(t *testing.T) {
+	p := NewPool()
+	p.Add(att(3, 33, 5, cp(0, 0), cp(1, 5)))
+	if !p.Voted(1, 3) {
+		t.Error("validator 3 voted in epoch 1")
+	}
+	if p.Voted(1, 4) {
+		t.Error("validator 4 did not vote")
+	}
+	if p.Voted(2, 3) {
+		t.Error("validator 3 did not vote in epoch 2")
+	}
+}
+
+func TestVotedForTarget(t *testing.T) {
+	p := NewPool()
+	p.Add(att(3, 33, 5, cp(0, 0), cp(1, 5)))
+	if !p.VotedForTarget(1, 3, types.RootFromUint64(5)) {
+		t.Error("vote for target 5 not found")
+	}
+	if p.VotedForTarget(1, 3, types.RootFromUint64(6)) {
+		t.Error("vote for target 6 should not be found")
+	}
+}
+
+func TestTargetWeights(t *testing.T) {
+	p := NewPool()
+	src := cp(0, 0)
+	tgtA := cp(1, 10)
+	tgtB := cp(1, 20)
+	p.Add(att(1, 33, 10, src, tgtA))
+	p.Add(att(2, 33, 10, src, tgtA))
+	p.Add(att(3, 34, 20, src, tgtB))
+	stake := func(v types.ValidatorIndex) types.Gwei { return types.Gwei(v) * 100 }
+	w := p.TargetWeights(1, stake)
+	if got := w[Link{Source: src, Target: tgtA}]; got != 300 {
+		t.Errorf("weight A = %d, want 300", got)
+	}
+	if got := w[Link{Source: src, Target: tgtB}]; got != 300 {
+		t.Errorf("weight B = %d, want 300", got)
+	}
+}
+
+func TestTargetWeightsEquivocatorCountsOnBothBranches(t *testing.T) {
+	p := NewPool()
+	src := cp(0, 0)
+	tgtA := cp(1, 10)
+	tgtB := cp(1, 20)
+	// Validator 1 double votes.
+	p.Add(att(1, 33, 10, src, tgtA))
+	p.Add(att(1, 33, 20, src, tgtB))
+	stake := func(types.ValidatorIndex) types.Gwei { return 32 }
+	w := p.TargetWeights(1, stake)
+	if w[Link{Source: src, Target: tgtA}] != 32 || w[Link{Source: src, Target: tgtB}] != 32 {
+		t.Errorf("equivocator must count on both branches: %v", w)
+	}
+}
+
+func TestTargetWeightsDuplicateLinkCountsOnce(t *testing.T) {
+	p := NewPool()
+	src := cp(0, 0)
+	tgt := cp(1, 10)
+	// Same link with different heads/slots: one FFG vote only.
+	p.Add(att(1, 33, 10, src, tgt))
+	p.Add(att(1, 34, 11, src, tgt))
+	stake := func(types.ValidatorIndex) types.Gwei { return 32 }
+	w := p.TargetWeights(1, stake)
+	if got := w[Link{Source: src, Target: tgt}]; got != 32 {
+		t.Errorf("duplicate link weight = %d, want 32", got)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	p := NewPool()
+	p.Add(att(1, 33, 5, cp(0, 0), cp(1, 5)))
+	p.Add(att(1, 65, 6, cp(1, 5), cp(2, 6)))
+	p.Add(att(1, 97, 7, cp(2, 6), cp(3, 7)))
+	p.Prune(2)
+	if p.Epochs() != 2 {
+		t.Errorf("epochs after prune = %d, want 2", p.Epochs())
+	}
+	if p.Voted(1, 1) {
+		t.Error("epoch 1 should be pruned")
+	}
+	if !p.Voted(3, 1) {
+		t.Error("epoch 3 must survive prune")
+	}
+}
+
+func TestAttestationString(t *testing.T) {
+	a := att(1, 33, 5, cp(0, 0), cp(1, 5))
+	if a.String() == "" {
+		t.Error("String should be non-empty")
+	}
+	l := Link{Source: cp(0, 0), Target: cp(1, 5)}
+	if l.String() == "" {
+		t.Error("Link.String should be non-empty")
+	}
+}

@@ -1,0 +1,277 @@
+// Package beacon assembles the substrates into a full protocol node: one
+// validator's view of the chain. A node owns a block tree, an LMD-GHOST
+// vote store, a Casper-FFG finality engine, an attestation pool, a slashing
+// detector, and a validator registry (its branch-local balance sheet).
+//
+// Nodes are deliberately view-local: during a partition, nodes in different
+// partitions receive different messages, justify and finalize different
+// checkpoints, evaluate activity differently, and therefore apply different
+// penalties — which is precisely the mechanism the paper exploits.
+package beacon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/attestation"
+	"repro/internal/blocktree"
+	"repro/internal/crypto"
+	"repro/internal/ffg"
+	"repro/internal/forkchoice"
+	"repro/internal/incentives"
+	"repro/internal/slashing"
+	"repro/internal/types"
+	"repro/internal/validator"
+)
+
+// ErrNotProposer is returned when a node is asked to propose in a slot it
+// does not own.
+var ErrNotProposer = errors.New("beacon: not the proposer for this slot")
+
+// Node is one validator's protocol view. Construct with NewNode.
+type Node struct {
+	// ID is the validator this node belongs to.
+	ID   types.ValidatorIndex
+	Spec types.Spec
+
+	Tree     *blocktree.Tree
+	Votes    *forkchoice.Store
+	FFG      *ffg.Engine
+	Pool     *attestation.Pool
+	Detector *slashing.Detector
+	Registry *validator.Registry
+	Leak     incentives.Engine
+
+	// EnforceSlashing makes the node apply slashing evidence it detects
+	// to its own registry (honest behavior). Byzantine nodes leave it
+	// off.
+	EnforceSlashing bool
+
+	// justifiedState snapshots the registry as of the latest justified
+	// checkpoint. The fork-choice rule weighs votes with these balances
+	// (as the spec's get_weight does with the justified state), which
+	// keeps weight computations identical across views that agree on the
+	// justified checkpoint — the property that lets partitions reconcile
+	// after healing.
+	justifiedState *validator.Registry
+
+	// pending buffers blocks whose parent has not arrived yet,
+	// keyed by the missing parent.
+	pending map[types.Root][]blocktree.Block
+	// processedIncentives marks epochs whose penalties were applied.
+	processedIncentives map[types.Epoch]bool
+	// slashEvidence collects offenses observed and (if enforcing)
+	// applied.
+	slashEvidence []slashing.Evidence
+}
+
+// NewNode builds a node for validator id over a fresh view with nValidators
+// at the spec's maximum balance.
+func NewNode(id types.ValidatorIndex, nValidators int, spec types.Spec, genesis types.Root) *Node {
+	reg := validator.NewRegistry(nValidators, spec.MaxEffectiveBalance)
+	return &Node{
+		ID:                  id,
+		Spec:                spec,
+		Tree:                blocktree.New(genesis),
+		Votes:               forkchoice.NewStore(),
+		FFG:                 ffg.NewEngine(genesis),
+		Pool:                attestation.NewPool(),
+		Detector:            slashing.NewDetector(),
+		Registry:            reg,
+		Leak:                incentives.Engine{Spec: spec},
+		justifiedState:      reg.Clone(),
+		pending:             make(map[types.Root][]blocktree.Block),
+		processedIncentives: make(map[types.Epoch]bool),
+	}
+}
+
+// ReceiveBlock ingests a block, buffering it if its parent is unknown and
+// flushing any descendants that were waiting on it.
+func (n *Node) ReceiveBlock(b blocktree.Block) {
+	if n.Tree.Has(b.Root) {
+		return
+	}
+	if !n.Tree.Has(b.Parent) {
+		n.pending[b.Parent] = append(n.pending[b.Parent], b)
+		return
+	}
+	if err := n.Tree.Add(b); err != nil {
+		return // duplicate or malformed; ignore like a real node would
+	}
+	// Flush children that were waiting for this block.
+	waiting := n.pending[b.Root]
+	delete(n.pending, b.Root)
+	for _, w := range waiting {
+		n.ReceiveBlock(w)
+	}
+}
+
+// ReceiveAttestation ingests an attestation: records the block vote for
+// fork choice, the checkpoint vote in the pool, and feeds the slashing
+// detector. Detected offenses are applied to the registry when
+// EnforceSlashing is set.
+func (n *Node) ReceiveAttestation(a attestation.Attestation) {
+	if added := n.Pool.Add(a); !added {
+		return
+	}
+	n.Votes.Process(a.Validator, a.Data.Head, a.Data.Slot)
+	if ev := n.Detector.Observe(a); ev != nil {
+		n.slashEvidence = append(n.slashEvidence, *ev)
+		if n.EnforceSlashing {
+			_ = n.Registry.Slash(ev.Validator, a.Data.Slot.Epoch())
+		}
+	}
+}
+
+// SlashingEvidence returns all offenses this node has detected.
+func (n *Node) SlashingEvidence() []slashing.Evidence {
+	out := make([]slashing.Evidence, len(n.slashEvidence))
+	copy(out, n.slashEvidence)
+	return out
+}
+
+// Head computes the node's candidate-chain head: LMD-GHOST from the block
+// of the latest justified checkpoint, weighing votes with the balances of
+// the justified state (not the current view's balances), as the consensus
+// spec does.
+func (n *Node) Head() (types.Root, error) {
+	start := n.FFG.LatestJustified().Root
+	if !n.Tree.Has(start) {
+		start = n.Tree.Genesis()
+	}
+	return n.Votes.Head(n.Tree, start, n.justifiedState.Stake)
+}
+
+// ProduceBlock builds the block this node proposes at slot, extending its
+// current head. The block root is a deterministic hash of (slot, proposer,
+// parent) so that all views mint identical identifiers.
+func (n *Node) ProduceBlock(slot types.Slot) (blocktree.Block, error) {
+	head, err := n.Head()
+	if err != nil {
+		return blocktree.Block{}, fmt.Errorf("beacon: produce block: %w", err)
+	}
+	b := blocktree.Block{
+		Slot:     slot,
+		Root:     crypto.HashRoots(uint64(slot)<<20|uint64(n.ID), head),
+		Parent:   head,
+		Proposer: n.ID,
+	}
+	n.ReceiveBlock(b)
+	return b, nil
+}
+
+// ProduceAttestation builds this node's attestation for the given slot:
+// block vote = current head, source = latest justified checkpoint, target =
+// current epoch's checkpoint on the head branch.
+func (n *Node) ProduceAttestation(slot types.Slot) (attestation.Attestation, error) {
+	head, err := n.Head()
+	if err != nil {
+		return attestation.Attestation{}, fmt.Errorf("beacon: attest: %w", err)
+	}
+	target, err := n.Tree.CheckpointFor(head, slot.Epoch())
+	if err != nil {
+		return attestation.Attestation{}, fmt.Errorf("beacon: attest: %w", err)
+	}
+	a := attestation.Attestation{
+		Validator: n.ID,
+		Data: attestation.Data{
+			Slot:   slot,
+			Head:   head,
+			Source: n.FFG.LatestJustified(),
+			Target: target,
+		},
+	}
+	return a, nil
+}
+
+// EpochReport summarizes one ProcessEpochBoundary call.
+type EpochReport struct {
+	Epoch          types.Epoch
+	InLeak         bool
+	FFG            ffg.Result
+	Leak           incentives.Summary
+	CanonicalCheck types.Checkpoint
+}
+
+// ProcessEpochBoundary runs at the first slot of `newEpoch`. It
+//
+//  1. re-scans the FFG justification window (the last four target epochs)
+//     against the pool, so late-arriving votes still justify — idempotent;
+//  2. applies inactivity-leak incentive processing exactly once for the
+//     epoch that just ended, using this view's canonical checkpoint as the
+//     activity criterion;
+//  3. prunes old pool entries.
+func (n *Node) ProcessEpochBoundary(newEpoch types.Epoch) (EpochReport, error) {
+	if newEpoch == 0 {
+		return EpochReport{}, nil
+	}
+	ended := newEpoch - 1
+
+	// FFG window re-scan.
+	var ffgRes ffg.Result
+	justifiedBefore := n.FFG.LatestJustified()
+	lo := types.Epoch(0)
+	if newEpoch > 4 {
+		lo = newEpoch - 4
+	}
+	for e := lo; e <= ended; e++ {
+		weights := n.Pool.TargetWeights(e, n.Registry.Stake)
+		res := n.FFG.ProcessEpoch(e, weights, n.Registry.TotalStake(), newEpoch)
+		ffgRes.NewlyJustified = append(ffgRes.NewlyJustified, res.NewlyJustified...)
+		ffgRes.NewlyFinalized = append(ffgRes.NewlyFinalized, res.NewlyFinalized...)
+	}
+	// The justified checkpoint advanced: snapshot the balances that the
+	// fork-choice rule will weigh votes with.
+	if n.FFG.LatestJustified() != justifiedBefore {
+		n.justifiedState = n.Registry.Clone()
+	}
+
+	// Finality advanced: blocks conflicting with the finalized checkpoint
+	// can never return to the canonical chain, so reclaim their memory.
+	if len(ffgRes.NewlyFinalized) > 0 {
+		if fin := n.FFG.Finalized(); n.Tree.Has(fin.Root) && fin.Root != n.Tree.Genesis() {
+			_, _ = n.Tree.PruneBelow(fin.Root)
+		}
+	}
+
+	report := EpochReport{Epoch: ended, FFG: ffgRes}
+
+	// Incentives: once per ended epoch.
+	if !n.processedIncentives[ended] {
+		n.processedIncentives[ended] = true
+		head, err := n.Head()
+		if err != nil {
+			return report, fmt.Errorf("beacon: epoch boundary: %w", err)
+		}
+		canonical, err := n.Tree.CheckpointFor(head, ended)
+		if err != nil {
+			return report, fmt.Errorf("beacon: epoch boundary: %w", err)
+		}
+		report.CanonicalCheck = canonical
+		inLeak := n.FFG.InLeak(newEpoch, n.Spec)
+		report.InLeak = inLeak
+		active := func(v types.ValidatorIndex) bool {
+			return n.Pool.VotedForTarget(ended, v, canonical.Root)
+		}
+		report.Leak = n.Leak.ProcessEpoch(n.Registry, active, inLeak, ended)
+	}
+
+	// Bound pool memory.
+	if newEpoch > 8 {
+		n.Pool.Prune(newEpoch - 8)
+	}
+	return report, nil
+}
+
+// Finalized returns the node's finalized checkpoint.
+func (n *Node) Finalized() types.Checkpoint { return n.FFG.Finalized() }
+
+// FinalizedConflictsWith reports whether this node's finalized checkpoint
+// conflicts with another checkpoint given this node's tree (the paper's
+// Safety violation (1)). Checkpoints on unknown blocks are treated as
+// conflicting only if provably on another branch, which requires the other
+// view's tree; callers with global knowledge should use ffg.CheckConflict
+// with a merged tree.
+func (n *Node) FinalizedConflictsWith(other types.Checkpoint) error {
+	return ffg.CheckConflict(n.Finalized(), other, n.Tree.IsAncestor)
+}

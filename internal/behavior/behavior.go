@@ -1,0 +1,294 @@
+// Package behavior implements the adversary strategies of the paper's five
+// scenarios as sim.Adversary values:
+//
+//   - DoubleVoter (Scenario 5.2.1): Byzantine validators attest on both
+//     branches of a partition every epoch — a slashable offense that stays
+//     hidden until GST because each partition only sees one face;
+//   - SemiActive (Scenarios 5.2.2 / 5.2.3): Byzantine validators alternate
+//     branches every epoch — non-slashable — optionally staying two
+//     consecutive epochs per branch when they decide to finalize;
+//   - Bouncer (Scenario 5.3): after GST, Byzantine validators withhold
+//     their checkpoint votes and release them at epoch boundaries to
+//     alternately justify the two branches of a fork, bouncing honest
+//     validators between them and stalling finality indefinitely.
+package behavior
+
+import (
+	"math/rand"
+
+	"repro/internal/attestation"
+	"repro/internal/beacon"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// viewAttestation crafts the attestation a validator would produce at slot
+// if it honestly followed the view of node rep. The adversary uses honest
+// representative views to act consistently on each branch.
+func viewAttestation(rep *beacon.Node, v types.ValidatorIndex, slot types.Slot) (attestation.Attestation, bool) {
+	head, err := rep.Head()
+	if err != nil {
+		return attestation.Attestation{}, false
+	}
+	target, err := rep.Tree.CheckpointFor(head, slot.Epoch())
+	if err != nil {
+		return attestation.Attestation{}, false
+	}
+	return attestation.Attestation{
+		Validator: v,
+		Data: attestation.Data{
+			Slot:   slot,
+			Head:   head,
+			Source: rep.FFG.LatestJustified(),
+			Target: target,
+		},
+	}, true
+}
+
+// DoubleVoter is the Scenario 5.2.1 adversary. Each Byzantine validator
+// attests once per epoch on each branch, showing each partition only the
+// matching face (BroadcastAs), so the equivocation is undetectable before
+// GST.
+type DoubleVoter struct {
+	// Reps holds one honest representative validator per partition; the
+	// adversary copies their views.
+	Reps [2]types.ValidatorIndex
+}
+
+// OnSlot implements sim.Adversary.
+func (d *DoubleVoter) OnSlot(s *sim.Simulation, slot types.Slot) {
+	epoch := slot.Epoch()
+	for _, v := range s.Cfg.Byzantine {
+		if s.AttestationSlot(v, epoch) != slot {
+			continue
+		}
+		for p := 0; p < 2; p++ {
+			rep := s.Nodes[d.Reps[p]]
+			att, ok := viewAttestation(rep, v, slot)
+			if !ok {
+				continue
+			}
+			s.BroadcastAs(v, p, slot, sim.Message{Att: &att})
+		}
+	}
+}
+
+// SemiActive is the Scenario 5.2.2 / 5.2.3 adversary: Byzantine validators
+// are active on branch (epoch mod 2) each epoch — never equivocating within
+// an epoch, hence non-slashable. When StayFrom is nonzero, from that epoch
+// on they switch to the finalization gait: two consecutive epochs on branch
+// 0, then two consecutive epochs on branch 1, forcing two sequential
+// justifications (and hence finalization) on each branch.
+type SemiActive struct {
+	Reps [2]types.ValidatorIndex
+	// StayFrom, when nonzero, is the epoch at which the adversary stops
+	// delaying and finalizes both branches. Zero means never (the
+	// Scenario 5.2.3 "delay finalization to cross 1/3" mode).
+	StayFrom types.Epoch
+}
+
+// branchFor returns which branch the Byzantine validators act on during an
+// epoch.
+func (a *SemiActive) branchFor(epoch types.Epoch) int {
+	if a.StayFrom != 0 && epoch >= a.StayFrom {
+		// Two epochs on branch 0, then two on branch 1, then resume
+		// alternation (the harm is done after four epochs).
+		switch epoch - a.StayFrom {
+		case 0, 1:
+			return 0
+		case 2, 3:
+			return 1
+		}
+	}
+	return int(epoch % 2)
+}
+
+// OnSlot implements sim.Adversary.
+func (a *SemiActive) OnSlot(s *sim.Simulation, slot types.Slot) {
+	epoch := slot.Epoch()
+	branch := a.branchFor(epoch)
+	for _, v := range s.Cfg.Byzantine {
+		if s.AttestationSlot(v, epoch) != slot {
+			continue
+		}
+		rep := s.Nodes[a.Reps[branch]]
+		att, ok := viewAttestation(rep, v, slot)
+		if !ok {
+			continue
+		}
+		s.BroadcastAs(v, branch, slot, sim.Message{Att: &att})
+	}
+}
+
+// Bouncer is the Scenario 5.3 adversary (probabilistic bouncing attack with
+// the inactivity leak). It assumes a fork was established during a pre-GST
+// partition — the paper's "favorable setup", step (1) of the attack, which
+// the paper takes from its citation of the original bouncing-attack
+// analysis rather than re-deriving.
+//
+// After GST the adversary alternates branches. At the boundary of each
+// epoch it releases its withheld Byzantine checkpoint votes completing the
+// previous epoch's two-epoch justification link on one branch, and uses its
+// within-delta message-timing power to decide, per honest validator, whether
+// the release lands before or after that validator's attestation duty —
+// modeled by ffg.ForceJustify on the bounced subset. Every epoch each
+// honest validator therefore lands on the newly justified branch with
+// probability 1-P0 and stays on the other branch with probability P0, the
+// i.i.d. placement of the paper's Figure 8 Markov chain. The P0 crowd's
+// coherent two-epoch link is the one the adversary completes at the next
+// boundary, so justification alternates branches, links are never between
+// consecutive epochs, and finality never advances; after two warm-up epochs
+// the released links genuinely carry more than two-thirds of stake
+// (Equation 14(b)) and justify through the regular FFG rule as well.
+type Bouncer struct {
+	// P0 is the per-epoch probability that an honest validator stays on
+	// the branch whose justification the adversary completes next — the
+	// paper's p0, constrained by Equation 14.
+	P0 float64
+	// Rng drives the per-validator placement coin.
+	Rng *rand.Rand
+	// Stop, when nonzero, is the epoch at which the adversary ceases the
+	// attack (used to demonstrate liveness recovery).
+	Stop types.Epoch
+
+	// anchors[i] is the first post-fork block root of branch i; set at
+	// GST from the partition representatives' heads.
+	anchors [2]types.Root
+	// lastJust[i] tracks the latest checkpoint the adversary justified
+	// on branch i.
+	lastJust [2]types.Checkpoint
+	// prevTarget is the previous release's checkpoint: released votes
+	// reach every validator within delta, so by the next boundary every
+	// view has justified it (the catch-up step that keeps honest sources
+	// two-valued and the completed links above the quorum).
+	prevTarget types.Checkpoint
+	armed      bool
+	observer   types.ValidatorIndex // a Byzantine node used as omniscient view
+	setupReps  [2]types.ValidatorIndex
+
+	// Bounces counts bounce placements per honest validator (metrics).
+	Bounces int
+	// Releases counts boundary releases performed.
+	Releases int
+}
+
+// NewBouncer builds a Bouncer with partition representatives (one honest
+// validator per partition, used to locate the fork's branches at GST).
+func NewBouncer(p0 float64, seed int64, reps [2]types.ValidatorIndex) *Bouncer {
+	return &Bouncer{
+		P0:        p0,
+		Rng:       rand.New(rand.NewSource(seed)),
+		setupReps: reps,
+	}
+}
+
+// arm captures the fork anchors at GST.
+func (b *Bouncer) arm(s *sim.Simulation) {
+	b.observer = s.Cfg.Byzantine[0]
+	for i := 0; i < 2; i++ {
+		rep := s.Nodes[b.setupReps[i]]
+		head, err := rep.Head()
+		if err != nil {
+			return
+		}
+		b.anchors[i] = head
+		b.lastJust[i] = rep.FFG.LatestJustified()
+	}
+	if b.anchors[0] == b.anchors[1] {
+		return // no fork yet
+	}
+	b.armed = true
+}
+
+// branchTip finds the highest block descending from the branch anchor in
+// the omniscient Byzantine view.
+func (b *Bouncer) branchTip(s *sim.Simulation, branch int) (types.Root, bool) {
+	tree := s.Nodes[b.observer].Tree
+	anchor := b.anchors[branch]
+	if !tree.Has(anchor) {
+		return types.Root{}, false
+	}
+	best := anchor
+	bestSlot, _ := tree.Slot(anchor)
+	for _, leaf := range tree.Leaves() {
+		if leaf.Slot > bestSlot && tree.IsAncestor(anchor, leaf.Root) {
+			best, bestSlot = leaf.Root, leaf.Slot
+		}
+	}
+	return best, true
+}
+
+// OnSlot implements sim.Adversary.
+func (b *Bouncer) OnSlot(s *sim.Simulation, slot types.Slot) {
+	if slot < s.Cfg.GST {
+		return
+	}
+	if !b.armed {
+		b.arm(s)
+		if !b.armed {
+			return
+		}
+	}
+	if !slot.IsEpochStart() || slot.Epoch() == 0 {
+		return
+	}
+	epoch := slot.Epoch()
+	if b.Stop != 0 && epoch >= b.Stop {
+		return
+	}
+	ended := epoch - 1
+	branch := int(ended % 2)
+
+	tip, ok := b.branchTip(s, branch)
+	if !ok {
+		return
+	}
+	tree := s.Nodes[b.observer].Tree
+	target, err := tree.CheckpointFor(tip, ended)
+	if err != nil || target.Root == b.lastJust[branch].Root {
+		return
+	}
+	source := b.lastJust[branch]
+	b.Releases++
+
+	// Release the withheld Byzantine votes completing the two-epoch link
+	// (source -> target) on this branch. One vote per Byzantine
+	// validator per epoch: semi-active per branch, never slashable.
+	for _, v := range s.Cfg.Byzantine {
+		att := attestation.Attestation{
+			Validator: v,
+			Data: attestation.Data{
+				Slot:   ended.EndSlot(),
+				Head:   tip,
+				Source: source,
+				Target: target,
+			},
+		}
+		s.Broadcast(v, slot, sim.Message{Att: &att})
+	}
+
+	// Catch-up: the previous release reached every validator within
+	// delta, so by this boundary every view has processed it.
+	if !b.prevTarget.IsZero() {
+		for _, h := range s.HonestIndices() {
+			s.Nodes[h].FFG.ForceJustify(b.prevTarget)
+		}
+	}
+	// Per-validator timing: with probability 1-P0 the validator sees the
+	// fresh release (and the resulting justification) before its duty
+	// this epoch and bounces to this branch; with probability P0 it acts
+	// on its previous view and stays put, becoming part of the coherent
+	// link the adversary completes next boundary.
+	for _, h := range s.HonestIndices() {
+		if b.Rng.Float64() >= b.P0 {
+			s.Nodes[h].FFG.ForceJustify(target)
+			b.Bounces++
+		}
+	}
+	// The omniscient Byzantine views track every justification.
+	for _, v := range s.Cfg.Byzantine {
+		s.Nodes[v].FFG.ForceJustify(target)
+	}
+	b.lastJust[branch] = target
+	b.prevTarget = target
+}

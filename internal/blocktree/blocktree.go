@@ -1,0 +1,276 @@
+// Package blocktree stores the tree-like block structure every validator
+// maintains locally (paper Section 2: "Validators keep a local data
+// structure in form of a tree containing all the blocks perceived").
+//
+// It offers ancestry queries, checkpoint-block resolution (the block that a
+// checkpoint (b, e) refers to is the last block at or before the first slot
+// of epoch e on the branch), and chain extraction — the primitives that the
+// fork-choice rule and the FFG finality engine are built on.
+package blocktree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Sentinel errors for tree operations.
+var (
+	ErrUnknownBlock  = errors.New("blocktree: unknown block")
+	ErrUnknownParent = errors.New("blocktree: unknown parent")
+	ErrDuplicate     = errors.New("blocktree: duplicate block")
+	ErrBadSlot       = errors.New("blocktree: slot not after parent slot")
+)
+
+// Block is a vertex of the tree. Payload contents are irrelevant to the
+// consensus analysis; identity, position, and parentage are everything.
+type Block struct {
+	Slot     types.Slot
+	Root     types.Root
+	Parent   types.Root
+	Proposer types.ValidatorIndex
+}
+
+// Tree is an append-only block tree rooted at a genesis block. The zero
+// value is not usable; construct with New.
+type Tree struct {
+	blocks   map[types.Root]Block
+	children map[types.Root][]types.Root
+	genesis  types.Root
+}
+
+// New creates a tree containing only the genesis block at slot 0.
+func New(genesis types.Root) *Tree {
+	t := &Tree{
+		blocks:   make(map[types.Root]Block),
+		children: make(map[types.Root][]types.Root),
+		genesis:  genesis,
+	}
+	t.blocks[genesis] = Block{Slot: 0, Root: genesis}
+	return t
+}
+
+// Genesis returns the root of the genesis block.
+func (t *Tree) Genesis() types.Root { return t.genesis }
+
+// Len returns the number of blocks in the tree, genesis included.
+func (t *Tree) Len() int { return len(t.blocks) }
+
+// Has reports whether the tree contains root.
+func (t *Tree) Has(root types.Root) bool {
+	_, ok := t.blocks[root]
+	return ok
+}
+
+// Block returns the block stored under root.
+func (t *Tree) Block(root types.Root) (Block, error) {
+	b, ok := t.blocks[root]
+	if !ok {
+		return Block{}, fmt.Errorf("%w: %s", ErrUnknownBlock, root)
+	}
+	return b, nil
+}
+
+// Add inserts b. The parent must already be present, the slot must be
+// strictly greater than the parent's slot, and the root must be new.
+func (t *Tree) Add(b Block) error {
+	if _, ok := t.blocks[b.Root]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, b.Root)
+	}
+	parent, ok := t.blocks[b.Parent]
+	if !ok {
+		return fmt.Errorf("%w: parent %s of %s", ErrUnknownParent, b.Parent, b.Root)
+	}
+	if b.Slot <= parent.Slot {
+		return fmt.Errorf("%w: block %s at slot %d, parent at slot %d",
+			ErrBadSlot, b.Root, b.Slot, parent.Slot)
+	}
+	t.blocks[b.Root] = b
+	t.children[b.Parent] = append(t.children[b.Parent], b.Root)
+	return nil
+}
+
+// Children returns the direct children of root in insertion order. The
+// returned slice is a copy.
+func (t *Tree) Children(root types.Root) []types.Root {
+	kids := t.children[root]
+	out := make([]types.Root, len(kids))
+	copy(out, kids)
+	return out
+}
+
+// IsAncestor reports whether a is an ancestor of (or equal to) d.
+func (t *Tree) IsAncestor(a, d types.Root) bool {
+	if !t.Has(a) || !t.Has(d) {
+		return false
+	}
+	cur := d
+	for {
+		if cur == a {
+			return true
+		}
+		b := t.blocks[cur]
+		if cur == t.genesis {
+			return false
+		}
+		cur = b.Parent
+	}
+}
+
+// AncestorAt walks from root toward genesis and returns the last block on
+// that path whose slot is <= slot. This is the block a checkpoint for a
+// given epoch resolves to on the branch ending at root.
+func (t *Tree) AncestorAt(root types.Root, slot types.Slot) (types.Root, error) {
+	if !t.Has(root) {
+		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownBlock, root)
+	}
+	cur := root
+	for {
+		b := t.blocks[cur]
+		if b.Slot <= slot {
+			return cur, nil
+		}
+		if cur == t.genesis {
+			return t.genesis, nil
+		}
+		cur = b.Parent
+	}
+}
+
+// CheckpointFor resolves the checkpoint of epoch e on the branch ending at
+// head: the pair (block at or before the epoch's first slot, e).
+func (t *Tree) CheckpointFor(head types.Root, e types.Epoch) (types.Checkpoint, error) {
+	r, err := t.AncestorAt(head, e.StartSlot())
+	if err != nil {
+		return types.Checkpoint{}, err
+	}
+	return types.Checkpoint{Epoch: e, Root: r}, nil
+}
+
+// Chain returns the path from genesis to root, inclusive, in increasing
+// slot order.
+func (t *Tree) Chain(root types.Root) ([]Block, error) {
+	if !t.Has(root) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBlock, root)
+	}
+	var rev []Block
+	cur := root
+	for {
+		b := t.blocks[cur]
+		rev = append(rev, b)
+		if cur == t.genesis {
+			break
+		}
+		cur = b.Parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Leaves returns all blocks without children, sorted by (slot, root) for
+// determinism.
+func (t *Tree) Leaves() []Block {
+	var out []Block
+	for root, b := range t.blocks {
+		if len(t.children[root]) == 0 {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return out[i].Slot < out[j].Slot
+		}
+		return lessRoot(out[i].Root, out[j].Root)
+	})
+	return out
+}
+
+// CommonAncestor returns the highest block that is an ancestor of both a
+// and b.
+func (t *Tree) CommonAncestor(a, b types.Root) (types.Root, error) {
+	if !t.Has(a) || !t.Has(b) {
+		return types.Root{}, ErrUnknownBlock
+	}
+	onPath := map[types.Root]bool{}
+	cur := a
+	for {
+		onPath[cur] = true
+		if cur == t.genesis {
+			break
+		}
+		cur = t.blocks[cur].Parent
+	}
+	cur = b
+	for {
+		if onPath[cur] {
+			return cur, nil
+		}
+		if cur == t.genesis {
+			return t.genesis, nil
+		}
+		cur = t.blocks[cur].Parent
+	}
+}
+
+// PruneBelow discards every block that is not a descendant of (or equal
+// to) keep, which becomes the tree's effective root. Nodes prune at
+// finalized checkpoints: blocks conflicting with finality can never return
+// to the canonical chain, and long simulations need the memory back. The
+// genesis pointer moves to keep. Returns the number of blocks removed.
+func (t *Tree) PruneBelow(keep types.Root) (int, error) {
+	if !t.Has(keep) {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownBlock, keep)
+	}
+	if keep == t.genesis {
+		return 0, nil
+	}
+	// Collect the surviving subtree.
+	survivors := make(map[types.Root]bool, len(t.blocks))
+	stack := []types.Root{keep}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if survivors[cur] {
+			continue
+		}
+		survivors[cur] = true
+		stack = append(stack, t.children[cur]...)
+	}
+	removed := 0
+	for root := range t.blocks {
+		if !survivors[root] {
+			delete(t.blocks, root)
+			delete(t.children, root)
+			removed++
+		}
+	}
+	// The new root keeps its slot but forgets its parent, so ancestry
+	// walks terminate at it.
+	b := t.blocks[keep]
+	b.Parent = keep
+	t.blocks[keep] = b
+	t.genesis = keep
+	return removed, nil
+}
+
+// Slot returns the slot of root, or an error if unknown.
+func (t *Tree) Slot(root types.Root) (types.Slot, error) {
+	b, err := t.Block(root)
+	if err != nil {
+		return 0, err
+	}
+	return b.Slot, nil
+}
+
+func lessRoot(a, b types.Root) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,350 @@
+package blocktree
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func root(v uint64) types.Root { return types.RootFromUint64(v) }
+
+// buildLinearChain constructs genesis -> b1 -> b2 ... -> bn, one block per
+// slot, and returns the tree plus the roots in order (index 0 = genesis).
+func buildLinearChain(t *testing.T, n int) (*Tree, []types.Root) {
+	t.Helper()
+	tree := New(root(0))
+	roots := []types.Root{root(0)}
+	for i := 1; i <= n; i++ {
+		b := Block{Slot: types.Slot(i), Root: root(uint64(i)), Parent: roots[i-1]}
+		if err := tree.Add(b); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+		roots = append(roots, b.Root)
+	}
+	return tree, roots
+}
+
+// buildFork creates a genesis with two branches:
+//
+//	genesis -> a1(slot 1) -> a2(slot 2)
+//	        -> b1(slot 1') -> b2(slot 2')
+//
+// using distinct roots for each side.
+func buildFork(t *testing.T) (*Tree, []types.Root, []types.Root) {
+	t.Helper()
+	tree := New(root(0))
+	a := []types.Root{root(10), root(11)}
+	b := []types.Root{root(20), root(21)}
+	mustAdd(t, tree, Block{Slot: 1, Root: a[0], Parent: root(0)})
+	mustAdd(t, tree, Block{Slot: 2, Root: a[1], Parent: a[0]})
+	mustAdd(t, tree, Block{Slot: 1, Root: b[0], Parent: root(0)})
+	mustAdd(t, tree, Block{Slot: 2, Root: b[1], Parent: b[0]})
+	return tree, a, b
+}
+
+func mustAdd(t *testing.T, tree *Tree, b Block) {
+	t.Helper()
+	if err := tree.Add(b); err != nil {
+		t.Fatalf("Add(%v): %v", b.Root, err)
+	}
+}
+
+func TestNewContainsGenesis(t *testing.T) {
+	tree := New(root(0))
+	if !tree.Has(root(0)) {
+		t.Fatal("genesis missing")
+	}
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tree.Len())
+	}
+	if tree.Genesis() != root(0) {
+		t.Fatal("wrong genesis root")
+	}
+}
+
+func TestAddRejectsUnknownParent(t *testing.T) {
+	tree := New(root(0))
+	err := tree.Add(Block{Slot: 1, Root: root(1), Parent: root(99)})
+	if !errors.Is(err, ErrUnknownParent) {
+		t.Errorf("want ErrUnknownParent, got %v", err)
+	}
+}
+
+func TestAddRejectsDuplicate(t *testing.T) {
+	tree, roots := buildLinearChain(t, 2)
+	err := tree.Add(Block{Slot: 3, Root: roots[1], Parent: roots[2]})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Errorf("want ErrDuplicate, got %v", err)
+	}
+}
+
+func TestAddRejectsNonIncreasingSlot(t *testing.T) {
+	tree, roots := buildLinearChain(t, 2)
+	err := tree.Add(Block{Slot: 2, Root: root(99), Parent: roots[2]})
+	if !errors.Is(err, ErrBadSlot) {
+		t.Errorf("want ErrBadSlot, got %v", err)
+	}
+}
+
+func TestIsAncestorLinear(t *testing.T) {
+	tree, roots := buildLinearChain(t, 5)
+	if !tree.IsAncestor(roots[1], roots[5]) {
+		t.Error("b1 should be ancestor of b5")
+	}
+	if tree.IsAncestor(roots[5], roots[1]) {
+		t.Error("b5 should not be ancestor of b1")
+	}
+	if !tree.IsAncestor(roots[3], roots[3]) {
+		t.Error("a block is its own ancestor")
+	}
+	if tree.IsAncestor(root(99), roots[1]) || tree.IsAncestor(roots[1], root(99)) {
+		t.Error("unknown blocks are never ancestors")
+	}
+}
+
+func TestIsAncestorAcrossFork(t *testing.T) {
+	tree, a, b := buildFork(t)
+	if tree.IsAncestor(a[0], b[1]) {
+		t.Error("branch A block must not be ancestor of branch B block")
+	}
+	if !tree.IsAncestor(root(0), a[1]) || !tree.IsAncestor(root(0), b[1]) {
+		t.Error("genesis is ancestor of all blocks")
+	}
+}
+
+func TestAncestorAt(t *testing.T) {
+	tree, roots := buildLinearChain(t, 10)
+	got, err := tree.AncestorAt(roots[10], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != roots[7] {
+		t.Errorf("AncestorAt(slot 7) = %v, want %v", got, roots[7])
+	}
+	got, err = tree.AncestorAt(roots[10], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != roots[0] {
+		t.Errorf("AncestorAt(slot 0) = %v, want genesis", got)
+	}
+	if _, err := tree.AncestorAt(root(99), 0); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("want ErrUnknownBlock, got %v", err)
+	}
+}
+
+func TestAncestorAtSkippedSlots(t *testing.T) {
+	// Chain with gaps: genesis(0) -> x(5) -> y(12).
+	tree := New(root(0))
+	mustAdd(t, tree, Block{Slot: 5, Root: root(1), Parent: root(0)})
+	mustAdd(t, tree, Block{Slot: 12, Root: root(2), Parent: root(1)})
+	got, err := tree.AncestorAt(root(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != root(1) {
+		t.Errorf("AncestorAt(slot 8) = %v, want block at slot 5", got)
+	}
+}
+
+func TestCheckpointFor(t *testing.T) {
+	// 70 slots: epochs 0 and 1 fully populated, epoch 2 starts at slot 64.
+	tree, roots := buildLinearChain(t, 70)
+	cp, err := tree.CheckpointFor(roots[70], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Root != roots[64] || cp.Epoch != 2 {
+		t.Errorf("checkpoint = %v, want epoch 2 root at slot 64", cp)
+	}
+	cp, err = tree.CheckpointFor(roots[70], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Root != roots[32] {
+		t.Errorf("checkpoint epoch 1 = %v, want slot-32 block", cp)
+	}
+}
+
+func TestCheckpointForEmptyEpochStart(t *testing.T) {
+	// If the first slot of the epoch is empty, the checkpoint falls back
+	// to the latest earlier block.
+	tree := New(root(0))
+	mustAdd(t, tree, Block{Slot: 30, Root: root(1), Parent: root(0)})
+	mustAdd(t, tree, Block{Slot: 40, Root: root(2), Parent: root(1)})
+	cp, err := tree.CheckpointFor(root(2), 1) // epoch 1 starts at slot 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Root != root(1) {
+		t.Errorf("checkpoint = %v, want slot-30 block", cp)
+	}
+}
+
+func TestChain(t *testing.T) {
+	tree, roots := buildLinearChain(t, 4)
+	chain, err := tree.Chain(roots[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 5 {
+		t.Fatalf("chain len = %d, want 5", len(chain))
+	}
+	for i, b := range chain {
+		if b.Root != roots[i] {
+			t.Errorf("chain[%d] = %v, want %v", i, b.Root, roots[i])
+		}
+	}
+	if _, err := tree.Chain(root(99)); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("want ErrUnknownBlock, got %v", err)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	tree, a, b := buildFork(t)
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d, want 2", len(leaves))
+	}
+	got := map[types.Root]bool{leaves[0].Root: true, leaves[1].Root: true}
+	if !got[a[1]] || !got[b[1]] {
+		t.Errorf("leaves = %v, want tips of both branches", leaves)
+	}
+}
+
+func TestCommonAncestor(t *testing.T) {
+	tree, a, b := buildFork(t)
+	ca, err := tree.CommonAncestor(a[1], b[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != root(0) {
+		t.Errorf("CommonAncestor = %v, want genesis", ca)
+	}
+	ca, err = tree.CommonAncestor(a[0], a[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != a[0] {
+		t.Errorf("CommonAncestor on same branch = %v, want %v", ca, a[0])
+	}
+}
+
+func TestChildrenCopied(t *testing.T) {
+	tree, roots := buildLinearChain(t, 2)
+	kids := tree.Children(roots[0])
+	if len(kids) != 1 {
+		t.Fatalf("children = %d, want 1", len(kids))
+	}
+	kids[0] = root(99)
+	if tree.Children(roots[0])[0] == root(99) {
+		t.Error("Children must return a copy")
+	}
+}
+
+func TestSlot(t *testing.T) {
+	tree, roots := buildLinearChain(t, 3)
+	s, err := tree.Slot(roots[3])
+	if err != nil || s != 3 {
+		t.Errorf("Slot = %d, %v; want 3, nil", s, err)
+	}
+	if _, err := tree.Slot(root(99)); err == nil {
+		t.Error("Slot of unknown block should error")
+	}
+}
+
+func TestPruneBelow(t *testing.T) {
+	tree, a, b := buildFork(t)
+	// Finalize branch A's first block: branch B must vanish.
+	removed, err := tree.PruneBelow(a[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removed: genesis, b1, b2.
+	if removed != 3 {
+		t.Errorf("removed = %d, want 3", removed)
+	}
+	if tree.Genesis() != a[0] {
+		t.Errorf("new root = %v, want %v", tree.Genesis(), a[0])
+	}
+	if tree.Has(b[0]) || tree.Has(b[1]) || tree.Has(root(0)) {
+		t.Error("pruned blocks still present")
+	}
+	if !tree.Has(a[0]) || !tree.Has(a[1]) {
+		t.Error("surviving branch lost")
+	}
+	// Ancestry still works and terminates at the new root.
+	if !tree.IsAncestor(a[0], a[1]) {
+		t.Error("ancestry broken after prune")
+	}
+	if tree.IsAncestor(a[1], a[0]) {
+		t.Error("reverse ancestry after prune")
+	}
+	chain, err := tree.Chain(a[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Root != a[0] {
+		t.Errorf("chain after prune = %v", chain)
+	}
+	// New blocks extend normally.
+	if err := tree.Add(Block{Slot: 3, Root: root(30), Parent: a[1]}); err != nil {
+		t.Fatal(err)
+	}
+	// Pruning at the current root is a no-op.
+	removed, err = tree.PruneBelow(a[0])
+	if err != nil || removed != 0 {
+		t.Errorf("no-op prune = (%d, %v)", removed, err)
+	}
+	// Unknown keep block errors.
+	if _, err := tree.PruneBelow(root(99)); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("want ErrUnknownBlock, got %v", err)
+	}
+}
+
+func TestPruneBelowDeepChain(t *testing.T) {
+	tree, roots := buildLinearChain(t, 50)
+	removed, err := tree.PruneBelow(roots[40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 40 {
+		t.Errorf("removed = %d, want 40", removed)
+	}
+	if tree.Len() != 11 {
+		t.Errorf("len = %d, want 11", tree.Len())
+	}
+	// AncestorAt clamps at the new root.
+	got, err := tree.AncestorAt(roots[50], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != roots[40] {
+		t.Errorf("AncestorAt below root = %v, want new root", got)
+	}
+}
+
+func TestAncestorAtPropertyMonotone(t *testing.T) {
+	tree, roots := buildLinearChain(t, 64)
+	tip := roots[64]
+	f := func(rawA, rawB uint8) bool {
+		sa := types.Slot(rawA % 65)
+		sb := types.Slot(rawB % 65)
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		ra, err1 := tree.AncestorAt(tip, sa)
+		rb, err2 := tree.AncestorAt(tip, sb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// The ancestor at an earlier slot is an ancestor of the
+		// ancestor at a later slot.
+		return tree.IsAncestor(ra, rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package core implements the paper's five analysis scenarios at full paper
+// scale. It complements the node-level protocol simulator (internal/sim)
+// with two engines built on the same exact integer penalty arithmetic
+// (internal/incentives semantics):
+//
+//   - LeakSim: an aggregate two-branch leak simulation over validator
+//     cohorts (honest active per branch, Byzantine), which regenerates the
+//     conflicting-finalization epochs of Tables 2-3, the ratio curves of
+//     Figure 3, the speedup curves of Figure 6, and the threshold region of
+//     Figure 7 — at the paper's own 4685-epoch scale in microseconds per
+//     run;
+//   - BounceMC: a per-validator Monte-Carlo of the probabilistic bouncing
+//     attack (Section 5.3) with branch-accurate ledgers, which regenerates
+//     Figure 10 mechanistically and cross-checks the paper's censored
+//     log-normal model (Equation 24).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// ByzMode selects the Byzantine strategy of a leak scenario.
+type ByzMode int
+
+// Byzantine strategies (paper Sections 5.1-5.2).
+const (
+	// ByzAbsent is Scenario 5.1: no Byzantine validators.
+	ByzAbsent ByzMode = iota
+	// ByzDoubleVote is Scenario 5.2.1: active on both branches every
+	// epoch (slashable once observable).
+	ByzDoubleVote
+	// ByzSemiActive is Scenarios 5.2.2/5.2.3: active on alternating
+	// branches, never slashable.
+	ByzSemiActive
+)
+
+// String names the mode.
+func (m ByzMode) String() string {
+	switch m {
+	case ByzAbsent:
+		return "honest only"
+	case ByzDoubleVote:
+		return "double vote (slashable)"
+	case ByzSemiActive:
+		return "semi-active (non-slashable)"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ErrBadParams reports invalid scenario parameters.
+var ErrBadParams = errors.New("core: invalid scenario parameters")
+
+// cohort is a set of identical validators tracked in aggregate with exact
+// integer per-member state.
+type cohort struct {
+	count  uint64
+	stake  types.Gwei // per member
+	score  uint64     // inactivity score per member
+	inSet  bool
+	exited types.Epoch
+}
+
+func (c *cohort) total() types.Gwei {
+	if !c.inSet {
+		return 0
+	}
+	return types.Gwei(c.count) * c.stake
+}
+
+// stepPenalty applies one epoch of Equation 2 to the cohort (score and
+// stake of the previous epoch), then updates the score per activity.
+func (c *cohort) step(spec types.Spec, active bool, inLeak bool, epoch types.Epoch) {
+	if !c.inSet || c.count == 0 {
+		return
+	}
+	if inLeak || (spec.ResidualPenalties && c.score > 0) {
+		penalty := types.Gwei(c.score * uint64(c.stake) / spec.InactivityPenaltyQuotient)
+		c.stake = c.stake.SaturatingSub(penalty)
+	}
+	if active {
+		if c.score >= spec.InactivityScoreRecovery {
+			c.score -= spec.InactivityScoreRecovery
+		} else {
+			c.score = 0
+		}
+	} else {
+		c.score += spec.InactivityScoreBias
+	}
+	if !inLeak {
+		if c.score >= spec.InactivityScoreFlatRecovery {
+			c.score -= spec.InactivityScoreFlatRecovery
+		} else {
+			c.score = 0
+		}
+	}
+	if c.stake <= spec.EjectionBalance {
+		c.inSet = false
+		c.exited = epoch
+	}
+}
+
+// LeakSim is the aggregate two-branch inactivity-leak simulation.
+type LeakSim struct {
+	// Spec holds protocol constants (paper values by default).
+	Spec types.Spec
+	// N is the total validator count used to size cohorts.
+	N int
+	// P0 is the proportion of honest validators active on branch A.
+	P0 float64
+	// Beta0 is the initial Byzantine stake proportion (< 1/3).
+	Beta0 float64
+	// Mode is the Byzantine strategy.
+	Mode ByzMode
+	// DelayFinalization is Scenario 5.2.3: even after the branch quorum
+	// returns, the Byzantine validators refuse to stay active two
+	// consecutive epochs, so nothing finalizes and the leak keeps
+	// draining honest inactive validators until they are ejected — the
+	// move that pushes the Byzantine proportion past 1/3.
+	DelayFinalization bool
+	// EndLeakAtEpoch, when nonzero, force-ends the leak on both branches
+	// at the given epoch (the Byzantine validators finalize then). With
+	// Spec.ResidualPenalties set, this expresses the paper's footnote 12
+	// corner case: finalize just before the honest inactive validators'
+	// ejection and let their accumulated scores finish the job while the
+	// Byzantine validators bleed much less.
+	EndLeakAtEpoch types.Epoch
+}
+
+// BranchTrace samples one branch's state at an epoch.
+type BranchTrace struct {
+	Epoch          types.Epoch
+	ActiveRatio    float64
+	ByzProportion  float64
+	ActiveStake    types.Gwei
+	InactiveStake  types.Gwei
+	ByzStake       types.Gwei
+	InactiveInSet  bool
+	QuorumRegained bool
+}
+
+// BranchResult reports one branch's outcome.
+type BranchResult struct {
+	// ThresholdEpoch is the first epoch with a 2/3 active-stake quorum
+	// (0 = never within the horizon).
+	ThresholdEpoch types.Epoch
+	// EjectionEpoch is when the branch ejected its inactive honest
+	// validators (0 = never).
+	EjectionEpoch types.Epoch
+	// PeakByzProportion is the maximum Byzantine stake proportion
+	// observed on the branch.
+	PeakByzProportion float64
+	// PeakByzEpoch is when the peak occurred.
+	PeakByzEpoch types.Epoch
+	// Trace holds sampled states (every SampleEvery epochs).
+	Trace []BranchTrace
+}
+
+// Result reports a LeakSim run.
+type Result struct {
+	A, B BranchResult
+	// ConflictEpoch is when conflicting finalization is complete: one
+	// epoch after the slower branch regains its quorum (0 = not within
+	// the horizon).
+	ConflictEpoch types.Epoch
+	// CrossedOneThird reports whether the Byzantine proportion exceeded
+	// 1/3 on both branches (Scenario 5.2.3's outcome).
+	CrossedOneThird bool
+}
+
+// branch holds one branch's cohorts. Honest "active" validators on a branch
+// are the "inactive" ones of the other branch.
+type branch struct {
+	active   cohort // honest, always active on this branch
+	inactive cohort // honest, never active on this branch
+	byz      cohort // Byzantine, activity per mode
+}
+
+func (b *branch) totals() (active, total types.Gwei) {
+	act := b.active.total() + b.byz.total()
+	tot := act + b.inactive.total()
+	return act, tot
+}
+
+// Run simulates up to maxEpochs epochs of leak (epoch 0 = leak start) with
+// samples every sampleEvery epochs (0 disables tracing).
+func (l LeakSim) Run(maxEpochs int, sampleEvery int) (Result, error) {
+	if l.N <= 0 || l.P0 < 0 || l.P0 > 1 || l.Beta0 < 0 || l.Beta0 >= 1 {
+		return Result{}, fmt.Errorf("%w: %+v", ErrBadParams, l)
+	}
+	if l.Mode == ByzAbsent && l.Beta0 != 0 {
+		return Result{}, fmt.Errorf("%w: honest-only scenario with beta0=%v", ErrBadParams, l.Beta0)
+	}
+	spec := l.Spec
+	if spec.SlotsPerEpoch == 0 {
+		spec = types.DefaultSpec()
+	}
+
+	nByz := uint64(math.Round(float64(l.N) * l.Beta0))
+	nHonest := uint64(l.N) - nByz
+	nA := uint64(math.Round(float64(nHonest) * l.P0))
+	nB := nHonest - nA
+
+	mk := func(count uint64) cohort {
+		return cohort{count: count, stake: spec.MaxEffectiveBalance, inSet: true, exited: types.FarFutureEpoch}
+	}
+	branches := [2]branch{
+		{active: mk(nA), inactive: mk(nB), byz: mk(nByz)},
+		{active: mk(nB), inactive: mk(nA), byz: mk(nByz)},
+	}
+
+	var res Result
+	results := [2]*BranchResult{&res.A, &res.B}
+	crossed := [2]bool{}
+
+	for epoch := types.Epoch(1); epoch <= types.Epoch(maxEpochs); epoch++ {
+		for i := range branches {
+			br := &branches[i]
+			out := results[i]
+
+			// Byzantine activity on this branch this epoch.
+			byzActive := false
+			switch l.Mode {
+			case ByzDoubleVote:
+				byzActive = true
+			case ByzSemiActive:
+				byzActive = uint64(epoch)%2 == uint64(i)
+			}
+
+			// The leak on a branch lasts until it regains a quorum
+			// AND someone finalizes; under DelayFinalization the
+			// Byzantine validators withhold finalization until the
+			// honest inactive validators are ejected; under
+			// EndLeakAtEpoch they finalize at a chosen moment.
+			inLeak := out.ThresholdEpoch == 0 ||
+				(l.DelayFinalization && br.inactive.inSet)
+			if l.EndLeakAtEpoch != 0 && epoch >= l.EndLeakAtEpoch {
+				inLeak = false
+			}
+
+			br.active.step(spec, true, inLeak, epoch)
+			br.inactive.step(spec, false, inLeak, epoch)
+			if br.byz.count > 0 {
+				br.byz.step(spec, byzActive, inLeak, epoch)
+			}
+			if !br.inactive.inSet && out.EjectionEpoch == 0 {
+				out.EjectionEpoch = epoch
+			}
+
+			act, tot := br.totals()
+			ratio := 0.0
+			if tot > 0 {
+				ratio = float64(act) / float64(tot)
+			}
+			byzProp := 0.0
+			if tot > 0 {
+				byzProp = float64(br.byz.total()) / float64(tot)
+			}
+			if byzProp > out.PeakByzProportion {
+				out.PeakByzProportion = byzProp
+				out.PeakByzEpoch = epoch
+			}
+			if byzProp > 1.0/3.0 {
+				crossed[i] = true
+			}
+			if out.ThresholdEpoch == 0 && ratio > 2.0/3.0 {
+				out.ThresholdEpoch = epoch
+			}
+			if sampleEvery > 0 && uint64(epoch)%uint64(sampleEvery) == 0 {
+				out.Trace = append(out.Trace, BranchTrace{
+					Epoch:          epoch,
+					ActiveRatio:    ratio,
+					ByzProportion:  byzProp,
+					ActiveStake:    br.active.total(),
+					InactiveStake:  br.inactive.total(),
+					ByzStake:       br.byz.total(),
+					InactiveInSet:  br.inactive.inSet,
+					QuorumRegained: out.ThresholdEpoch != 0,
+				})
+			}
+		}
+		if res.A.ThresholdEpoch != 0 && res.B.ThresholdEpoch != 0 && res.ConflictEpoch == 0 {
+			slower := res.A.ThresholdEpoch
+			if res.B.ThresholdEpoch > slower {
+				slower = res.B.ThresholdEpoch
+			}
+			res.ConflictEpoch = slower + 1
+		}
+	}
+	res.CrossedOneThird = crossed[0] && crossed[1]
+	return res, nil
+}

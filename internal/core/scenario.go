@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/types"
+)
+
+// Summary pairs a scenario's analytic prediction (the paper's continuous
+// model, anchored like the paper anchors it) with the exact integer
+// simulation outcome, for Table 1 and the CLI reports.
+type Summary struct {
+	// ID is the paper's section number (e.g. "5.2.1").
+	ID string
+	// Name describes the scenario.
+	Name string
+	// Outcome is the paper's Table 1 outcome line.
+	Outcome string
+	// P0 and Beta0 are the scenario parameters.
+	P0, Beta0 float64
+	// AnalyticEpoch is the continuous model's conflicting-finalization
+	// epoch (or threshold-crossing epoch), paper-anchored.
+	AnalyticEpoch float64
+	// SimEpoch is the integer simulation's corresponding epoch.
+	SimEpoch types.Epoch
+	// PeakByzProportion is the simulated maximum Byzantine proportion
+	// (Scenarios 5.2.3, 5.3).
+	PeakByzProportion float64
+	// CrossedOneThird reports whether the simulated Byzantine proportion
+	// exceeded 1/3 (Scenarios 5.2.3, 5.3).
+	CrossedOneThird bool
+}
+
+// String renders the summary as one report line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-6s %-34s p0=%.2f beta0=%.4f analytic=%.0f sim=%d outcome=%q",
+		s.ID, s.Name, s.P0, s.Beta0, s.AnalyticEpoch, s.SimEpoch, s.Outcome)
+}
+
+// defaultHorizon bounds full-scale scenario runs; the paper's slowest
+// outcome lands at 4686, and semi-active ejection at 7653.
+const defaultHorizon = 9000
+
+// scenarioN is the validator-set size used by the aggregate runs; results
+// are proportion-driven, so any reasonably large N reproduces the paper.
+const scenarioN = 10000
+
+// Scenario51 runs the honest-only partition scenario at paper scale.
+func Scenario51(p0 float64) (Summary, error) {
+	params := analytic.PaperParams()
+	bc, err := params.ConflictingFinalization(analytic.HonestOnly, p0, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.1: %w", err)
+	}
+	sim := LeakSim{N: scenarioN, P0: p0, Mode: ByzAbsent}
+	res, err := sim.Run(defaultHorizon, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.1: %w", err)
+	}
+	return Summary{
+		ID:            "5.1",
+		Name:          "All honest, lasting partition",
+		Outcome:       "2 finalized branches",
+		P0:            p0,
+		AnalyticEpoch: bc.ConflictEpoch,
+		SimEpoch:      res.ConflictEpoch,
+	}, nil
+}
+
+// Scenario521 runs the slashable double-voting scenario at paper scale.
+func Scenario521(p0, beta0 float64) (Summary, error) {
+	params := analytic.PaperParams()
+	bc, err := params.ConflictingFinalization(analytic.WithSlashing, p0, beta0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.2.1: %w", err)
+	}
+	sim := LeakSim{N: scenarioN, P0: p0, Beta0: beta0, Mode: ByzDoubleVote}
+	res, err := sim.Run(defaultHorizon, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.2.1: %w", err)
+	}
+	return Summary{
+		ID:            "5.2.1",
+		Name:          "Byzantine double vote (slashable)",
+		Outcome:       "2 finalized branches",
+		P0:            p0,
+		Beta0:         beta0,
+		AnalyticEpoch: bc.ConflictEpoch,
+		SimEpoch:      res.ConflictEpoch,
+	}, nil
+}
+
+// Scenario522 runs the non-slashable semi-active scenario at paper scale.
+func Scenario522(p0, beta0 float64) (Summary, error) {
+	params := analytic.PaperParams()
+	bc, err := params.ConflictingFinalization(analytic.WithoutSlashing, p0, beta0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.2.2: %w", err)
+	}
+	sim := LeakSim{N: scenarioN, P0: p0, Beta0: beta0, Mode: ByzSemiActive}
+	res, err := sim.Run(defaultHorizon, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.2.2: %w", err)
+	}
+	return Summary{
+		ID:            "5.2.2",
+		Name:          "Byzantine semi-active (non-slashable)",
+		Outcome:       "2 finalized branches",
+		P0:            p0,
+		Beta0:         beta0,
+		AnalyticEpoch: bc.ConflictEpoch,
+		SimEpoch:      res.ConflictEpoch,
+	}, nil
+}
+
+// Scenario523 runs the over-one-third scenario at paper scale: semi-active
+// Byzantine validators delay finalization until the honest inactive
+// validators are ejected.
+func Scenario523(p0, beta0 float64) (Summary, error) {
+	params := analytic.PaperParams()
+	sim := LeakSim{N: scenarioN, P0: p0, Beta0: beta0, Mode: ByzSemiActive, DelayFinalization: true}
+	res, err := sim.Run(defaultHorizon, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.2.3: %w", err)
+	}
+	peak := res.A.PeakByzProportion
+	epoch := res.A.PeakByzEpoch
+	if res.B.PeakByzProportion > peak {
+		peak, epoch = res.B.PeakByzProportion, res.B.PeakByzEpoch
+	}
+	return Summary{
+		ID:                "5.2.3",
+		Name:              "Byzantine delay finalization",
+		Outcome:           "beta > 1/3",
+		P0:                p0,
+		Beta0:             beta0,
+		AnalyticEpoch:     params.EjectionEpoch,
+		SimEpoch:          epoch,
+		PeakByzProportion: peak,
+		CrossedOneThird:   res.CrossedOneThird,
+	}, nil
+}
+
+// Scenario523Corner runs the paper's footnote 12 corner case under the
+// production-spec residual-penalty rule: the Byzantine validators finalize
+// `lead` epochs BEFORE the honest inactive validators would be ejected.
+// The leak ends, but the inactive validators' huge accumulated scores keep
+// draining them (scores decay only 16 per epoch) until they are ejected
+// anyway, while the semi-active Byzantine validators' much smaller scores
+// cost them little — "Byzantine validators could potentially eject honest
+// inactive participants while incurring fewer penalties themselves".
+func Scenario523Corner(p0, beta0 float64, lead types.Epoch) (Summary, error) {
+	// First find the ejection epoch under the plain 5.2.3 run.
+	probe := LeakSim{N: scenarioN, P0: p0, Beta0: beta0, Mode: ByzSemiActive, DelayFinalization: true}
+	probeRes, err := probe.Run(defaultHorizon, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.2.3 corner probe: %w", err)
+	}
+	ejection := probeRes.A.EjectionEpoch
+	if ejection == 0 || ejection <= lead {
+		return Summary{}, fmt.Errorf("%w: no ejection within horizon (lead %d)", ErrBadParams, lead)
+	}
+
+	spec := types.DefaultSpec()
+	spec.ResidualPenalties = true
+	sim := LeakSim{
+		Spec: spec, N: scenarioN, P0: p0, Beta0: beta0,
+		Mode: ByzSemiActive, DelayFinalization: true,
+		EndLeakAtEpoch: ejection - lead,
+	}
+	res, err := sim.Run(defaultHorizon, 0)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.2.3 corner: %w", err)
+	}
+	peak := res.A.PeakByzProportion
+	epoch := res.A.PeakByzEpoch
+	if res.B.PeakByzProportion > peak {
+		peak, epoch = res.B.PeakByzProportion, res.B.PeakByzEpoch
+	}
+	return Summary{
+		ID:                "5.2.3c",
+		Name:              "Finalize just before ejection (fn. 12)",
+		Outcome:           "inactive ejected post-finalization",
+		P0:                p0,
+		Beta0:             beta0,
+		AnalyticEpoch:     float64(ejection),
+		SimEpoch:          epoch,
+		PeakByzProportion: peak,
+		CrossedOneThird:   res.CrossedOneThird,
+	}, nil
+}
+
+// Scenario53 runs the probabilistic bouncing scenario: the Monte-Carlo
+// estimate of the Equation 24 probability at the reference epoch 4000,
+// next to the analytic value.
+func Scenario53(p0, beta0 float64, seed int64) (Summary, error) {
+	const refEpoch = 4000
+	mc := BounceMC{NHonest: 500, Beta0: beta0, P0: p0, Seed: seed}
+	probs, err := mc.ExceedProbability([]types.Epoch{refEpoch}, 3)
+	if err != nil {
+		return Summary{}, fmt.Errorf("core: scenario 5.3: %w", err)
+	}
+	model := analytic.BounceModel{P0: p0}
+	prob := model.ExceedProbability(refEpoch, beta0, analytic.PaperParams())
+	return Summary{
+		ID:                "5.3",
+		Name:              "Probabilistic bouncing attack",
+		Outcome:           "beta > 1/3 probably",
+		P0:                p0,
+		Beta0:             beta0,
+		AnalyticEpoch:     prob * 100, // Equation 24 at epoch 4000, percent
+		SimEpoch:          refEpoch,
+		CrossedOneThird:   probs[0] > 0,
+		PeakByzProportion: probs[0],
+	}, nil
+}
+
+// Table1 reproduces the paper's Table 1: all five scenarios with their
+// outcomes, run at the paper's reference parameters.
+func Table1(seed int64) ([]Summary, error) {
+	out := make([]Summary, 0, 5)
+	s1, err := Scenario51(0.5)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s1)
+	s21, err := Scenario521(0.5, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s21)
+	s22, err := Scenario522(0.5, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s22)
+	s23, err := Scenario523(0.5, 0.25)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s23)
+	s3, err := Scenario53(0.5, 0.33, seed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, s3)
+	return out, nil
+}

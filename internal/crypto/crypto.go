@@ -1,0 +1,103 @@
+// Package crypto supplies the signing substrate for the simulator:
+// deterministic ed25519 keypairs per validator, message digests, and signed
+// envelopes used by attestations and blocks.
+//
+// The paper assumes unforgeable digital signatures and identification of
+// validators by public key (Section 2); mainnet uses BLS12-381 aggregation,
+// which we substitute with stdlib ed25519. The attacks under study depend
+// only on who can be observed voting where, never on signature aggregation,
+// so the substitution preserves behavior (see DESIGN.md).
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// ErrBadSignature is returned when signature verification fails.
+var ErrBadSignature = errors.New("crypto: signature verification failed")
+
+// KeyPair holds a validator's signing keys.
+type KeyPair struct {
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// DeterministicKeyPair derives a keypair from a validator index and a domain
+// seed. The derivation is stable across runs, which keeps every simulation
+// reproducible.
+func DeterministicKeyPair(index types.ValidatorIndex, seed uint64) KeyPair {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(index))
+	binary.BigEndian.PutUint64(buf[8:], seed)
+	h := sha256.Sum256(buf[:])
+	priv := ed25519.NewKeyFromSeed(h[:])
+	return KeyPair{Public: priv.Public().(ed25519.PublicKey), private: priv}
+}
+
+// Sign signs the digest of msg.
+func (k KeyPair) Sign(msg []byte) []byte {
+	d := Digest(msg)
+	return ed25519.Sign(k.private, d[:])
+}
+
+// Verify checks sig over msg against pub.
+func Verify(pub ed25519.PublicKey, msg, sig []byte) error {
+	d := Digest(msg)
+	if !ed25519.Verify(pub, d[:], sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Digest hashes arbitrary bytes to a 32-byte root.
+func Digest(data []byte) types.Root {
+	return sha256.Sum256(data)
+}
+
+// HashItems produces a root from a sequence of integer fields; the
+// simulator uses it to mint deterministic block roots from (slot, proposer,
+// parent) triples.
+func HashItems(items ...uint64) types.Root {
+	buf := make([]byte, 8*len(items))
+	for i, v := range items {
+		binary.BigEndian.PutUint64(buf[i*8:], v)
+	}
+	return sha256.Sum256(buf)
+}
+
+// HashRoots produces a root binding a sequence of roots together with a
+// leading tag, used for vote digests.
+func HashRoots(tag uint64, roots ...types.Root) types.Root {
+	buf := make([]byte, 8+32*len(roots))
+	binary.BigEndian.PutUint64(buf[:8], tag)
+	for i, r := range roots {
+		copy(buf[8+32*i:], r[:])
+	}
+	return sha256.Sum256(buf)
+}
+
+// Envelope is a signed message attributed to a validator.
+type Envelope struct {
+	Author    types.ValidatorIndex
+	Payload   []byte
+	Signature []byte
+}
+
+// NewEnvelope signs payload with k on behalf of author.
+func NewEnvelope(author types.ValidatorIndex, k KeyPair, payload []byte) Envelope {
+	return Envelope{Author: author, Payload: payload, Signature: k.Sign(payload)}
+}
+
+// Check verifies the envelope against the author's public key.
+func (e Envelope) Check(pub ed25519.PublicKey) error {
+	if err := Verify(pub, e.Payload, e.Signature); err != nil {
+		return fmt.Errorf("envelope from validator %d: %w", e.Author, err)
+	}
+	return nil
+}

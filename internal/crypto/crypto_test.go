@@ -1,0 +1,109 @@
+package crypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestDeterministicKeyPairStable(t *testing.T) {
+	a := DeterministicKeyPair(7, 99)
+	b := DeterministicKeyPair(7, 99)
+	if !bytes.Equal(a.Public, b.Public) {
+		t.Error("same (index, seed) must derive the same key")
+	}
+}
+
+func TestDeterministicKeyPairDistinct(t *testing.T) {
+	a := DeterministicKeyPair(1, 0)
+	b := DeterministicKeyPair(2, 0)
+	c := DeterministicKeyPair(1, 1)
+	if bytes.Equal(a.Public, b.Public) {
+		t.Error("different indices must derive different keys")
+	}
+	if bytes.Equal(a.Public, c.Public) {
+		t.Error("different seeds must derive different keys")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	k := DeterministicKeyPair(3, 0)
+	msg := []byte("attestation data")
+	sig := k.Sign(msg)
+	if err := Verify(k.Public, msg, sig); err != nil {
+		t.Fatalf("verification of valid signature failed: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	k := DeterministicKeyPair(3, 0)
+	sig := k.Sign([]byte("original"))
+	if err := Verify(k.Public, []byte("forged"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("expected ErrBadSignature, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	k1 := DeterministicKeyPair(1, 0)
+	k2 := DeterministicKeyPair(2, 0)
+	sig := k1.Sign([]byte("msg"))
+	if err := Verify(k2.Public, []byte("msg"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("expected ErrBadSignature, got %v", err)
+	}
+}
+
+func TestHashItemsInjectiveOnSamples(t *testing.T) {
+	seen := map[types.Root][3]uint64{}
+	for s := uint64(0); s < 10; s++ {
+		for p := uint64(0); p < 10; p++ {
+			r := HashItems(s, p, s+p)
+			if prev, ok := seen[r]; ok {
+				t.Fatalf("collision between %v and [%d %d %d]", prev, s, p, s+p)
+			}
+			seen[r] = [3]uint64{s, p, s + p}
+		}
+	}
+}
+
+func TestHashItemsOrderSensitive(t *testing.T) {
+	if HashItems(1, 2) == HashItems(2, 1) {
+		t.Error("HashItems must be order sensitive")
+	}
+}
+
+func TestHashRoots(t *testing.T) {
+	a := types.RootFromUint64(1)
+	b := types.RootFromUint64(2)
+	if HashRoots(0, a, b) == HashRoots(0, b, a) {
+		t.Error("HashRoots must be order sensitive")
+	}
+	if HashRoots(0, a) == HashRoots(1, a) {
+		t.Error("HashRoots must be tag sensitive")
+	}
+}
+
+func TestEnvelopeCheck(t *testing.T) {
+	k := DeterministicKeyPair(11, 5)
+	env := NewEnvelope(11, k, []byte("checkpoint vote"))
+	if err := env.Check(k.Public); err != nil {
+		t.Fatalf("valid envelope rejected: %v", err)
+	}
+	env.Payload = []byte("altered")
+	if err := env.Check(k.Public); err == nil {
+		t.Error("altered envelope accepted")
+	}
+}
+
+func TestSignaturePropertyRandomPayloads(t *testing.T) {
+	k := DeterministicKeyPair(21, 9)
+	f := func(payload []byte) bool {
+		sig := k.Sign(payload)
+		return Verify(k.Public, payload, sig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

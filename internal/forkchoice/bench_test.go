@@ -1,0 +1,34 @@
+package forkchoice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// BenchmarkHead measures LMD-GHOST head computation over a 200-block random
+// tree with 128 latest messages.
+func BenchmarkHead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tree, roots := randomTree(rng, 200)
+	s := NewStore()
+	for v := 0; v < 128; v++ {
+		s.Process(types.ValidatorIndex(v), roots[rng.Intn(len(roots))], types.Slot(v+1))
+	}
+	stake := func(types.ValidatorIndex) types.Gwei { return 32_000_000_000 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Head(tree, tree.Genesis(), stake); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProcess measures latest-message ingestion.
+func BenchmarkProcess(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < b.N; i++ {
+		s.Process(types.ValidatorIndex(i%256), types.RootFromUint64(uint64(i)), types.Slot(i))
+	}
+}

@@ -1,0 +1,138 @@
+// Package forkchoice implements the LMD-GHOST fork-choice rule: starting
+// from the latest justified checkpoint, repeatedly descend into the child
+// subtree carrying the greatest attesting stake, where each validator
+// contributes only its latest block vote (paper Section 3.2: "The block
+// vote is used in the fork choice rule which determines the chain to vote
+// and build upon").
+//
+// The store keeps one latest message per validator. Ties are broken by
+// lexicographically smallest root so that every correct validator with the
+// same view computes the same head.
+package forkchoice
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blocktree"
+	"repro/internal/types"
+)
+
+// ErrUnknownStart is returned when the starting block for head computation
+// is not in the tree.
+var ErrUnknownStart = errors.New("forkchoice: unknown start block")
+
+// Message is a validator's latest block vote.
+type Message struct {
+	Root types.Root
+	Slot types.Slot
+}
+
+// Store holds the latest messages. The zero value is not usable; construct
+// with NewStore.
+type Store struct {
+	latest map[types.ValidatorIndex]Message
+}
+
+// NewStore returns an empty latest-message store.
+func NewStore() *Store {
+	return &Store{latest: make(map[types.ValidatorIndex]Message)}
+}
+
+// Clone deep-copies the store, so partitioned views can diverge.
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for v, m := range s.latest {
+		out.latest[v] = m
+	}
+	return out
+}
+
+// Process records a block vote; only votes newer (by slot) than the current
+// latest message replace it. It reports whether the store changed.
+func (s *Store) Process(v types.ValidatorIndex, root types.Root, slot types.Slot) bool {
+	cur, ok := s.latest[v]
+	if ok && cur.Slot >= slot {
+		return false
+	}
+	s.latest[v] = Message{Root: root, Slot: slot}
+	return true
+}
+
+// Latest returns the latest message for v, if any.
+func (s *Store) Latest(v types.ValidatorIndex) (Message, bool) {
+	m, ok := s.latest[v]
+	return m, ok
+}
+
+// Len returns the number of validators with a recorded message.
+func (s *Store) Len() int { return len(s.latest) }
+
+// Head runs LMD-GHOST on tree from start, weighing votes with stake.
+// Messages pointing at blocks missing from the tree (e.g. not yet received
+// across a partition) are ignored.
+func (s *Store) Head(tree *blocktree.Tree, start types.Root, stake func(types.ValidatorIndex) types.Gwei) (types.Root, error) {
+	if !tree.Has(start) {
+		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start)
+	}
+	weights := s.subtreeWeights(tree, stake)
+	head := start
+	for {
+		children := tree.Children(head)
+		if len(children) == 0 {
+			return head, nil
+		}
+		best := children[0]
+		bestW := weights[best]
+		for _, c := range children[1:] {
+			w := weights[c]
+			if w > bestW || (w == bestW && lessRoot(c, best)) {
+				best, bestW = c, w
+			}
+		}
+		head = best
+	}
+}
+
+// subtreeWeights computes, for every block, the total stake of validators
+// whose latest message is in that block's subtree. It walks each vote's
+// ancestor path once; with the simulator's bounded trees this is cheap and
+// requires no auxiliary parent-sum pass.
+func (s *Store) subtreeWeights(tree *blocktree.Tree, stake func(types.ValidatorIndex) types.Gwei) map[types.Root]types.Gwei {
+	weights := make(map[types.Root]types.Gwei, tree.Len())
+	genesis := tree.Genesis()
+	for v, m := range s.latest {
+		w := stake(v)
+		if w == 0 || !tree.Has(m.Root) {
+			continue
+		}
+		cur := m.Root
+		for {
+			weights[cur] += w
+			if cur == genesis {
+				break
+			}
+			b, err := tree.Block(cur)
+			if err != nil {
+				break
+			}
+			cur = b.Parent
+		}
+	}
+	return weights
+}
+
+// WeightOf returns the attesting stake in root's subtree, for tests and
+// diagnostics.
+func (s *Store) WeightOf(tree *blocktree.Tree, root types.Root, stake func(types.ValidatorIndex) types.Gwei) types.Gwei {
+	return s.subtreeWeights(tree, stake)[root]
+}
+
+func lessRoot(a, b types.Root) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package forkchoice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blocktree"
+	"repro/internal/types"
+)
+
+// randomTree builds a deterministic random tree of n blocks over the given
+// RNG, returning the tree and all roots.
+func randomTree(rng *rand.Rand, n int) (*blocktree.Tree, []types.Root) {
+	tree := blocktree.New(types.RootFromUint64(0))
+	roots := []types.Root{types.RootFromUint64(0)}
+	slots := map[types.Root]types.Slot{types.RootFromUint64(0): 0}
+	for i := 1; i <= n; i++ {
+		parent := roots[rng.Intn(len(roots))]
+		r := types.RootFromUint64(uint64(i))
+		b := blocktree.Block{Slot: slots[parent] + 1 + types.Slot(rng.Intn(3)), Root: r, Parent: parent}
+		if err := tree.Add(b); err != nil {
+			continue
+		}
+		slots[r] = b.Slot
+		roots = append(roots, r)
+	}
+	return tree, roots
+}
+
+// TestHeadIsLeafInStartSubtreeProperty: for random trees and random vote
+// assignments, the head is always a leaf and a descendant of the start
+// block.
+func TestHeadIsLeafInStartSubtreeProperty(t *testing.T) {
+	f := func(seed int64, votes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, roots := randomTree(rng, 30)
+		s := NewStore()
+		for v := 0; v < int(votes%40); v++ {
+			target := roots[rng.Intn(len(roots))]
+			s.Process(types.ValidatorIndex(v), target, types.Slot(v+1))
+		}
+		head, err := s.Head(tree, tree.Genesis(), func(types.ValidatorIndex) types.Gwei { return 32 })
+		if err != nil {
+			return false
+		}
+		if !tree.IsAncestor(tree.Genesis(), head) {
+			return false
+		}
+		return len(tree.Children(head)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubtreeWeightConservationProperty: the genesis subtree weight equals
+// the total stake of validators whose vote targets a known block.
+func TestSubtreeWeightConservationProperty(t *testing.T) {
+	f := func(seed int64, votes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, roots := randomTree(rng, 25)
+		s := NewStore()
+		counted := types.Gwei(0)
+		for v := 0; v < int(votes%30); v++ {
+			target := roots[rng.Intn(len(roots))]
+			s.Process(types.ValidatorIndex(v), target, types.Slot(v+1))
+			counted += 32
+		}
+		got := s.WeightOf(tree, tree.Genesis(), func(types.ValidatorIndex) types.Gwei { return 32 })
+		return got == counted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeadStableUnderVoteOrderProperty: processing the same votes in a
+// different order yields the same head (latest-message semantics are
+// order-independent for distinct slots).
+func TestHeadStableUnderVoteOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, roots := randomTree(rng, 20)
+		type vote struct {
+			v    types.ValidatorIndex
+			root types.Root
+			slot types.Slot
+		}
+		var votes []vote
+		for v := 0; v < 12; v++ {
+			votes = append(votes, vote{
+				v:    types.ValidatorIndex(v),
+				root: roots[rng.Intn(len(roots))],
+				slot: types.Slot(rng.Intn(50) + 1),
+			})
+		}
+		stake := func(types.ValidatorIndex) types.Gwei { return 32 }
+		a := NewStore()
+		for _, vt := range votes {
+			a.Process(vt.v, vt.root, vt.slot)
+		}
+		b := NewStore()
+		for i := len(votes) - 1; i >= 0; i-- {
+			b.Process(votes[i].v, votes[i].root, votes[i].slot)
+		}
+		ha, err1 := a.Head(tree, tree.Genesis(), stake)
+		hb, err2 := b.Head(tree, tree.Genesis(), stake)
+		return err1 == nil && err2 == nil && ha == hb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

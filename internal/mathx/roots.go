@@ -1,0 +1,139 @@
+// Package mathx provides the numerical routines the analytic models need:
+// root finding (bisection and Brent's method), numerical integration
+// (adaptive Simpson), Gaussian and log-normal distribution helpers, and
+// discrete random-walk statistics.
+//
+// Everything is deterministic and allocation-light; the analytic engine in
+// internal/analytic is a thin layer over these primitives.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by the root finders when f(a) and f(b) do not
+// bracket a sign change.
+var ErrNoBracket = errors.New("mathx: root not bracketed")
+
+// ErrNoConvergence is returned when an iterative method exhausts its
+// iteration budget without reaching the requested tolerance.
+var ErrNoConvergence = errors.New("mathx: no convergence")
+
+const defaultMaxIter = 200
+
+// Bisect finds a root of f in [a, b] to within tol using bisection.
+// f(a) and f(b) must have opposite signs.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < 2000; i++ {
+		m := 0.5 * (a + b)
+		fm := f(m)
+		if fm == 0 || (b-a)/2 < tol {
+			return m, nil
+		}
+		if fa*fm < 0 {
+			b, fb = m, fm
+		} else {
+			a, fa = m, fm
+		}
+	}
+	_ = fb
+	return 0.5 * (a + b), nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). It converges superlinearly for
+// smooth functions and is the workhorse for the paper's threshold solvers.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if fa*fb > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	var d float64
+	mflag := true
+	for i := 0; i < defaultMaxIter; i++ {
+		if fb == 0 || math.Abs(b-a) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant step.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+	}
+	return b, ErrNoConvergence
+}
+
+// FindBracketUp scans forward from x0 in steps of width step (doubling each
+// time) until f changes sign, returning a bracketing interval. It is used to
+// seed Brent when the root location is unknown a priori.
+func FindBracketUp(f func(float64) float64, x0, step, xMax float64) (a, b float64, err error) {
+	fa := f(x0)
+	if fa == 0 {
+		return x0, x0, nil
+	}
+	a = x0
+	for x := x0 + step; x <= xMax; x += step {
+		fx := f(x)
+		if fa*fx <= 0 {
+			return a, x, nil
+		}
+		a, fa = x, fx
+		step *= 2
+	}
+	return 0, 0, fmt.Errorf("%w in [%g, %g]", ErrNoBracket, x0, xMax)
+}

@@ -1,0 +1,127 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimpleRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect sqrt(2) = %v, want %v", root, math.Sqrt2)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	root, err := Bisect(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 0 {
+		t.Errorf("Bisect with root at endpoint a = %v, want 0", root)
+	}
+	root, err = Bisect(f, -1, 0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 0 {
+		t.Errorf("Bisect with root at endpoint b = %v, want 0", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentPolynomial(t *testing.T) {
+	f := func(x float64) float64 { return (x + 3) * (x - 1) * (x - 1) * (x - 4) }
+	root, err := Brent(f, 2, 5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-4) > 1e-9 {
+		t.Errorf("Brent root = %v, want 4", root)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	root, err := Brent(f, 0, 1, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dottie number.
+	if math.Abs(root-0.7390851332151607) > 1e-10 {
+		t.Errorf("Brent cos fixpoint = %v", root)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, err := Brent(f, 0, 1, 1e-9); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentAgreesWithBisect(t *testing.T) {
+	f := func(k float64) func(float64) float64 {
+		return func(x float64) float64 { return math.Exp(-x) - k }
+	}
+	for _, k := range []float64{0.9, 0.5, 0.1, 0.01} {
+		want := -math.Log(k)
+		a, err := Bisect(f(k), 0, 10, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Brent(f(k), 0, 10, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-want) > 1e-9 || math.Abs(b-want) > 1e-9 {
+			t.Errorf("k=%v: bisect=%v brent=%v want=%v", k, a, b, want)
+		}
+	}
+}
+
+func TestFindBracketUp(t *testing.T) {
+	f := func(x float64) float64 { return x - 100 }
+	a, b, err := FindBracketUp(f, 0, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f(a)*f(b) <= 0) {
+		t.Errorf("FindBracketUp returned non-bracketing interval [%v, %v]", a, b)
+	}
+}
+
+func TestFindBracketUpFailure(t *testing.T) {
+	f := func(x float64) float64 { return 1.0 }
+	if _, _, err := FindBracketUp(f, 0, 1, 100); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBrentRandomizedMonotone(t *testing.T) {
+	// Property: for any c in (0,1), the root of x^3 - c in [0,1] is cbrt(c).
+	f := func(raw uint16) bool {
+		c := (float64(raw) + 1) / 65537.0
+		root, err := Brent(func(x float64) float64 { return x*x*x - c }, 0, 1, 1e-13)
+		if err != nil {
+			return false
+		}
+		return math.Abs(root-math.Cbrt(c)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package network simulates the message-passing layer of the paper's system
+// model (Section 2): a best-effort broadcast over a partially synchronous
+// network. Before GST the network may be split into partitions whose members
+// cannot hear each other; within a partition (and globally after GST)
+// message delay is bounded.
+//
+// Byzantine nodes may be marked as bridging: they hear every partition and
+// their messages reach every partition even before GST — the paper's strong
+// adversary that "can coordinate Byzantine validators, even across network
+// partitions". The adversary can additionally schedule point-to-point
+// deliveries at chosen slots (SendDirect), which is what the probabilistic
+// bouncing attack's withhold-and-release step needs.
+//
+// Failure injection: a drop rate can be configured; dropped deliveries are
+// retransmitted with extra delay, preserving the best-effort-broadcast
+// guarantee that messages between correct processes are eventually
+// delivered.
+package network
+
+import (
+	"math/rand"
+
+	"repro/internal/types"
+)
+
+// NodeID identifies a network node; the simulator gives each validator its
+// own node.
+type NodeID = types.ValidatorIndex
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Nodes is the number of nodes (0..Nodes-1).
+	Nodes int
+	// GST is the slot at which partitions heal and delays become
+	// uniformly bounded.
+	GST types.Slot
+	// Delay is the in-partition (and post-GST) delivery delay in slots.
+	// Delay 0 delivers in the sending slot.
+	Delay types.Slot
+	// DropRate is the probability that any single delivery is dropped on
+	// first attempt and retransmitted RetryDelay slots later.
+	DropRate float64
+	// RetryDelay is the extra delay of a retransmission (default 2).
+	RetryDelay types.Slot
+	// Seed feeds the deterministic drop RNG.
+	Seed int64
+}
+
+// Network is a deterministic discrete-slot message bus. The zero value is
+// not usable; construct with New.
+type Network[M any] struct {
+	cfg       Config
+	partition []int
+	bridging  []bool
+	// inbox[node] maps delivery slot to the messages arriving then.
+	inbox []map[types.Slot][]M
+	rng   *rand.Rand
+	// counters for metrics.
+	sent, dropped int
+}
+
+// New creates a network with all nodes in partition 0.
+func New[M any](cfg Config) *Network[M] {
+	if cfg.RetryDelay == 0 {
+		cfg.RetryDelay = 2
+	}
+	n := &Network[M]{
+		cfg:       cfg,
+		partition: make([]int, cfg.Nodes),
+		bridging:  make([]bool, cfg.Nodes),
+		inbox:     make([]map[types.Slot][]M, cfg.Nodes),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range n.inbox {
+		n.inbox[i] = make(map[types.Slot][]M)
+	}
+	return n
+}
+
+// SetPartition assigns node to a partition (effective before GST only).
+func (n *Network[M]) SetPartition(node NodeID, p int) {
+	if int(node) < len(n.partition) {
+		n.partition[node] = p
+	}
+}
+
+// Partition returns the partition of node.
+func (n *Network[M]) Partition(node NodeID) int {
+	if int(node) >= len(n.partition) {
+		return 0
+	}
+	return n.partition[node]
+}
+
+// SetBridging marks node as partition-bridging (the Byzantine privilege).
+func (n *Network[M]) SetBridging(node NodeID, b bool) {
+	if int(node) < len(n.bridging) {
+		n.bridging[node] = b
+	}
+}
+
+// Healed reports whether partitions have healed at the given slot.
+func (n *Network[M]) Healed(at types.Slot) bool { return at >= n.cfg.GST }
+
+// Reachable reports whether a message sent by from at the given slot
+// reaches to without waiting for GST.
+func (n *Network[M]) Reachable(from, to NodeID, at types.Slot) bool {
+	if from == to || n.Healed(at) {
+		return true
+	}
+	if int(from) < len(n.bridging) && n.bridging[from] {
+		return true
+	}
+	if int(to) < len(n.bridging) && n.bridging[to] {
+		return true
+	}
+	return n.Partition(from) == n.Partition(to)
+}
+
+// Broadcast sends msg from node `from` at slot `at` to every node,
+// including the sender (self-delivery also takes Delay, so that a slot's
+// already-drained inbox is never appended to). Cross-partition messages
+// before GST are held and delivered at GST + Delay, mirroring the partial
+// synchrony guarantee that pre-GST messages arrive by GST + delta.
+func (n *Network[M]) Broadcast(from NodeID, at types.Slot, msg M) {
+	for node := 0; node < n.cfg.Nodes; node++ {
+		to := NodeID(node)
+		if to == from {
+			n.enqueue(to, at+n.cfg.Delay, msg)
+			continue
+		}
+		var deliverAt types.Slot
+		if n.Reachable(from, to, at) {
+			deliverAt = at + n.cfg.Delay
+		} else {
+			deliverAt = n.cfg.GST + n.cfg.Delay
+		}
+		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+			n.dropped++
+			deliverAt += n.cfg.RetryDelay
+		}
+		n.enqueue(to, deliverAt, msg)
+	}
+	n.sent++
+}
+
+// BroadcastAs routes msg as if the sender were a non-bridging member of
+// partition asPartition: members of that partition (and bridging receivers)
+// get it after Delay, everyone else at GST + Delay. This is how a Byzantine
+// validator shows one face per partition — its double votes reach only the
+// intended partition before GST, yet partial synchrony still delivers every
+// pre-GST message by GST + Delay, so evidence of equivocation eventually
+// surfaces.
+func (n *Network[M]) BroadcastAs(from NodeID, asPartition int, at types.Slot, msg M) {
+	for node := 0; node < n.cfg.Nodes; node++ {
+		to := NodeID(node)
+		if to == from {
+			n.enqueue(to, at+n.cfg.Delay, msg)
+			continue
+		}
+		reachable := n.Healed(at) ||
+			n.Partition(to) == asPartition ||
+			(int(to) < len(n.bridging) && n.bridging[to])
+		var deliverAt types.Slot
+		if reachable {
+			deliverAt = at + n.cfg.Delay
+		} else {
+			deliverAt = n.cfg.GST + n.cfg.Delay
+		}
+		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+			n.dropped++
+			deliverAt += n.cfg.RetryDelay
+		}
+		n.enqueue(to, deliverAt, msg)
+	}
+	n.sent++
+}
+
+// SendDirect schedules a point-to-point delivery at an explicit slot,
+// bypassing partition rules: the adversary's withhold-and-release
+// primitive.
+func (n *Network[M]) SendDirect(from, to NodeID, deliverAt types.Slot, msg M) {
+	_ = from
+	n.enqueue(to, deliverAt, msg)
+	n.sent++
+}
+
+func (n *Network[M]) enqueue(to NodeID, at types.Slot, msg M) {
+	if int(to) >= len(n.inbox) {
+		return
+	}
+	n.inbox[to][at] = append(n.inbox[to][at], msg)
+}
+
+// Deliveries drains and returns the messages arriving at node `to` in slot
+// `at`, in deterministic send order.
+func (n *Network[M]) Deliveries(to NodeID, at types.Slot) []M {
+	if int(to) >= len(n.inbox) {
+		return nil
+	}
+	msgs := n.inbox[to][at]
+	delete(n.inbox[to], at)
+	return msgs
+}
+
+// PendingFor counts queued messages for a node (metrics and tests).
+func (n *Network[M]) PendingFor(to NodeID) int {
+	if int(to) >= len(n.inbox) {
+		return 0
+	}
+	total := 0
+	for _, msgs := range n.inbox[to] {
+		total += len(msgs)
+	}
+	return total
+}
+
+// Stats returns (messages sent, first-attempt drops).
+func (n *Network[M]) Stats() (sent, dropped int) { return n.sent, n.dropped }

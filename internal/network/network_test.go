@@ -1,0 +1,247 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func newNet(nodes int, gst, delay types.Slot) *Network[string] {
+	return New[string](Config{Nodes: nodes, GST: gst, Delay: delay})
+}
+
+func TestBroadcastSamePartition(t *testing.T) {
+	n := newNet(3, 1000, 1)
+	n.Broadcast(0, 5, "hello")
+	// Sender receives after Delay like everyone else (never into an
+	// already-drained slot).
+	if got := n.Deliveries(0, 6); len(got) != 1 || got[0] != "hello" {
+		t.Errorf("self-delivery = %v", got)
+	}
+	// Peers receive after Delay.
+	if got := n.Deliveries(1, 5); len(got) != 0 {
+		t.Errorf("early delivery: %v", got)
+	}
+	if got := n.Deliveries(1, 6); len(got) != 1 {
+		t.Errorf("delivery at +delay = %v", got)
+	}
+	if got := n.Deliveries(2, 6); len(got) != 1 {
+		t.Errorf("delivery to node 2 = %v", got)
+	}
+}
+
+func TestDeliveriesDrains(t *testing.T) {
+	n := newNet(2, 1000, 0)
+	n.Broadcast(0, 5, "x")
+	if got := n.Deliveries(1, 5); len(got) != 1 {
+		t.Fatalf("first drain = %v", got)
+	}
+	if got := n.Deliveries(1, 5); len(got) != 0 {
+		t.Errorf("second drain must be empty, got %v", got)
+	}
+}
+
+func TestPartitionBlocksCrossTraffic(t *testing.T) {
+	n := newNet(4, 100, 1)
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 0)
+	n.SetPartition(2, 1)
+	n.SetPartition(3, 1)
+	n.Broadcast(0, 5, "intra")
+	// Same partition: delivered at 6.
+	if got := n.Deliveries(1, 6); len(got) != 1 {
+		t.Errorf("intra-partition delivery missing: %v", got)
+	}
+	// Cross partition: held until GST + delay.
+	if got := n.Deliveries(2, 6); len(got) != 0 {
+		t.Errorf("cross-partition message leaked before GST: %v", got)
+	}
+	if got := n.Deliveries(2, 101); len(got) != 1 {
+		t.Errorf("cross-partition message not delivered at GST+delay: %v", got)
+	}
+	if got := n.Deliveries(3, 101); len(got) != 1 {
+		t.Errorf("cross-partition message to node 3 missing: %v", got)
+	}
+}
+
+func TestPartitionHealsAtGST(t *testing.T) {
+	n := newNet(2, 100, 1)
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 1)
+	n.Broadcast(0, 100, "after-gst")
+	if got := n.Deliveries(1, 101); len(got) != 1 {
+		t.Errorf("post-GST broadcast must cross former partitions: %v", got)
+	}
+}
+
+func TestBridgingNodeCrossesPartitions(t *testing.T) {
+	n := newNet(3, 1000, 1)
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 1)
+	n.SetPartition(2, 1)
+	n.SetBridging(0, true)
+	// Bridging sender reaches the other partition before GST.
+	n.Broadcast(0, 5, "byzantine")
+	if got := n.Deliveries(1, 6); len(got) != 1 {
+		t.Errorf("bridging sender's message not delivered: %v", got)
+	}
+	// Bridging receiver hears the other partition before GST.
+	n.SetBridging(0, true)
+	n.Broadcast(1, 10, "honest-p1")
+	if got := n.Deliveries(0, 11); len(got) != 1 {
+		t.Errorf("bridging receiver did not hear other partition: %v", got)
+	}
+	// Non-bridging node 2 in partition 1 hears node 1 normally.
+	if got := n.Deliveries(2, 11); len(got) != 1 {
+		t.Errorf("intra-partition delivery missing: %v", got)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	n := newNet(3, 100, 0)
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 1)
+	if n.Reachable(0, 1, 50) {
+		t.Error("cross-partition before GST must be unreachable")
+	}
+	if !n.Reachable(0, 1, 100) {
+		t.Error("must be reachable at GST")
+	}
+	if !n.Reachable(0, 0, 50) {
+		t.Error("self always reachable")
+	}
+	n.SetBridging(1, true)
+	if !n.Reachable(0, 1, 50) {
+		t.Error("bridging target must be reachable")
+	}
+}
+
+func TestBroadcastAsRoutesByChosenPartition(t *testing.T) {
+	n := newNet(5, 100, 1)
+	n.SetPartition(1, 0)
+	n.SetPartition(2, 1)
+	n.SetPartition(3, 1)
+	n.SetBridging(0, true) // Byzantine sender
+	n.SetBridging(4, true) // Byzantine peer
+	// Byzantine node 0 speaks "as partition 1".
+	n.BroadcastAs(0, 1, 5, "faceB")
+	// Partition-1 members receive promptly.
+	if got := n.Deliveries(2, 6); len(got) != 1 {
+		t.Errorf("partition-1 member missed the message: %v", got)
+	}
+	if got := n.Deliveries(3, 6); len(got) != 1 {
+		t.Errorf("partition-1 member missed the message: %v", got)
+	}
+	// Partition-0 member only hears it at GST+delay (evidence surfaces
+	// after synchrony resumes).
+	if got := n.Deliveries(1, 6); len(got) != 0 {
+		t.Errorf("partition-0 member heard the other face early: %v", got)
+	}
+	if got := n.Deliveries(1, 101); len(got) != 1 {
+		t.Errorf("partition-0 member never got the delayed face: %v", got)
+	}
+	// Bridging peers hear everything promptly.
+	if got := n.Deliveries(4, 6); len(got) != 1 {
+		t.Errorf("bridging peer missed the message: %v", got)
+	}
+	// Self-delivery after Delay.
+	if got := n.Deliveries(0, 6); len(got) != 1 {
+		t.Errorf("self-delivery missing: %v", got)
+	}
+}
+
+func TestBroadcastAsAfterGST(t *testing.T) {
+	n := newNet(3, 10, 1)
+	n.SetPartition(1, 0)
+	n.SetPartition(2, 1)
+	n.BroadcastAs(0, 1, 20, "late")
+	if got := n.Deliveries(1, 21); len(got) != 1 {
+		t.Errorf("post-GST BroadcastAs must reach everyone: %v", got)
+	}
+}
+
+func TestSendDirect(t *testing.T) {
+	n := newNet(2, 1000, 1)
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 1)
+	// Adversary releases a withheld message at slot 42 across partitions.
+	n.SendDirect(0, 1, 42, "withheld")
+	if got := n.Deliveries(1, 41); len(got) != 0 {
+		t.Errorf("early release: %v", got)
+	}
+	if got := n.Deliveries(1, 42); len(got) != 1 || got[0] != "withheld" {
+		t.Errorf("scheduled release = %v", got)
+	}
+}
+
+func TestDropRateRetransmits(t *testing.T) {
+	n := New[string](Config{Nodes: 2, GST: 1000, Delay: 1, DropRate: 1.0, RetryDelay: 3, Seed: 7})
+	n.Broadcast(0, 10, "flaky")
+	// First attempt always dropped; retransmission arrives at 10+1+3.
+	if got := n.Deliveries(1, 11); len(got) != 0 {
+		t.Errorf("dropped delivery arrived: %v", got)
+	}
+	if got := n.Deliveries(1, 14); len(got) != 1 {
+		t.Errorf("retransmission missing: %v", got)
+	}
+	sent, dropped := n.Stats()
+	if sent != 1 || dropped != 1 {
+		t.Errorf("stats = (%d, %d), want (1, 1)", sent, dropped)
+	}
+}
+
+func TestDropNeverLosesMessages(t *testing.T) {
+	// Best-effort broadcast: every message eventually arrives despite a
+	// 50% drop rate.
+	n := New[string](Config{Nodes: 4, GST: 0, Delay: 1, DropRate: 0.5, Seed: 42})
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		n.Broadcast(0, types.Slot(i), "m")
+	}
+	received := 0
+	for s := types.Slot(0); s < msgs+10; s++ {
+		received += len(n.Deliveries(1, s))
+	}
+	if received != msgs {
+		t.Errorf("received %d of %d messages", received, msgs)
+	}
+}
+
+func TestOutOfRangeNodesSafe(t *testing.T) {
+	n := newNet(2, 100, 0)
+	n.SetPartition(99, 1)
+	n.SetBridging(99, true)
+	if n.Partition(99) != 0 {
+		t.Error("out-of-range partition should default to 0")
+	}
+	if got := n.Deliveries(99, 5); got != nil {
+		t.Errorf("out-of-range deliveries = %v", got)
+	}
+	if n.PendingFor(99) != 0 {
+		t.Error("out-of-range pending should be 0")
+	}
+	n.SendDirect(0, 99, 5, "x") // must not panic
+}
+
+func TestPendingFor(t *testing.T) {
+	n := newNet(2, 1000, 1)
+	n.Broadcast(0, 5, "a")
+	n.Broadcast(0, 6, "b")
+	if got := n.PendingFor(1); got != 2 {
+		t.Errorf("pending = %d, want 2", got)
+	}
+	n.Deliveries(1, 6)
+	if got := n.PendingFor(1); got != 1 {
+		t.Errorf("pending after drain = %d, want 1", got)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	n := newNet(2, 1000, 0)
+	n.Broadcast(0, 5, "first")
+	n.Broadcast(0, 5, "second")
+	got := n.Deliveries(1, 5)
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Errorf("delivery order = %v, want send order", got)
+	}
+}

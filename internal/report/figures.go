@@ -1,0 +1,390 @@
+package report
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Figure2 regenerates the paper's Figure 2: the three stake trajectories
+// (active, semi-active, inactive) over the leak, with ejection applied at
+// each law's crossing of 16.75 ETH.
+func Figure2() *Figure {
+	x := mathx.Linspace(0, 8000, 801)
+	f := &Figure{Title: "Figure 2: stake trajectories during an inactivity leak", XName: "epoch", X: x}
+	active := make([]float64, len(x))
+	semi := make([]float64, len(x))
+	inactive := make([]float64, len(x))
+	semiEject := analytic.SemiActiveEjectionCrossing()
+	inactiveEject := analytic.InactiveEjectionCrossing()
+	for i, t := range x {
+		active[i] = analytic.StakeActive(t)
+		if t < semiEject {
+			semi[i] = analytic.StakeSemiActive(t)
+		}
+		if t < inactiveEject {
+			inactive[i] = analytic.StakeInactive(t)
+		}
+	}
+	mustAdd(f, "active", active)
+	mustAdd(f, "semi_active", semi)
+	mustAdd(f, "inactive", inactive)
+	return f
+}
+
+// Figure3 regenerates Figure 3: the active-stake ratio during a leak for
+// p0 in {0.2, 0.3, 0.4, 0.5, 0.6}, paper-anchored ejection at 4685.
+func Figure3() *Figure {
+	x := mathx.Linspace(0, 8000, 801)
+	f := &Figure{Title: "Figure 3: ratio of active validators vs p0", XName: "epoch", X: x}
+	params := analytic.PaperParams()
+	for _, p0 := range []float64{0.6, 0.5, 0.4, 0.3, 0.2} {
+		ys := make([]float64, len(x))
+		for i, t := range x {
+			ys[i] = params.ActiveRatioHonest(t, p0)
+		}
+		mustAdd(f, fmt.Sprintf("p0_%.1f", p0), ys)
+	}
+	return f
+}
+
+// Figure3Sim overlays the exact integer simulation on Figure 3's grid: for
+// each p0, the per-epoch active-stake ratio of the branch, sampled every
+// `every` epochs.
+func Figure3Sim(every int) (*Figure, error) {
+	if every <= 0 {
+		every = 10
+	}
+	const horizon = 8000
+	nSamples := horizon / every
+	x := make([]float64, nSamples)
+	for i := range x {
+		x[i] = float64((i + 1) * every)
+	}
+	f := &Figure{Title: "Figure 3 (integer simulation): ratio of active validators", XName: "epoch", X: x}
+	for _, p0 := range []float64{0.6, 0.5, 0.4, 0.3, 0.2} {
+		ls := core.LeakSim{N: 10000, P0: p0, Mode: core.ByzAbsent, DelayFinalization: true}
+		res, err := ls.Run(horizon, every)
+		if err != nil {
+			return nil, fmt.Errorf("report: figure 3 sim at p0=%v: %w", p0, err)
+		}
+		ys := make([]float64, nSamples)
+		for i := range ys {
+			if i < len(res.A.Trace) {
+				ys[i] = res.A.Trace[i].ActiveRatio
+			} else {
+				ys[i] = 1
+			}
+		}
+		if err := f.Add(fmt.Sprintf("p0_%.1f", p0), ys); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Figure7Sim overlays the integer simulation on Figure 7: for each p0 on
+// the grid, the minimal beta0 (found by bisection over full scenario runs)
+// whose Byzantine proportion crosses 1/3 on both branches.
+func Figure7Sim(points int) (*Figure, error) {
+	if points <= 0 {
+		points = 9
+	}
+	x := mathx.Linspace(0.1, 0.9, points)
+	f := &Figure{Title: "Figure 7 (integer simulation): minimal beta0 crossing 1/3 on both branches", XName: "p0", X: x}
+	ys := make([]float64, len(x))
+	for i, p0 := range x {
+		lo, hi := 0.01, 0.40
+		for iter := 0; iter < 12; iter++ {
+			mid := (lo + hi) / 2
+			ls := core.LeakSim{N: 10000, P0: p0, Beta0: mid,
+				Mode: core.ByzSemiActive, DelayFinalization: true}
+			res, err := ls.Run(9000, 0)
+			if err != nil {
+				return nil, fmt.Errorf("report: figure 7 sim at p0=%v beta0=%v: %w", p0, mid, err)
+			}
+			if res.CrossedOneThird {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		ys[i] = (lo + hi) / 2
+	}
+	if err := f.Add("sim_threshold_both_branches", ys); err != nil {
+		return nil, err
+	}
+	analyticYs := make([]float64, len(x))
+	params := analytic.ContinuousParams()
+	for i, p0 := range x {
+		a := params.ThresholdBeta0(p0)
+		b := params.ThresholdBeta0(1 - p0)
+		analyticYs[i] = math.Max(a, b)
+	}
+	if err := f.Add("analytic_threshold_both_branches", analyticYs); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Figure6 regenerates Figure 6: the conflicting-finalization epoch vs beta0
+// for the slashing and non-slashing behaviors (p0 = 0.5).
+func Figure6() (*Figure, error) {
+	x := mathx.Linspace(0, 0.33, 100)
+	f := &Figure{Title: "Figure 6: time to conflicting finalization vs beta0", XName: "beta0", X: x}
+	params := analytic.PaperParams()
+	slash := make([]float64, len(x))
+	semi := make([]float64, len(x))
+	for i, b := range x {
+		if b == 0 {
+			slash[i] = params.ConflictEpochHonest(0.5)
+			semi[i] = slash[i]
+			continue
+		}
+		slash[i] = params.ConflictEpochSlashing(0.5, b)
+		s, err := params.ConflictEpochSemiActive(0.5, b)
+		if err != nil {
+			return nil, fmt.Errorf("report: figure 6 at beta0=%v: %w", b, err)
+		}
+		semi[i] = s
+	}
+	mustAdd(f, "with_slashing", slash)
+	mustAdd(f, "without_slashing", semi)
+	return f, nil
+}
+
+// Figure7 regenerates Figure 7: for each p0, the minimal beta0 whose
+// maximum proportion reaches 1/3 on the p0 branch and on the 1-p0 branch;
+// the region above both curves is where Byzantine validators can exceed
+// 1/3 on both branches simultaneously.
+func Figure7() *Figure {
+	x := mathx.Linspace(0.01, 0.99, 99)
+	f := &Figure{Title: "Figure 7: (p0, beta0) pairs with beta_max >= 1/3", XName: "p0", X: x}
+	params := analytic.PaperParams()
+	own := make([]float64, len(x))
+	other := make([]float64, len(x))
+	both := make([]float64, len(x))
+	for i, p0 := range x {
+		own[i] = params.ThresholdBeta0(p0)
+		other[i] = params.ThresholdBeta0(1 - p0)
+		both[i] = own[i]
+		if other[i] > both[i] {
+			both[i] = other[i]
+		}
+	}
+	mustAdd(f, "threshold_branch_p0", own)
+	mustAdd(f, "threshold_branch_1_minus_p0", other)
+	mustAdd(f, "threshold_both_branches", both)
+	return f
+}
+
+// Figure9 regenerates Figure 9: the censored stake distribution of an
+// honest validator under the bouncing attack at the given epoch
+// (the paper uses t = 4024).
+func Figure9(t float64) *Figure {
+	m := analytic.BounceModel{P0: 0.5}
+	d := m.Distribution(t)
+	x := mathx.Linspace(0, 33, 331)
+	f := &Figure{Title: fmt.Sprintf("Figure 9: stake distribution at t=%g", t), XName: "stake_eth", X: x}
+	density := make([]float64, len(x))
+	cdf := make([]float64, len(x))
+	for i, s := range x {
+		density[i] = d.Interior(s)
+		cdf[i] = m.CensoredStakeCDF(s, t)
+	}
+	mustAdd(f, "interior_density", density)
+	mustAdd(f, "censored_cdf", cdf)
+	atoms := make([]float64, len(x))
+	for i, s := range x {
+		switch {
+		case s == 0:
+			atoms[i] = d.AtomEjected
+		case s >= 32 && (i == 0 || x[i-1] < 32):
+			atoms[i] = d.AtomCapped
+		}
+	}
+	mustAdd(f, "atom_mass", atoms)
+	return f
+}
+
+// Figure10 regenerates Figure 10: the Equation 24 probability of the
+// Byzantine proportion exceeding 1/3 over time for several beta0.
+func Figure10() *Figure {
+	x := mathx.Linspace(0, 8000, 801)
+	f := &Figure{Title: "Figure 10: P[beta > 1/3] during the bouncing attack", XName: "epoch", X: x}
+	m := analytic.BounceModel{P0: 0.5}
+	params := analytic.PaperParams()
+	for _, beta0 := range []float64{1.0 / 3.0, 0.3333, 0.333, 0.33, 0.329, 0.3} {
+		ys := make([]float64, len(x))
+		for i, t := range x {
+			if t == 0 {
+				continue
+			}
+			ys[i] = m.ExceedProbability(t, beta0, params)
+		}
+		mustAdd(f, fmt.Sprintf("beta0_%.4f", beta0), ys)
+	}
+	return f
+}
+
+// Figure10MonteCarlo overlays the exact integer Monte-Carlo estimate on
+// Figure 10's grid for one beta0 (expensive; used by the benchmark harness
+// and the bounce CLI).
+func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64) (*Figure, error) {
+	epochs := []types.Epoch{1000, 2000, 3000, 4000, 5000, 6000, 7000}
+	mc := core.BounceMC{NHonest: nHonest, Beta0: beta0, P0: 0.5, Seed: seed}
+	probs, err := mc.ExceedProbability(epochs, runs)
+	if err != nil {
+		return nil, fmt.Errorf("report: figure 10 monte carlo: %w", err)
+	}
+	x := make([]float64, len(epochs))
+	analyticYs := make([]float64, len(epochs))
+	m := analytic.BounceModel{P0: 0.5}
+	params := analytic.PaperParams()
+	for i, e := range epochs {
+		x[i] = float64(e)
+		analyticYs[i] = m.ExceedProbability(float64(e), beta0, params)
+	}
+	f := &Figure{
+		Title: fmt.Sprintf("Figure 10 (Monte-Carlo vs Equation 24) beta0=%g", beta0),
+		XName: "epoch", X: x,
+	}
+	mustAdd(f, "monte_carlo", probs)
+	mustAdd(f, "equation_24", analyticYs)
+	return f, nil
+}
+
+// Table1 renders the scenario overview (paper Table 1) with both analytic
+// and simulated outcomes.
+func Table1(seed int64) (*Table, error) {
+	rows, err := core.Table1(seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 1: scenarios and outcomes",
+		Headers: []string{"scenario", "name", "p0", "beta0", "outcome", "analytic", "simulated"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.ID, r.Name,
+			fmt.Sprintf("%.2f", r.P0),
+			fmt.Sprintf("%.4f", r.Beta0),
+			r.Outcome,
+			fmt.Sprintf("%.1f", r.AnalyticEpoch),
+			fmt.Sprintf("%d", r.SimEpoch),
+		)
+	}
+	return t, nil
+}
+
+// Table2 renders the paper's Table 2 (slashing behavior): paper value,
+// continuous model, and exact integer simulation per beta0.
+func Table2() (*Table, error) {
+	params := analytic.PaperParams()
+	paper := map[float64]int{0: 4685, 0.1: 4066, 0.15: 3622, 0.2: 3107, 0.33: 502}
+	t := &Table{
+		Title:   "Table 2: epochs to conflicting finalization, double-voting Byzantine (p0=0.5)",
+		Headers: []string{"beta0", "paper", "analytic (Eq 9)", "integer sim"},
+	}
+	for _, b := range []float64{0, 0.1, 0.15, 0.2, 0.33} {
+		var an float64
+		mode := core.ByzDoubleVote
+		if b == 0 {
+			an = params.ConflictEpochHonest(0.5)
+			mode = core.ByzAbsent
+		} else {
+			an = params.ConflictEpochSlashing(0.5, b)
+		}
+		ls := core.LeakSim{N: 10000, P0: 0.5, Beta0: b, Mode: mode}
+		res, err := ls.Run(9000, 0)
+		if err != nil {
+			return nil, fmt.Errorf("report: table 2 at beta0=%v: %w", b, err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", b),
+			fmt.Sprintf("%d", paper[b]),
+			fmt.Sprintf("%d", analytic.PaperTableEpoch(an)),
+			fmt.Sprintf("%d", res.B.ThresholdEpoch),
+		)
+	}
+	return t, nil
+}
+
+// Table3 renders the paper's Table 3 (semi-active behavior).
+func Table3() (*Table, error) {
+	params := analytic.PaperParams()
+	paper := map[float64]int{0: 4685, 0.1: 4221, 0.15: 3819, 0.2: 3328, 0.33: 556}
+	t := &Table{
+		Title:   "Table 3: epochs to conflicting finalization, semi-active Byzantine (p0=0.5)",
+		Headers: []string{"beta0", "paper", "analytic (Eq 10)", "integer sim"},
+	}
+	for _, b := range []float64{0, 0.1, 0.15, 0.2, 0.33} {
+		var an float64
+		var err error
+		mode := core.ByzSemiActive
+		if b == 0 {
+			an = params.ConflictEpochHonest(0.5)
+			mode = core.ByzAbsent
+		} else {
+			an, err = params.ConflictEpochSemiActive(0.5, b)
+			if err != nil {
+				return nil, fmt.Errorf("report: table 3 at beta0=%v: %w", b, err)
+			}
+		}
+		ls := core.LeakSim{N: 10000, P0: 0.5, Beta0: b, Mode: mode}
+		res, err := ls.Run(9000, 0)
+		if err != nil {
+			return nil, fmt.Errorf("report: table 3 at beta0=%v: %w", b, err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", b),
+			fmt.Sprintf("%d", paper[b]),
+			fmt.Sprintf("%d", analytic.PaperTableEpoch(an)),
+			fmt.Sprintf("%d", res.B.ThresholdEpoch),
+		)
+	}
+	return t, nil
+}
+
+// Timeline renders a protocol-simulation metrics history (as collected by
+// sim.Recorder) as a figure: finality bounds, justification, leak spread,
+// and stake drain per epoch.
+func Timeline(history []sim.EpochMetrics) *Figure {
+	x := make([]float64, len(history))
+	minFin := make([]float64, len(history))
+	maxFin := make([]float64, len(history))
+	maxJust := make([]float64, len(history))
+	inLeak := make([]float64, len(history))
+	minStake := make([]float64, len(history))
+	byzProp := make([]float64, len(history))
+	for i, m := range history {
+		x[i] = float64(m.Epoch)
+		minFin[i] = float64(m.MinFinalized)
+		maxFin[i] = float64(m.MaxFinalized)
+		maxJust[i] = float64(m.MaxJustified)
+		inLeak[i] = float64(m.InLeak)
+		minStake[i] = m.MinTotalStake.ETH()
+		byzProp[i] = m.MaxByzProportion
+	}
+	f := &Figure{Title: "protocol simulation timeline", XName: "epoch", X: x}
+	mustAdd(f, "min_finalized", minFin)
+	mustAdd(f, "max_finalized", maxFin)
+	mustAdd(f, "max_justified", maxJust)
+	mustAdd(f, "views_in_leak", inLeak)
+	mustAdd(f, "min_total_stake_eth", minStake)
+	mustAdd(f, "max_byz_proportion", byzProp)
+	return f
+}
+
+func mustAdd(f *Figure, name string, values []float64) {
+	if err := f.Add(name, values); err != nil {
+		// Series lengths are fixed by construction in this package; a
+		// mismatch is a programming error.
+		panic(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package report renders the reproduction's tables and figure data series:
+// fixed-width ASCII tables for terminal output and CSV series matching each
+// figure of the paper, so that any plotting tool regenerates the visuals.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width table renderer.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named column of figure data.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a set of series over a shared X column, rendered as CSV.
+type Figure struct {
+	Title  string
+	XName  string
+	X      []float64
+	Series []Series
+}
+
+// Add appends a series; its length must match X.
+func (f *Figure) Add(name string, values []float64) error {
+	if len(values) != len(f.X) {
+		return fmt.Errorf("report: series %q has %d values for %d x points",
+			name, len(values), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Name: name, Values: values})
+	return nil
+}
+
+// WriteCSV emits the figure as CSV with a comment header line.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", f.Title)
+	}
+	b.WriteString(f.XName)
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%g", s.Values[i])
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// FormatEpoch renders an epoch count with its rough wall-clock duration
+// (an epoch is 6.4 minutes), as the paper does ("about 3 weeks").
+func FormatEpoch(epochs float64) string {
+	minutes := epochs * 6.4
+	switch {
+	case minutes >= 2*24*60:
+		return fmt.Sprintf("%.0f epochs (~%.1f days)", epochs, minutes/(24*60))
+	case minutes >= 2*60:
+		return fmt.Sprintf("%.0f epochs (~%.1f hours)", epochs, minutes/60)
+	default:
+		return fmt.Sprintf("%.0f epochs (~%.0f minutes)", epochs, minutes)
+	}
+}

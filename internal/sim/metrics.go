@@ -1,0 +1,90 @@
+package sim
+
+import "repro/internal/types"
+
+// EpochMetrics snapshots the aggregate state of all honest views at one
+// epoch boundary — the time series the paper's figures are made of.
+type EpochMetrics struct {
+	Epoch types.Epoch
+	// MinFinalized / MaxFinalized are the extremes of honest nodes'
+	// finalized epochs (their divergence signals partitioned finality).
+	MinFinalized, MaxFinalized types.Epoch
+	// MaxJustified is the highest justified epoch across honest views.
+	MaxJustified types.Epoch
+	// InLeak counts honest views currently in an inactivity leak.
+	InLeak int
+	// MinTotalStake / MaxTotalStake bound the per-view total in-set
+	// stake.
+	MinTotalStake, MaxTotalStake types.Gwei
+	// MaxByzProportion is the highest Byzantine stake proportion across
+	// honest views.
+	MaxByzProportion float64
+}
+
+// Snapshot computes the metrics for the current state at the given epoch.
+func (s *Simulation) Snapshot(epoch types.Epoch) EpochMetrics {
+	m := EpochMetrics{Epoch: epoch}
+	first := true
+	for _, h := range s.HonestIndices() {
+		n := s.Nodes[h]
+		fin := n.Finalized().Epoch
+		just := n.FFG.LatestJustified().Epoch
+		total := n.Registry.TotalStake()
+		if first {
+			m.MinFinalized, m.MaxFinalized = fin, fin
+			m.MinTotalStake, m.MaxTotalStake = total, total
+			first = false
+		}
+		if fin < m.MinFinalized {
+			m.MinFinalized = fin
+		}
+		if fin > m.MaxFinalized {
+			m.MaxFinalized = fin
+		}
+		if just > m.MaxJustified {
+			m.MaxJustified = just
+		}
+		if total < m.MinTotalStake {
+			m.MinTotalStake = total
+		}
+		if total > m.MaxTotalStake {
+			m.MaxTotalStake = total
+		}
+		if n.FFG.InLeak(epoch, s.Cfg.Spec) {
+			m.InLeak++
+		}
+		if p := s.ByzantineProportionOn(h); p > m.MaxByzProportion {
+			m.MaxByzProportion = p
+		}
+	}
+	return m
+}
+
+// Recorder accumulates per-epoch metrics; install its Hook as
+// Config.OnEpoch.
+type Recorder struct {
+	History []EpochMetrics
+}
+
+// Hook is the Config.OnEpoch callback.
+func (r *Recorder) Hook(s *Simulation, epoch types.Epoch) {
+	r.History = append(r.History, s.Snapshot(epoch))
+}
+
+// FinalityStalledSince returns the longest suffix of recorded epochs during
+// which MaxFinalized did not advance (0 when the history is empty or
+// finality moved at the last sample).
+func (r *Recorder) FinalityStalledSince() int {
+	if len(r.History) < 2 {
+		return 0
+	}
+	last := r.History[len(r.History)-1].MaxFinalized
+	stalled := 0
+	for i := len(r.History) - 2; i >= 0; i-- {
+		if r.History[i].MaxFinalized != last {
+			break
+		}
+		stalled++
+	}
+	return stalled
+}

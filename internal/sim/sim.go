@@ -1,0 +1,311 @@
+// Package sim drives full-protocol simulations: one beacon node per
+// validator, a partitionable network, a deterministic proposer schedule,
+// honest duties (propose, attest once per epoch), and an adversary hook
+// with the full power of the paper's fault model — Byzantine validators are
+// coordinated by a single adversary that sees every partition and may send
+// arbitrary protocol messages at chosen times.
+//
+// The engine is slot-driven. Each slot it (1) delivers network messages,
+// (2) runs epoch-boundary processing on every node at epoch starts,
+// (3) lets the slot's honest proposer extend its head, (4) lets honest
+// attesters with this slot assignment attest, and (5) gives the adversary
+// its turn.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/attestation"
+	"repro/internal/beacon"
+	"repro/internal/blocktree"
+	"repro/internal/crypto"
+	"repro/internal/ffg"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// Message is the wire format: exactly one field is set.
+type Message struct {
+	Block *blocktree.Block
+	Att   *attestation.Attestation
+}
+
+// Adversary coordinates the Byzantine validators. OnSlot runs at the end of
+// every slot with full access to the simulation (global knowledge, per the
+// strong-adversary model).
+type Adversary interface {
+	OnSlot(s *Simulation, slot types.Slot)
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Validators is the total validator count (honest + Byzantine).
+	Validators int
+	// Spec holds protocol constants; use types.CompressedSpec to shorten
+	// leak time scales in tests.
+	Spec types.Spec
+	// Byzantine lists adversary-controlled validators. They are bridging
+	// network nodes and perform no honest duties.
+	Byzantine []types.ValidatorIndex
+	// PartitionOf assigns each validator a partition id (pre-GST). Nil
+	// means a single partition.
+	PartitionOf func(types.ValidatorIndex) int
+	// GST is the slot at which partitions heal.
+	GST types.Slot
+	// Delay is the in-partition message delay in slots.
+	Delay types.Slot
+	// DropRate injects first-attempt delivery failures.
+	DropRate float64
+	// Seed drives every pseudo-random choice (proposer schedule, drops).
+	Seed int64
+	// ShuffledDuties re-assigns attestation duty slots pseudo-randomly
+	// every epoch (as the spec's committee shuffling does) instead of
+	// the fixed v-mod-32 assignment. The bouncing analysis assumes
+	// per-epoch random placement, which shuffling provides natively.
+	ShuffledDuties bool
+	// Adversary, if non-nil, receives an OnSlot call every slot.
+	Adversary Adversary
+	// OnEpoch, if non-nil, is called after boundary processing of each
+	// new epoch.
+	OnEpoch func(s *Simulation, epoch types.Epoch)
+}
+
+// Simulation is a running instance. Construct with New.
+type Simulation struct {
+	Cfg   Config
+	Nodes []*beacon.Node
+	Net   *network.Network[Message]
+
+	byzantine map[types.ValidatorIndex]bool
+	// oracle is an omniscient block tree used only for Safety auditing.
+	oracle *blocktree.Tree
+	slot   types.Slot
+}
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("sim: invalid config")
+
+// New builds the simulation: nodes, network, partitions.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Validators <= 0 {
+		return nil, fmt.Errorf("%w: validators = %d", ErrBadConfig, cfg.Validators)
+	}
+	if cfg.Spec.SlotsPerEpoch == 0 {
+		return nil, fmt.Errorf("%w: zero spec", ErrBadConfig)
+	}
+	genesis := types.RootFromUint64(0)
+	s := &Simulation{
+		Cfg: cfg,
+		Net: network.New[Message](network.Config{
+			Nodes:    cfg.Validators,
+			GST:      cfg.GST,
+			Delay:    cfg.Delay,
+			DropRate: cfg.DropRate,
+			Seed:     cfg.Seed,
+		}),
+		byzantine: make(map[types.ValidatorIndex]bool, len(cfg.Byzantine)),
+		oracle:    blocktree.New(genesis),
+	}
+	for _, b := range cfg.Byzantine {
+		if int(b) >= cfg.Validators {
+			return nil, fmt.Errorf("%w: byzantine index %d out of range", ErrBadConfig, b)
+		}
+		s.byzantine[b] = true
+		s.Net.SetBridging(b, true)
+	}
+	s.Nodes = make([]*beacon.Node, cfg.Validators)
+	for i := range s.Nodes {
+		v := types.ValidatorIndex(i)
+		n := beacon.NewNode(v, cfg.Validators, cfg.Spec, genesis)
+		n.EnforceSlashing = !s.byzantine[v]
+		s.Nodes[i] = n
+		if cfg.PartitionOf != nil {
+			s.Net.SetPartition(v, cfg.PartitionOf(v))
+		}
+	}
+	return s, nil
+}
+
+// Slot returns the next slot to execute.
+func (s *Simulation) Slot() types.Slot { return s.slot }
+
+// IsByzantine reports whether v is adversary-controlled.
+func (s *Simulation) IsByzantine(v types.ValidatorIndex) bool { return s.byzantine[v] }
+
+// HonestIndices returns all honest validator indices in order.
+func (s *Simulation) HonestIndices() []types.ValidatorIndex {
+	out := make([]types.ValidatorIndex, 0, s.Cfg.Validators)
+	for i := 0; i < s.Cfg.Validators; i++ {
+		if !s.byzantine[types.ValidatorIndex(i)] {
+			out = append(out, types.ValidatorIndex(i))
+		}
+	}
+	return out
+}
+
+// ProposerAt returns the proposer of a slot: a seeded hash over the full
+// initial validator set, identical on every view.
+func (s *Simulation) ProposerAt(slot types.Slot) types.ValidatorIndex {
+	h := crypto.HashItems(uint64(slot), uint64(s.Cfg.Seed), 0x9e3779b9)
+	v := uint64(h[0])<<24 | uint64(h[1])<<16 | uint64(h[2])<<8 | uint64(h[3])
+	return types.ValidatorIndex(v % uint64(s.Cfg.Validators))
+}
+
+// AttestationSlot returns the slot within epoch at which validator v
+// performs its once-per-epoch attestation duty. With ShuffledDuties the
+// assignment changes pseudo-randomly every epoch; otherwise it is the fixed
+// v-mod-SlotsPerEpoch slot.
+func (s *Simulation) AttestationSlot(v types.ValidatorIndex, epoch types.Epoch) types.Slot {
+	if s.Cfg.ShuffledDuties {
+		h := crypto.HashItems(uint64(v), uint64(epoch), uint64(s.Cfg.Seed), 0x5bd1e995)
+		off := (uint64(h[0])<<8 | uint64(h[1])) % s.Cfg.Spec.SlotsPerEpoch
+		return epoch.StartSlot() + types.Slot(off)
+	}
+	return epoch.StartSlot() + types.Slot(uint64(v)%s.Cfg.Spec.SlotsPerEpoch)
+}
+
+// Broadcast sends a message from a validator and records blocks in the
+// Safety oracle.
+func (s *Simulation) Broadcast(from types.ValidatorIndex, at types.Slot, m Message) {
+	s.recordOracle(m)
+	s.Net.Broadcast(from, at, m)
+}
+
+// SendDirect schedules an adversary-controlled point-to-point delivery.
+func (s *Simulation) SendDirect(from, to types.ValidatorIndex, deliverAt types.Slot, m Message) {
+	s.recordOracle(m)
+	s.Net.SendDirect(from, to, deliverAt, m)
+}
+
+// BroadcastAs sends a message routed as if the sender belonged to the given
+// partition — the Byzantine one-face-per-partition primitive.
+func (s *Simulation) BroadcastAs(from types.ValidatorIndex, partition int, at types.Slot, m Message) {
+	s.recordOracle(m)
+	s.Net.BroadcastAs(from, partition, at, m)
+}
+
+func (s *Simulation) recordOracle(m Message) {
+	if m.Block != nil && !s.oracle.Has(m.Block.Root) {
+		_ = s.oracle.Add(*m.Block)
+	}
+}
+
+// Oracle exposes the omniscient tree for Safety audits.
+func (s *Simulation) Oracle() *blocktree.Tree { return s.oracle }
+
+// Step executes one slot.
+func (s *Simulation) Step() error {
+	slot := s.slot
+
+	// 1. Deliver messages.
+	for i := range s.Nodes {
+		for _, m := range s.Net.Deliveries(types.ValidatorIndex(i), slot) {
+			switch {
+			case m.Block != nil:
+				s.Nodes[i].ReceiveBlock(*m.Block)
+			case m.Att != nil:
+				s.Nodes[i].ReceiveAttestation(*m.Att)
+			}
+		}
+	}
+
+	// 2. Epoch boundary.
+	if slot.IsEpochStart() && slot > 0 {
+		epoch := slot.Epoch()
+		for _, n := range s.Nodes {
+			if _, err := n.ProcessEpochBoundary(epoch); err != nil {
+				return fmt.Errorf("sim: slot %d: %w", slot, err)
+			}
+		}
+		if s.Cfg.OnEpoch != nil {
+			s.Cfg.OnEpoch(s, epoch)
+		}
+	}
+
+	// 3. Adversary acts before honest duties — the strong adversary can
+	// always schedule its messages ahead of honest actions in a slot.
+	if s.Cfg.Adversary != nil {
+		s.Cfg.Adversary.OnSlot(s, slot)
+	}
+
+	// 4. Honest proposer.
+	if p := s.ProposerAt(slot); !s.byzantine[p] && slot > 0 {
+		b, err := s.Nodes[p].ProduceBlock(slot)
+		if err == nil {
+			s.Broadcast(p, slot, Message{Block: &b})
+		}
+	}
+
+	// 5. Honest attesters.
+	epoch := slot.Epoch()
+	for i := range s.Nodes {
+		v := types.ValidatorIndex(i)
+		if s.byzantine[v] || s.AttestationSlot(v, epoch) != slot {
+			continue
+		}
+		a, err := s.Nodes[i].ProduceAttestation(slot)
+		if err == nil {
+			s.Broadcast(v, slot, Message{Att: &a})
+		}
+	}
+
+	s.slot++
+	return nil
+}
+
+// RunEpochs executes whole epochs from the current slot.
+func (s *Simulation) RunEpochs(n int) error {
+	end := s.slot + types.Slot(uint64(n)*s.Cfg.Spec.SlotsPerEpoch)
+	for s.slot < end {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SafetyViolation describes a detected conflicting finalization.
+type SafetyViolation struct {
+	NodeA, NodeB types.ValidatorIndex
+	A, B         types.Checkpoint
+}
+
+// Error renders the violation.
+func (v SafetyViolation) Error() string {
+	return fmt.Sprintf("sim: conflicting finalization: node %d finalized %s, node %d finalized %s",
+		v.NodeA, v.A, v.NodeB, v.B)
+}
+
+// CheckFinalitySafety audits all honest nodes' finalized checkpoints
+// against the omniscient tree and returns a SafetyViolation if two of them
+// are on different branches — the paper's Safety violation (1). Returns nil
+// when Safety holds.
+func (s *Simulation) CheckFinalitySafety() *SafetyViolation {
+	honest := s.HonestIndices()
+	for i := 0; i < len(honest); i++ {
+		for j := i + 1; j < len(honest); j++ {
+			a := s.Nodes[honest[i]].Finalized()
+			b := s.Nodes[honest[j]].Finalized()
+			if err := ffg.CheckConflict(a, b, s.oracle.IsAncestor); err != nil {
+				return &SafetyViolation{NodeA: honest[i], NodeB: honest[j], A: a, B: b}
+			}
+		}
+	}
+	return nil
+}
+
+// ByzantineProportionOn computes the Byzantine stake proportion in the view
+// of node observer — the paper's Safety threshold metric (2).
+func (s *Simulation) ByzantineProportionOn(observer types.ValidatorIndex) float64 {
+	reg := s.Nodes[observer].Registry
+	total := reg.TotalStake()
+	if total == 0 {
+		return 0
+	}
+	var byz types.Gwei
+	for v := range s.byzantine {
+		byz += reg.Stake(v)
+	}
+	return float64(byz) / float64(total)
+}

@@ -1,0 +1,133 @@
+// Package slashing implements the detector for the two slashable attestation
+// offenses of Casper FFG (paper Sections 3.3 and 5.2.1):
+//
+//   - double vote: two distinct attestations by the same validator with the
+//     same target epoch;
+//   - surround vote: an attestation whose source/target span strictly
+//     surrounds (or is surrounded by) an earlier one from the same validator
+//     (s1 < s2 < t2 < t1).
+//
+// The detector is what turns the paper's "with slashing" scenario (5.2.1)
+// into consequences: Byzantine validators voting on both branches of a fork
+// during a partition are detected only once honest validators see both
+// attestations, i.e. after GST, when evidence can be included in a block.
+package slashing
+
+import (
+	"fmt"
+
+	"repro/internal/attestation"
+	"repro/internal/types"
+)
+
+// Kind labels the detected offense.
+type Kind int
+
+// Offense kinds.
+const (
+	None Kind = iota
+	DoubleVote
+	SurroundVote
+)
+
+// String names the offense kind.
+func (k Kind) String() string {
+	switch k {
+	case DoubleVote:
+		return "double vote"
+	case SurroundVote:
+		return "surround vote"
+	default:
+		return "none"
+	}
+}
+
+// Evidence is a provable offense: the pair of conflicting votes.
+type Evidence struct {
+	Validator types.ValidatorIndex
+	Kind      Kind
+	First     attestation.Data
+	Second    attestation.Data
+}
+
+// String renders the evidence for logs.
+func (e Evidence) String() string {
+	return fmt.Sprintf("slashing(%s v=%d t1=%d t2=%d)",
+		e.Kind, e.Validator, e.First.Target.Epoch, e.Second.Target.Epoch)
+}
+
+// Detector accumulates every attestation it observes and reports offenses.
+// One Detector instance corresponds to one observer's knowledge: feed it
+// only the attestations that observer has actually received, and it will
+// find exactly the offenses that observer can prove. The zero value is not
+// usable; construct with NewDetector.
+type Detector struct {
+	// history[v] holds all distinct attestation data seen from v.
+	history map[types.ValidatorIndex][]attestation.Data
+	// slashed tracks validators with already-reported evidence so each
+	// offender is reported once.
+	slashed map[types.ValidatorIndex]bool
+}
+
+// NewDetector returns an empty detector.
+func NewDetector() *Detector {
+	return &Detector{
+		history: make(map[types.ValidatorIndex][]attestation.Data),
+		slashed: make(map[types.ValidatorIndex]bool),
+	}
+}
+
+// Observe records an attestation and returns evidence if it completes an
+// offense by a not-yet-reported validator, or nil.
+func (d *Detector) Observe(a attestation.Attestation) *Evidence {
+	v := a.Validator
+	digest := a.Data.Digest()
+	for _, prev := range d.history[v] {
+		if prev.Digest() == digest {
+			return nil // exact duplicate, not an offense
+		}
+	}
+	var found *Evidence
+	if !d.slashed[v] {
+		for _, prev := range d.history[v] {
+			if kind := Conflict(prev, a.Data); kind != None {
+				found = &Evidence{Validator: v, Kind: kind, First: prev, Second: a.Data}
+				d.slashed[v] = true
+				break
+			}
+		}
+	}
+	d.history[v] = append(d.history[v], a.Data)
+	return found
+}
+
+// Slashed reports whether evidence against v has been produced.
+func (d *Detector) Slashed(v types.ValidatorIndex) bool { return d.slashed[v] }
+
+// HistoryLen returns the number of distinct votes recorded for v (for tests
+// and metrics).
+func (d *Detector) HistoryLen(v types.ValidatorIndex) int { return len(d.history[v]) }
+
+// Conflict classifies the offense formed by two distinct attestation data
+// values from the same validator, or None.
+func Conflict(a, b attestation.Data) Kind {
+	if a.Digest() == b.Digest() {
+		return None
+	}
+	// Double vote: same target epoch, different votes.
+	if a.Target.Epoch == b.Target.Epoch {
+		return DoubleVote
+	}
+	// Surround vote: one span strictly inside the other.
+	if surrounds(a, b) || surrounds(b, a) {
+		return SurroundVote
+	}
+	return None
+}
+
+// surrounds reports whether outer strictly surrounds inner:
+// outer.source < inner.source and inner.target < outer.target.
+func surrounds(outer, inner attestation.Data) bool {
+	return outer.Source.Epoch < inner.Source.Epoch &&
+		inner.Target.Epoch < outer.Target.Epoch
+}

@@ -1,0 +1,47 @@
+package types
+
+import "testing"
+
+func TestDefaultSpecValues(t *testing.T) {
+	s := DefaultSpec()
+	if s.SlotsPerEpoch != 32 ||
+		s.InactivityPenaltyQuotient != 1<<26 ||
+		s.InactivityScoreBias != 4 ||
+		s.InactivityScoreRecovery != 1 ||
+		s.InactivityScoreFlatRecovery != 16 ||
+		s.MinEpochsToInactivityLeak != 4 ||
+		s.EjectionBalance != EjectionBalanceGwei ||
+		s.MaxEffectiveBalance != MaxEffectiveBalanceGwei {
+		t.Errorf("DefaultSpec = %+v", s)
+	}
+	if s.ResidualPenalties {
+		t.Error("paper model must default to leak-only penalties")
+	}
+}
+
+func TestCompressedSpec(t *testing.T) {
+	s := CompressedSpec(1 << 16)
+	if s.InactivityPenaltyQuotient != 1<<10 {
+		t.Errorf("quotient = %d, want 2^10", s.InactivityPenaltyQuotient)
+	}
+	// Everything else unchanged.
+	if s.InactivityScoreBias != 4 || s.EjectionBalance != EjectionBalanceGwei {
+		t.Error("compression must only change the quotient")
+	}
+	// Degenerate factors clamp sanely.
+	if got := CompressedSpec(0).InactivityPenaltyQuotient; got != 1<<26 {
+		t.Errorf("factor 0 quotient = %d, want unchanged", got)
+	}
+	if got := CompressedSpec(1 << 40).InactivityPenaltyQuotient; got != 1 {
+		t.Errorf("over-compression quotient = %d, want floor at 1", got)
+	}
+}
+
+func TestEpochSlotHelpers(t *testing.T) {
+	if got := Epoch(3).EndSlot(); got != 127 {
+		t.Errorf("Epoch(3).EndSlot() = %d, want 127", got)
+	}
+	if FarFutureEpoch <= 1<<62 {
+		t.Error("FarFutureEpoch must be effectively infinite")
+	}
+}

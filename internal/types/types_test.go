@@ -1,0 +1,178 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlotEpoch(t *testing.T) {
+	tests := []struct {
+		slot Slot
+		want Epoch
+	}{
+		{0, 0},
+		{1, 0},
+		{31, 0},
+		{32, 1},
+		{63, 1},
+		{64, 2},
+		{320, 10},
+	}
+	for _, tt := range tests {
+		if got := tt.slot.Epoch(); got != tt.want {
+			t.Errorf("Slot(%d).Epoch() = %d, want %d", tt.slot, got, tt.want)
+		}
+	}
+}
+
+func TestEpochStartEndSlot(t *testing.T) {
+	tests := []struct {
+		epoch Epoch
+		start Slot
+		end   Slot
+	}{
+		{0, 0, 31},
+		{1, 32, 63},
+		{10, 320, 351},
+	}
+	for _, tt := range tests {
+		if got := tt.epoch.StartSlot(); got != tt.start {
+			t.Errorf("Epoch(%d).StartSlot() = %d, want %d", tt.epoch, got, tt.start)
+		}
+		if got := tt.epoch.EndSlot(); got != tt.end {
+			t.Errorf("Epoch(%d).EndSlot() = %d, want %d", tt.epoch, got, tt.end)
+		}
+	}
+}
+
+func TestSlotEpochRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := Slot(raw)
+		e := s.Epoch()
+		return e.StartSlot() <= s && s <= e.EndSlot()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsEpochStart(t *testing.T) {
+	if !Slot(0).IsEpochStart() {
+		t.Error("slot 0 should be an epoch start")
+	}
+	if !Slot(32).IsEpochStart() {
+		t.Error("slot 32 should be an epoch start")
+	}
+	if Slot(33).IsEpochStart() {
+		t.Error("slot 33 should not be an epoch start")
+	}
+}
+
+func TestPositionInEpoch(t *testing.T) {
+	if got := Slot(0).PositionInEpoch(); got != 0 {
+		t.Errorf("PositionInEpoch(0) = %d", got)
+	}
+	if got := Slot(63).PositionInEpoch(); got != 31 {
+		t.Errorf("PositionInEpoch(63) = %d", got)
+	}
+}
+
+func TestEpochPrev(t *testing.T) {
+	if got := Epoch(0).Prev(); got != 0 {
+		t.Errorf("Epoch(0).Prev() = %d, want saturation at 0", got)
+	}
+	if got := Epoch(5).Prev(); got != 4 {
+		t.Errorf("Epoch(5).Prev() = %d, want 4", got)
+	}
+}
+
+func TestGweiETHConversion(t *testing.T) {
+	if got := MaxEffectiveBalanceGwei.ETH(); got != 32 {
+		t.Errorf("MaxEffectiveBalance.ETH() = %v, want 32", got)
+	}
+	if got := EjectionBalanceGwei.ETH(); got != 16.75 {
+		t.Errorf("EjectionBalance.ETH() = %v, want 16.75", got)
+	}
+	if got := GweiFromETH(32); got != MaxEffectiveBalanceGwei {
+		t.Errorf("GweiFromETH(32) = %d, want %d", got, MaxEffectiveBalanceGwei)
+	}
+}
+
+func TestGweiSaturatingSub(t *testing.T) {
+	tests := []struct {
+		g, d, want Gwei
+	}{
+		{10, 3, 7},
+		{10, 10, 0},
+		{10, 11, 0},
+		{0, 1, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.g.SaturatingSub(tt.d); got != tt.want {
+			t.Errorf("%d.SaturatingSub(%d) = %d, want %d", tt.g, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestSaturatingSubNeverWraps(t *testing.T) {
+	f := func(a, b uint64) bool {
+		got := Gwei(a).SaturatingSub(Gwei(b))
+		if b >= a {
+			return got == 0
+		}
+		return got == Gwei(a-b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootFromUint64(t *testing.T) {
+	a := RootFromUint64(1)
+	b := RootFromUint64(2)
+	if a == b {
+		t.Error("distinct inputs must produce distinct roots")
+	}
+	if a.IsZero() {
+		t.Error("RootFromUint64(1) should not be zero")
+	}
+	if !(Root{}).IsZero() {
+		t.Error("zero root should report IsZero")
+	}
+}
+
+func TestRootString(t *testing.T) {
+	r := RootFromUint64(0xdeadbeef)
+	if got := r.String(); got != "0x00000000" {
+		t.Errorf("Root.String() = %q, want first 4 big-endian bytes", got)
+	}
+}
+
+func TestCheckpointString(t *testing.T) {
+	c := Checkpoint{Epoch: 3, Root: RootFromUint64(7)}
+	if got := c.String(); got == "" {
+		t.Error("Checkpoint.String() should be non-empty")
+	}
+	if !(Checkpoint{}).IsZero() {
+		t.Error("zero checkpoint should report IsZero")
+	}
+	if c.IsZero() {
+		t.Error("non-zero checkpoint should not report IsZero")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	// Pin the constants the paper's analysis depends on.
+	if InactivityPenaltyQuotient != 67108864 {
+		t.Errorf("InactivityPenaltyQuotient = %d, want 2^26", InactivityPenaltyQuotient)
+	}
+	if InactivityScoreBias != 4 || InactivityScoreRecovery != 1 {
+		t.Error("inactivity score update rule must be +4 / -1 per the paper")
+	}
+	if MinEpochsToInactivityLeak != 4 {
+		t.Error("leak must start after 4 epochs without finalization")
+	}
+	if SlotsPerEpoch != 32 || SecondsPerSlot != 12 {
+		t.Error("epoch structure must be 32 slots of 12 seconds")
+	}
+}

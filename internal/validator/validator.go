@@ -1,0 +1,246 @@
+// Package validator maintains the validator registry: per-validator stake,
+// inactivity score, and life-cycle status (active, slashed, ejected).
+//
+// A registry is the balance sheet of one branch. During a fork each branch
+// evaluates activity — and therefore penalties, scores, and ejections — on
+// its own, so branch simulations clone one registry per branch (paper
+// Section 4.1: "if there are multiple branches, a validator's inactivity
+// score depends on the selected branch").
+package validator
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// ErrUnknownValidator is returned for out-of-range indices.
+var ErrUnknownValidator = errors.New("validator: unknown validator index")
+
+// Status is the life-cycle state of a validator.
+type Status int
+
+// Life-cycle states.
+const (
+	// Active validators attest and their stake counts toward quorums.
+	Active Status = iota
+	// Slashed validators were ejected for a provable offense.
+	Slashed
+	// Ejected validators dropped below the ejection balance during a
+	// leak and left the validator set.
+	Ejected
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Slashed:
+		return "slashed"
+	case Ejected:
+		return "ejected"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Validator is one registry entry.
+type Validator struct {
+	Index           types.ValidatorIndex
+	Stake           types.Gwei
+	InactivityScore uint64
+	Status          Status
+	// ExitEpoch records when the validator left the set;
+	// types.FarFutureEpoch while in the set.
+	ExitEpoch types.Epoch
+}
+
+// InSet reports whether the validator still belongs to the validator set.
+func (v Validator) InSet() bool { return v.Status == Active }
+
+// Registry is the mutable validator set of one branch view. The zero value
+// is an empty registry; construct populated ones with NewRegistry.
+type Registry struct {
+	vals []Validator
+}
+
+// NewRegistry creates n validators, each with the given initial stake, all
+// active with zero inactivity score.
+func NewRegistry(n int, stake types.Gwei) *Registry {
+	r := &Registry{vals: make([]Validator, n)}
+	for i := range r.vals {
+		r.vals[i] = Validator{
+			Index:     types.ValidatorIndex(i),
+			Stake:     stake,
+			ExitEpoch: types.FarFutureEpoch,
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy; branch simulations fork the registry at the
+// partition point.
+func (r *Registry) Clone() *Registry {
+	out := &Registry{vals: make([]Validator, len(r.vals))}
+	copy(out.vals, r.vals)
+	return out
+}
+
+// Len returns the number of validators ever registered (including exited).
+func (r *Registry) Len() int { return len(r.vals) }
+
+// Get returns a copy of the validator at index v.
+func (r *Registry) Get(v types.ValidatorIndex) (Validator, error) {
+	if int(v) >= len(r.vals) {
+		return Validator{}, fmt.Errorf("%w: %d", ErrUnknownValidator, v)
+	}
+	return r.vals[v], nil
+}
+
+// Stake returns the stake of v, or zero if v is unknown or out of the set.
+// Fork choice and FFG quorums weigh only in-set validators.
+func (r *Registry) Stake(v types.ValidatorIndex) types.Gwei {
+	if int(v) >= len(r.vals) {
+		return 0
+	}
+	val := r.vals[v]
+	if !val.InSet() {
+		return 0
+	}
+	return val.Stake
+}
+
+// RawStake returns the stake of v regardless of status (slashed validators
+// retain their remaining balance until withdrawal; it no longer counts
+// toward quorums).
+func (r *Registry) RawStake(v types.ValidatorIndex) types.Gwei {
+	if int(v) >= len(r.vals) {
+		return 0
+	}
+	return r.vals[v].Stake
+}
+
+// Score returns the inactivity score of v (zero for unknown indices).
+func (r *Registry) Score(v types.ValidatorIndex) uint64 {
+	if int(v) >= len(r.vals) {
+		return 0
+	}
+	return r.vals[v].InactivityScore
+}
+
+// SetScore sets the inactivity score of v.
+func (r *Registry) SetScore(v types.ValidatorIndex, score uint64) {
+	if int(v) < len(r.vals) {
+		r.vals[v].InactivityScore = score
+	}
+}
+
+// SetStake overwrites the stake of v (used by tests and by scenario setup).
+func (r *Registry) SetStake(v types.ValidatorIndex, s types.Gwei) {
+	if int(v) < len(r.vals) {
+		r.vals[v].Stake = s
+	}
+}
+
+// Penalize reduces the stake of v by amount, saturating at zero, and
+// returns the amount actually removed.
+func (r *Registry) Penalize(v types.ValidatorIndex, amount types.Gwei) types.Gwei {
+	if int(v) >= len(r.vals) {
+		return 0
+	}
+	before := r.vals[v].Stake
+	r.vals[v].Stake = before.SaturatingSub(amount)
+	return before - r.vals[v].Stake
+}
+
+// Slash marks v slashed at epoch e, applies the immediate slashing penalty
+// (stake / WhistleblowerQuotient), and removes v from the set.
+func (r *Registry) Slash(v types.ValidatorIndex, e types.Epoch) error {
+	if int(v) >= len(r.vals) {
+		return fmt.Errorf("%w: %d", ErrUnknownValidator, v)
+	}
+	val := &r.vals[v]
+	if val.Status == Slashed {
+		return nil // idempotent
+	}
+	val.Stake = val.Stake.SaturatingSub(val.Stake / types.WhistleblowerQuotient)
+	val.Status = Slashed
+	val.ExitEpoch = e
+	return nil
+}
+
+// Eject removes v from the set at epoch e for falling below the ejection
+// balance.
+func (r *Registry) Eject(v types.ValidatorIndex, e types.Epoch) error {
+	if int(v) >= len(r.vals) {
+		return fmt.Errorf("%w: %d", ErrUnknownValidator, v)
+	}
+	val := &r.vals[v]
+	if val.Status != Active {
+		return nil // idempotent
+	}
+	val.Status = Ejected
+	val.ExitEpoch = e
+	return nil
+}
+
+// InSet reports whether v is currently in the validator set.
+func (r *Registry) InSet(v types.ValidatorIndex) bool {
+	if int(v) >= len(r.vals) {
+		return false
+	}
+	return r.vals[v].InSet()
+}
+
+// TotalStake sums the stake of all in-set validators.
+func (r *Registry) TotalStake() types.Gwei {
+	var total types.Gwei
+	for i := range r.vals {
+		if r.vals[i].InSet() {
+			total += r.vals[i].Stake
+		}
+	}
+	return total
+}
+
+// StakeOf sums the stake of the given in-set validators.
+func (r *Registry) StakeOf(indices []types.ValidatorIndex) types.Gwei {
+	var total types.Gwei
+	for _, v := range indices {
+		total += r.Stake(v)
+	}
+	return total
+}
+
+// InSetIndices returns the indices of all in-set validators in ascending
+// order.
+func (r *Registry) InSetIndices() []types.ValidatorIndex {
+	out := make([]types.ValidatorIndex, 0, len(r.vals))
+	for i := range r.vals {
+		if r.vals[i].InSet() {
+			out = append(out, types.ValidatorIndex(i))
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every validator (in index order), passing a pointer
+// so fn may mutate the entry. It is the bulk-update primitive the
+// incentives engine uses.
+func (r *Registry) ForEach(fn func(*Validator)) {
+	for i := range r.vals {
+		fn(&r.vals[i])
+	}
+}
+
+// Proportion returns the fraction of total in-set stake held by the given
+// validators. Returns zero when the registry is empty.
+func (r *Registry) Proportion(indices []types.ValidatorIndex) float64 {
+	total := r.TotalStake()
+	if total == 0 {
+		return 0
+	}
+	return float64(r.StakeOf(indices)) / float64(total)
+}

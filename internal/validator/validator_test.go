@@ -1,0 +1,211 @@
+package validator
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestNewRegistry(t *testing.T) {
+	r := NewRegistry(10, types.MaxEffectiveBalanceGwei)
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	if got := r.TotalStake(); got != 10*types.MaxEffectiveBalanceGwei {
+		t.Errorf("TotalStake = %d, want %d", got, 10*types.MaxEffectiveBalanceGwei)
+	}
+	v, err := r.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Index != 3 || v.Stake != types.MaxEffectiveBalanceGwei || v.Status != Active {
+		t.Errorf("unexpected validator: %+v", v)
+	}
+	if v.ExitEpoch != types.FarFutureEpoch {
+		t.Error("fresh validator must have far-future exit epoch")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	r := NewRegistry(2, 32)
+	if _, err := r.Get(5); !errors.Is(err, ErrUnknownValidator) {
+		t.Errorf("want ErrUnknownValidator, got %v", err)
+	}
+}
+
+func TestPenalizeSaturates(t *testing.T) {
+	r := NewRegistry(1, 100)
+	removed := r.Penalize(0, 30)
+	if removed != 30 || r.Stake(0) != 70 {
+		t.Errorf("Penalize(30): removed=%d stake=%d", removed, r.Stake(0))
+	}
+	removed = r.Penalize(0, 1000)
+	if removed != 70 || r.Stake(0) != 0 {
+		t.Errorf("over-penalize: removed=%d stake=%d", removed, r.Stake(0))
+	}
+	if got := r.Penalize(99, 5); got != 0 {
+		t.Errorf("penalizing unknown index removed %d", got)
+	}
+}
+
+func TestSlash(t *testing.T) {
+	r := NewRegistry(2, 3200)
+	if err := r.Slash(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := r.Get(0)
+	if v.Status != Slashed || v.ExitEpoch != 7 {
+		t.Errorf("after slash: %+v", v)
+	}
+	// Immediate penalty is stake/32.
+	if v.Stake != 3200-100 {
+		t.Errorf("slashed stake = %d, want 3100", v.Stake)
+	}
+	// Slashed validators no longer count toward quorums.
+	if r.Stake(0) != 0 {
+		t.Errorf("Stake of slashed = %d, want 0", r.Stake(0))
+	}
+	if r.RawStake(0) != 3100 {
+		t.Errorf("RawStake of slashed = %d, want 3100", r.RawStake(0))
+	}
+	// Idempotent.
+	if err := r.Slash(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = r.Get(0)
+	if v.ExitEpoch != 7 || v.Stake != 3100 {
+		t.Errorf("second slash must be a no-op: %+v", v)
+	}
+	if err := r.Slash(9, 1); !errors.Is(err, ErrUnknownValidator) {
+		t.Errorf("want ErrUnknownValidator, got %v", err)
+	}
+}
+
+func TestEject(t *testing.T) {
+	r := NewRegistry(2, 32)
+	if err := r.Eject(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if r.InSet(1) {
+		t.Error("ejected validator still in set")
+	}
+	if r.Stake(1) != 0 {
+		t.Error("ejected stake must not count")
+	}
+	v, _ := r.Get(1)
+	if v.Status != Ejected || v.ExitEpoch != 100 {
+		t.Errorf("after eject: %+v", v)
+	}
+	// Ejecting a slashed validator is a no-op.
+	r2 := NewRegistry(1, 32)
+	r2.Slash(0, 5)
+	r2.Eject(0, 6)
+	v, _ = r2.Get(0)
+	if v.Status != Slashed {
+		t.Error("eject must not override slashed status")
+	}
+	if err := r.Eject(9, 1); !errors.Is(err, ErrUnknownValidator) {
+		t.Errorf("want ErrUnknownValidator, got %v", err)
+	}
+}
+
+func TestTotalStakeExcludesExited(t *testing.T) {
+	r := NewRegistry(4, 100)
+	r.Slash(0, 1)
+	r.Eject(1, 1)
+	if got := r.TotalStake(); got != 200 {
+		t.Errorf("TotalStake = %d, want 200", got)
+	}
+	in := r.InSetIndices()
+	if len(in) != 2 || in[0] != 2 || in[1] != 3 {
+		t.Errorf("InSetIndices = %v", in)
+	}
+}
+
+func TestStakeOfAndProportion(t *testing.T) {
+	r := NewRegistry(4, 100)
+	subset := []types.ValidatorIndex{0, 1}
+	if got := r.StakeOf(subset); got != 200 {
+		t.Errorf("StakeOf = %d, want 200", got)
+	}
+	if got := r.Proportion(subset); got != 0.5 {
+		t.Errorf("Proportion = %v, want 0.5", got)
+	}
+	empty := &Registry{}
+	if got := empty.Proportion(subset); got != 0 {
+		t.Errorf("empty registry proportion = %v, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := NewRegistry(2, 100)
+	c := r.Clone()
+	c.Penalize(0, 50)
+	c.SetScore(1, 42)
+	if r.Stake(0) != 100 {
+		t.Error("clone mutation leaked into original stake")
+	}
+	if r.Score(1) != 0 {
+		t.Error("clone mutation leaked into original score")
+	}
+}
+
+func TestScores(t *testing.T) {
+	r := NewRegistry(2, 32)
+	r.SetScore(0, 12)
+	if r.Score(0) != 12 {
+		t.Errorf("Score = %d, want 12", r.Score(0))
+	}
+	if r.Score(99) != 0 {
+		t.Error("unknown index score must be 0")
+	}
+	r.SetScore(99, 5) // must not panic
+}
+
+func TestForEach(t *testing.T) {
+	r := NewRegistry(3, 10)
+	r.ForEach(func(v *Validator) { v.Stake += types.Gwei(v.Index) })
+	if r.Stake(0) != 10 || r.Stake(1) != 11 || r.Stake(2) != 12 {
+		t.Error("ForEach mutation not applied")
+	}
+}
+
+func TestSetStake(t *testing.T) {
+	r := NewRegistry(1, 10)
+	r.SetStake(0, 77)
+	if r.Stake(0) != 77 {
+		t.Errorf("SetStake not applied: %d", r.Stake(0))
+	}
+	r.SetStake(9, 1) // out of range: no panic
+}
+
+func TestStatusString(t *testing.T) {
+	if Active.String() != "active" || Slashed.String() != "slashed" || Ejected.String() != "ejected" {
+		t.Error("Status.String mismatch")
+	}
+	if Status(99).String() == "" {
+		t.Error("unknown status should still render")
+	}
+}
+
+func TestTotalStakeInvariantUnderPenalties(t *testing.T) {
+	// Property: total stake never increases under any penalty sequence.
+	f := func(amounts []uint32) bool {
+		r := NewRegistry(4, 1000)
+		prev := r.TotalStake()
+		for i, a := range amounts {
+			r.Penalize(types.ValidatorIndex(i%4), types.Gwei(a%500))
+			cur := r.TotalStake()
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
