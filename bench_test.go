@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -133,7 +134,7 @@ func BenchmarkFigure10BounceProbability(b *testing.B) {
 func BenchmarkFigure10MonteCarlo(b *testing.B) {
 	var v float64
 	for i := 0; i < b.N; i++ {
-		f, err := gasperleak.Figure10MonteCarlo(1.0/3.0, 300, 3, 5)
+		f, err := gasperleak.Figure10MonteCarlo(1.0/3.0, 300, 3, 5, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -269,6 +270,58 @@ func BenchmarkLeakSimFullScale(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkSweepTable1 runs the Table 1 scenario sweep through the engine
+// with the given worker count and reports the 5.1 conflict epoch.
+func benchmarkSweepTable1(b *testing.B, workers int) {
+	var epoch float64
+	for i := 0; i < b.N; i++ {
+		results := gasperleak.Sweep(gasperleak.Table1Cells(1),
+			gasperleak.SweepOptions{Workers: workers})
+		if err := gasperleak.SweepFirstError(results); err != nil {
+			b.Fatal(err)
+		}
+		epoch, _ = results[0].Metric("sim_epoch")
+	}
+	b.ReportMetric(epoch, "conflict-epochs(5.1)")
+}
+
+// BenchmarkSweepTable1Workers1 is the sequential baseline of the Table 1
+// sweep; compare with BenchmarkSweepTable1WorkersMax for the worker-pool
+// speedup (see EXPERIMENTS.md).
+func BenchmarkSweepTable1Workers1(b *testing.B) { benchmarkSweepTable1(b, 1) }
+
+// BenchmarkSweepTable1WorkersMax runs the same sweep on all CPUs. Results
+// are bit-identical to the sequential run; only the wall time changes.
+func BenchmarkSweepTable1WorkersMax(b *testing.B) { benchmarkSweepTable1(b, runtime.NumCPU()) }
+
+// benchmarkSweepLeakGrid sweeps a 20-cell uniform leaksim grid (p0 x
+// beta0 x mode at full paper scale) with the given worker count — the
+// scaling probe for the worker pool, since every cell costs about the
+// same.
+func benchmarkSweepLeakGrid(b *testing.B, workers int) {
+	grid := gasperleak.SweepGrid{
+		Scenario: "leaksim",
+		P0:       []float64{0.3, 0.4, 0.5, 0.6, 0.7},
+		Beta0:    []float64{0.1, 0.2},
+		Modes:    []string{"double", "semi"},
+	}
+	cells := grid.Cells()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := gasperleak.Sweep(cells, gasperleak.SweepOptions{Workers: workers})
+		if err := gasperleak.SweepFirstError(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepLeakGridWorkers1 is the sequential baseline of the
+// 20-cell leaksim grid.
+func BenchmarkSweepLeakGridWorkers1(b *testing.B) { benchmarkSweepLeakGrid(b, 1) }
+
+// BenchmarkSweepLeakGridWorkersMax runs the same grid on all CPUs.
+func BenchmarkSweepLeakGridWorkersMax(b *testing.B) { benchmarkSweepLeakGrid(b, runtime.NumCPU()) }
 
 // TestBenchHarnessSmoke keeps the bench file honest under plain `go test`:
 // the harness's metrics match the paper's headline values.

@@ -1,86 +1,156 @@
 // Command bounce explores the probabilistic bouncing attack (paper Section
 // 5.3): the feasibility window of Equation 14, the continuation
 // probability, and the Monte-Carlo estimate of the probability that the
-// Byzantine stake proportion exceeds one-third.
+// Byzantine stake proportion exceeds one-third. The Monte-Carlo runs are
+// engine-registry cells (one trajectory per derived seed) fanned out over
+// a parallel worker pool.
 //
 // Usage:
 //
 //	bounce -window                        # Equation 14 window per beta0
 //	bounce -beta0 0.333 -epochs 4000      # Eq 24 vs Monte-Carlo at one epoch
-//	bounce -beta0 0.33 -sweep             # probability curve over the leak
+//	bounce -beta0 0.33 -sweep -workers 8  # probability curve over the leak
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/gasperleak"
 )
 
+// options collects the CLI flags.
+type options struct {
+	window  bool
+	sweep   bool
+	beta0   float64
+	p0      float64
+	epochs  int
+	n       int
+	runs    int
+	seed    int64
+	j       int
+	workers int
+	jsonOut bool
+}
+
 func main() {
-	window := flag.Bool("window", false, "print the Equation 14 attack window for a beta0 sweep")
-	sweep := flag.Bool("sweep", false, "print the probability curve over the leak")
-	beta0 := flag.Float64("beta0", 1.0/3.0, "initial Byzantine stake proportion")
-	p0 := flag.Float64("p0", 0.5, "per-epoch honest placement probability")
-	epochs := flag.Int("epochs", 4000, "evaluation epoch")
-	n := flag.Int("n", 500, "honest validators in the Monte-Carlo")
-	runs := flag.Int("runs", 5, "Monte-Carlo runs")
-	seed := flag.Int64("seed", 1, "random seed")
-	j := flag.Int("j", 8, "first slots with a Byzantine proposer (continuation estimate)")
+	var o options
+	flag.BoolVar(&o.window, "window", false, "print the Equation 14 attack window for a beta0 sweep")
+	flag.BoolVar(&o.sweep, "sweep", false, "print the probability curve over the leak")
+	flag.Float64Var(&o.beta0, "beta0", 1.0/3.0, "initial Byzantine stake proportion")
+	flag.Float64Var(&o.p0, "p0", 0.5, "per-epoch honest placement probability")
+	flag.IntVar(&o.epochs, "epochs", 4000, "evaluation epoch")
+	flag.IntVar(&o.n, "n", 500, "honest validators in the Monte-Carlo")
+	flag.IntVar(&o.runs, "runs", 5, "Monte-Carlo runs")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.j, "j", 8, "first slots with a Byzantine proposer (continuation estimate)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size for the Monte-Carlo runs (0 = all CPUs)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the engine results as JSON")
 	flag.Parse()
 
-	if err := run(*window, *sweep, *beta0, *p0, *epochs, *n, *runs, *seed, *j); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "bounce:", err)
 		os.Exit(1)
 	}
 }
 
-func run(window, sweep bool, beta0, p0 float64, epochs, n, runs int, seed int64, j int) error {
-	if window {
-		fmt.Println("Equation 14 attack window (p0 range) per beta0:")
-		for _, b := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 1.0 / 3.0} {
-			lo, hi := gasperleak.BounceWindow(b)
-			fmt.Printf("  beta0=%.4f  p0 in (%.4f, %.4f)\n", b, lo, hi)
+func run(w io.Writer, o options) error {
+	if o.runs <= 0 {
+		return fmt.Errorf("runs = %d, want > 0", o.runs)
+	}
+	// The engine treats zero-valued params as "use the scenario default",
+	// so an explicit degenerate value would silently diverge from the
+	// analytic columns computed with the raw flags. Reject it instead.
+	if !o.window && (o.beta0 <= 0 || o.beta0 >= 1) {
+		return fmt.Errorf("beta0 = %v, want in (0, 1)", o.beta0)
+	}
+	if o.p0 <= 0 || o.p0 >= 1 {
+		return fmt.Errorf("p0 = %v, want in (0, 1)", o.p0)
+	}
+	// The curve sweep has its own fixed epoch grid; every other mode
+	// evaluates at -epochs.
+	if !o.sweep && o.epochs <= 0 {
+		return fmt.Errorf("epochs = %d, want > 0", o.epochs)
+	}
+	if o.window {
+		grid := gasperleak.SweepGrid{
+			Scenario: "analytic/bounce",
+			P0:       []float64{o.p0},
+			Beta0:    []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 1.0 / 3.0},
+			Horizons: []int{o.epochs},
+		}
+		results := gasperleak.RunSweepGrid(grid, gasperleak.SweepOptions{Workers: o.workers})
+		if err := gasperleak.SweepFirstError(results); err != nil {
+			return err
+		}
+		if o.jsonOut {
+			return gasperleak.WriteSweepJSON(w, results)
+		}
+		fmt.Fprintln(w, "Equation 14 attack window (p0 range) per beta0:")
+		for _, r := range results {
+			lo, _ := r.Metric("window_lo")
+			hi, _ := r.Metric("window_hi")
+			fmt.Fprintf(w, "  beta0=%.4f  p0 in (%.4f, %.4f)\n", r.Params.Beta0, lo, hi)
 		}
 		return nil
 	}
 
-	model := gasperleak.BounceModel{P0: p0}
+	model := gasperleak.BounceModel{P0: o.p0}
 	params := gasperleak.PaperParams()
 
-	if sweep {
-		fmt.Printf("P[beta > 1/3] over the leak (beta0=%.4f, p0=%.2f):\n", beta0, p0)
-		fmt.Println("epoch  equation24  montecarlo")
-		var epochList []gasperleak.Epoch
-		for e := 1000; e <= 7000; e += 1000 {
-			epochList = append(epochList, gasperleak.Epoch(e))
-		}
-		mc := gasperleak.BounceMC{NHonest: n, Beta0: beta0, P0: p0, Seed: seed}
-		probs, err := mc.ExceedProbability(epochList, runs)
+	if o.sweep {
+		const sample, horizon = 1000, 7000
+		results, mc, err := gasperleak.BounceMCSweep(o.p0, o.beta0, o.n, o.runs, o.seed, sample, horizon, o.workers)
 		if err != nil {
 			return err
 		}
-		for i, e := range epochList {
-			fmt.Printf("%5d  %10.4f  %10.4f\n", e,
-				model.ExceedProbability(float64(e), beta0, params), probs[i])
+		if o.jsonOut {
+			return gasperleak.WriteSweepJSON(w, results)
+		}
+		fmt.Fprintf(w, "P[beta > 1/3] over the leak (beta0=%.4f, p0=%.2f, %d runs):\n", o.beta0, o.p0, o.runs)
+		fmt.Fprintln(w, "epoch  equation24  montecarlo")
+		for i, v := range mc {
+			e := float64((i + 1) * sample)
+			fmt.Fprintf(w, "%5.0f  %10.4f  %10.4f\n", e,
+				model.ExceedProbability(e, o.beta0, params), v)
 		}
 		return nil
 	}
 
-	lo, hi := gasperleak.BounceWindow(beta0)
-	fmt.Printf("beta0=%.4f p0=%.2f (window %.4f..%.4f, inside: %v)\n",
-		beta0, p0, lo, hi, lo < p0 && p0 < hi)
-	cont := gasperleak.BounceContinuationProbability(beta0, j, epochs)
-	fmt.Printf("continuation probability to epoch %d (j=%d): %.3e\n", epochs, j, cont)
-
-	an := model.ExceedProbability(float64(epochs), beta0, params)
-	mc := gasperleak.BounceMC{NHonest: n, Beta0: beta0, P0: p0, Seed: seed}
-	probs, err := mc.ExceedProbability([]gasperleak.Epoch{gasperleak.Epoch(epochs)}, runs)
+	// Single-epoch estimate: the analytic window/continuation context plus
+	// an engine sweep of `runs` one-trajectory Monte-Carlo cells.
+	an, err := gasperleak.RunScenario("analytic/bounce",
+		gasperleak.ScenarioParams{P0: o.p0, Beta0: o.beta0, Horizon: o.epochs})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("P[beta > 1/3] at epoch %d: Equation 24 = %.4f, Monte-Carlo = %.4f\n",
-		epochs, an, probs[0])
+	grid := gasperleak.BounceMCGrid(o.p0, o.beta0, o.n, o.runs, o.seed, 0, o.epochs)
+	results := gasperleak.RunSweepGrid(grid, gasperleak.SweepOptions{Workers: o.workers})
+	if err := gasperleak.SweepFirstError(results); err != nil {
+		return err
+	}
+	if o.jsonOut {
+		return gasperleak.WriteSweepJSON(w, append([]gasperleak.ScenarioResult{an}, results...))
+	}
+
+	lo, _ := an.Metric("window_lo")
+	hi, _ := an.Metric("window_hi")
+	inWindow, _ := an.Metric("in_window")
+	fmt.Fprintf(w, "beta0=%.4f p0=%.2f (window %.4f..%.4f, inside: %v)\n",
+		o.beta0, o.p0, lo, hi, inWindow == 1)
+	cont := gasperleak.BounceContinuationProbability(o.beta0, o.j, o.epochs)
+	fmt.Fprintf(w, "continuation probability to epoch %d (j=%d): %.3e\n", o.epochs, o.j, cont)
+
+	eq24, _ := an.Metric("eq24_probability")
+	var mcProb float64
+	for _, r := range results {
+		v, _ := r.Metric("mc_probability")
+		mcProb += v / float64(o.runs)
+	}
+	fmt.Fprintf(w, "P[beta > 1/3] at epoch %d: Equation 24 = %.4f, Monte-Carlo = %.4f (%d runs)\n",
+		o.epochs, eq24, mcProb, o.runs)
 	return nil
 }

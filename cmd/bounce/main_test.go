@@ -1,21 +1,93 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/gasperleak"
+)
 
 func TestRunWindow(t *testing.T) {
-	if err := run(true, false, 0.3, 0.5, 100, 50, 1, 1, 8); err != nil {
+	var b strings.Builder
+	if err := run(&b, options{window: true, beta0: 0.3, p0: 0.5, runs: 1, epochs: 4000}); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "beta0=0.3333") {
+		t.Errorf("window output incomplete:\n%s", b.String())
+	}
+}
+
+func TestRunWindowJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, options{window: true, p0: 0.5, runs: 1, epochs: 4000, jsonOut: true}); err != nil {
+		t.Fatal(err)
+	}
+	var results []gasperleak.ScenarioResult
+	if err := json.Unmarshal([]byte(b.String()), &results); err != nil {
+		t.Fatalf("-window -json output is not JSON: %v", err)
+	}
+	if len(results) != 7 || results[0].Scenario != "analytic/bounce" {
+		t.Errorf("results = %d %q", len(results), results[0].Scenario)
+	}
+}
+
+func TestRunBadEpochs(t *testing.T) {
+	err := run(&strings.Builder{}, options{runs: 1, epochs: 0, beta0: 0.3, p0: 0.5})
+	if err == nil || !strings.Contains(err.Error(), "epochs") {
+		t.Errorf("epochs = 0 must error, got %v", err)
 	}
 }
 
 func TestRunSingle(t *testing.T) {
-	if err := run(false, false, 1.0/3.0, 0.5, 500, 50, 1, 1, 8); err != nil {
+	var b strings.Builder
+	o := options{beta0: 1.0 / 3.0, p0: 0.5, epochs: 500, n: 50, runs: 2, seed: 1, j: 8, workers: 2}
+	if err := run(&b, o); err != nil {
 		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"continuation probability", "Equation 24", "Monte-Carlo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("single output missing %q:\n%s", want, out)
+		}
 	}
 }
 
 func TestRunSweep(t *testing.T) {
-	if err := run(false, true, 0.33, 0.5, 0, 50, 1, 1, 8); err != nil {
+	var b strings.Builder
+	o := options{sweep: true, beta0: 0.33, p0: 0.5, n: 50, runs: 1, seed: 1, j: 8}
+	if err := run(&b, o); err != nil {
 		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 9 { // 2 header lines + 7 epochs
+		t.Errorf("sweep lines = %d:\n%s", len(lines), b.String())
+	}
+}
+
+func TestRunSweepJSON(t *testing.T) {
+	var b strings.Builder
+	o := options{sweep: true, beta0: 0.33, p0: 0.5, n: 50, runs: 2, seed: 1, jsonOut: true}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	var results []gasperleak.ScenarioResult
+	if err := json.Unmarshal([]byte(b.String()), &results); err != nil {
+		t.Fatalf("-json output is not JSON: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want one per run", len(results))
+	}
+	if results[0].Scenario != "bounce-mc" || len(results[0].Curve) != 7 {
+		t.Errorf("unexpected result: %+v", results[0])
+	}
+	if results[0].Params.Seed == results[1].Params.Seed {
+		t.Error("runs must get distinct derived seeds")
+	}
+}
+
+func TestRunBadRuns(t *testing.T) {
+	if err := run(&strings.Builder{}, options{runs: 0}); err == nil {
+		t.Error("runs = 0 must error")
 	}
 }

@@ -1,11 +1,13 @@
-// Command figures emits the data series behind every figure of the paper
-// as CSV, either to stdout (one figure) or into a directory (all figures).
+// Command figures emits the data series behind every figure of the paper,
+// either to stdout (one figure) or into a directory (all figures). The
+// simulation-backed figures (3sim, 7sim, 10mc) run their cells through the
+// engine registry over a parallel worker pool.
 //
 // Usage:
 //
 //	figures -fig 2            # Figure 2 CSV to stdout
-//	figures -fig 10           # Equation 24 curves
-//	figures -fig 10mc -beta0 0.333 -n 1000 -runs 10
+//	figures -fig 10 -json     # Equation 24 curves as JSON
+//	figures -fig 10mc -beta0 0.333 -n 1000 -runs 10 -workers 8
 //	figures -all -out data/   # every figure as data/figN.csv
 package main
 
@@ -27,65 +29,74 @@ func main() {
 	n := flag.Int("n", 500, "honest validators for figure 10mc")
 	runs := flag.Int("runs", 5, "Monte-Carlo runs for figure 10mc")
 	seed := flag.Int64("seed", 1, "seed for figure 10mc")
+	workers := flag.Int("workers", 0, "worker pool size for simulation-backed figures (0 = all CPUs)")
+	jsonOut := flag.Bool("json", false, "emit the figure as JSON instead of CSV")
 	flag.Parse()
 
-	if err := run(*fig, *all, *out, *t, *beta0, *n, *runs, *seed); err != nil {
+	if err := run(*fig, *all, *out, *t, *beta0, *n, *runs, *seed, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, all bool, out string, t, beta0 float64, n, runs int, seed int64) error {
+func run(fig string, all bool, out string, t, beta0 float64, n, runs int, seed int64, workers int, jsonOut bool) error {
 	if all {
-		return emitAll(out, t, beta0, n, runs, seed)
+		return emitAll(out, t, beta0, n, runs, seed, workers, jsonOut)
 	}
-	f, err := build(fig, t, beta0, n, runs, seed)
+	f, err := build(fig, t, beta0, n, runs, seed, workers)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return f.WriteJSON(os.Stdout)
 	}
 	return f.WriteCSV(os.Stdout)
 }
 
-func build(fig string, t, beta0 float64, n, runs int, seed int64) (*gasperleak.Figure, error) {
+func build(fig string, t, beta0 float64, n, runs int, seed int64, workers int) (*gasperleak.Figure, error) {
 	switch fig {
 	case "2":
 		return gasperleak.Figure2(), nil
 	case "3":
 		return gasperleak.Figure3(), nil
 	case "3sim":
-		return gasperleak.Figure3Sim(10)
+		return gasperleak.Figure3Sim(10, workers)
 	case "6":
 		return gasperleak.Figure6()
 	case "7":
 		return gasperleak.Figure7(), nil
 	case "7sim":
-		return gasperleak.Figure7Sim(17)
+		return gasperleak.Figure7Sim(17, workers)
 	case "9":
 		return gasperleak.Figure9(t), nil
 	case "10":
 		return gasperleak.Figure10(), nil
 	case "10mc":
-		return gasperleak.Figure10MonteCarlo(beta0, n, runs, seed)
+		return gasperleak.Figure10MonteCarlo(beta0, n, runs, seed, workers)
 	default:
 		return nil, fmt.Errorf("unknown figure %q (want 2, 3, 3sim, 6, 7, 7sim, 9, 10, 10mc)", fig)
 	}
 }
 
-func emitAll(dir string, t, beta0 float64, n, runs int, seed int64) error {
+func emitAll(dir string, t, beta0 float64, n, runs int, seed int64, workers int, jsonOut bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	ext, write := ".csv", (*gasperleak.Figure).WriteCSV
+	if jsonOut {
+		ext, write = ".json", (*gasperleak.Figure).WriteJSON
+	}
 	for _, id := range []string{"2", "3", "3sim", "6", "7", "7sim", "9", "10", "10mc"} {
-		f, err := build(id, t, beta0, n, runs, seed)
+		f, err := build(id, t, beta0, n, runs, seed, workers)
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(dir, "fig"+id+".csv")
+		path := filepath.Join(dir, "fig"+id+ext)
 		w, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		if err := f.WriteCSV(w); err != nil {
+		if err := write(f, w); err != nil {
 			w.Close()
 			return err
 		}

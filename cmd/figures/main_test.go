@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestBuildEveryFigure(t *testing.T) {
 	for _, id := range []string{"2", "3", "6", "7", "9", "10"} { // sim overlays tested separately
-		f, err := build(id, 4024, 1.0/3.0, 50, 1, 1)
+		f, err := build(id, 4024, 1.0/3.0, 50, 1, 1, 0)
 		if err != nil {
 			t.Errorf("figure %s: %v", id, err)
 			continue
@@ -20,7 +21,7 @@ func TestBuildEveryFigure(t *testing.T) {
 }
 
 func TestBuildMonteCarloFigure(t *testing.T) {
-	f, err := build("10mc", 0, 1.0/3.0, 50, 1, 1)
+	f, err := build("10mc", 0, 1.0/3.0, 50, 1, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,14 +31,14 @@ func TestBuildMonteCarloFigure(t *testing.T) {
 }
 
 func TestBuildUnknown(t *testing.T) {
-	if _, err := build("99", 0, 0, 0, 0, 0); err == nil {
+	if _, err := build("99", 0, 0, 0, 0, 0, 0); err == nil {
 		t.Error("unknown figure must error")
 	}
 }
 
 func TestEmitAll(t *testing.T) {
 	dir := t.TempDir()
-	if err := emitAll(dir, 4024, 1.0/3.0, 50, 1, 1); err != nil {
+	if err := emitAll(dir, 4024, 1.0/3.0, 50, 1, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"2", "3", "3sim", "6", "7", "7sim", "9", "10", "10mc"} {
@@ -50,5 +51,28 @@ func TestEmitAll(t *testing.T) {
 		if info.Size() == 0 {
 			t.Errorf("%s is empty", path)
 		}
+	}
+}
+
+func TestEmitAllJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := emitAll(dir, 4024, 1.0/3.0, 50, 1, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig struct {
+		Title  string `json:"title"`
+		Series []struct {
+			Name string `json:"name"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(data, &fig); err != nil {
+		t.Fatalf("fig2.json is not JSON: %v", err)
+	}
+	if fig.Title == "" || len(fig.Series) != 3 {
+		t.Errorf("fig2.json incomplete: %+v", fig)
 	}
 }

@@ -1,105 +1,172 @@
-// Command leaksim runs the paper's scenarios at full paper scale and prints
-// their analytic and simulated outcomes.
+// Command leaksim runs scenarios from the engine registry: the paper's
+// five scenarios at full paper scale, the generic engines, and parallel
+// parameter sweeps over any of them.
 //
 // Usage:
 //
-//	leaksim -scenario 5.1  [-p0 0.5]
-//	leaksim -scenario 5.2.1 [-p0 0.5] [-beta0 0.2]
-//	leaksim -scenario 5.2.2 [-p0 0.5] [-beta0 0.2]
-//	leaksim -scenario 5.2.3 [-p0 0.5] [-beta0 0.25]
-//	leaksim -scenario 5.3  [-p0 0.5] [-beta0 0.33] [-seed 1]
-//	leaksim -scenario all
+//	leaksim -list                             # registered scenarios
+//	leaksim -scenario all                     # Table 1 (all five scenarios)
+//	leaksim -scenario 5.2.1 -p0 0.5 -beta0 0.2
+//	leaksim -scenario 5.3 -beta0 0.33 -seed 1 -json
+//	leaksim -scenario leaksim -sweep "p0=0.3:0.7:0.1; beta0=0.1,0.2; mode=double,semi" -workers 8
+//	leaksim -scenario bounce-mc -sweep "beta0=0.32,0.33; seed=1:5:1" -csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/gasperleak"
 )
 
+// options collects the CLI flags.
+type options struct {
+	scenario string
+	list     bool
+	sweep    string
+	workers  int
+	jsonOut  bool
+	csvOut   bool
+	params   gasperleak.ScenarioParams
+}
+
 func main() {
-	scenario := flag.String("scenario", "all", "scenario id: 5.1, 5.2.1, 5.2.2, 5.2.3, 5.2.3c, 5.3, or all")
-	p0 := flag.Float64("p0", 0.5, "proportion of honest validators on branch A")
-	beta0 := flag.Float64("beta0", 0.2, "initial Byzantine stake proportion")
-	seed := flag.Int64("seed", 1, "random seed for Monte-Carlo scenarios")
+	var o options
+	flag.StringVar(&o.scenario, "scenario", "all", "scenario name from the registry (see -list), or all for Table 1")
+	flag.BoolVar(&o.list, "list", false, "list registered scenarios and exit")
+	flag.StringVar(&o.sweep, "sweep", "", `parameter grid, e.g. "p0=0.3:0.7:0.1; beta0=0.1,0.2; mode=double,semi; seed=1:3:1"`)
+	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = all CPUs)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit results as JSON")
+	flag.BoolVar(&o.csvOut, "csv", false, "emit results as CSV")
+	flag.Float64Var(&o.params.P0, "p0", 0, "proportion of honest validators on branch A (0 = scenario default)")
+	flag.Float64Var(&o.params.Beta0, "beta0", 0, "initial Byzantine stake proportion (0 = scenario default)")
+	flag.StringVar(&o.params.Mode, "mode", "", "scenario mode (empty = scenario default)")
+	flag.Int64Var(&o.params.Seed, "seed", 0, "random seed for Monte-Carlo scenarios (0 = scenario default)")
+	flag.IntVar(&o.params.N, "n", 0, "validator count (0 = scenario default)")
+	flag.IntVar(&o.params.Horizon, "horizon", 0, "epoch horizon / evaluation epoch (0 = scenario default)")
+	flag.IntVar(&o.params.Sample, "sample", 0, "trace sampling interval in epochs (0 = no trace)")
 	flag.Parse()
 
-	if err := run(*scenario, *p0, *beta0, *seed); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "leaksim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, p0, beta0 float64, seed int64) error {
-	switch scenario {
-	case "all":
-		rows, err := gasperleak.Table1(seed)
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
-			fmt.Println(r)
-		}
-		return nil
-	case "5.1":
-		s, err := gasperleak.Scenario51(p0)
-		if err != nil {
-			return err
-		}
-		printSummary(s)
-		fmt.Printf("conflicting finalization after %s\n", gasperleak.FormatEpoch(float64(s.SimEpoch)))
-		return nil
-	case "5.2.1":
-		s, err := gasperleak.Scenario521(p0, beta0)
-		if err != nil {
-			return err
-		}
-		printSummary(s)
-		fmt.Printf("conflicting finalization after %s\n", gasperleak.FormatEpoch(float64(s.SimEpoch)))
-		return nil
-	case "5.2.2":
-		s, err := gasperleak.Scenario522(p0, beta0)
-		if err != nil {
-			return err
-		}
-		printSummary(s)
-		fmt.Printf("conflicting finalization after %s (no slashable offense)\n",
-			gasperleak.FormatEpoch(float64(s.SimEpoch)))
-		return nil
-	case "5.2.3":
-		s, err := gasperleak.Scenario523(p0, beta0)
-		if err != nil {
-			return err
-		}
-		printSummary(s)
-		fmt.Printf("peak Byzantine proportion %.4f at epoch %d (crossed 1/3: %v)\n",
-			s.PeakByzProportion, s.SimEpoch, s.CrossedOneThird)
-		return nil
-	case "5.2.3c":
-		s, err := gasperleak.Scenario523Corner(p0, beta0, 200)
-		if err != nil {
-			return err
-		}
-		printSummary(s)
-		fmt.Printf("footnote-12 corner: finalized 200 epochs before ejection, peak %.4f at epoch %d (crossed 1/3: %v)\n",
-			s.PeakByzProportion, s.SimEpoch, s.CrossedOneThird)
-		return nil
-	case "5.3":
-		s, err := gasperleak.Scenario53(p0, beta0, seed)
-		if err != nil {
-			return err
-		}
-		printSummary(s)
-		fmt.Printf("P[beta > 1/3] at epoch %d: Monte-Carlo %.3f, Equation 24 %.3f\n",
-			s.SimEpoch, s.PeakByzProportion, s.AnalyticEpoch/100)
-		return nil
-	default:
-		return fmt.Errorf("unknown scenario %q", scenario)
+func run(w io.Writer, o options) error {
+	if o.list {
+		return list(w)
 	}
+	if o.sweep != "" {
+		return runSweep(w, o)
+	}
+	if o.scenario == "all" {
+		return runTable1(w, o)
+	}
+	res, err := gasperleak.RunScenario(o.scenario, o.params)
+	if err != nil {
+		return err
+	}
+	return emit(w, o, res.Scenario+": "+descriptionOf(res.Scenario), []gasperleak.ScenarioResult{res})
 }
 
-func printSummary(s gasperleak.ScenarioSummary) {
-	fmt.Println(s)
+// list prints the registry: every scenario with its description.
+func list(w io.Writer) error {
+	for _, name := range gasperleak.ScenarioNames() {
+		s, _ := gasperleak.LookupScenario(name)
+		if _, err := fmt.Fprintf(w, "%-20s %s\n", name, s.Description()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSweep expands the -sweep grid for -scenario and fans it out.
+func runSweep(w io.Writer, o options) error {
+	if o.scenario == "all" {
+		return fmt.Errorf("-sweep needs a single scenario (see -list), not -scenario all")
+	}
+	if _, ok := gasperleak.LookupScenario(o.scenario); !ok {
+		return fmt.Errorf("unknown scenario %q (see -list)", o.scenario)
+	}
+	grid, err := gasperleak.ParseGrid(o.scenario, o.sweep)
+	if err != nil {
+		return err
+	}
+	// Dimensions the spec leaves out fall back to the plain flags, so
+	// "-sweep beta0=... -horizon 1000" pins the horizon of every cell.
+	grid = grid.FillFrom(o.params)
+	results := gasperleak.RunSweepGrid(grid, gasperleak.SweepOptions{Workers: o.workers})
+	// Individual cell failures are recorded in the error column so a
+	// partial sweep still renders, but a sweep with no surviving cell is
+	// a failed run.
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	if len(results) > 0 && failed == len(results) {
+		return fmt.Errorf("every sweep cell failed: %w", gasperleak.SweepFirstError(results))
+	}
+	title := fmt.Sprintf("sweep %s: %s (%d cells)", o.scenario, o.sweep, len(results))
+	return emit(w, o, title, results)
+}
+
+// runTable1 sweeps the paper's five scenarios (Table 1).
+func runTable1(w io.Writer, o options) error {
+	seed := o.params.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	results := gasperleak.Sweep(gasperleak.Table1Cells(seed), gasperleak.SweepOptions{Workers: o.workers})
+	if err := gasperleak.SweepFirstError(results); err != nil {
+		return err
+	}
+	return emit(w, o, "Table 1: scenarios and outcomes", results)
+}
+
+// emit renders results in the selected format: JSON, CSV, or ASCII. Only
+// JSON carries sampled curves; the other modes say so instead of dropping
+// them silently.
+func emit(w io.Writer, o options, title string, results []gasperleak.ScenarioResult) error {
+	if o.jsonOut {
+		return gasperleak.WriteSweepJSON(w, results)
+	}
+	var err error
+	if o.csvOut {
+		err = gasperleak.WriteSweepCSV(w, title, results)
+	} else {
+		err = gasperleak.RenderSweep(title, results).Render(w)
+	}
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if len(r.Curve) > 0 {
+			_, err = fmt.Fprintf(w, "# %d cells carry a sampled %s curve; use -json to export it\n",
+				curveCount(results), r.CurveName)
+			return err
+		}
+	}
+	return nil
+}
+
+func curveCount(results []gasperleak.ScenarioResult) int {
+	n := 0
+	for _, r := range results {
+		if len(r.Curve) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func descriptionOf(name string) string {
+	if s, ok := gasperleak.LookupScenario(name); ok {
+		return s.Description()
+	}
+	return ""
 }

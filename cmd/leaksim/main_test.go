@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/gasperleak"
+)
 
 func TestRunAllScenarios(t *testing.T) {
 	for _, sc := range []string{"5.1", "5.2.1", "5.2.2", "5.2.3", "5.2.3c", "5.3", "all"} {
@@ -8,14 +14,128 @@ func TestRunAllScenarios(t *testing.T) {
 		if sc == "5.2.3" || sc == "5.2.3c" {
 			beta0 = 0.25
 		}
-		if err := run(sc, 0.5, beta0, 1); err != nil {
+		var b strings.Builder
+		o := options{scenario: sc, params: gasperleak.ScenarioParams{P0: 0.5, Beta0: beta0, Seed: 1}}
+		if err := run(&b, o); err != nil {
 			t.Errorf("scenario %s: %v", sc, err)
+		}
+		if b.Len() == 0 {
+			t.Errorf("scenario %s: no output", sc)
 		}
 	}
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run("9.9", 0.5, 0.2, 1); err == nil {
+	if err := run(&strings.Builder{}, options{scenario: "9.9"}); err == nil {
 		t.Error("unknown scenario must error")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, options{list: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"5.1", "leaksim", "bounce-mc", "analytic/conflict", "sim/partition"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRunSweepGridASCII(t *testing.T) {
+	var b strings.Builder
+	o := options{
+		scenario: "analytic/threshold",
+		sweep:    "p0=0.3,0.5,0.7",
+		workers:  2,
+	}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "threshold_both_branches") || !strings.Contains(out, "0.5") {
+		t.Errorf("sweep output incomplete:\n%s", out)
+	}
+}
+
+// TestRunSweepFlagFallback: plain flags pin dimensions the sweep spec
+// leaves out (-horizon, -n here).
+func TestRunSweepFlagFallback(t *testing.T) {
+	var b strings.Builder
+	o := options{
+		scenario: "bounce-mc",
+		sweep:    "beta0=0.32,0.33",
+		jsonOut:  true,
+		params:   gasperleak.ScenarioParams{N: 50, Horizon: 300},
+	}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	var results []gasperleak.ScenarioResult
+	if err := json.Unmarshal([]byte(b.String()), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Params.Horizon != 300 || r.Params.N != 50 {
+			t.Errorf("flag fallback lost: %+v", r.Params)
+		}
+	}
+}
+
+func TestRunSweepRejectsAll(t *testing.T) {
+	if err := run(&strings.Builder{}, options{scenario: "all", sweep: "p0=0.5"}); err == nil {
+		t.Error("-sweep with -scenario all must error")
+	}
+}
+
+func TestRunSweepRejectsUnknownScenario(t *testing.T) {
+	if err := run(&strings.Builder{}, options{scenario: "leaksym", sweep: "p0=0.5"}); err == nil {
+		t.Error("-sweep with an unknown scenario must error")
+	}
+}
+
+func TestRunSweepFailsWhenEveryCellFails(t *testing.T) {
+	err := run(&strings.Builder{}, options{scenario: "leaksim", sweep: "mode=warp"})
+	if err == nil || !strings.Contains(err.Error(), "every sweep cell failed") {
+		t.Errorf("all-failed sweep must error, got %v", err)
+	}
+	// A partial failure still renders (exit 0) with the error column set.
+	var b strings.Builder
+	if err := run(&b, options{scenario: "leaksim", sweep: "mode=warp,double; horizon=100", params: gasperleak.ScenarioParams{N: 100}}); err != nil {
+		t.Fatalf("partial sweep must render: %v", err)
+	}
+	if !strings.Contains(b.String(), "unknown leaksim mode") {
+		t.Errorf("partial sweep lost the cell error:\n%s", b.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var b strings.Builder
+	o := options{scenario: "analytic/bounce", jsonOut: true, params: gasperleak.ScenarioParams{Beta0: 0.33}}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	var results []gasperleak.ScenarioResult
+	if err := json.Unmarshal([]byte(b.String()), &results); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, b.String())
+	}
+	if len(results) != 1 || results[0].Scenario != "analytic/bounce" {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var b strings.Builder
+	o := options{scenario: "analytic/threshold", sweep: "p0=0.4,0.6", csvOut: true}
+	if err := run(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("CSV lines = %d:\n%s", len(lines), b.String())
 	}
 }

@@ -1,16 +1,19 @@
 // Command tables prints the paper's Tables 1-3, each comparing the paper's
 // reported values with the analytic models and the exact integer
-// simulation.
+// simulation. Every table's scenario cells run through the engine registry
+// over a parallel worker pool.
 //
 // Usage:
 //
-//	tables            # all three tables
-//	tables -table 2   # only Table 2
+//	tables                       # all three tables
+//	tables -table 2 -workers 8   # only Table 2, 8-way parallel rows
+//	tables -table 1 -json        # Table 1's engine results as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/gasperleak"
@@ -19,48 +22,61 @@ import (
 func main() {
 	table := flag.Int("table", 0, "table number (1, 2, 3); 0 = all")
 	seed := flag.Int64("seed", 1, "seed for Table 1's Monte-Carlo scenario")
+	workers := flag.Int("workers", 0, "worker pool size for the scenario sweeps (0 = all CPUs)")
+	jsonOut := flag.Bool("json", false, "emit the engine sweep results as JSON instead of ASCII tables")
 	flag.Parse()
 
-	if err := run(*table, *seed); err != nil {
+	if err := run(os.Stdout, *table, *seed, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, seed int64) error {
-	want := func(n int) bool { return table == 0 || table == n }
-	if want(1) {
-		t, err := gasperleak.RenderTable1(seed)
-		if err != nil {
-			return err
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-	}
-	if want(2) {
-		t, err := gasperleak.RenderTable2()
-		if err != nil {
-			return err
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-	}
-	if want(3) {
-		t, err := gasperleak.RenderTable3()
-		if err != nil {
-			return err
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-	}
-	if table != 0 && table < 1 || table > 3 {
+func run(w io.Writer, table int, seed int64, workers int, jsonOut bool) error {
+	if table < 0 || table > 3 {
 		return fmt.Errorf("unknown table %d (want 1, 2, or 3)", table)
 	}
+	want := func(n int) bool { return table == 0 || table == n }
+	if jsonOut {
+		return runJSON(w, want, seed, workers)
+	}
+	render := map[int]func() (*gasperleak.ReportTable, error){
+		1: func() (*gasperleak.ReportTable, error) { return gasperleak.RenderTable1(seed, workers) },
+		2: func() (*gasperleak.ReportTable, error) { return gasperleak.RenderTable2(workers) },
+		3: func() (*gasperleak.ReportTable, error) { return gasperleak.RenderTable3(workers) },
+	}
+	for n := 1; n <= 3; n++ {
+		if !want(n) {
+			continue
+		}
+		t, err := render[n]()
+		if err != nil {
+			return err
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
 	return nil
+}
+
+// runJSON emits the engine results behind each requested table as one JSON
+// array, in table order.
+func runJSON(w io.Writer, want func(int) bool, seed int64, workers int) error {
+	var cells []gasperleak.SweepCell
+	if want(1) {
+		cells = append(cells, gasperleak.Table1Cells(seed)...)
+	}
+	if want(2) {
+		cells = append(cells, gasperleak.Table2Cells()...)
+	}
+	if want(3) {
+		cells = append(cells, gasperleak.Table3Cells()...)
+	}
+	results := gasperleak.Sweep(cells, gasperleak.SweepOptions{Workers: workers})
+	if err := gasperleak.SweepFirstError(results); err != nil {
+		return err
+	}
+	return gasperleak.WriteSweepJSON(w, results)
 }

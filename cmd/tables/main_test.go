@@ -1,17 +1,46 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/gasperleak"
+)
 
 func TestRunSingleTables(t *testing.T) {
 	for _, n := range []int{2, 3} {
-		if err := run(n, 1); err != nil {
+		var b strings.Builder
+		if err := run(&b, n, 1, 0, false); err != nil {
 			t.Errorf("table %d: %v", n, err)
+		}
+		if !strings.Contains(b.String(), "4685") {
+			t.Errorf("table %d must contain the paper's 4685 row:\n%s", n, b.String())
 		}
 	}
 }
 
 func TestRunBadTable(t *testing.T) {
-	if err := run(9, 1); err == nil {
+	if err := run(&strings.Builder{}, 9, 1, 0, false); err == nil {
 		t.Error("unknown table must error")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 2, 1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	var results []gasperleak.ScenarioResult
+	if err := json.Unmarshal([]byte(b.String()), &results); err != nil {
+		t.Fatalf("-json output is not JSON: %v", err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d, want the 5 Table 2 rows", len(results))
+	}
+	for _, r := range results {
+		if r.Scenario != "leaksim" {
+			t.Errorf("table 2 row ran scenario %q, want leaksim", r.Scenario)
+		}
 	}
 }

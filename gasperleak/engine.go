@@ -1,0 +1,109 @@
+package gasperleak
+
+import (
+	"io"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+)
+
+// Re-exported scenario-engine primitives: the unified runner behind every
+// table, figure, and CLI of the reproduction. Scenarios are looked up by
+// name in a registry and parameter grids fan out over a worker pool with
+// per-cell derived seeds, so sweep results are bit-identical regardless of
+// worker count.
+type (
+	// Scenario is one runnable analysis (analytic solver, paper-scale
+	// engine, or protocol-simulator experiment).
+	Scenario = engine.Scenario
+	// ScenarioParams parameterizes a scenario run (zero field = scenario
+	// default).
+	ScenarioParams = engine.Params
+	// ScenarioResult is the structured record every scenario emits.
+	ScenarioResult = engine.Result
+	// ScenarioMetric is one named scalar output.
+	ScenarioMetric = engine.Metric
+	// ScenarioRegistry is a named set of scenarios.
+	ScenarioRegistry = engine.Registry
+	// SweepCell is one sweep unit: scenario name + parameters.
+	SweepCell = engine.Cell
+	// SweepGrid is a rectangular parameter sweep (p0 x beta0 x mode x
+	// seed x horizon) for one scenario.
+	SweepGrid = engine.Grid
+	// SweepOptions bounds sweep concurrency and selects the registry.
+	SweepOptions = engine.Options
+)
+
+// RunScenario executes a named scenario from the default registry.
+func RunScenario(name string, p ScenarioParams) (ScenarioResult, error) {
+	return engine.Run(name, p)
+}
+
+// LookupScenario finds a scenario in the default registry.
+func LookupScenario(name string) (Scenario, bool) { return engine.Lookup(name) }
+
+// ScenarioNames lists the default registry, sorted.
+func ScenarioNames() []string { return engine.Names() }
+
+// NewScenario builds a Scenario from a function, for registration in a
+// custom registry (or engine.Default).
+func NewScenario(name, desc string, defaults ScenarioParams, run func(ScenarioParams) (ScenarioResult, error)) Scenario {
+	return engine.NewScenario(name, desc, defaults, run)
+}
+
+// Sweep fans the cells out over a bounded worker pool and returns one
+// result per cell, in cell order, bit-identical for any worker count.
+func Sweep(cells []SweepCell, opt SweepOptions) []ScenarioResult {
+	return engine.Sweep(cells, opt)
+}
+
+// RunSweepGrid expands a parameter grid and sweeps it.
+func RunSweepGrid(g SweepGrid, opt SweepOptions) []ScenarioResult {
+	return engine.SweepGrid(g, opt)
+}
+
+// ParseGrid parses a "p0=0.2:0.8:0.1; beta0=0.1,0.2; mode=double" sweep
+// spec into a grid for the named scenario.
+func ParseGrid(scenario, spec string) (SweepGrid, error) {
+	return engine.ParseGrid(scenario, spec)
+}
+
+// SweepFirstError returns the first per-cell error of a sweep, if any.
+func SweepFirstError(results []ScenarioResult) error { return engine.FirstError(results) }
+
+// Table1Cells lists the paper's Table 1 as sweep cells.
+func Table1Cells(seed int64) []SweepCell { return engine.Table1Cells(seed) }
+
+// DeriveSeed maps a base seed and cell coordinates to the cell's own
+// deterministic seed.
+func DeriveSeed(base int64, p0, beta0 float64, mode string, horizon int) int64 {
+	return engine.DeriveSeed(base, p0, beta0, mode, horizon)
+}
+
+// BounceMCGrid builds the standard bouncing Monte-Carlo ensemble grid:
+// one bounce-mc cell per run with consecutive base seeds.
+func BounceMCGrid(p0, beta0 float64, n, runs int, seed int64, sample, horizon int) SweepGrid {
+	return engine.BounceMCGrid(p0, beta0, n, runs, seed, sample, horizon)
+}
+
+// BounceMCSweep runs `runs` independent bouncing-attack trajectories and
+// returns the engine results plus the run-averaged exceed-probability
+// curve on the epoch grid sample, 2*sample, ..., horizon.
+func BounceMCSweep(p0, beta0 float64, n, runs int, seed int64, sample, horizon, workers int) ([]ScenarioResult, []float64, error) {
+	return report.BounceMCSweep(p0, beta0, n, runs, seed, sample, horizon, workers)
+}
+
+// RenderSweep renders sweep results as a fixed-width ASCII table.
+func RenderSweep(title string, results []ScenarioResult) *ReportTable {
+	return report.SweepTable(title, results)
+}
+
+// WriteSweepCSV emits sweep results as CSV.
+func WriteSweepCSV(w io.Writer, title string, results []ScenarioResult) error {
+	return report.WriteSweepCSV(w, title, results)
+}
+
+// WriteSweepJSON emits sweep results as indented JSON.
+func WriteSweepJSON(w io.Writer, results []ScenarioResult) error {
+	return report.WriteSweepJSON(w, results)
+}

@@ -16,8 +16,9 @@ func Figure2() *Figure { return report.Figure2() }
 // Figure3 regenerates Figure 3 (active-stake ratio curves).
 func Figure3() *Figure { return report.Figure3() }
 
-// Figure3Sim overlays the integer simulation on Figure 3's grid.
-func Figure3Sim(every int) (*Figure, error) { return report.Figure3Sim(every) }
+// Figure3Sim overlays the integer simulation on Figure 3's grid, running
+// the p0 cells on `workers` goroutines (<= 0 = all CPUs).
+func Figure3Sim(every, workers int) (*Figure, error) { return report.Figure3Sim(every, workers) }
 
 // Figure6 regenerates Figure 6 (conflict epoch vs beta0, both behaviors).
 func Figure6() (*Figure, error) { return report.Figure6() }
@@ -26,8 +27,9 @@ func Figure6() (*Figure, error) { return report.Figure6() }
 func Figure7() *Figure { return report.Figure7() }
 
 // Figure7Sim overlays the integer-simulation threshold boundary on
-// Figure 7.
-func Figure7Sim(points int) (*Figure, error) { return report.Figure7Sim(points) }
+// Figure 7, running the per-p0 bisections on `workers` goroutines (<= 0 =
+// all CPUs).
+func Figure7Sim(points, workers int) (*Figure, error) { return report.Figure7Sim(points, workers) }
 
 // Figure9 regenerates Figure 9 (censored stake distribution at epoch t).
 func Figure9(t float64) *Figure { return report.Figure9(t) }
@@ -35,19 +37,30 @@ func Figure9(t float64) *Figure { return report.Figure9(t) }
 // Figure10 regenerates Figure 10 (Equation 24 probability curves).
 func Figure10() *Figure { return report.Figure10() }
 
-// Figure10MonteCarlo overlays the integer Monte-Carlo on Figure 10.
-func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64) (*Figure, error) {
-	return report.Figure10MonteCarlo(beta0, nHonest, runs, seed)
+// Figure10MonteCarlo overlays the integer Monte-Carlo on Figure 10:
+// `runs` independent trajectories averaged, run on `workers` goroutines
+// (<= 0 = all CPUs).
+func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64, workers int) (*Figure, error) {
+	return report.Figure10MonteCarlo(beta0, nHonest, runs, seed, workers)
 }
 
-// RenderTable1 renders the scenario overview (Table 1).
-func RenderTable1(seed int64) (*ReportTable, error) { return report.Table1(seed) }
+// RenderTable1 renders the scenario overview (Table 1), sweeping the five
+// scenarios on `workers` goroutines (<= 0 = all CPUs).
+func RenderTable1(seed int64, workers int) (*ReportTable, error) { return report.Table1(seed, workers) }
 
-// RenderTable2 renders Table 2 (paper vs analytic vs integer simulation).
-func RenderTable2() (*ReportTable, error) { return report.Table2() }
+// RenderTable2 renders Table 2 (paper vs analytic vs integer simulation),
+// sweeping the beta0 rows on `workers` goroutines (<= 0 = all CPUs).
+func RenderTable2(workers int) (*ReportTable, error) { return report.Table2(workers) }
 
-// RenderTable3 renders Table 3.
-func RenderTable3() (*ReportTable, error) { return report.Table3() }
+// RenderTable3 renders Table 3, sweeping the beta0 rows on `workers`
+// goroutines (<= 0 = all CPUs).
+func RenderTable3(workers int) (*ReportTable, error) { return report.Table3(workers) }
+
+// Table2Cells lists the engine sweep behind Table 2.
+func Table2Cells() []SweepCell { return report.Table2Cells() }
+
+// Table3Cells lists the engine sweep behind Table 3.
+func Table3Cells() []SweepCell { return report.Table3Cells() }
 
 // FormatEpoch renders an epoch count with its wall-clock duration.
 func FormatEpoch(epochs float64) string { return report.FormatEpoch(epochs) }

@@ -1,0 +1,267 @@
+// Package engine unifies the reproduction's scenario runners — the
+// analytic solvers (internal/analytic), the paper-scale engines
+// LeakSim/BounceMC (internal/core), and the full protocol simulator
+// (internal/sim) — behind one Scenario interface with a named registry,
+// and fans parameter grids out over a bounded worker pool (Sweep).
+//
+// Every runner consumes the same Params record and emits the same
+// structured Result record, so one CLI, one renderer, and one sweep
+// driver serve every artifact of the paper and any grid beyond it.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Params parameterizes one scenario run. The zero value of a field means
+// "use the scenario's default" (see Scenario.Defaults and WithDefaults);
+// scenarios therefore cannot distinguish an explicit zero from an omitted
+// field, which is acceptable for this parameter space (p0 = 0 and
+// beta0 = 0 grids are degenerate corners the paper never sweeps).
+type Params struct {
+	// P0 is the honest split: the proportion of honest validators on
+	// branch A (or the per-epoch placement probability in bouncing
+	// scenarios).
+	P0 float64 `json:"p0,omitempty"`
+	// Beta0 is the initial Byzantine stake proportion.
+	Beta0 float64 `json:"beta0,omitempty"`
+	// Mode selects a scenario-specific variant (e.g. the Byzantine
+	// strategy of the leaksim scenario).
+	Mode string `json:"mode,omitempty"`
+	// Seed drives every pseudo-random choice of stochastic scenarios.
+	Seed int64 `json:"seed,omitempty"`
+	// N scales the scenario (validator count).
+	N int `json:"n,omitempty"`
+	// Horizon bounds the run in epochs, or sets the evaluation epoch of
+	// point estimates (bounce probabilities).
+	Horizon int `json:"horizon,omitempty"`
+	// Sample requests a trajectory sampled every Sample epochs in the
+	// Result's Curve (0 = scalar metrics only).
+	Sample int `json:"sample,omitempty"`
+}
+
+// WithDefaults fills every zero-valued field of p from d.
+func (p Params) WithDefaults(d Params) Params {
+	if p.P0 == 0 {
+		p.P0 = d.P0
+	}
+	if p.Beta0 == 0 {
+		p.Beta0 = d.Beta0
+	}
+	if p.Mode == "" {
+		p.Mode = d.Mode
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.N == 0 {
+		p.N = d.N
+	}
+	if p.Horizon == 0 {
+		p.Horizon = d.Horizon
+	}
+	if p.Sample == 0 {
+		p.Sample = d.Sample
+	}
+	return p
+}
+
+// String renders the non-zero parameters compactly.
+func (p Params) String() string {
+	var b strings.Builder
+	add := func(format string, args ...any) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, format, args...)
+	}
+	add("p0=%.4g", p.P0)
+	if p.Beta0 != 0 {
+		add("beta0=%.4g", p.Beta0)
+	}
+	if p.Mode != "" {
+		add("mode=%s", p.Mode)
+	}
+	if p.Seed != 0 {
+		add("seed=%d", p.Seed)
+	}
+	if p.N != 0 {
+		add("n=%d", p.N)
+	}
+	if p.Horizon != 0 {
+		add("horizon=%d", p.Horizon)
+	}
+	return b.String()
+}
+
+// Metric is one named scalar output of a scenario run. Metrics are an
+// ordered list (not a map) so that rendered columns are stable.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// CurvePoint is one sample of a scenario trajectory.
+type CurvePoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Result is the structured record every scenario emits; internal/report
+// renders slices of it as ASCII tables, CSV, and JSON.
+type Result struct {
+	// Scenario is the registry name that produced the result.
+	Scenario string `json:"scenario"`
+	// Params are the fully-defaulted parameters of the run.
+	Params Params `json:"params"`
+	// Outcome is the paper's qualitative outcome line, when one applies.
+	Outcome string `json:"outcome,omitempty"`
+	// Metrics are the scalar outputs, in a scenario-fixed order.
+	Metrics []Metric `json:"metrics,omitempty"`
+	// CurveName and Curve optionally carry a sampled trajectory
+	// (Params.Sample > 0).
+	CurveName string       `json:"curve_name,omitempty"`
+	Curve     []CurvePoint `json:"curve,omitempty"`
+	// Err records a per-cell failure inside a sweep (empty = success).
+	Err string `json:"error,omitempty"`
+}
+
+// Metric returns the named metric value and whether it is present.
+func (r Result) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the result as one report line.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %s", r.Scenario, r.Params)
+	if r.Outcome != "" {
+		fmt.Fprintf(&b, " outcome=%q", r.Outcome)
+	}
+	for _, m := range r.Metrics {
+		fmt.Fprintf(&b, " %s=%.6g", m.Name, m.Value)
+	}
+	if r.Err != "" {
+		fmt.Fprintf(&b, " error=%q", r.Err)
+	}
+	return b.String()
+}
+
+// Scenario is one runnable analysis: an analytic solver, a paper-scale
+// engine, or a protocol-simulator experiment.
+type Scenario interface {
+	// Name is the registry key (e.g. "5.2.1", "leaksim", "bounce-mc").
+	Name() string
+	// Description is a one-line human summary.
+	Description() string
+	// Defaults are the parameters of the canonical (paper) run.
+	Defaults() Params
+	// Run executes the scenario. Params arrive fully defaulted when the
+	// call goes through a Registry.
+	Run(p Params) (Result, error)
+}
+
+// funcScenario adapts a plain function to the Scenario interface.
+type funcScenario struct {
+	name, desc string
+	defaults   Params
+	run        func(Params) (Result, error)
+}
+
+func (s funcScenario) Name() string                 { return s.name }
+func (s funcScenario) Description() string          { return s.desc }
+func (s funcScenario) Defaults() Params             { return s.defaults }
+func (s funcScenario) Run(p Params) (Result, error) { return s.run(p) }
+
+// NewScenario builds a Scenario from a function.
+func NewScenario(name, desc string, defaults Params, run func(Params) (Result, error)) Scenario {
+	return funcScenario{name: name, desc: desc, defaults: defaults, run: run}
+}
+
+// Registry is a named set of scenarios. The zero value is not usable;
+// construct with NewRegistry.
+type Registry struct {
+	mu        sync.RWMutex
+	scenarios map[string]Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scenarios: make(map[string]Scenario)}
+}
+
+// Register adds a scenario; registering a duplicate name is an error.
+func (r *Registry) Register(s Scenario) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.scenarios[s.Name()]; ok {
+		return fmt.Errorf("engine: scenario %q already registered", s.Name())
+	}
+	r.scenarios[s.Name()] = s
+	return nil
+}
+
+// MustRegister is Register, panicking on error (for init-time wiring).
+func (r *Registry) MustRegister(s Scenario) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the named scenario.
+func (r *Registry) Lookup(name string) (Scenario, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.scenarios[name]
+	return s, ok
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.scenarios))
+	for n := range r.scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run looks the scenario up, applies its defaults to p, executes it, and
+// stamps the result with the scenario name and effective parameters.
+func (r *Registry) Run(name string, p Params) (Result, error) {
+	s, ok := r.Lookup(name)
+	if !ok {
+		return Result{}, fmt.Errorf("engine: unknown scenario %q (have: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	p = p.WithDefaults(s.Defaults())
+	res, err := s.Run(p)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Scenario = s.Name()
+	res.Params = p
+	return res, nil
+}
+
+// Default is the package registry holding every built-in scenario.
+var Default = NewRegistry()
+
+// Run executes a scenario from the default registry.
+func Run(name string, p Params) (Result, error) { return Default.Run(name, p) }
+
+// Lookup finds a scenario in the default registry.
+func Lookup(name string) (Scenario, bool) { return Default.Lookup(name) }
+
+// Names lists the default registry, sorted.
+func Names() []string { return Default.Names() }

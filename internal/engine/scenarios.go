@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Registry names of the built-in scenarios.
+const (
+	// The paper's five Table 1 scenarios plus the footnote-12 corner.
+	ScenarioPartition   = "5.1"
+	ScenarioDoubleVote  = "5.2.1"
+	ScenarioSemiActive  = "5.2.2"
+	ScenarioDelay       = "5.2.3"
+	ScenarioDelayCorner = "5.2.3c"
+	ScenarioBounce      = "5.3"
+	// Generic engines for open-ended sweeps.
+	ScenarioLeakSim      = "leaksim"
+	ScenarioBounceMC     = "bounce-mc"
+	ScenarioFig7Search   = "fig7-threshold"
+	ScenarioSimPartition = "sim/partition"
+	// Closed-form solvers.
+	ScenarioAnalyticConflict  = "analytic/conflict"
+	ScenarioAnalyticBounce    = "analytic/bounce"
+	ScenarioAnalyticThreshold = "analytic/threshold"
+)
+
+func init() {
+	Default.MustRegister(NewScenario(ScenarioPartition,
+		"All honest, lasting partition",
+		Params{P0: 0.5},
+		func(p Params) (Result, error) {
+			s, err := core.Scenario51(p.P0)
+			return summaryResult(s), err
+		}))
+	Default.MustRegister(NewScenario(ScenarioDoubleVote,
+		"Byzantine double vote (slashable)",
+		Params{P0: 0.5, Beta0: 0.2},
+		func(p Params) (Result, error) {
+			s, err := core.Scenario521(p.P0, p.Beta0)
+			return summaryResult(s), err
+		}))
+	Default.MustRegister(NewScenario(ScenarioSemiActive,
+		"Byzantine semi-active (non-slashable)",
+		Params{P0: 0.5, Beta0: 0.2},
+		func(p Params) (Result, error) {
+			s, err := core.Scenario522(p.P0, p.Beta0)
+			return summaryResult(s), err
+		}))
+	Default.MustRegister(NewScenario(ScenarioDelay,
+		"Byzantine delay finalization",
+		Params{P0: 0.5, Beta0: 0.25},
+		func(p Params) (Result, error) {
+			s, err := core.Scenario523(p.P0, p.Beta0)
+			return summaryResult(s), err
+		}))
+	Default.MustRegister(NewScenario(ScenarioDelayCorner,
+		"Finalize just before ejection (fn. 12; horizon = lead epochs before ejection, not a run bound)",
+		Params{P0: 0.5, Beta0: 0.25, Horizon: 200},
+		func(p Params) (Result, error) {
+			s, err := core.Scenario523Corner(p.P0, p.Beta0, types.Epoch(p.Horizon))
+			return summaryResult(s), err
+		}))
+	Default.MustRegister(NewScenario(ScenarioBounce,
+		"Probabilistic bouncing attack",
+		Params{P0: 0.5, Beta0: 0.33, Seed: 1},
+		func(p Params) (Result, error) {
+			s, err := core.Scenario53(p.P0, p.Beta0, p.Seed)
+			return summaryResult(s), err
+		}))
+
+	Default.MustRegister(NewScenario(ScenarioLeakSim,
+		"Aggregate two-branch leak simulation (mode: absent, absent-delay, double, semi, semi-delay)",
+		Params{P0: 0.5, Mode: "absent", N: 10000, Horizon: 9000},
+		runLeakSim))
+	Default.MustRegister(NewScenario(ScenarioBounceMC,
+		"Per-validator bouncing-attack Monte-Carlo (one trajectory per seed)",
+		Params{P0: 0.5, Beta0: 1.0 / 3.0, Seed: 1, N: 500, Horizon: 4000},
+		runBounceMC))
+	Default.MustRegister(NewScenario(ScenarioFig7Search,
+		"Bisection for the minimal beta0 crossing 1/3 on both branches (Figure 7)",
+		Params{P0: 0.5, N: 10000, Horizon: 9000},
+		runFig7Search))
+	Default.MustRegister(NewScenario(ScenarioSimPartition,
+		"Full protocol simulator: partitioned network until a finality-safety violation",
+		Params{P0: 0.5, N: 16, Horizon: 40, Seed: 3},
+		runSimPartition))
+
+	Default.MustRegister(NewScenario(ScenarioAnalyticConflict,
+		"Continuous-model conflicting finalization (mode: honest, slashing, semi)",
+		Params{P0: 0.5, Mode: "honest"},
+		runAnalyticConflict))
+	Default.MustRegister(NewScenario(ScenarioAnalyticBounce,
+		"Equation 24 bouncing probability and the Equation 14 window",
+		Params{P0: 0.5, Beta0: 1.0 / 3.0, Horizon: 4000},
+		runAnalyticBounce))
+	Default.MustRegister(NewScenario(ScenarioAnalyticThreshold,
+		"Equation 13 minimal beta0 reaching 1/3 (mode: paper, continuous)",
+		Params{P0: 0.5, Mode: "paper"},
+		runAnalyticThreshold))
+}
+
+// summaryResult converts a core scenario summary to a Result.
+func summaryResult(s core.Summary) Result {
+	return Result{
+		Outcome: s.Outcome,
+		Metrics: []Metric{
+			{Name: "analytic_epoch", Value: s.AnalyticEpoch},
+			{Name: "sim_epoch", Value: float64(s.SimEpoch)},
+			{Name: "peak_byz_proportion", Value: s.PeakByzProportion},
+			{Name: "crossed_one_third", Value: boolMetric(s.CrossedOneThird)},
+		},
+	}
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// leakMode maps a Params.Mode string to a LeakSim strategy.
+func leakMode(mode string) (core.ByzMode, bool, error) {
+	switch mode {
+	case "", "absent":
+		return core.ByzAbsent, false, nil
+	case "absent-delay":
+		return core.ByzAbsent, true, nil
+	case "double":
+		return core.ByzDoubleVote, false, nil
+	case "semi":
+		return core.ByzSemiActive, false, nil
+	case "semi-delay":
+		return core.ByzSemiActive, true, nil
+	default:
+		return 0, false, fmt.Errorf("engine: unknown leaksim mode %q (want absent, absent-delay, double, semi, semi-delay)", mode)
+	}
+}
+
+func runLeakSim(p Params) (Result, error) {
+	mode, delay, err := leakMode(p.Mode)
+	if err != nil {
+		return Result{}, err
+	}
+	ls := core.LeakSim{N: p.N, P0: p.P0, Beta0: p.Beta0, Mode: mode, DelayFinalization: delay}
+	res, err := ls.Run(p.Horizon, p.Sample)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Metrics: []Metric{
+			{Name: "conflict_epoch", Value: float64(res.ConflictEpoch)},
+			{Name: "threshold_epoch_a", Value: float64(res.A.ThresholdEpoch)},
+			{Name: "threshold_epoch_b", Value: float64(res.B.ThresholdEpoch)},
+			{Name: "ejection_epoch_a", Value: float64(res.A.EjectionEpoch)},
+			{Name: "ejection_epoch_b", Value: float64(res.B.EjectionEpoch)},
+			{Name: "peak_byz_a", Value: res.A.PeakByzProportion},
+			{Name: "peak_byz_b", Value: res.B.PeakByzProportion},
+			{Name: "crossed_one_third", Value: boolMetric(res.CrossedOneThird)},
+		},
+	}
+	if p.Sample > 0 {
+		out.CurveName = "active_ratio_a"
+		out.Curve = make([]CurvePoint, 0, len(res.A.Trace))
+		for _, tr := range res.A.Trace {
+			out.Curve = append(out.Curve, CurvePoint{X: float64(tr.Epoch), Y: tr.ActiveRatio})
+		}
+	}
+	return out, nil
+}
+
+func runBounceMC(p Params) (Result, error) {
+	mc := core.BounceMC{NHonest: p.N, Beta0: p.Beta0, P0: p.P0, Seed: p.Seed}
+	model := analytic.BounceModel{P0: p.P0}
+	params := analytic.PaperParams()
+	if p.Sample > 0 {
+		samples, crossedAt, err := mc.Run(p.Horizon, p.Sample)
+		if err != nil {
+			return Result{}, err
+		}
+		out := Result{
+			Metrics: []Metric{
+				{Name: "crossed_epoch", Value: float64(crossedAt)},
+			},
+			CurveName: "frac_below_a",
+		}
+		for _, s := range samples {
+			// Run also inserts an extra sample at the crossing epoch;
+			// keep only the aligned grid so curves average cell-wise.
+			if uint64(s.Epoch)%uint64(p.Sample) == 0 {
+				out.Curve = append(out.Curve, CurvePoint{X: float64(s.Epoch), Y: s.FracBelowA})
+			}
+		}
+		return out, nil
+	}
+	probs, err := mc.ExceedProbability([]types.Epoch{types.Epoch(p.Horizon)}, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Metrics: []Metric{
+			{Name: "mc_probability", Value: probs[0]},
+			{Name: "eq24_probability", Value: model.ExceedProbability(float64(p.Horizon), p.Beta0, params)},
+		},
+	}, nil
+}
+
+// runFig7Search bisects over full LeakSim runs for the minimal beta0 whose
+// Byzantine proportion crosses 1/3 on both branches at the given p0
+// (Figure 7's simulated boundary).
+func runFig7Search(p Params) (Result, error) {
+	lo, hi := 0.01, 0.40
+	for iter := 0; iter < 12; iter++ {
+		mid := (lo + hi) / 2
+		ls := core.LeakSim{N: p.N, P0: p.P0, Beta0: mid,
+			Mode: core.ByzSemiActive, DelayFinalization: true}
+		res, err := ls.Run(p.Horizon, 0)
+		if err != nil {
+			return Result{}, fmt.Errorf("engine: fig7 search at p0=%v beta0=%v: %w", p.P0, mid, err)
+		}
+		if res.CrossedOneThird {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	params := analytic.ContinuousParams()
+	an := math.Max(params.ThresholdBeta0(p.P0), params.ThresholdBeta0(1-p.P0))
+	return Result{
+		Metrics: []Metric{
+			{Name: "sim_threshold", Value: (lo + hi) / 2},
+			{Name: "analytic_threshold", Value: an},
+		},
+	}, nil
+}
+
+// runSimPartition drives the full protocol simulator (one beacon node per
+// validator) through a lasting partition under a compressed spec and
+// reports the epoch of the first finality-safety violation — the
+// mechanism-level counterpart of Scenario 5.1.
+func runSimPartition(p Params) (Result, error) {
+	nA := int(math.Round(float64(p.N) * p.P0))
+	s, err := sim.New(sim.Config{
+		Validators: p.N,
+		Spec:       types.CompressedSpec(1 << 16),
+		GST:        1 << 30,
+		Delay:      1,
+		Seed:       p.Seed,
+		PartitionOf: func(v types.ValidatorIndex) int {
+			if int(v) < nA {
+				return 0
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	violation := 0.0
+	for epoch := 1; epoch <= p.Horizon && violation == 0; epoch++ {
+		if err := s.RunEpochs(1); err != nil {
+			return Result{}, err
+		}
+		if v := s.CheckFinalitySafety(); v != nil {
+			violation = float64(epoch)
+		}
+	}
+	out := Result{
+		Metrics: []Metric{
+			{Name: "violation_epoch", Value: violation},
+			{Name: "violation_detected", Value: boolMetric(violation != 0)},
+		},
+	}
+	if violation != 0 {
+		out.Outcome = "2 finalized branches"
+	}
+	return out, nil
+}
+
+func runAnalyticConflict(p Params) (Result, error) {
+	var behavior analytic.Behavior
+	switch p.Mode {
+	case "", "honest":
+		behavior = analytic.HonestOnly
+	case "slashing":
+		behavior = analytic.WithSlashing
+	case "semi":
+		behavior = analytic.WithoutSlashing
+	default:
+		return Result{}, fmt.Errorf("engine: unknown analytic/conflict mode %q (want honest, slashing, semi)", p.Mode)
+	}
+	bc, err := analytic.PaperParams().ConflictingFinalization(behavior, p.P0, p.Beta0)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Metrics: []Metric{
+			{Name: "conflict_epoch", Value: bc.ConflictEpoch},
+			{Name: "threshold_epoch_a", Value: bc.ThresholdA},
+			{Name: "threshold_epoch_b", Value: bc.ThresholdB},
+		},
+	}, nil
+}
+
+func runAnalyticBounce(p Params) (Result, error) {
+	model := analytic.BounceModel{P0: p.P0}
+	lo, hi := analytic.BounceWindow(p.Beta0)
+	return Result{
+		Metrics: []Metric{
+			{Name: "eq24_probability", Value: model.ExceedProbability(float64(p.Horizon), p.Beta0, analytic.PaperParams())},
+			{Name: "window_lo", Value: lo},
+			{Name: "window_hi", Value: hi},
+			{Name: "in_window", Value: boolMetric(lo < p.P0 && p.P0 < hi)},
+		},
+	}, nil
+}
+
+func runAnalyticThreshold(p Params) (Result, error) {
+	var params analytic.Params
+	switch p.Mode {
+	case "", "paper":
+		params = analytic.PaperParams()
+	case "continuous":
+		params = analytic.ContinuousParams()
+	default:
+		return Result{}, fmt.Errorf("engine: unknown analytic/threshold mode %q (want paper, continuous)", p.Mode)
+	}
+	own := params.ThresholdBeta0(p.P0)
+	other := params.ThresholdBeta0(1 - p.P0)
+	return Result{
+		Metrics: []Metric{
+			{Name: "threshold_branch_p0", Value: own},
+			{Name: "threshold_branch_1_minus_p0", Value: other},
+			{Name: "threshold_both_branches", Value: math.Max(own, other)},
+		},
+	}, nil
+}

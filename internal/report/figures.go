@@ -2,13 +2,11 @@ package report
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/analytic"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/mathx"
 	"repro/internal/sim"
-	"repro/internal/types"
 )
 
 // Figure2 regenerates the paper's Figure 2: the three stake trajectories
@@ -55,8 +53,9 @@ func Figure3() *Figure {
 
 // Figure3Sim overlays the exact integer simulation on Figure 3's grid: for
 // each p0, the per-epoch active-stake ratio of the branch, sampled every
-// `every` epochs.
-func Figure3Sim(every int) (*Figure, error) {
+// `every` epochs. The p0 cells run concurrently on `workers` goroutines
+// (<= 0 = all CPUs).
+func Figure3Sim(every, workers int) (*Figure, error) {
 	if every <= 0 {
 		every = 10
 	}
@@ -67,18 +66,24 @@ func Figure3Sim(every int) (*Figure, error) {
 		x[i] = float64((i + 1) * every)
 	}
 	f := &Figure{Title: "Figure 3 (integer simulation): ratio of active validators", XName: "epoch", X: x}
-	for _, p0 := range []float64{0.6, 0.5, 0.4, 0.3, 0.2} {
-		ls := core.LeakSim{N: 10000, P0: p0, Mode: core.ByzAbsent, DelayFinalization: true}
-		res, err := ls.Run(horizon, every)
-		if err != nil {
-			return nil, fmt.Errorf("report: figure 3 sim at p0=%v: %w", p0, err)
-		}
+	p0s := []float64{0.6, 0.5, 0.4, 0.3, 0.2}
+	cells := make([]engine.Cell, 0, len(p0s))
+	for _, p0 := range p0s {
+		cells = append(cells, engine.Cell{Scenario: engine.ScenarioLeakSim, Params: engine.Params{
+			P0: p0, Mode: "absent-delay", N: 10000, Horizon: horizon, Sample: every,
+		}})
+	}
+	results := engine.Sweep(cells, engine.Options{Workers: workers})
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("report: figure 3 sim: %w", err)
+	}
+	for i, p0 := range p0s {
 		ys := make([]float64, nSamples)
-		for i := range ys {
-			if i < len(res.A.Trace) {
-				ys[i] = res.A.Trace[i].ActiveRatio
+		for j := range ys {
+			if j < len(results[i].Curve) {
+				ys[j] = results[i].Curve[j].Y
 			} else {
-				ys[i] = 1
+				ys[j] = 1
 			}
 		}
 		if err := f.Add(fmt.Sprintf("p0_%.1f", p0), ys); err != nil {
@@ -90,41 +95,32 @@ func Figure3Sim(every int) (*Figure, error) {
 
 // Figure7Sim overlays the integer simulation on Figure 7: for each p0 on
 // the grid, the minimal beta0 (found by bisection over full scenario runs)
-// whose Byzantine proportion crosses 1/3 on both branches.
-func Figure7Sim(points int) (*Figure, error) {
+// whose Byzantine proportion crosses 1/3 on both branches. The per-p0
+// bisections run concurrently on `workers` goroutines (<= 0 = all CPUs).
+func Figure7Sim(points, workers int) (*Figure, error) {
 	if points <= 0 {
 		points = 9
 	}
 	x := mathx.Linspace(0.1, 0.9, points)
 	f := &Figure{Title: "Figure 7 (integer simulation): minimal beta0 crossing 1/3 on both branches", XName: "p0", X: x}
+	cells := make([]engine.Cell, 0, len(x))
+	for _, p0 := range x {
+		cells = append(cells, engine.Cell{Scenario: engine.ScenarioFig7Search, Params: engine.Params{
+			P0: p0, N: 10000, Horizon: 9000,
+		}})
+	}
+	results := engine.Sweep(cells, engine.Options{Workers: workers})
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("report: figure 7 sim: %w", err)
+	}
 	ys := make([]float64, len(x))
-	for i, p0 := range x {
-		lo, hi := 0.01, 0.40
-		for iter := 0; iter < 12; iter++ {
-			mid := (lo + hi) / 2
-			ls := core.LeakSim{N: 10000, P0: p0, Beta0: mid,
-				Mode: core.ByzSemiActive, DelayFinalization: true}
-			res, err := ls.Run(9000, 0)
-			if err != nil {
-				return nil, fmt.Errorf("report: figure 7 sim at p0=%v beta0=%v: %w", p0, mid, err)
-			}
-			if res.CrossedOneThird {
-				hi = mid
-			} else {
-				lo = mid
-			}
-		}
-		ys[i] = (lo + hi) / 2
+	analyticYs := make([]float64, len(x))
+	for i, r := range results {
+		ys[i], _ = r.Metric("sim_threshold")
+		analyticYs[i], _ = r.Metric("analytic_threshold")
 	}
 	if err := f.Add("sim_threshold_both_branches", ys); err != nil {
 		return nil, err
-	}
-	analyticYs := make([]float64, len(x))
-	params := analytic.ContinuousParams()
-	for i, p0 := range x {
-		a := params.ThresholdBeta0(p0)
-		b := params.ThresholdBeta0(1 - p0)
-		analyticYs[i] = math.Max(a, b)
 	}
 	if err := f.Add("analytic_threshold_both_branches", analyticYs); err != nil {
 		return nil, err
@@ -232,23 +228,57 @@ func Figure10() *Figure {
 	return f
 }
 
+// BounceMCSweep runs `runs` independent bouncing-attack trajectories
+// (one bounce-mc engine cell per derived seed, concurrently on `workers`
+// goroutines) and returns the engine results plus the run-averaged
+// exceed-probability curve on the epoch grid sample, 2*sample, ...,
+// horizon.
+func BounceMCSweep(p0, beta0 float64, n, runs int, seed int64, sample, horizon, workers int) ([]engine.Result, []float64, error) {
+	if runs <= 0 || sample <= 0 || horizon < sample {
+		return nil, nil, fmt.Errorf("report: bounce mc sweep: runs=%d sample=%d horizon=%d", runs, sample, horizon)
+	}
+	// Zero would silently resolve to the scenario default inside the
+	// engine while the analytic overlay uses the raw value.
+	if p0 <= 0 || p0 >= 1 || beta0 <= 0 || beta0 >= 1 {
+		return nil, nil, fmt.Errorf("report: bounce mc sweep: p0=%v beta0=%v, want in (0, 1)", p0, beta0)
+	}
+	g := engine.BounceMCGrid(p0, beta0, n, runs, seed, sample, horizon)
+	results := engine.SweepGrid(g, engine.Options{Workers: workers})
+	if err := engine.FirstError(results); err != nil {
+		return nil, nil, err
+	}
+	nPoints := horizon / sample
+	avg := make([]float64, nPoints)
+	for _, r := range results {
+		for _, pt := range r.Curve {
+			if i := int(pt.X)/sample - 1; i >= 0 && i < nPoints {
+				avg[i] += pt.Y / float64(runs)
+			}
+		}
+	}
+	return results, avg, nil
+}
+
 // Figure10MonteCarlo overlays the exact integer Monte-Carlo estimate on
-// Figure 10's grid for one beta0 (expensive; used by the benchmark harness
-// and the bounce CLI).
-func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64) (*Figure, error) {
-	epochs := []types.Epoch{1000, 2000, 3000, 4000, 5000, 6000, 7000}
-	mc := core.BounceMC{NHonest: nHonest, Beta0: beta0, P0: 0.5, Seed: seed}
-	probs, err := mc.ExceedProbability(epochs, runs)
+// Figure 10's grid for one beta0: `runs` independent trajectories (one
+// sweep cell each, seeds derived per cell) averaged pointwise, run
+// concurrently on `workers` goroutines (<= 0 = all CPUs).
+func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64, workers int) (*Figure, error) {
+	const sample, horizon = 1000, 7000
+	_, probs, err := BounceMCSweep(0.5, beta0, nHonest, runs, seed, sample, horizon, workers)
 	if err != nil {
 		return nil, fmt.Errorf("report: figure 10 monte carlo: %w", err)
 	}
-	x := make([]float64, len(epochs))
-	analyticYs := make([]float64, len(epochs))
+	nPoints := horizon / sample
+	x := make([]float64, nPoints)
+	for i := range x {
+		x[i] = float64((i + 1) * sample)
+	}
+	analyticYs := make([]float64, nPoints)
 	m := analytic.BounceModel{P0: 0.5}
 	params := analytic.PaperParams()
-	for i, e := range epochs {
-		x[i] = float64(e)
-		analyticYs[i] = m.ExceedProbability(float64(e), beta0, params)
+	for i, e := range x {
+		analyticYs[i] = m.ExceedProbability(e, beta0, params)
 	}
 	f := &Figure{
 		Title: fmt.Sprintf("Figure 10 (Monte-Carlo vs Equation 24) beta0=%g", beta0),
@@ -260,92 +290,122 @@ func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64) (*Figure, 
 }
 
 // Table1 renders the scenario overview (paper Table 1) with both analytic
-// and simulated outcomes.
-func Table1(seed int64) (*Table, error) {
-	rows, err := core.Table1(seed)
-	if err != nil {
+// and simulated outcomes, running the five scenario cells concurrently on
+// `workers` goroutines (<= 0 = all CPUs).
+func Table1(seed int64, workers int) (*Table, error) {
+	results := engine.Sweep(engine.Table1Cells(seed), engine.Options{Workers: workers})
+	if err := engine.FirstError(results); err != nil {
 		return nil, err
 	}
 	t := &Table{
 		Title:   "Table 1: scenarios and outcomes",
 		Headers: []string{"scenario", "name", "p0", "beta0", "outcome", "analytic", "simulated"},
 	}
-	for _, r := range rows {
-		t.AddRow(r.ID, r.Name,
-			fmt.Sprintf("%.2f", r.P0),
-			fmt.Sprintf("%.4f", r.Beta0),
+	for _, r := range results {
+		name := ""
+		if s, ok := engine.Lookup(r.Scenario); ok {
+			name = s.Description()
+		}
+		an, _ := r.Metric("analytic_epoch")
+		simEpoch, _ := r.Metric("sim_epoch")
+		t.AddRow(r.Scenario, name,
+			fmt.Sprintf("%.2f", r.Params.P0),
+			fmt.Sprintf("%.4f", r.Params.Beta0),
 			r.Outcome,
-			fmt.Sprintf("%.1f", r.AnalyticEpoch),
-			fmt.Sprintf("%d", r.SimEpoch),
+			fmt.Sprintf("%.1f", an),
+			fmt.Sprintf("%d", int(simEpoch)),
 		)
 	}
 	return t, nil
 }
 
+// tableBetas are the beta0 rows of the paper's Tables 2-3.
+var tableBetas = []float64{0, 0.1, 0.15, 0.2, 0.33}
+
+// tableCells builds the Tables 2-3 sweep: one full-scale leaksim cell per
+// beta0 row, Byzantine strategy `mode` (absent at beta0 = 0).
+func tableCells(mode string) []engine.Cell {
+	cells := make([]engine.Cell, 0, len(tableBetas))
+	for _, b := range tableBetas {
+		m := mode
+		if b == 0 {
+			m = "absent"
+		}
+		cells = append(cells, engine.Cell{Scenario: engine.ScenarioLeakSim, Params: engine.Params{
+			P0: 0.5, Beta0: b, Mode: m, N: 10000, Horizon: 9000,
+		}})
+	}
+	return cells
+}
+
+// Table2Cells lists the engine sweep behind Table 2 (double voting).
+func Table2Cells() []engine.Cell { return tableCells("double") }
+
+// Table3Cells lists the engine sweep behind Table 3 (semi-active).
+func Table3Cells() []engine.Cell { return tableCells("semi") }
+
 // Table2 renders the paper's Table 2 (slashing behavior): paper value,
-// continuous model, and exact integer simulation per beta0.
-func Table2() (*Table, error) {
+// continuous model, and exact integer simulation per beta0. The beta0
+// cells run concurrently on `workers` goroutines (<= 0 = all CPUs).
+func Table2(workers int) (*Table, error) {
+	results := engine.Sweep(Table2Cells(), engine.Options{Workers: workers})
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("report: table 2: %w", err)
+	}
 	params := analytic.PaperParams()
 	paper := map[float64]int{0: 4685, 0.1: 4066, 0.15: 3622, 0.2: 3107, 0.33: 502}
 	t := &Table{
 		Title:   "Table 2: epochs to conflicting finalization, double-voting Byzantine (p0=0.5)",
 		Headers: []string{"beta0", "paper", "analytic (Eq 9)", "integer sim"},
 	}
-	for _, b := range []float64{0, 0.1, 0.15, 0.2, 0.33} {
+	for i, b := range tableBetas {
 		var an float64
-		mode := core.ByzDoubleVote
 		if b == 0 {
 			an = params.ConflictEpochHonest(0.5)
-			mode = core.ByzAbsent
 		} else {
 			an = params.ConflictEpochSlashing(0.5, b)
 		}
-		ls := core.LeakSim{N: 10000, P0: 0.5, Beta0: b, Mode: mode}
-		res, err := ls.Run(9000, 0)
-		if err != nil {
-			return nil, fmt.Errorf("report: table 2 at beta0=%v: %w", b, err)
-		}
+		simEpoch, _ := results[i].Metric("threshold_epoch_b")
 		t.AddRow(
 			fmt.Sprintf("%.2f", b),
 			fmt.Sprintf("%d", paper[b]),
 			fmt.Sprintf("%d", analytic.PaperTableEpoch(an)),
-			fmt.Sprintf("%d", res.B.ThresholdEpoch),
+			fmt.Sprintf("%d", int(simEpoch)),
 		)
 	}
 	return t, nil
 }
 
-// Table3 renders the paper's Table 3 (semi-active behavior).
-func Table3() (*Table, error) {
+// Table3 renders the paper's Table 3 (semi-active behavior), with the
+// beta0 cells run concurrently on `workers` goroutines (<= 0 = all CPUs).
+func Table3(workers int) (*Table, error) {
+	results := engine.Sweep(Table3Cells(), engine.Options{Workers: workers})
+	if err := engine.FirstError(results); err != nil {
+		return nil, fmt.Errorf("report: table 3: %w", err)
+	}
 	params := analytic.PaperParams()
 	paper := map[float64]int{0: 4685, 0.1: 4221, 0.15: 3819, 0.2: 3328, 0.33: 556}
 	t := &Table{
 		Title:   "Table 3: epochs to conflicting finalization, semi-active Byzantine (p0=0.5)",
 		Headers: []string{"beta0", "paper", "analytic (Eq 10)", "integer sim"},
 	}
-	for _, b := range []float64{0, 0.1, 0.15, 0.2, 0.33} {
+	for i, b := range tableBetas {
 		var an float64
 		var err error
-		mode := core.ByzSemiActive
 		if b == 0 {
 			an = params.ConflictEpochHonest(0.5)
-			mode = core.ByzAbsent
 		} else {
 			an, err = params.ConflictEpochSemiActive(0.5, b)
 			if err != nil {
 				return nil, fmt.Errorf("report: table 3 at beta0=%v: %w", b, err)
 			}
 		}
-		ls := core.LeakSim{N: 10000, P0: 0.5, Beta0: b, Mode: mode}
-		res, err := ls.Run(9000, 0)
-		if err != nil {
-			return nil, fmt.Errorf("report: table 3 at beta0=%v: %w", b, err)
-		}
+		simEpoch, _ := results[i].Metric("threshold_epoch_b")
 		t.AddRow(
 			fmt.Sprintf("%.2f", b),
 			fmt.Sprintf("%d", paper[b]),
 			fmt.Sprintf("%d", analytic.PaperTableEpoch(an)),
-			fmt.Sprintf("%d", res.B.ThresholdEpoch),
+			fmt.Sprintf("%d", int(simEpoch)),
 		)
 	}
 	return t, nil

@@ -1,9 +1,12 @@
 // Package report renders the reproduction's tables and figure data series:
-// fixed-width ASCII tables for terminal output and CSV series matching each
-// figure of the paper, so that any plotting tool regenerates the visuals.
+// fixed-width ASCII tables for terminal output, CSV series matching each
+// figure of the paper (so that any plotting tool regenerates the visuals),
+// JSON for machine consumption, and tabular/CSV/JSON views of engine sweep
+// results (sweep.go).
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -64,16 +67,17 @@ func (t *Table) Render(w io.Writer) error {
 
 // Series is one named column of figure data.
 type Series struct {
-	Name   string
-	Values []float64
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
 }
 
-// Figure is a set of series over a shared X column, rendered as CSV.
+// Figure is a set of series over a shared X column, rendered as CSV or
+// JSON.
 type Figure struct {
-	Title  string
-	XName  string
-	X      []float64
-	Series []Series
+	Title  string    `json:"title"`
+	XName  string    `json:"x_name"`
+	X      []float64 `json:"x"`
+	Series []Series  `json:"series"`
 }
 
 // Add appends a series; its length must match X.
@@ -107,6 +111,14 @@ func (f *Figure) WriteCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// WriteJSON emits the figure as an indented JSON object (title, x name,
+// x values, and named series).
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
 }
 
 // FormatEpoch renders an epoch count with its rough wall-clock duration

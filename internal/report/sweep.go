@@ -1,0 +1,144 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// sweepColumns derives the column layout of a result set: which parameter
+// columns are populated, and the ordered union of metric names (first
+// appearance wins, so a homogeneous sweep keeps its scenario's order).
+type sweepColumns struct {
+	hasBeta0, hasMode, hasSeed, hasN, hasHorizon, hasOutcome, hasErr bool
+	metrics                                                          []string
+}
+
+func columnsOf(results []engine.Result) sweepColumns {
+	var c sweepColumns
+	seen := map[string]bool{}
+	for _, r := range results {
+		p := r.Params
+		c.hasBeta0 = c.hasBeta0 || p.Beta0 != 0
+		c.hasMode = c.hasMode || p.Mode != ""
+		c.hasSeed = c.hasSeed || p.Seed != 0
+		c.hasN = c.hasN || p.N != 0
+		c.hasHorizon = c.hasHorizon || p.Horizon != 0
+		c.hasOutcome = c.hasOutcome || r.Outcome != ""
+		c.hasErr = c.hasErr || r.Err != ""
+		for _, m := range r.Metrics {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				c.metrics = append(c.metrics, m.Name)
+			}
+		}
+	}
+	return c
+}
+
+func (c sweepColumns) headers() []string {
+	h := []string{"scenario", "p0"}
+	if c.hasBeta0 {
+		h = append(h, "beta0")
+	}
+	if c.hasMode {
+		h = append(h, "mode")
+	}
+	if c.hasSeed {
+		h = append(h, "seed")
+	}
+	if c.hasN {
+		h = append(h, "n")
+	}
+	if c.hasHorizon {
+		h = append(h, "horizon")
+	}
+	if c.hasOutcome {
+		h = append(h, "outcome")
+	}
+	h = append(h, c.metrics...)
+	if c.hasErr {
+		h = append(h, "error")
+	}
+	return h
+}
+
+func (c sweepColumns) row(r engine.Result, format func(float64) string) []string {
+	p := r.Params
+	row := []string{r.Scenario, fmt.Sprintf("%.4g", p.P0)}
+	if c.hasBeta0 {
+		row = append(row, fmt.Sprintf("%.4g", p.Beta0))
+	}
+	if c.hasMode {
+		row = append(row, p.Mode)
+	}
+	if c.hasSeed {
+		row = append(row, fmt.Sprintf("%d", p.Seed))
+	}
+	if c.hasN {
+		row = append(row, fmt.Sprintf("%d", p.N))
+	}
+	if c.hasHorizon {
+		row = append(row, fmt.Sprintf("%d", p.Horizon))
+	}
+	if c.hasOutcome {
+		row = append(row, r.Outcome)
+	}
+	for _, name := range c.metrics {
+		if v, ok := r.Metric(name); ok {
+			row = append(row, format(v))
+		} else {
+			row = append(row, "")
+		}
+	}
+	if c.hasErr {
+		row = append(row, r.Err)
+	}
+	return row
+}
+
+// SweepTable renders sweep results as a fixed-width ASCII table. Parameter
+// columns that are zero throughout the sweep are omitted; metric columns
+// are the ordered union across all results.
+func SweepTable(title string, results []engine.Result) *Table {
+	c := columnsOf(results)
+	t := &Table{Title: title, Headers: c.headers()}
+	for _, r := range results {
+		t.AddRow(c.row(r, func(v float64) string { return fmt.Sprintf("%.6g", v) })...)
+	}
+	return t
+}
+
+// WriteSweepCSV emits sweep results as CSV with the same column layout as
+// SweepTable.
+func WriteSweepCSV(w io.Writer, title string, results []engine.Result) error {
+	c := columnsOf(results)
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(c.headers()); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := c.row(r, func(v float64) string { return fmt.Sprintf("%g", v) })
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepJSON emits sweep results as an indented JSON array of the
+// engine's structured Result records (curves included).
+func WriteSweepJSON(w io.Writer, results []engine.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
