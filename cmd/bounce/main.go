@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/gasperleak"
 )
@@ -51,13 +54,19 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the engine results as JSON")
 	flag.Parse()
 
-	if err := run(os.Stdout, o); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "bounce:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, o options) error {
+func run(ctx context.Context, w io.Writer, o options) error {
+	c, err := gasperleak.NewClient(gasperleak.WithWorkers(o.workers))
+	if err != nil {
+		return err
+	}
 	if o.runs <= 0 {
 		return fmt.Errorf("runs = %d, want > 0", o.runs)
 	}
@@ -82,7 +91,7 @@ func run(w io.Writer, o options) error {
 			Beta0:    []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 1.0 / 3.0},
 			Horizons: []int{o.epochs},
 		}
-		results := gasperleak.RunSweepGrid(grid, gasperleak.SweepOptions{Workers: o.workers})
+		results := c.SweepGrid(ctx, grid)
 		if err := gasperleak.SweepFirstError(results); err != nil {
 			return err
 		}
@@ -103,7 +112,7 @@ func run(w io.Writer, o options) error {
 
 	if o.sweep {
 		const sample, horizon = 1000, 7000
-		results, mc, err := gasperleak.BounceMCSweep(o.p0, o.beta0, o.n, o.runs, o.seed, sample, horizon, o.workers)
+		results, mc, err := c.BounceMCSweep(ctx, o.p0, o.beta0, o.n, o.runs, o.seed, sample, horizon)
 		if err != nil {
 			return err
 		}
@@ -122,13 +131,13 @@ func run(w io.Writer, o options) error {
 
 	// Single-epoch estimate: the analytic window/continuation context plus
 	// an engine sweep of `runs` one-trajectory Monte-Carlo cells.
-	an, err := gasperleak.RunScenario("analytic/bounce",
+	an, err := c.Run(ctx, "analytic/bounce",
 		gasperleak.ScenarioParams{P0: o.p0, Beta0: o.beta0, Horizon: o.epochs})
 	if err != nil {
 		return err
 	}
 	grid := gasperleak.BounceMCGrid(o.p0, o.beta0, o.n, o.runs, o.seed, 0, o.epochs)
-	results := gasperleak.RunSweepGrid(grid, gasperleak.SweepOptions{Workers: o.workers})
+	results := c.SweepGrid(ctx, grid)
 	if err := gasperleak.SweepFirstError(results); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestRunWindow(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, options{window: true, beta0: 0.3, p0: 0.5, runs: 1, epochs: 4000}); err != nil {
+	if err := run(context.Background(), &b, options{window: true, beta0: 0.3, p0: 0.5, runs: 1, epochs: 4000}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "beta0=0.3333") {
@@ -20,7 +21,7 @@ func TestRunWindow(t *testing.T) {
 
 func TestRunWindowJSON(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, options{window: true, p0: 0.5, runs: 1, epochs: 4000, jsonOut: true}); err != nil {
+	if err := run(context.Background(), &b, options{window: true, p0: 0.5, runs: 1, epochs: 4000, jsonOut: true}); err != nil {
 		t.Fatal(err)
 	}
 	var results []gasperleak.ScenarioResult
@@ -33,7 +34,7 @@ func TestRunWindowJSON(t *testing.T) {
 }
 
 func TestRunBadEpochs(t *testing.T) {
-	err := run(&strings.Builder{}, options{runs: 1, epochs: 0, beta0: 0.3, p0: 0.5})
+	err := run(context.Background(), &strings.Builder{}, options{runs: 1, epochs: 0, beta0: 0.3, p0: 0.5})
 	if err == nil || !strings.Contains(err.Error(), "epochs") {
 		t.Errorf("epochs = 0 must error, got %v", err)
 	}
@@ -42,7 +43,7 @@ func TestRunBadEpochs(t *testing.T) {
 func TestRunSingle(t *testing.T) {
 	var b strings.Builder
 	o := options{beta0: 1.0 / 3.0, p0: 0.5, epochs: 500, n: 50, runs: 2, seed: 1, j: 8, workers: 2}
-	if err := run(&b, o); err != nil {
+	if err := run(context.Background(), &b, o); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -56,7 +57,7 @@ func TestRunSingle(t *testing.T) {
 func TestRunSweep(t *testing.T) {
 	var b strings.Builder
 	o := options{sweep: true, beta0: 0.33, p0: 0.5, n: 50, runs: 1, seed: 1, j: 8}
-	if err := run(&b, o); err != nil {
+	if err := run(context.Background(), &b, o); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
@@ -68,7 +69,7 @@ func TestRunSweep(t *testing.T) {
 func TestRunSweepJSON(t *testing.T) {
 	var b strings.Builder
 	o := options{sweep: true, beta0: 0.33, p0: 0.5, n: 50, runs: 2, seed: 1, jsonOut: true}
-	if err := run(&b, o); err != nil {
+	if err := run(context.Background(), &b, o); err != nil {
 		t.Fatal(err)
 	}
 	var results []gasperleak.ScenarioResult
@@ -87,7 +88,16 @@ func TestRunSweepJSON(t *testing.T) {
 }
 
 func TestRunBadRuns(t *testing.T) {
-	if err := run(&strings.Builder{}, options{runs: 0}); err == nil {
+	if err := run(context.Background(), &strings.Builder{}, options{runs: 0}); err == nil {
 		t.Error("runs = 0 must error")
+	}
+}
+
+// Negative -workers is rejected with a clear error (uniform across all
+// cmd tools via the client constructor), not silently clamped.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	err := run(context.Background(), &strings.Builder{}, options{window: true, runs: 1, p0: 0.5, beta0: 0.33, epochs: 10, workers: -2})
+	if err == nil || !strings.Contains(err.Error(), "-2") || !strings.Contains(err.Error(), "workers") {
+		t.Errorf("workers=-2 err = %v, want a clear validation error", err)
 	}
 }

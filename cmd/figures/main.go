@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/gasperleak"
 )
@@ -33,17 +36,23 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the figure as JSON instead of CSV")
 	flag.Parse()
 
-	if err := run(*fig, *all, *out, *t, *beta0, *n, *runs, *seed, *workers, *jsonOut); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *fig, *all, *out, *t, *beta0, *n, *runs, *seed, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, all bool, out string, t, beta0 float64, n, runs int, seed int64, workers int, jsonOut bool) error {
-	if all {
-		return emitAll(out, t, beta0, n, runs, seed, workers, jsonOut)
+func run(ctx context.Context, fig string, all bool, out string, t, beta0 float64, n, runs int, seed int64, workers int, jsonOut bool) error {
+	c, err := gasperleak.NewClient(gasperleak.WithWorkers(workers))
+	if err != nil {
+		return err
 	}
-	f, err := build(fig, t, beta0, n, runs, seed, workers)
+	if all {
+		return emitAll(ctx, c, out, t, beta0, n, runs, seed, jsonOut)
+	}
+	f, err := build(ctx, c, fig, t, beta0, n, runs, seed)
 	if err != nil {
 		return err
 	}
@@ -53,32 +62,32 @@ func run(fig string, all bool, out string, t, beta0 float64, n, runs int, seed i
 	return f.WriteCSV(os.Stdout)
 }
 
-func build(fig string, t, beta0 float64, n, runs int, seed int64, workers int) (*gasperleak.Figure, error) {
+func build(ctx context.Context, c *gasperleak.Client, fig string, t, beta0 float64, n, runs int, seed int64) (*gasperleak.Figure, error) {
 	switch fig {
 	case "2":
 		return gasperleak.Figure2(), nil
 	case "3":
 		return gasperleak.Figure3(), nil
 	case "3sim":
-		return gasperleak.Figure3Sim(10, workers)
+		return c.Figure3Sim(ctx, 10)
 	case "6":
 		return gasperleak.Figure6()
 	case "7":
 		return gasperleak.Figure7(), nil
 	case "7sim":
-		return gasperleak.Figure7Sim(17, workers)
+		return c.Figure7Sim(ctx, 17)
 	case "9":
 		return gasperleak.Figure9(t), nil
 	case "10":
 		return gasperleak.Figure10(), nil
 	case "10mc":
-		return gasperleak.Figure10MonteCarlo(beta0, n, runs, seed, workers)
+		return c.Figure10MonteCarlo(ctx, beta0, n, runs, seed)
 	default:
 		return nil, fmt.Errorf("unknown figure %q (want 2, 3, 3sim, 6, 7, 7sim, 9, 10, 10mc)", fig)
 	}
 }
 
-func emitAll(dir string, t, beta0 float64, n, runs int, seed int64, workers int, jsonOut bool) error {
+func emitAll(ctx context.Context, c *gasperleak.Client, dir string, t, beta0 float64, n, runs int, seed int64, jsonOut bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -87,7 +96,7 @@ func emitAll(dir string, t, beta0 float64, n, runs int, seed int64, workers int,
 		ext, write = ".json", (*gasperleak.Figure).WriteJSON
 	}
 	for _, id := range []string{"2", "3", "3sim", "6", "7", "7sim", "9", "10", "10mc"} {
-		f, err := build(id, t, beta0, n, runs, seed, workers)
+		f, err := build(ctx, c, id, t, beta0, n, runs, seed)
 		if err != nil {
 			return err
 		}

@@ -1,15 +1,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/gasperleak"
 )
+
+func testClient(t *testing.T, workers int) *gasperleak.Client {
+	t.Helper()
+	c, err := gasperleak.NewClient(gasperleak.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 func TestBuildEveryFigure(t *testing.T) {
 	for _, id := range []string{"2", "3", "6", "7", "9", "10"} { // sim overlays tested separately
-		f, err := build(id, 4024, 1.0/3.0, 50, 1, 1, 0)
+		f, err := build(context.Background(), testClient(t, 0), id, 4024, 1.0/3.0, 50, 1, 1)
 		if err != nil {
 			t.Errorf("figure %s: %v", id, err)
 			continue
@@ -21,7 +34,7 @@ func TestBuildEveryFigure(t *testing.T) {
 }
 
 func TestBuildMonteCarloFigure(t *testing.T) {
-	f, err := build("10mc", 0, 1.0/3.0, 50, 1, 1, 2)
+	f, err := build(context.Background(), testClient(t, 2), "10mc", 0, 1.0/3.0, 50, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,14 +44,14 @@ func TestBuildMonteCarloFigure(t *testing.T) {
 }
 
 func TestBuildUnknown(t *testing.T) {
-	if _, err := build("99", 0, 0, 0, 0, 0, 0); err == nil {
+	if _, err := build(context.Background(), testClient(t, 0), "99", 0, 0, 0, 0, 0); err == nil {
 		t.Error("unknown figure must error")
 	}
 }
 
 func TestEmitAll(t *testing.T) {
 	dir := t.TempDir()
-	if err := emitAll(dir, 4024, 1.0/3.0, 50, 1, 1, 0, false); err != nil {
+	if err := emitAll(context.Background(), testClient(t, 0), dir, 4024, 1.0/3.0, 50, 1, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"2", "3", "3sim", "6", "7", "7sim", "9", "10", "10mc"} {
@@ -56,7 +69,7 @@ func TestEmitAll(t *testing.T) {
 
 func TestEmitAllJSON(t *testing.T) {
 	dir := t.TempDir()
-	if err := emitAll(dir, 4024, 1.0/3.0, 50, 1, 1, 0, true); err != nil {
+	if err := emitAll(context.Background(), testClient(t, 0), dir, 4024, 1.0/3.0, 50, 1, 1, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig2.json"))
@@ -74,5 +87,14 @@ func TestEmitAllJSON(t *testing.T) {
 	}
 	if fig.Title == "" || len(fig.Series) != 3 {
 		t.Errorf("fig2.json incomplete: %+v", fig)
+	}
+}
+
+// Negative -workers is rejected with a clear error (uniform across all
+// cmd tools via the client constructor), not silently clamped.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	err := run(context.Background(), "2", false, ".", 4024, 1.0/3.0, 50, 1, 1, -2, false)
+	if err == nil || !strings.Contains(err.Error(), "-2") || !strings.Contains(err.Error(), "workers") {
+		t.Errorf("workers=-2 err = %v, want a clear validation error", err)
 	}
 }

@@ -10,13 +10,20 @@
 //	leaksim -scenario 5.3 -beta0 0.33 -seed 1 -json
 //	leaksim -scenario leaksim -sweep "p0=0.3:0.7:0.1; beta0=0.1,0.2; mode=double,semi" -workers 8
 //	leaksim -scenario bounce-mc -sweep "beta0=0.32,0.33; seed=1:5:1" -csv
+//
+// Sweeps run through the v2 client API: Ctrl-C cancels cooperatively, and
+// the same grids are network-addressable via the serve command.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/gasperleak"
 )
@@ -49,34 +56,41 @@ func main() {
 	flag.IntVar(&o.params.Sample, "sample", 0, "trace sampling interval in epochs (0 = no trace)")
 	flag.Parse()
 
-	if err := run(os.Stdout, o); err != nil {
+	// Ctrl-C cancels in-flight sweeps cooperatively: finished cells keep
+	// their results, unfinished ones record the context error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "leaksim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, o options) error {
-	if o.list {
-		return list(w)
-	}
-	if o.sweep != "" {
-		return runSweep(w, o)
-	}
-	if o.scenario == "all" {
-		return runTable1(w, o)
-	}
-	res, err := gasperleak.RunScenario(o.scenario, o.params)
+func run(ctx context.Context, w io.Writer, o options) error {
+	c, err := gasperleak.NewClient(gasperleak.WithWorkers(o.workers))
 	if err != nil {
 		return err
 	}
-	return emit(w, o, res.Scenario+": "+descriptionOf(res.Scenario), []gasperleak.ScenarioResult{res})
+	if o.list {
+		return list(w, c)
+	}
+	if o.sweep != "" {
+		return runSweep(ctx, w, c, o)
+	}
+	if o.scenario == "all" {
+		return runTable1(ctx, w, c, o)
+	}
+	res, err := c.Run(ctx, o.scenario, o.params)
+	if err != nil {
+		return err
+	}
+	return emit(w, o, res.Scenario+": "+descriptionOf(c, res.Scenario), []gasperleak.ScenarioResult{res})
 }
 
 // list prints the registry: every scenario with its description.
-func list(w io.Writer) error {
-	for _, name := range gasperleak.ScenarioNames() {
-		s, _ := gasperleak.LookupScenario(name)
-		if _, err := fmt.Fprintf(w, "%-20s %s\n", name, s.Description()); err != nil {
+func list(w io.Writer, c *gasperleak.Client) error {
+	for _, info := range c.Scenarios() {
+		if _, err := fmt.Fprintf(w, "%-20s %s\n", info.Name, info.Description); err != nil {
 			return err
 		}
 	}
@@ -84,11 +98,11 @@ func list(w io.Writer) error {
 }
 
 // runSweep expands the -sweep grid for -scenario and fans it out.
-func runSweep(w io.Writer, o options) error {
+func runSweep(ctx context.Context, w io.Writer, c *gasperleak.Client, o options) error {
 	if o.scenario == "all" {
 		return fmt.Errorf("-sweep needs a single scenario (see -list), not -scenario all")
 	}
-	if _, ok := gasperleak.LookupScenario(o.scenario); !ok {
+	if _, ok := c.Lookup(o.scenario); !ok {
 		return fmt.Errorf("unknown scenario %q (see -list)", o.scenario)
 	}
 	grid, err := gasperleak.ParseGrid(o.scenario, o.sweep)
@@ -98,7 +112,9 @@ func runSweep(w io.Writer, o options) error {
 	// Dimensions the spec leaves out fall back to the plain flags, so
 	// "-sweep beta0=... -horizon 1000" pins the horizon of every cell.
 	grid = grid.FillFrom(o.params)
-	results := gasperleak.RunSweepGrid(grid, gasperleak.SweepOptions{Workers: o.workers})
+	start := time.Now()
+	results := c.SweepGrid(ctx, grid)
+	wall := time.Since(start)
 	// Individual cell failures are recorded in the error column so a
 	// partial sweep still renders, but a sweep with no surviving cell is
 	// a failed run.
@@ -112,16 +128,26 @@ func runSweep(w io.Writer, o options) error {
 		return fmt.Errorf("every sweep cell failed: %w", gasperleak.SweepFirstError(results))
 	}
 	title := fmt.Sprintf("sweep %s: %s (%d cells)", o.scenario, o.sweep, len(results))
-	return emit(w, o, title, results)
+	if err := emit(w, o, title, results); err != nil {
+		return err
+	}
+	if !o.jsonOut && !o.csvOut {
+		if line := gasperleak.SweepThroughput(results, wall); line != "" {
+			if _, err := fmt.Fprintf(w, "# %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // runTable1 sweeps the paper's five scenarios (Table 1).
-func runTable1(w io.Writer, o options) error {
+func runTable1(ctx context.Context, w io.Writer, c *gasperleak.Client, o options) error {
 	seed := o.params.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	results := gasperleak.Sweep(gasperleak.Table1Cells(seed), gasperleak.SweepOptions{Workers: o.workers})
+	results := c.Sweep(ctx, gasperleak.Table1Cells(seed))
 	if err := gasperleak.SweepFirstError(results); err != nil {
 		return err
 	}
@@ -164,8 +190,8 @@ func curveCount(results []gasperleak.ScenarioResult) int {
 	return n
 }
 
-func descriptionOf(name string) string {
-	if s, ok := gasperleak.LookupScenario(name); ok {
+func descriptionOf(c *gasperleak.Client, name string) string {
+	if s, ok := c.Lookup(name); ok {
 		return s.Description()
 	}
 	return ""

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func TestRunAllScenarios(t *testing.T) {
 		}
 		var b strings.Builder
 		o := options{scenario: sc, params: gasperleak.ScenarioParams{P0: 0.5, Beta0: beta0, Seed: 1}}
-		if err := run(&b, o); err != nil {
+		if err := run(context.Background(), &b, o); err != nil {
 			t.Errorf("scenario %s: %v", sc, err)
 		}
 		if b.Len() == 0 {
@@ -26,14 +27,14 @@ func TestRunAllScenarios(t *testing.T) {
 }
 
 func TestRunUnknownScenario(t *testing.T) {
-	if err := run(&strings.Builder{}, options{scenario: "9.9"}); err == nil {
+	if err := run(context.Background(), &strings.Builder{}, options{scenario: "9.9"}); err == nil {
 		t.Error("unknown scenario must error")
 	}
 }
 
 func TestRunList(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, options{list: true}); err != nil {
+	if err := run(context.Background(), &b, options{list: true}); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"5.1", "leaksim", "bounce-mc", "analytic/conflict", "sim/partition"} {
@@ -50,7 +51,7 @@ func TestRunSweepGridASCII(t *testing.T) {
 		sweep:    "p0=0.3,0.5,0.7",
 		workers:  2,
 	}
-	if err := run(&b, o); err != nil {
+	if err := run(context.Background(), &b, o); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -69,7 +70,7 @@ func TestRunSweepFlagFallback(t *testing.T) {
 		jsonOut:  true,
 		params:   gasperleak.ScenarioParams{N: 50, Horizon: 300},
 	}
-	if err := run(&b, o); err != nil {
+	if err := run(context.Background(), &b, o); err != nil {
 		t.Fatal(err)
 	}
 	var results []gasperleak.ScenarioResult
@@ -87,25 +88,25 @@ func TestRunSweepFlagFallback(t *testing.T) {
 }
 
 func TestRunSweepRejectsAll(t *testing.T) {
-	if err := run(&strings.Builder{}, options{scenario: "all", sweep: "p0=0.5"}); err == nil {
+	if err := run(context.Background(), &strings.Builder{}, options{scenario: "all", sweep: "p0=0.5"}); err == nil {
 		t.Error("-sweep with -scenario all must error")
 	}
 }
 
 func TestRunSweepRejectsUnknownScenario(t *testing.T) {
-	if err := run(&strings.Builder{}, options{scenario: "leaksym", sweep: "p0=0.5"}); err == nil {
+	if err := run(context.Background(), &strings.Builder{}, options{scenario: "leaksym", sweep: "p0=0.5"}); err == nil {
 		t.Error("-sweep with an unknown scenario must error")
 	}
 }
 
 func TestRunSweepFailsWhenEveryCellFails(t *testing.T) {
-	err := run(&strings.Builder{}, options{scenario: "leaksim", sweep: "mode=warp"})
+	err := run(context.Background(), &strings.Builder{}, options{scenario: "leaksim", sweep: "mode=warp"})
 	if err == nil || !strings.Contains(err.Error(), "every sweep cell failed") {
 		t.Errorf("all-failed sweep must error, got %v", err)
 	}
 	// A partial failure still renders (exit 0) with the error column set.
 	var b strings.Builder
-	if err := run(&b, options{scenario: "leaksim", sweep: "mode=warp,double; horizon=100", params: gasperleak.ScenarioParams{N: 100}}); err != nil {
+	if err := run(context.Background(), &b, options{scenario: "leaksim", sweep: "mode=warp,double; horizon=100", params: gasperleak.ScenarioParams{N: 100}}); err != nil {
 		t.Fatalf("partial sweep must render: %v", err)
 	}
 	if !strings.Contains(b.String(), "unknown leaksim mode") {
@@ -116,7 +117,7 @@ func TestRunSweepFailsWhenEveryCellFails(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
 	o := options{scenario: "analytic/bounce", jsonOut: true, params: gasperleak.ScenarioParams{Beta0: 0.33}}
-	if err := run(&b, o); err != nil {
+	if err := run(context.Background(), &b, o); err != nil {
 		t.Fatal(err)
 	}
 	var results []gasperleak.ScenarioResult
@@ -131,11 +132,20 @@ func TestRunJSONOutput(t *testing.T) {
 func TestRunCSVOutput(t *testing.T) {
 	var b strings.Builder
 	o := options{scenario: "analytic/threshold", sweep: "p0=0.4,0.6", csvOut: true}
-	if err := run(&b, o); err != nil {
+	if err := run(context.Background(), &b, o); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
 	if len(lines) != 4 { // title + header + 2 rows
 		t.Errorf("CSV lines = %d:\n%s", len(lines), b.String())
+	}
+}
+
+// Negative -workers is rejected with a clear error (uniform across all
+// cmd tools via the client constructor), not silently clamped.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	err := run(context.Background(), &strings.Builder{}, options{scenario: "5.1", workers: -2})
+	if err == nil || !strings.Contains(err.Error(), "-2") || !strings.Contains(err.Error(), "workers") {
+		t.Errorf("workers=-2 err = %v, want a clear validation error", err)
 	}
 }

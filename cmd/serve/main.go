@@ -1,0 +1,74 @@
+// Command serve exposes the scenario registry as an HTTP service: listing,
+// cached single runs, and streaming parameter sweeps (NDJSON). It is the
+// network face of the v2 client API; every request is cancellable and an
+// interrupt drains in-flight sweeps cooperatively.
+//
+// Usage:
+//
+//	serve                          # listen on :8791
+//	serve -addr :9000 -workers 8   # bounded sweep pool
+//	serve -cache 2048              # larger LRU result cache
+//
+//	curl localhost:8791/scenarios
+//	curl -X POST localhost:8791/run -d '{"scenario":"5.2.1","params":{"beta0":0.2}}'
+//	curl -N -X POST localhost:8791/sweep -d '{"scenario":"leaksim","sweep":"beta0=0.1,0.2,0.3"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8791", "listen address")
+	workers := flag.Int("workers", 0, "default sweep worker pool size (0 = all CPUs)")
+	cache := flag.Int("cache", server.DefaultCacheSize, "LRU result cache entries (negative disables caching)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *workers, *cache); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, addr string, workers, cache int) error {
+	s, err := server.New(server.Config{Workers: workers, CacheSize: cache})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: s.Handler(),
+		// Derive every request context from the signal context, so an
+		// interrupt cancels in-flight sweeps through the engine instead
+		// of waiting out their full grids.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serve: listening on %s (workers=%d, cache=%d)\n", addr, workers, cache)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	err := run(context.Background(), "127.0.0.1:0", -4, 0)
+	if err == nil || !strings.Contains(err.Error(), "-4") {
+		t.Fatalf("run(workers=-4) err = %v, want a clear validation error", err)
+	}
+}
+
+// TestRunServesAndShutsDown boots the binary's run loop on an ephemeral
+// port, checks liveness over real HTTP, and verifies the signal context
+// drains it.
+func TestRunServesAndShutsDown(t *testing.T) {
+	// Reserve an ephemeral port, then hand it to the server.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, addr, 1, 16) }()
+
+	var resp *http.Response
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up on %s: %v", addr, err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || health.Status != "ok" {
+		t.Errorf("healthz = %+v (%v)", health, err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v after shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

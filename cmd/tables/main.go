@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/gasperleak"
 )
@@ -26,24 +29,30 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the engine sweep results as JSON instead of ASCII tables")
 	flag.Parse()
 
-	if err := run(os.Stdout, *table, *seed, *workers, *jsonOut); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, *table, *seed, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, table int, seed int64, workers int, jsonOut bool) error {
+func run(ctx context.Context, w io.Writer, table int, seed int64, workers int, jsonOut bool) error {
 	if table < 0 || table > 3 {
 		return fmt.Errorf("unknown table %d (want 1, 2, or 3)", table)
 	}
+	c, err := gasperleak.NewClient(gasperleak.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
 	want := func(n int) bool { return table == 0 || table == n }
 	if jsonOut {
-		return runJSON(w, want, seed, workers)
+		return runJSON(ctx, w, c, want, seed)
 	}
 	render := map[int]func() (*gasperleak.ReportTable, error){
-		1: func() (*gasperleak.ReportTable, error) { return gasperleak.RenderTable1(seed, workers) },
-		2: func() (*gasperleak.ReportTable, error) { return gasperleak.RenderTable2(workers) },
-		3: func() (*gasperleak.ReportTable, error) { return gasperleak.RenderTable3(workers) },
+		1: func() (*gasperleak.ReportTable, error) { return c.RenderTable1(ctx, seed) },
+		2: func() (*gasperleak.ReportTable, error) { return c.RenderTable2(ctx) },
+		3: func() (*gasperleak.ReportTable, error) { return c.RenderTable3(ctx) },
 	}
 	for n := 1; n <= 3; n++ {
 		if !want(n) {
@@ -63,7 +72,7 @@ func run(w io.Writer, table int, seed int64, workers int, jsonOut bool) error {
 
 // runJSON emits the engine results behind each requested table as one JSON
 // array, in table order.
-func runJSON(w io.Writer, want func(int) bool, seed int64, workers int) error {
+func runJSON(ctx context.Context, w io.Writer, c *gasperleak.Client, want func(int) bool, seed int64) error {
 	var cells []gasperleak.SweepCell
 	if want(1) {
 		cells = append(cells, gasperleak.Table1Cells(seed)...)
@@ -74,7 +83,7 @@ func runJSON(w io.Writer, want func(int) bool, seed int64, workers int) error {
 	if want(3) {
 		cells = append(cells, gasperleak.Table3Cells()...)
 	}
-	results := gasperleak.Sweep(cells, gasperleak.SweepOptions{Workers: workers})
+	results := c.Sweep(ctx, cells)
 	if err := gasperleak.SweepFirstError(results); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestRunSingleTables(t *testing.T) {
 	for _, n := range []int{2, 3} {
 		var b strings.Builder
-		if err := run(&b, n, 1, 0, false); err != nil {
+		if err := run(context.Background(), &b, n, 1, 0, false); err != nil {
 			t.Errorf("table %d: %v", n, err)
 		}
 		if !strings.Contains(b.String(), "4685") {
@@ -21,14 +22,14 @@ func TestRunSingleTables(t *testing.T) {
 }
 
 func TestRunBadTable(t *testing.T) {
-	if err := run(&strings.Builder{}, 9, 1, 0, false); err == nil {
+	if err := run(context.Background(), &strings.Builder{}, 9, 1, 0, false); err == nil {
 		t.Error("unknown table must error")
 	}
 }
 
 func TestRunJSON(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, 2, 1, 2, true); err != nil {
+	if err := run(context.Background(), &b, 2, 1, 2, true); err != nil {
 		t.Fatal(err)
 	}
 	var results []gasperleak.ScenarioResult
@@ -42,5 +43,14 @@ func TestRunJSON(t *testing.T) {
 		if r.Scenario != "leaksim" {
 			t.Errorf("table 2 row ran scenario %q, want leaksim", r.Scenario)
 		}
+	}
+}
+
+// Negative -workers is rejected with a clear error (uniform across all
+// cmd tools via the client constructor), not silently clamped.
+func TestRunRejectsNegativeWorkers(t *testing.T) {
+	err := run(context.Background(), &strings.Builder{}, 2, 1, -2, false)
+	if err == nil || !strings.Contains(err.Error(), "-2") || !strings.Contains(err.Error(), "workers") {
+		t.Errorf("workers=-2 err = %v, want a clear validation error", err)
 	}
 }

@@ -1,8 +1,10 @@
 // Bouncing-attack: explore the probabilistic bouncing attack under the
 // inactivity leak (paper Section 5.3) at three levels:
 //
-//  1. the Equation 14 feasibility window and the continuation probability;
-//  2. Equation 24 vs the exact integer Monte-Carlo for P[beta > 1/3];
+//  1. the Equation 14 feasibility window and the continuation probability,
+//     from the analytic registry entries via the v2 client;
+//  2. Equation 24 vs the exact integer Monte-Carlo for P[beta > 1/3],
+//     as a parallel client sweep of bounce-mc cells;
 //  3. a protocol-level run of the bouncing adversary on the full simulator
 //     (compressed spec): finality stalls while the attack runs and recovers
 //     when it stops.
@@ -13,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,35 +23,58 @@ import (
 )
 
 func main() {
-	analyticLevel()
-	monteCarloLevel()
+	ctx := context.Background()
+	c, err := gasperleak.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyticLevel(ctx, c)
+	monteCarloLevel(ctx, c)
 	protocolLevel()
 }
 
-func analyticLevel() {
+func analyticLevel(ctx context.Context, c *gasperleak.Client) {
 	fmt.Println("-- Equation 14: the attack window --")
 	for _, beta0 := range []float64{0.1, 0.2, 0.3, 1.0 / 3.0} {
-		lo, hi := gasperleak.BounceWindow(beta0)
+		res, err := c.Run(ctx, "analytic/bounce", gasperleak.ScenarioParams{P0: 0.5, Beta0: beta0, Horizon: 4000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, _ := res.Metric("window_lo")
+		hi, _ := res.Metric("window_hi")
 		fmt.Printf("beta0=%.4f: honest split p0 must lie in (%.4f, %.4f)\n", beta0, lo, hi)
 	}
 	fmt.Printf("\ncontinuation to epoch 7000 (j=8, beta0=1/3): %.2e (the paper's 1e-121)\n\n",
 		gasperleak.BounceContinuationProbability(1.0/3.0, 8, 7000))
 }
 
-func monteCarloLevel() {
+func monteCarloLevel(ctx context.Context, c *gasperleak.Client) {
 	fmt.Println("-- P[beta > 1/3]: Equation 24 vs integer Monte-Carlo --")
 	model := gasperleak.BounceModel{P0: 0.5}
 	params := gasperleak.PaperParams()
-	epochs := []gasperleak.Epoch{2000, 4000, 6000}
+	const (
+		runs    = 4
+		sample  = 2000
+		horizon = 6000
+	)
 	for _, beta0 := range []float64{1.0 / 3.0, 0.33} {
-		mc := gasperleak.BounceMC{NHonest: 400, Beta0: beta0, P0: 0.5, Seed: 7}
-		probs, err := mc.ExceedProbability(epochs, 4)
-		if err != nil {
+		// One bounce-mc cell per derived seed, each simulated once to
+		// the full horizon with the crossing fraction sampled every
+		// `sample` epochs, fanned out in parallel.
+		grid := gasperleak.BounceMCGrid(0.5, beta0, 400, runs, 7, sample, horizon)
+		results := c.SweepGrid(ctx, grid)
+		if err := gasperleak.SweepFirstError(results); err != nil {
 			log.Fatal(err)
 		}
-		for i, e := range epochs {
-			fmt.Printf("beta0=%.4f t=%4d  Eq24=%.3f  MC=%.3f\n",
-				beta0, e, model.ExceedProbability(float64(e), beta0, params), probs[i])
+		mc := map[float64]float64{}
+		for _, r := range results {
+			for _, pt := range r.Curve {
+				mc[pt.X] += pt.Y / runs
+			}
+		}
+		for e := float64(sample); e <= horizon; e += sample {
+			fmt.Printf("beta0=%.4f t=%4.0f  Eq24=%.3f  MC=%.3f\n",
+				beta0, e, model.ExceedProbability(e, beta0, params), mc[e])
 		}
 	}
 	fmt.Println()

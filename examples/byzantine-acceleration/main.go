@@ -1,6 +1,8 @@
 // Byzantine-acceleration: sweep the initial Byzantine proportion beta0 and
 // show how much faster Safety breaks under the two Byzantine behaviors of
-// the paper (double-voting vs semi-active), plus the 1/3-threshold scenario.
+// the paper (double-voting vs semi-active), plus the 1/3-threshold
+// scenario — all as one streamed v2-client sweep over the registry, with
+// per-cell results arriving as they complete.
 //
 // Run with:
 //
@@ -8,50 +10,84 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/gasperleak"
 )
 
 func main() {
+	ctx := context.Background()
+	c, err := gasperleak.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One cell per (beta0, behavior): the registry's 5.1 covers beta0=0,
+	// 5.2.1 the double-voting rows, 5.2.2 the semi-active rows.
+	betas := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.33}
+	var cells []gasperleak.SweepCell
+	for _, beta0 := range betas {
+		if beta0 == 0 {
+			cells = append(cells, gasperleak.SweepCell{Scenario: "5.1", Params: gasperleak.ScenarioParams{P0: 0.5}})
+			continue
+		}
+		cells = append(cells,
+			gasperleak.SweepCell{Scenario: "5.2.1", Params: gasperleak.ScenarioParams{P0: 0.5, Beta0: beta0}},
+			gasperleak.SweepCell{Scenario: "5.2.2", Params: gasperleak.ScenarioParams{P0: 0.5, Beta0: beta0}},
+		)
+	}
+
+	// Stream the sweep: cells land in completion order, so collect by
+	// index and show live progress on the way.
+	results := make([]gasperleak.ScenarioResult, len(cells))
+	start := time.Now()
+	for u := range c.SweepStream(ctx, cells) {
+		if u.Result.Err != "" {
+			log.Fatalf("cell %d: %s", u.Index, u.Result.Err)
+		}
+		fmt.Printf("\r%d/%d cells done", u.Completed, u.Total)
+		results[u.Index] = u.Result
+	}
+	fmt.Printf("\r%s\n\n", gasperleak.SweepThroughput(results, time.Since(start)))
+
 	fmt.Println("Epochs until conflicting finalization (p0 = 0.5), integer simulation:")
 	fmt.Println("beta0   double-vote   semi-active   speedup-vs-honest")
-	baseline := 0.0
-	for _, beta0 := range []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.33} {
-		var dv, sa gasperleak.ScenarioSummary
-		var err error
+	epochOf := func(r gasperleak.ScenarioResult) float64 {
+		v, _ := r.Metric("sim_epoch")
+		return v
+	}
+	baseline := epochOf(results[0])
+	i := 1
+	for _, beta0 := range betas {
 		if beta0 == 0 {
-			dv, err = gasperleak.Scenario51(0.5)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sa = dv
-			baseline = float64(dv.SimEpoch)
-		} else {
-			dv, err = gasperleak.Scenario521(0.5, beta0)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sa, err = gasperleak.Scenario522(0.5, beta0)
-			if err != nil {
-				log.Fatal(err)
-			}
+			fmt.Printf("%.2f    %11.0f   %11.0f   %17.1fx\n", beta0, baseline, baseline, 1.0)
+			continue
 		}
-		fmt.Printf("%.2f    %11d   %11d   %17.1fx\n",
-			beta0, dv.SimEpoch, sa.SimEpoch, baseline/float64(dv.SimEpoch))
+		dv, sa := epochOf(results[i]), epochOf(results[i+1])
+		i += 2
+		fmt.Printf("%.2f    %11.0f   %11.0f   %17.1fx\n", beta0, dv, sa, baseline/dv)
 	}
 
 	fmt.Println()
 	fmt.Println("Crossing the 1/3 Safety threshold by delaying finalization (5.2.3):")
-	params := gasperleak.PaperParams()
-	fmt.Printf("analytic minimum beta0 at p0=0.5: %.4f\n", params.ThresholdBeta0(0.5))
+	threshold, err := c.Run(ctx, "analytic/threshold", gasperleak.ScenarioParams{P0: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	minBeta, _ := threshold.Metric("threshold_both_branches")
+	fmt.Printf("analytic minimum beta0 at p0=0.5: %.4f\n", minBeta)
 	for _, beta0 := range []float64{0.23, 0.2421, 0.25, 0.3} {
-		s, err := gasperleak.Scenario523(0.5, beta0)
+		res, err := c.Run(ctx, "5.2.3", gasperleak.ScenarioParams{P0: 0.5, Beta0: beta0})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("beta0=%.4f  peak proportion %.4f at epoch %d  crossed 1/3: %v\n",
-			beta0, s.PeakByzProportion, s.SimEpoch, s.CrossedOneThird)
+		peak, _ := res.Metric("peak_byz_proportion")
+		epoch, _ := res.Metric("sim_epoch")
+		crossed, _ := res.Metric("crossed_one_third")
+		fmt.Printf("beta0=%.4f  peak proportion %.4f at epoch %.0f  crossed 1/3: %v\n",
+			beta0, peak, epoch, crossed == 1)
 	}
 }

@@ -1,4 +1,6 @@
-// Quickstart: reproduce the paper's headline numbers in a few lines.
+// Quickstart: reproduce the paper's headline numbers in a few lines of
+// the v2 client API — every scenario is a named registry entry run
+// through a cancellable context.
 //
 // Run with:
 //
@@ -6,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,44 +16,47 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	c, err := gasperleak.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, p gasperleak.ScenarioParams) gasperleak.ScenarioResult {
+		res, err := c.Run(ctx, name, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	epochOf := func(r gasperleak.ScenarioResult) string {
+		v, _ := r.Metric("sim_epoch")
+		return gasperleak.FormatEpoch(v)
+	}
+
 	// With only honest validators, a lasting 50/50 partition finalizes
 	// two conflicting chains once the inactivity leak has drained the
 	// "unreachable" half on each side (paper Section 5.1).
-	honest, err := gasperleak.Scenario51(0.5)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("honest only:     conflicting finalization after %s\n",
-		gasperleak.FormatEpoch(float64(honest.SimEpoch)))
+		epochOf(run("5.1", gasperleak.ScenarioParams{P0: 0.5})))
 
-	// Byzantine validators holding 20%% of stake and double-voting on
+	// Byzantine validators holding 20% of stake and double-voting on
 	// both branches make it happen ~1.5x faster (Section 5.2.1)...
-	slashable, err := gasperleak.Scenario521(0.5, 0.2)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("double voting:   conflicting finalization after %s\n",
-		gasperleak.FormatEpoch(float64(slashable.SimEpoch)))
+		epochOf(run("5.2.1", gasperleak.ScenarioParams{P0: 0.5, Beta0: 0.2})))
 
 	// ...and with beta0 = 0.33 about ten times faster.
-	fast, err := gasperleak.Scenario521(0.5, 0.33)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("beta0=0.33:      conflicting finalization after %s\n",
-		gasperleak.FormatEpoch(float64(fast.SimEpoch)))
+		epochOf(run("5.2.1", gasperleak.ScenarioParams{P0: 0.5, Beta0: 0.33})))
 
 	// The same attack without any slashable action (Section 5.2.2).
-	subtle, err := gasperleak.Scenario522(0.5, 0.33)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("non-slashable:   conflicting finalization after %s\n",
-		gasperleak.FormatEpoch(float64(subtle.SimEpoch)))
+		epochOf(run("5.2.2", gasperleak.ScenarioParams{P0: 0.5, Beta0: 0.33})))
 
 	// And the minimum initial Byzantine proportion that can cross the
-	// 1/3 Safety threshold on both branches (Section 5.2.3).
-	params := gasperleak.PaperParams()
-	fmt.Printf("threshold:       beta0 >= %.4f can exceed 1/3 on both branches\n",
-		params.ThresholdBeta0(0.5))
+	// 1/3 Safety threshold on both branches (Section 5.2.3), from the
+	// closed-form registry entry.
+	threshold := run("analytic/threshold", gasperleak.ScenarioParams{P0: 0.5})
+	v, _ := threshold.Metric("threshold_both_branches")
+	fmt.Printf("threshold:       beta0 >= %.4f can exceed 1/3 on both branches\n", v)
 }

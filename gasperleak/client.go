@@ -1,0 +1,170 @@
+package gasperleak
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+)
+
+// Streaming-API re-exports.
+type (
+	// SweepUpdate is one event of a streaming sweep: a finished cell's
+	// result plus progress counts.
+	SweepUpdate = engine.Update
+	// ScenarioInfo is the serializable description of one registered
+	// scenario.
+	ScenarioInfo = engine.Info
+	// ScenarioRunMeta is the non-deterministic execution metadata of a
+	// ScenarioResult (wall-clock duration, cache provenance).
+	ScenarioRunMeta = engine.RunMeta
+)
+
+// Client is the v2 entry point of the reproduction: a handle on a scenario
+// registry plus execution policy (worker pool width), with every run and
+// sweep threaded through a context.Context for cancellation and deadlines.
+//
+//	c, err := gasperleak.NewClient(gasperleak.WithWorkers(8))
+//	res, err := c.Run(ctx, "5.2.1", gasperleak.ScenarioParams{Beta0: 0.2})
+//	for u := range c.SweepStream(ctx, cells) { ... }
+//
+// The zero worker count means "all CPUs"; negative counts are rejected by
+// NewClient so every CLI and service layered on the client validates
+// -workers uniformly.
+type Client struct {
+	reg     *engine.Registry
+	workers int
+}
+
+// ClientOption configures a Client (functional options).
+type ClientOption func(*Client) error
+
+// WithWorkers bounds the client's sweep concurrency (0 = all CPUs).
+// Negative counts are rejected.
+func WithWorkers(n int) ClientOption {
+	return func(c *Client) error {
+		if n < 0 {
+			return fmt.Errorf("gasperleak: workers = %d, want >= 0 (0 = all CPUs)", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithRegistry points the client at a custom scenario registry instead of
+// the built-in one.
+func WithRegistry(reg *ScenarioRegistry) ClientOption {
+	return func(c *Client) error {
+		if reg == nil {
+			return fmt.Errorf("gasperleak: WithRegistry(nil)")
+		}
+		c.reg = reg
+		return nil
+	}
+}
+
+// NewClient builds a client over the built-in scenario registry, all-CPU
+// sweeps, and no deadline, then applies the options in order.
+func NewClient(opts ...ClientOption) (*Client, error) {
+	c := &Client{reg: engine.Default}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// options is the engine view of the client's execution policy.
+func (c *Client) options() engine.Options {
+	return engine.Options{Workers: c.workers, Registry: c.reg}
+}
+
+// Workers reports the configured sweep pool width (0 = all CPUs).
+func (c *Client) Workers() int { return c.workers }
+
+// Scenarios describes every registered scenario, sorted by name.
+func (c *Client) Scenarios() []ScenarioInfo { return c.reg.Infos() }
+
+// Lookup finds a scenario in the client's registry.
+func (c *Client) Lookup(name string) (Scenario, bool) { return c.reg.Lookup(name) }
+
+// Run executes one scenario with cooperative cancellation: scenarios with
+// long internal loops (leaksim, bounce-mc, fig7-threshold, sim/partition)
+// observe ctx mid-run.
+func (c *Client) Run(ctx context.Context, name string, p ScenarioParams) (ScenarioResult, error) {
+	return c.reg.RunContext(ctx, name, p)
+}
+
+// SweepStream fans the cells out over the client's worker pool and yields
+// one update per cell as it completes (completion order). The caller must
+// drain the channel; after ctx is cancelled the remaining cells are marked
+// with the context error and the stream closes promptly. Result payloads
+// are bit-identical for any worker count (Meta carries the timing).
+func (c *Client) SweepStream(ctx context.Context, cells []SweepCell) <-chan SweepUpdate {
+	return engine.SweepStream(ctx, cells, c.options())
+}
+
+// Sweep collects a streaming sweep into one result per cell, in cell
+// order. Unfinished cells after cancellation record the context error.
+func (c *Client) Sweep(ctx context.Context, cells []SweepCell) []ScenarioResult {
+	return engine.SweepContext(ctx, cells, c.options())
+}
+
+// SweepGrid expands a parameter grid and sweeps it.
+func (c *Client) SweepGrid(ctx context.Context, g SweepGrid) []ScenarioResult {
+	return engine.SweepGridContext(ctx, g, c.options())
+}
+
+// RenderTable1 renders the paper's Table 1 over the client's pool.
+func (c *Client) RenderTable1(ctx context.Context, seed int64) (*ReportTable, error) {
+	return report.Table1(ctx, seed, c.options())
+}
+
+// RenderTable2 renders the paper's Table 2 over the client's pool.
+func (c *Client) RenderTable2(ctx context.Context) (*ReportTable, error) {
+	return report.Table2(ctx, c.options())
+}
+
+// RenderTable3 renders the paper's Table 3 over the client's pool.
+func (c *Client) RenderTable3(ctx context.Context) (*ReportTable, error) {
+	return report.Table3(ctx, c.options())
+}
+
+// Figure3Sim overlays the integer simulation on Figure 3's grid.
+func (c *Client) Figure3Sim(ctx context.Context, every int) (*Figure, error) {
+	return report.Figure3Sim(ctx, every, c.options())
+}
+
+// Figure7Sim overlays the integer-simulation threshold boundary on
+// Figure 7.
+func (c *Client) Figure7Sim(ctx context.Context, points int) (*Figure, error) {
+	return report.Figure7Sim(ctx, points, c.options())
+}
+
+// Figure10MonteCarlo overlays the integer Monte-Carlo on Figure 10.
+func (c *Client) Figure10MonteCarlo(ctx context.Context, beta0 float64, nHonest, runs int, seed int64) (*Figure, error) {
+	return report.Figure10MonteCarlo(ctx, beta0, nHonest, runs, seed, c.options())
+}
+
+// BounceMCSweep runs `runs` independent bouncing-attack trajectories and
+// returns the engine results plus the run-averaged exceed-probability
+// curve on the epoch grid sample, 2*sample, ..., horizon.
+func (c *Client) BounceMCSweep(ctx context.Context, p0, beta0 float64, n, runs int, seed int64, sample, horizon int) ([]ScenarioResult, []float64, error) {
+	return report.BounceMCSweep(ctx, p0, beta0, n, runs, seed, sample, horizon, c.options())
+}
+
+// SweepThroughput summarizes a sweep's pacing (cells/sec and cumulative
+// compute time) from the results' duration metadata and the measured wall
+// clock.
+func SweepThroughput(results []ScenarioResult, wall time.Duration) string {
+	return report.SweepThroughput(results, wall)
+}
+
+// StripScenarioMeta returns a copy of the results with execution metadata
+// removed, for comparing the deterministic payload of two sweeps.
+func StripScenarioMeta(results []ScenarioResult) []ScenarioResult {
+	return engine.StripMeta(results)
+}

@@ -1,6 +1,7 @@
 package gasperleak
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/engine"
@@ -10,8 +11,13 @@ import (
 // Re-exported scenario-engine primitives: the unified runner behind every
 // table, figure, and CLI of the reproduction. Scenarios are looked up by
 // name in a registry and parameter grids fan out over a worker pool with
-// per-cell derived seeds, so sweep results are bit-identical regardless of
-// worker count.
+// per-cell derived seeds, so sweep result payloads are bit-identical
+// regardless of worker count.
+//
+// The execution entry points below are the v1 batch surface, kept as thin
+// shims over the v2 Client (client.go): they run on the default registry
+// with no cancellation. New code should construct a Client and pass a
+// context instead.
 type (
 	// Scenario is one runnable analysis (analytic solver, paper-scale
 	// engine, or protocol-simulator experiment).
@@ -35,6 +41,8 @@ type (
 )
 
 // RunScenario executes a named scenario from the default registry.
+//
+// Deprecated: use Client.Run, which takes a context for cancellation.
 func RunScenario(name string, p ScenarioParams) (ScenarioResult, error) {
 	return engine.Run(name, p)
 }
@@ -52,12 +60,20 @@ func NewScenario(name, desc string, defaults ScenarioParams, run func(ScenarioPa
 }
 
 // Sweep fans the cells out over a bounded worker pool and returns one
-// result per cell, in cell order, bit-identical for any worker count.
+// result per cell, in cell order, with payloads bit-identical for any
+// worker count.
+//
+// Deprecated: use Client.Sweep (collected) or Client.SweepStream
+// (per-cell updates as they complete), which take a context for
+// cancellation.
 func Sweep(cells []SweepCell, opt SweepOptions) []ScenarioResult {
 	return engine.Sweep(cells, opt)
 }
 
 // RunSweepGrid expands a parameter grid and sweeps it.
+//
+// Deprecated: use Client.SweepGrid, which takes a context for
+// cancellation.
 func RunSweepGrid(g SweepGrid, opt SweepOptions) []ScenarioResult {
 	return engine.SweepGrid(g, opt)
 }
@@ -89,8 +105,11 @@ func BounceMCGrid(p0, beta0 float64, n, runs int, seed int64, sample, horizon in
 // BounceMCSweep runs `runs` independent bouncing-attack trajectories and
 // returns the engine results plus the run-averaged exceed-probability
 // curve on the epoch grid sample, 2*sample, ..., horizon.
+//
+// Deprecated: use Client.BounceMCSweep, which takes a context for
+// cancellation.
 func BounceMCSweep(p0, beta0 float64, n, runs int, seed int64, sample, horizon, workers int) ([]ScenarioResult, []float64, error) {
-	return report.BounceMCSweep(p0, beta0, n, runs, seed, sample, horizon, workers)
+	return report.BounceMCSweep(context.Background(), p0, beta0, n, runs, seed, sample, horizon, engine.Options{Workers: workers})
 }
 
 // RenderSweep renders sweep results as a fixed-width ASCII table.

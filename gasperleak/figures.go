@@ -1,6 +1,11 @@
 package gasperleak
 
-import "repro/internal/report"
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/report"
+)
 
 // Re-exported reporting primitives.
 type (
@@ -18,7 +23,11 @@ func Figure3() *Figure { return report.Figure3() }
 
 // Figure3Sim overlays the integer simulation on Figure 3's grid, running
 // the p0 cells on `workers` goroutines (<= 0 = all CPUs).
-func Figure3Sim(every, workers int) (*Figure, error) { return report.Figure3Sim(every, workers) }
+//
+// Deprecated: use Client.Figure3Sim, which takes a context.
+func Figure3Sim(every, workers int) (*Figure, error) {
+	return report.Figure3Sim(context.Background(), every, engine.Options{Workers: workers})
+}
 
 // Figure6 regenerates Figure 6 (conflict epoch vs beta0, both behaviors).
 func Figure6() (*Figure, error) { return report.Figure6() }
@@ -29,7 +38,11 @@ func Figure7() *Figure { return report.Figure7() }
 // Figure7Sim overlays the integer-simulation threshold boundary on
 // Figure 7, running the per-p0 bisections on `workers` goroutines (<= 0 =
 // all CPUs).
-func Figure7Sim(points, workers int) (*Figure, error) { return report.Figure7Sim(points, workers) }
+//
+// Deprecated: use Client.Figure7Sim, which takes a context.
+func Figure7Sim(points, workers int) (*Figure, error) {
+	return report.Figure7Sim(context.Background(), points, engine.Options{Workers: workers})
+}
 
 // Figure9 regenerates Figure 9 (censored stake distribution at epoch t).
 func Figure9(t float64) *Figure { return report.Figure9(t) }
@@ -40,21 +53,35 @@ func Figure10() *Figure { return report.Figure10() }
 // Figure10MonteCarlo overlays the integer Monte-Carlo on Figure 10:
 // `runs` independent trajectories averaged, run on `workers` goroutines
 // (<= 0 = all CPUs).
+//
+// Deprecated: use Client.Figure10MonteCarlo, which takes a context.
 func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64, workers int) (*Figure, error) {
-	return report.Figure10MonteCarlo(beta0, nHonest, runs, seed, workers)
+	return report.Figure10MonteCarlo(context.Background(), beta0, nHonest, runs, seed, engine.Options{Workers: workers})
 }
 
 // RenderTable1 renders the scenario overview (Table 1), sweeping the five
 // scenarios on `workers` goroutines (<= 0 = all CPUs).
-func RenderTable1(seed int64, workers int) (*ReportTable, error) { return report.Table1(seed, workers) }
+//
+// Deprecated: use Client.RenderTable1, which takes a context.
+func RenderTable1(seed int64, workers int) (*ReportTable, error) {
+	return report.Table1(context.Background(), seed, engine.Options{Workers: workers})
+}
 
 // RenderTable2 renders Table 2 (paper vs analytic vs integer simulation),
 // sweeping the beta0 rows on `workers` goroutines (<= 0 = all CPUs).
-func RenderTable2(workers int) (*ReportTable, error) { return report.Table2(workers) }
+//
+// Deprecated: use Client.RenderTable2, which takes a context.
+func RenderTable2(workers int) (*ReportTable, error) {
+	return report.Table2(context.Background(), engine.Options{Workers: workers})
+}
 
 // RenderTable3 renders Table 3, sweeping the beta0 rows on `workers`
 // goroutines (<= 0 = all CPUs).
-func RenderTable3(workers int) (*ReportTable, error) { return report.Table3(workers) }
+//
+// Deprecated: use Client.RenderTable3, which takes a context.
+func RenderTable3(workers int) (*ReportTable, error) {
+	return report.Table3(context.Background(), engine.Options{Workers: workers})
+}
 
 // Table2Cells lists the engine sweep behind Table 2.
 func Table2Cells() []SweepCell { return report.Table2Cells() }

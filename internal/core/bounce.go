@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -66,6 +67,12 @@ type honestState struct {
 // It returns the samples and the first epoch at which the Byzantine
 // proportion exceeded 1/3 on either branch (0 = never).
 func (b BounceMC) Run(maxEpochs, sampleEvery int) ([]BouncePoint, types.Epoch, error) {
+	return b.RunContext(context.Background(), maxEpochs, sampleEvery)
+}
+
+// RunContext is Run with cooperative cancellation: the epoch loop checks
+// ctx every cancelCheckEvery epochs and returns ctx.Err() once cancelled.
+func (b BounceMC) RunContext(ctx context.Context, maxEpochs, sampleEvery int) ([]BouncePoint, types.Epoch, error) {
 	if b.NHonest <= 0 || b.P0 < 0 || b.P0 > 1 || b.Beta0 < 0 || b.Beta0 >= 1 {
 		return nil, 0, fmt.Errorf("%w: %+v", ErrBadParams, b)
 	}
@@ -147,6 +154,11 @@ func (b BounceMC) Run(maxEpochs, sampleEvery int) ([]BouncePoint, types.Epoch, e
 	}
 
 	for epoch := types.Epoch(1); epoch <= types.Epoch(maxEpochs); epoch++ {
+		if uint64(epoch)%cancelCheckEvery == 1 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		// Byzantine semi-activity: active on branch (epoch mod 2).
 		for br := 0; br < 2; br++ {
 			byz[br].step(spec, uint64(epoch)%2 == uint64(br), true, epoch)
@@ -197,6 +209,12 @@ func (b BounceMC) Run(maxEpochs, sampleEvery int) ([]BouncePoint, types.Epoch, e
 // over `runs` independent trajectories (Figure 10's Monte-Carlo
 // counterpart).
 func (b BounceMC) ExceedProbability(epochs []types.Epoch, runs int) ([]float64, error) {
+	return b.ExceedProbabilityContext(context.Background(), epochs, runs)
+}
+
+// ExceedProbabilityContext is ExceedProbability with cooperative
+// cancellation threaded into every underlying trajectory.
+func (b BounceMC) ExceedProbabilityContext(ctx context.Context, epochs []types.Epoch, runs int) ([]float64, error) {
 	if len(epochs) == 0 || runs <= 0 {
 		return nil, fmt.Errorf("%w: no epochs or runs", ErrBadParams)
 	}
@@ -210,7 +228,7 @@ func (b BounceMC) ExceedProbability(epochs []types.Epoch, runs int) ([]float64, 
 	for r := 0; r < runs; r++ {
 		mc := b
 		mc.Seed = b.Seed + int64(r)*7919
-		samples, _, err := mc.Run(int(maxEpoch), 1)
+		samples, _, err := mc.RunContext(ctx, int(maxEpoch), 1)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TestLeakSimRunContextCancel: a cancelled context aborts the epoch loop
+// promptly with the context's error, and a background context leaves the
+// result identical to the plain Run path.
+func TestLeakSimRunContextCancel(t *testing.T) {
+	ls := LeakSim{N: 10000, P0: 0.5, Beta0: 0.2, Mode: ByzDoubleVote}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := ls.RunContext(ctx, 1_000_000, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled run took %v, want prompt return", d)
+	}
+
+	plain, err := ls.Run(2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := ls.RunContext(context.Background(), 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.A.ThresholdEpoch != viaCtx.A.ThresholdEpoch || plain.ConflictEpoch != viaCtx.ConflictEpoch {
+		t.Errorf("RunContext(Background) diverges from Run: %+v vs %+v", viaCtx, plain)
+	}
+}
+
+// TestBounceMCRunContextCancel mirrors the LeakSim check for the
+// per-validator Monte-Carlo, including the ExceedProbability path.
+func TestBounceMCRunContextCancel(t *testing.T) {
+	mc := BounceMC{NHonest: 200, Beta0: 0.33, P0: 0.5, Seed: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, _, err := mc.RunContext(ctx, 1_000_000, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled run took %v, want prompt return", d)
+	}
+	if _, err := mc.ExceedProbabilityContext(ctx, []types.Epoch{1000}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExceedProbabilityContext err = %v, want context.Canceled", err)
+	}
+}

@@ -16,12 +16,20 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/types"
 )
+
+// cancelCheckEvery is how many epochs a long simulation loop runs between
+// cooperative cancellation checks. A LeakSim epoch costs nanoseconds and a
+// BounceMC epoch is O(NHonest), so a few hundred epochs keeps the check
+// overhead negligible while bounding the cancellation latency well under a
+// millisecond for every paper-scale configuration.
+const cancelCheckEvery = 256
 
 // ByzMode selects the Byzantine strategy of a leak scenario.
 type ByzMode int
@@ -189,6 +197,12 @@ func (b *branch) totals() (active, total types.Gwei) {
 // Run simulates up to maxEpochs epochs of leak (epoch 0 = leak start) with
 // samples every sampleEvery epochs (0 disables tracing).
 func (l LeakSim) Run(maxEpochs int, sampleEvery int) (Result, error) {
+	return l.RunContext(context.Background(), maxEpochs, sampleEvery)
+}
+
+// RunContext is Run with cooperative cancellation: the epoch loop checks
+// ctx every cancelCheckEvery epochs and returns ctx.Err() once cancelled.
+func (l LeakSim) RunContext(ctx context.Context, maxEpochs int, sampleEvery int) (Result, error) {
 	if l.N <= 0 || l.P0 < 0 || l.P0 > 1 || l.Beta0 < 0 || l.Beta0 >= 1 {
 		return Result{}, fmt.Errorf("%w: %+v", ErrBadParams, l)
 	}
@@ -218,6 +232,11 @@ func (l LeakSim) Run(maxEpochs int, sampleEvery int) (Result, error) {
 	crossed := [2]bool{}
 
 	for epoch := types.Epoch(1); epoch <= types.Epoch(maxEpochs); epoch++ {
+		if uint64(epoch)%cancelCheckEvery == 1 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		for i := range branches {
 			br := &branches[i]
 			out := results[i]

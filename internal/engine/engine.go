@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -127,6 +128,38 @@ type Result struct {
 	Curve     []CurvePoint `json:"curve,omitempty"`
 	// Err records a per-cell failure inside a sweep (empty = success).
 	Err string `json:"error,omitempty"`
+	// Meta carries execution metadata (wall-clock duration, cache
+	// provenance). It is nil for results that never went through a sweep
+	// or a serving layer, and is deliberately excluded from determinism
+	// comparisons: the payload above is bit-identical across worker
+	// counts, the timing below is not.
+	Meta *RunMeta `json:"meta,omitempty"`
+}
+
+// RunMeta is the non-deterministic execution metadata of a Result.
+type RunMeta struct {
+	// DurationMS is the wall-clock time of the cell's computation in
+	// milliseconds.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Cached marks a result served from a cache instead of recomputed.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// WithoutMeta returns a copy of r with execution metadata stripped, for
+// comparing the deterministic payload of two runs.
+func (r Result) WithoutMeta() Result {
+	r.Meta = nil
+	return r
+}
+
+// StripMeta returns a copy of the slice with every result's execution
+// metadata stripped.
+func StripMeta(results []Result) []Result {
+	out := make([]Result, len(results))
+	for i, r := range results {
+		out[i] = r.WithoutMeta()
+	}
+	return out
 }
 
 // Metric returns the named metric value and whether it is present.
@@ -169,6 +202,14 @@ type Scenario interface {
 	Run(p Params) (Result, error)
 }
 
+// ContextRunner is the optional context-aware extension of Scenario.
+// Long-running scenarios implement it to observe cooperative cancellation
+// inside their epoch loops; Registry.RunContext prefers it over Run when
+// present.
+type ContextRunner interface {
+	RunContext(ctx context.Context, p Params) (Result, error)
+}
+
 // funcScenario adapts a plain function to the Scenario interface.
 type funcScenario struct {
 	name, desc string
@@ -184,6 +225,30 @@ func (s funcScenario) Run(p Params) (Result, error) { return s.run(p) }
 // NewScenario builds a Scenario from a function.
 func NewScenario(name, desc string, defaults Params, run func(Params) (Result, error)) Scenario {
 	return funcScenario{name: name, desc: desc, defaults: defaults, run: run}
+}
+
+// ctxFuncScenario adapts a context-aware function to Scenario and
+// ContextRunner.
+type ctxFuncScenario struct {
+	name, desc string
+	defaults   Params
+	run        func(context.Context, Params) (Result, error)
+}
+
+func (s ctxFuncScenario) Name() string        { return s.name }
+func (s ctxFuncScenario) Description() string { return s.desc }
+func (s ctxFuncScenario) Defaults() Params    { return s.defaults }
+func (s ctxFuncScenario) Run(p Params) (Result, error) {
+	return s.run(context.Background(), p)
+}
+func (s ctxFuncScenario) RunContext(ctx context.Context, p Params) (Result, error) {
+	return s.run(ctx, p)
+}
+
+// NewContextScenario builds a cancellable Scenario from a context-aware
+// function.
+func NewContextScenario(name, desc string, defaults Params, run func(context.Context, Params) (Result, error)) Scenario {
+	return ctxFuncScenario{name: name, desc: desc, defaults: defaults, run: run}
 }
 
 // Registry is a named set of scenarios. The zero value is not usable;
@@ -239,13 +304,29 @@ func (r *Registry) Names() []string {
 // Run looks the scenario up, applies its defaults to p, executes it, and
 // stamps the result with the scenario name and effective parameters.
 func (r *Registry) Run(name string, p Params) (Result, error) {
+	return r.RunContext(context.Background(), name, p)
+}
+
+// RunContext is Run with cooperative cancellation: a scenario implementing
+// ContextRunner observes ctx inside its own loops, any other scenario is
+// gated by a cancellation check before it starts.
+func (r *Registry) RunContext(ctx context.Context, name string, p Params) (Result, error) {
 	s, ok := r.Lookup(name)
 	if !ok {
 		return Result{}, fmt.Errorf("engine: unknown scenario %q (have: %s)",
 			name, strings.Join(r.Names(), ", "))
 	}
 	p = p.WithDefaults(s.Defaults())
-	res, err := s.Run(p)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	var err error
+	if cr, ok := s.(ContextRunner); ok {
+		res, err = cr.RunContext(ctx, p)
+	} else {
+		res, err = s.Run(p)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -254,14 +335,50 @@ func (r *Registry) Run(name string, p Params) (Result, error) {
 	return res, nil
 }
 
+// Info is the serializable description of one registered scenario.
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Defaults    Params `json:"defaults"`
+	// Cancellable reports whether the scenario observes context
+	// cancellation inside its own loops (ContextRunner).
+	Cancellable bool `json:"cancellable"`
+}
+
+// Infos describes every registered scenario, sorted by name.
+func (r *Registry) Infos() []Info {
+	names := r.Names()
+	infos := make([]Info, 0, len(names))
+	for _, n := range names {
+		s, _ := r.Lookup(n)
+		_, cancellable := s.(ContextRunner)
+		infos = append(infos, Info{
+			Name:        s.Name(),
+			Description: s.Description(),
+			Defaults:    s.Defaults(),
+			Cancellable: cancellable,
+		})
+	}
+	return infos
+}
+
 // Default is the package registry holding every built-in scenario.
 var Default = NewRegistry()
 
 // Run executes a scenario from the default registry.
 func Run(name string, p Params) (Result, error) { return Default.Run(name, p) }
 
+// RunContext executes a scenario from the default registry with
+// cooperative cancellation.
+func RunContext(ctx context.Context, name string, p Params) (Result, error) {
+	return Default.RunContext(ctx, name, p)
+}
+
 // Lookup finds a scenario in the default registry.
 func Lookup(name string) (Scenario, bool) { return Default.Lookup(name) }
 
 // Names lists the default registry, sorted.
 func Names() []string { return Default.Names() }
+
+// Infos describes every scenario of the default registry, sorted by name.
+func Infos() []Info { return Default.Infos() }

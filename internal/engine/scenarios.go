@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -74,19 +75,19 @@ func init() {
 			return summaryResult(s), err
 		}))
 
-	Default.MustRegister(NewScenario(ScenarioLeakSim,
+	Default.MustRegister(NewContextScenario(ScenarioLeakSim,
 		"Aggregate two-branch leak simulation (mode: absent, absent-delay, double, semi, semi-delay)",
 		Params{P0: 0.5, Mode: "absent", N: 10000, Horizon: 9000},
 		runLeakSim))
-	Default.MustRegister(NewScenario(ScenarioBounceMC,
+	Default.MustRegister(NewContextScenario(ScenarioBounceMC,
 		"Per-validator bouncing-attack Monte-Carlo (one trajectory per seed)",
 		Params{P0: 0.5, Beta0: 1.0 / 3.0, Seed: 1, N: 500, Horizon: 4000},
 		runBounceMC))
-	Default.MustRegister(NewScenario(ScenarioFig7Search,
+	Default.MustRegister(NewContextScenario(ScenarioFig7Search,
 		"Bisection for the minimal beta0 crossing 1/3 on both branches (Figure 7)",
 		Params{P0: 0.5, N: 10000, Horizon: 9000},
 		runFig7Search))
-	Default.MustRegister(NewScenario(ScenarioSimPartition,
+	Default.MustRegister(NewContextScenario(ScenarioSimPartition,
 		"Full protocol simulator: partitioned network until a finality-safety violation",
 		Params{P0: 0.5, N: 16, Horizon: 40, Seed: 3},
 		runSimPartition))
@@ -143,13 +144,13 @@ func leakMode(mode string) (core.ByzMode, bool, error) {
 	}
 }
 
-func runLeakSim(p Params) (Result, error) {
+func runLeakSim(ctx context.Context, p Params) (Result, error) {
 	mode, delay, err := leakMode(p.Mode)
 	if err != nil {
 		return Result{}, err
 	}
 	ls := core.LeakSim{N: p.N, P0: p.P0, Beta0: p.Beta0, Mode: mode, DelayFinalization: delay}
-	res, err := ls.Run(p.Horizon, p.Sample)
+	res, err := ls.RunContext(ctx, p.Horizon, p.Sample)
 	if err != nil {
 		return Result{}, err
 	}
@@ -175,12 +176,12 @@ func runLeakSim(p Params) (Result, error) {
 	return out, nil
 }
 
-func runBounceMC(p Params) (Result, error) {
+func runBounceMC(ctx context.Context, p Params) (Result, error) {
 	mc := core.BounceMC{NHonest: p.N, Beta0: p.Beta0, P0: p.P0, Seed: p.Seed}
 	model := analytic.BounceModel{P0: p.P0}
 	params := analytic.PaperParams()
 	if p.Sample > 0 {
-		samples, crossedAt, err := mc.Run(p.Horizon, p.Sample)
+		samples, crossedAt, err := mc.RunContext(ctx, p.Horizon, p.Sample)
 		if err != nil {
 			return Result{}, err
 		}
@@ -199,7 +200,7 @@ func runBounceMC(p Params) (Result, error) {
 		}
 		return out, nil
 	}
-	probs, err := mc.ExceedProbability([]types.Epoch{types.Epoch(p.Horizon)}, 1)
+	probs, err := mc.ExceedProbabilityContext(ctx, []types.Epoch{types.Epoch(p.Horizon)}, 1)
 	if err != nil {
 		return Result{}, err
 	}
@@ -214,13 +215,13 @@ func runBounceMC(p Params) (Result, error) {
 // runFig7Search bisects over full LeakSim runs for the minimal beta0 whose
 // Byzantine proportion crosses 1/3 on both branches at the given p0
 // (Figure 7's simulated boundary).
-func runFig7Search(p Params) (Result, error) {
+func runFig7Search(ctx context.Context, p Params) (Result, error) {
 	lo, hi := 0.01, 0.40
 	for iter := 0; iter < 12; iter++ {
 		mid := (lo + hi) / 2
 		ls := core.LeakSim{N: p.N, P0: p.P0, Beta0: mid,
 			Mode: core.ByzSemiActive, DelayFinalization: true}
-		res, err := ls.Run(p.Horizon, 0)
+		res, err := ls.RunContext(ctx, p.Horizon, 0)
 		if err != nil {
 			return Result{}, fmt.Errorf("engine: fig7 search at p0=%v beta0=%v: %w", p.P0, mid, err)
 		}
@@ -244,7 +245,7 @@ func runFig7Search(p Params) (Result, error) {
 // validator) through a lasting partition under a compressed spec and
 // reports the epoch of the first finality-safety violation — the
 // mechanism-level counterpart of Scenario 5.1.
-func runSimPartition(p Params) (Result, error) {
+func runSimPartition(ctx context.Context, p Params) (Result, error) {
 	nA := int(math.Round(float64(p.N) * p.P0))
 	s, err := sim.New(sim.Config{
 		Validators: p.N,
@@ -264,6 +265,11 @@ func runSimPartition(p Params) (Result, error) {
 	}
 	violation := 0.0
 	for epoch := 1; epoch <= p.Horizon && violation == 0; epoch++ {
+		// A protocol-simulator epoch is orders of magnitude heavier than
+		// a leak epoch, so check cancellation on every one.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		if err := s.RunEpochs(1); err != nil {
 			return Result{}, err
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Cell is one sweep unit: a named scenario plus its parameters.
@@ -187,7 +189,7 @@ func ParseGrid(scenario, spec string) (Grid, error) {
 			ns, err = parseIntList(value)
 			if err == nil {
 				if len(ns) != 1 {
-					err = fmt.Errorf("engine: n wants a single value, got %q", value)
+					err = fmt.Errorf("wants a single value, got %q", value)
 				} else {
 					g.N = int(ns[0])
 				}
@@ -197,7 +199,7 @@ func ParseGrid(scenario, spec string) (Grid, error) {
 			ss, err = parseIntList(value)
 			if err == nil {
 				if len(ss) != 1 {
-					err = fmt.Errorf("engine: sample wants a single value, got %q", value)
+					err = fmt.Errorf("wants a single value, got %q", value)
 				} else {
 					g.Sample = int(ss[0])
 				}
@@ -206,7 +208,7 @@ func ParseGrid(scenario, spec string) (Grid, error) {
 			return Grid{}, fmt.Errorf("engine: unknown sweep key %q (want p0, beta0, mode, seed, horizon, n, sample)", key)
 		}
 		if err != nil {
-			return Grid{}, fmt.Errorf("engine: sweep key %s: %w", key, err)
+			return Grid{}, fmt.Errorf("engine: sweep dimension %q: %w", key, err)
 		}
 	}
 	return g, nil
@@ -221,9 +223,10 @@ func parseFloatList(value string) ([]float64, error) {
 		}
 		var lo, hi, step float64
 		for i, dst := range []*float64{&lo, &hi, &step} {
-			v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+			tok := strings.TrimSpace(parts[i])
+			v, err := strconv.ParseFloat(tok, 64)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("range %q: bad number %q", value, tok)
 			}
 			*dst = v
 		}
@@ -243,9 +246,10 @@ func parseFloatList(value string) ([]float64, error) {
 	}
 	var out []float64
 	for _, s := range strings.Split(value, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		tok := strings.TrimSpace(s)
+		v, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bad number %q in %q", tok, value)
 		}
 		out = append(out, v)
 	}
@@ -261,9 +265,10 @@ func parseIntList(value string) ([]int64, error) {
 		}
 		var lo, hi, step int64
 		for i, dst := range []*int64{&lo, &hi, &step} {
-			v, err := strconv.ParseInt(strings.TrimSpace(parts[i]), 10, 64)
+			tok := strings.TrimSpace(parts[i])
+			v, err := strconv.ParseInt(tok, 10, 64)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("range %q: bad integer %q", value, tok)
 			}
 			*dst = v
 		}
@@ -278,9 +283,10 @@ func parseIntList(value string) ([]int64, error) {
 	}
 	var out []int64
 	for _, s := range strings.Split(value, ",") {
-		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		tok := strings.TrimSpace(s)
+		v, err := strconv.ParseInt(tok, 10, 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bad integer %q in %q", tok, value)
 		}
 		out = append(out, v)
 	}
@@ -295,12 +301,32 @@ type Options struct {
 	Registry *Registry
 }
 
-// Sweep runs every cell through the registry over a bounded worker pool
-// and returns one Result per cell, in cell order. Each cell is an
-// independent deterministic computation with its own seed, so the output
-// is bit-identical for any worker count. A failing cell records its error
-// in Result.Err instead of aborting the sweep.
-func Sweep(cells []Cell, opt Options) []Result {
+// Update is one event of a streaming sweep: a finished cell's result plus
+// progress counts.
+type Update struct {
+	// Index is the cell's position in the input slice.
+	Index int `json:"index"`
+	// Result is the cell's outcome. A failed or cancelled cell records
+	// its error in Result.Err instead of aborting the sweep.
+	Result Result `json:"result"`
+	// Completed counts the cells finished so far, this one included.
+	Completed int `json:"completed"`
+	// Total is the sweep's cell count.
+	Total int `json:"total"`
+}
+
+// SweepStream runs every cell through the registry over a bounded worker
+// pool and yields one Update per cell as it completes (completion order,
+// not cell order). Cancellation is cooperative: once ctx is cancelled,
+// cells already running return early (ContextRunner scenarios observe ctx
+// inside their loops) and cells not yet started are marked with the
+// context error without being computed, so the stream closes promptly.
+//
+// The caller must drain the channel; it is closed after the last cell.
+// Each computed cell's Result carries its wall-clock duration in
+// Result.Meta. The result payloads (Meta aside) are bit-identical for any
+// worker count.
+func SweepStream(ctx context.Context, cells []Cell, opt Options) <-chan Update {
 	reg := opt.Registry
 	if reg == nil {
 		reg = Default
@@ -312,11 +338,25 @@ func Sweep(cells []Cell, opt Options) []Result {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
-	results := make([]Result, len(cells))
+	out := make(chan Update)
 	if len(cells) == 0 {
-		return results
+		close(out)
+		return out
 	}
-	jobs := make(chan int)
+
+	// Pre-filled job queue: no producer goroutine to leak, and workers
+	// drain the remainder instantly after cancellation.
+	jobs := make(chan int, len(cells))
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+
+	type indexed struct {
+		i   int
+		res Result
+	}
+	finished := make(chan indexed)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -324,31 +364,79 @@ func Sweep(cells []Cell, opt Options) []Result {
 			defer wg.Done()
 			for i := range jobs {
 				cell := cells[i]
-				res, err := reg.Run(cell.Scenario, cell.Params)
-				if err != nil {
-					// Record the defaulted params when possible, so a
-					// failed cell still documents the run it attempted.
-					p := cell.Params
-					if s, ok := reg.Lookup(cell.Scenario); ok {
-						p = p.WithDefaults(s.Defaults())
+				var res Result
+				if err := ctx.Err(); err != nil {
+					// Cancelled before this cell started: mark it
+					// without computing (no Meta — no work was done).
+					res = failedCell(reg, cell, err)
+				} else {
+					start := time.Now()
+					r, err := reg.RunContext(ctx, cell.Scenario, cell.Params)
+					if err != nil {
+						r = failedCell(reg, cell, err)
 					}
-					res = Result{Scenario: cell.Scenario, Params: p, Err: err.Error()}
+					r.Meta = &RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}
+					res = r
 				}
-				results[i] = res
+				finished <- indexed{i, res}
 			}
 		}()
 	}
-	for i := range cells {
-		jobs <- i
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	go func() {
+		defer close(out)
+		completed := 0
+		for f := range finished {
+			completed++
+			out <- Update{Index: f.i, Result: f.res, Completed: completed, Total: len(cells)}
+		}
+	}()
+	return out
+}
+
+// failedCell records a cell failure with the defaulted params when
+// possible, so a failed cell still documents the run it attempted.
+func failedCell(reg *Registry, cell Cell, err error) Result {
+	p := cell.Params
+	if s, ok := reg.Lookup(cell.Scenario); ok {
+		p = p.WithDefaults(s.Defaults())
 	}
-	close(jobs)
-	wg.Wait()
+	return Result{Scenario: cell.Scenario, Params: p, Err: err.Error()}
+}
+
+// SweepContext collects a SweepStream into one Result per cell, in cell
+// order. After cancellation it returns promptly with every unfinished
+// cell's Err set to the context error.
+func SweepContext(ctx context.Context, cells []Cell, opt Options) []Result {
+	results := make([]Result, len(cells))
+	for u := range SweepStream(ctx, cells, opt) {
+		results[u.Index] = u.Result
+	}
 	return results
+}
+
+// Sweep runs every cell through the registry over a bounded worker pool
+// and returns one Result per cell, in cell order. Each cell is an
+// independent deterministic computation with its own seed, so the output
+// payload is bit-identical for any worker count (Result.Meta carries the
+// non-deterministic timing). A failing cell records its error in
+// Result.Err instead of aborting the sweep.
+func Sweep(cells []Cell, opt Options) []Result {
+	return SweepContext(context.Background(), cells, opt)
 }
 
 // SweepGrid expands the grid and runs it.
 func SweepGrid(g Grid, opt Options) []Result {
 	return Sweep(g.Cells(), opt)
+}
+
+// SweepGridContext expands the grid and runs it with cooperative
+// cancellation.
+func SweepGridContext(ctx context.Context, g Grid, opt Options) []Result {
+	return SweepContext(ctx, g.Cells(), opt)
 }
 
 // FirstError returns the first per-cell error of a sweep, if any.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -132,18 +133,39 @@ func TestParseGrid(t *testing.T) {
 	}
 }
 
+// TestParseGridErrors: malformed specs fail with messages that name the
+// offending dimension and token, so a mistyped 40-cell sweep spec is
+// debuggable from the error alone.
 func TestParseGridErrors(t *testing.T) {
-	for _, spec := range []string{
-		"p0",             // not key=value
-		"warp=1",         // unknown key
-		"p0=0.5:0.1:0.1", // hi < lo
-		"p0=a,b",         // not a number
-		"seed=1:10:0",    // zero step
-		"n=1,2",          // n wants one value
-	} {
-		if _, err := ParseGrid("leaksim", spec); err == nil {
-			t.Errorf("spec %q must error", spec)
-		}
+	tests := []struct {
+		name string
+		spec string
+		want []string // substrings the error must contain
+	}{
+		{"not key=value", "p0", []string{`"p0"`, "key=value"}},
+		{"unknown key", "warp=1", []string{`"warp"`, "unknown sweep key"}},
+		{"hi below lo", "p0=0.5:0.1:0.1", []string{`"p0"`, `"0.5:0.1:0.1"`, "lo <= hi"}},
+		{"float token", "p0=0.2,zap", []string{`"p0"`, `"zap"`}},
+		{"float range token", "p0=0.1:x:0.1", []string{`"p0"`, `"x"`}},
+		{"range arity", "beta0=0.1:0.2", []string{`"beta0"`, `"0.1:0.2"`, "lo:hi:step"}},
+		{"zero step", "seed=1:10:0", []string{`"seed"`, `"1:10:0"`, "step > 0"}},
+		{"int token", "horizon=10,later", []string{`"horizon"`, `"later"`}},
+		{"int range token", "seed=1:ten:1", []string{`"seed"`, `"ten"`}},
+		{"n wants one value", "n=1,2", []string{`"n"`, "single value", `"1,2"`}},
+		{"sample wants one value", "sample=5,10", []string{`"sample"`, "single value", `"5,10"`}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseGrid("leaksim", tc.spec)
+			if err == nil {
+				t.Fatalf("spec %q must error", tc.spec)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("spec %q: error %q does not name %s", tc.spec, err, want)
+				}
+			}
+		})
 	}
 }
 
@@ -202,7 +224,9 @@ func TestSweepDeterminism(t *testing.T) {
 
 	sequential := Sweep(cells, Options{Workers: 1})
 	parallel := Sweep(cells, Options{Workers: runtime.NumCPU()})
-	if !reflect.DeepEqual(sequential, parallel) {
+	// Meta carries wall-clock timing and is excluded from the
+	// determinism contract.
+	if !reflect.DeepEqual(StripMeta(sequential), StripMeta(parallel)) {
 		t.Fatalf("sweep results differ between 1 and %d workers", runtime.NumCPU())
 	}
 	if err := FirstError(sequential); err != nil {

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analytic"
@@ -53,9 +54,9 @@ func Figure3() *Figure {
 
 // Figure3Sim overlays the exact integer simulation on Figure 3's grid: for
 // each p0, the per-epoch active-stake ratio of the branch, sampled every
-// `every` epochs. The p0 cells run concurrently on `workers` goroutines
+// `every` epochs. The p0 cells run per opt.Workers
 // (<= 0 = all CPUs).
-func Figure3Sim(every, workers int) (*Figure, error) {
+func Figure3Sim(ctx context.Context, every int, opt engine.Options) (*Figure, error) {
 	if every <= 0 {
 		every = 10
 	}
@@ -73,7 +74,7 @@ func Figure3Sim(every, workers int) (*Figure, error) {
 			P0: p0, Mode: "absent-delay", N: 10000, Horizon: horizon, Sample: every,
 		}})
 	}
-	results := engine.Sweep(cells, engine.Options{Workers: workers})
+	results := engine.SweepContext(ctx, cells, opt)
 	if err := engine.FirstError(results); err != nil {
 		return nil, fmt.Errorf("report: figure 3 sim: %w", err)
 	}
@@ -96,8 +97,8 @@ func Figure3Sim(every, workers int) (*Figure, error) {
 // Figure7Sim overlays the integer simulation on Figure 7: for each p0 on
 // the grid, the minimal beta0 (found by bisection over full scenario runs)
 // whose Byzantine proportion crosses 1/3 on both branches. The per-p0
-// bisections run concurrently on `workers` goroutines (<= 0 = all CPUs).
-func Figure7Sim(points, workers int) (*Figure, error) {
+// bisections run per opt.Workers (<= 0 = all CPUs).
+func Figure7Sim(ctx context.Context, points int, opt engine.Options) (*Figure, error) {
 	if points <= 0 {
 		points = 9
 	}
@@ -109,7 +110,7 @@ func Figure7Sim(points, workers int) (*Figure, error) {
 			P0: p0, N: 10000, Horizon: 9000,
 		}})
 	}
-	results := engine.Sweep(cells, engine.Options{Workers: workers})
+	results := engine.SweepContext(ctx, cells, opt)
 	if err := engine.FirstError(results); err != nil {
 		return nil, fmt.Errorf("report: figure 7 sim: %w", err)
 	}
@@ -228,12 +229,11 @@ func Figure10() *Figure {
 	return f
 }
 
-// BounceMCSweep runs `runs` independent bouncing-attack trajectories
-// (one bounce-mc engine cell per derived seed, concurrently on `workers`
-// goroutines) and returns the engine results plus the run-averaged
-// exceed-probability curve on the epoch grid sample, 2*sample, ...,
-// horizon.
-func BounceMCSweep(p0, beta0 float64, n, runs int, seed int64, sample, horizon, workers int) ([]engine.Result, []float64, error) {
+// BounceMCSweep runs `runs` independent bouncing-attack trajectories (one
+// bounce-mc engine cell per derived seed, fanned out per opt.Workers) and
+// returns the engine results plus the run-averaged exceed-probability
+// curve on the epoch grid sample, 2*sample, ..., horizon.
+func BounceMCSweep(ctx context.Context, p0, beta0 float64, n, runs int, seed int64, sample, horizon int, opt engine.Options) ([]engine.Result, []float64, error) {
 	if runs <= 0 || sample <= 0 || horizon < sample {
 		return nil, nil, fmt.Errorf("report: bounce mc sweep: runs=%d sample=%d horizon=%d", runs, sample, horizon)
 	}
@@ -243,7 +243,7 @@ func BounceMCSweep(p0, beta0 float64, n, runs int, seed int64, sample, horizon, 
 		return nil, nil, fmt.Errorf("report: bounce mc sweep: p0=%v beta0=%v, want in (0, 1)", p0, beta0)
 	}
 	g := engine.BounceMCGrid(p0, beta0, n, runs, seed, sample, horizon)
-	results := engine.SweepGrid(g, engine.Options{Workers: workers})
+	results := engine.SweepGridContext(ctx, g, opt)
 	if err := engine.FirstError(results); err != nil {
 		return nil, nil, err
 	}
@@ -262,10 +262,10 @@ func BounceMCSweep(p0, beta0 float64, n, runs int, seed int64, sample, horizon, 
 // Figure10MonteCarlo overlays the exact integer Monte-Carlo estimate on
 // Figure 10's grid for one beta0: `runs` independent trajectories (one
 // sweep cell each, seeds derived per cell) averaged pointwise, run
-// concurrently on `workers` goroutines (<= 0 = all CPUs).
-func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64, workers int) (*Figure, error) {
+// per opt.Workers (<= 0 = all CPUs).
+func Figure10MonteCarlo(ctx context.Context, beta0 float64, nHonest, runs int, seed int64, opt engine.Options) (*Figure, error) {
 	const sample, horizon = 1000, 7000
-	_, probs, err := BounceMCSweep(0.5, beta0, nHonest, runs, seed, sample, horizon, workers)
+	_, probs, err := BounceMCSweep(ctx, 0.5, beta0, nHonest, runs, seed, sample, horizon, opt)
 	if err != nil {
 		return nil, fmt.Errorf("report: figure 10 monte carlo: %w", err)
 	}
@@ -290,10 +290,10 @@ func Figure10MonteCarlo(beta0 float64, nHonest, runs int, seed int64, workers in
 }
 
 // Table1 renders the scenario overview (paper Table 1) with both analytic
-// and simulated outcomes, running the five scenario cells concurrently on
-// `workers` goroutines (<= 0 = all CPUs).
-func Table1(seed int64, workers int) (*Table, error) {
-	results := engine.Sweep(engine.Table1Cells(seed), engine.Options{Workers: workers})
+// and simulated outcomes, running the five scenario cells per opt.Workers
+// (<= 0 = all CPUs).
+func Table1(ctx context.Context, seed int64, opt engine.Options) (*Table, error) {
+	results := engine.SweepContext(ctx, engine.Table1Cells(seed), opt)
 	if err := engine.FirstError(results); err != nil {
 		return nil, err
 	}
@@ -346,9 +346,9 @@ func Table3Cells() []engine.Cell { return tableCells("semi") }
 
 // Table2 renders the paper's Table 2 (slashing behavior): paper value,
 // continuous model, and exact integer simulation per beta0. The beta0
-// cells run concurrently on `workers` goroutines (<= 0 = all CPUs).
-func Table2(workers int) (*Table, error) {
-	results := engine.Sweep(Table2Cells(), engine.Options{Workers: workers})
+// cells run per opt.Workers (<= 0 = all CPUs).
+func Table2(ctx context.Context, opt engine.Options) (*Table, error) {
+	results := engine.SweepContext(ctx, Table2Cells(), opt)
 	if err := engine.FirstError(results); err != nil {
 		return nil, fmt.Errorf("report: table 2: %w", err)
 	}
@@ -377,9 +377,9 @@ func Table2(workers int) (*Table, error) {
 }
 
 // Table3 renders the paper's Table 3 (semi-active behavior), with the
-// beta0 cells run concurrently on `workers` goroutines (<= 0 = all CPUs).
-func Table3(workers int) (*Table, error) {
-	results := engine.Sweep(Table3Cells(), engine.Options{Workers: workers})
+// beta0 cells run per opt.Workers (<= 0 = all CPUs).
+func Table3(ctx context.Context, opt engine.Options) (*Table, error) {
+	results := engine.SweepContext(ctx, Table3Cells(), opt)
 	if err := engine.FirstError(results); err != nil {
 		return nil, fmt.Errorf("report: table 3: %w", err)
 	}

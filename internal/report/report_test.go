@@ -1,9 +1,11 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 )
 
@@ -132,14 +134,14 @@ func TestFigure10Content(t *testing.T) {
 }
 
 func TestTables(t *testing.T) {
-	t2, err := Table2(0)
+	t2, err := Table2(context.Background(), engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(t2.Rows) != 5 {
 		t.Errorf("Table 2 rows = %d, want 5", len(t2.Rows))
 	}
-	t3, err := Table3(0)
+	t3, err := Table3(context.Background(), engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +162,7 @@ func TestTables(t *testing.T) {
 // 1/3, and caps at 1/3 where the closed form exceeds it (an initial
 // proportion of 1/3 crosses trivially).
 func TestFigure7SimMatchesAnalytic(t *testing.T) {
-	f, err := Figure7Sim(5, 0)
+	f, err := Figure7Sim(context.Background(), 5, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +182,7 @@ func TestFigure7SimMatchesAnalytic(t *testing.T) {
 // TestFigure3SimTracksAnalytic: the integer-simulation ratio traces agree
 // with Equation 5 before ejection and reach 1 after it.
 func TestFigure3SimTracksAnalytic(t *testing.T) {
-	f, err := Figure3Sim(1000, 0)
+	f, err := Figure3Sim(context.Background(), 1000, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +224,7 @@ func TestTimeline(t *testing.T) {
 }
 
 func TestFigure10MonteCarlo(t *testing.T) {
-	f, err := Figure10MonteCarlo(1.0/3.0, 200, 2, 5, 0)
+	f, err := Figure10MonteCarlo(context.Background(), 1.0/3.0, 200, 2, 5, engine.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

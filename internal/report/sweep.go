@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -14,6 +15,7 @@ import (
 // appearance wins, so a homogeneous sweep keeps its scenario's order).
 type sweepColumns struct {
 	hasBeta0, hasMode, hasSeed, hasN, hasHorizon, hasOutcome, hasErr bool
+	hasDuration                                                      bool
 	metrics                                                          []string
 }
 
@@ -29,6 +31,7 @@ func columnsOf(results []engine.Result) sweepColumns {
 		c.hasHorizon = c.hasHorizon || p.Horizon != 0
 		c.hasOutcome = c.hasOutcome || r.Outcome != ""
 		c.hasErr = c.hasErr || r.Err != ""
+		c.hasDuration = c.hasDuration || r.Meta != nil
 		for _, m := range r.Metrics {
 			if !seen[m.Name] {
 				seen[m.Name] = true
@@ -60,6 +63,9 @@ func (c sweepColumns) headers() []string {
 		h = append(h, "outcome")
 	}
 	h = append(h, c.metrics...)
+	if c.hasDuration {
+		h = append(h, "ms")
+	}
 	if c.hasErr {
 		h = append(h, "error")
 	}
@@ -93,6 +99,17 @@ func (c sweepColumns) row(r engine.Result, format func(float64) string) []string
 		} else {
 			row = append(row, "")
 		}
+	}
+	if c.hasDuration {
+		cell := ""
+		if r.Meta != nil {
+			if r.Meta.Cached {
+				cell = "cached"
+			} else {
+				cell = fmt.Sprintf("%.3g", r.Meta.DurationMS)
+			}
+		}
+		row = append(row, cell)
 	}
 	if c.hasErr {
 		row = append(row, r.Err)
@@ -141,4 +158,26 @@ func WriteSweepJSON(w io.Writer, results []engine.Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// SweepThroughput summarizes a sweep's pacing: cell count, wall-clock
+// time, cells/sec, and the cumulative per-cell compute time (which exceeds
+// the wall clock on a parallel sweep). Cells without duration metadata
+// (cache hits, unfinished cells) count toward the total but not the
+// compute time. It returns "" for an empty result set or a non-positive
+// wall clock.
+func SweepThroughput(results []engine.Result, wall time.Duration) string {
+	if len(results) == 0 || wall <= 0 {
+		return ""
+	}
+	var computeMS float64
+	for _, r := range results {
+		if r.Meta != nil && !r.Meta.Cached {
+			computeMS += r.Meta.DurationMS
+		}
+	}
+	rate := float64(len(results)) / wall.Seconds()
+	return fmt.Sprintf("%d cells in %s (%.1f cells/sec, %s compute)",
+		len(results), wall.Round(time.Millisecond),
+		rate, (time.Duration(computeMS * float64(time.Millisecond))).Round(time.Millisecond))
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -138,6 +139,56 @@ func TestFigureWriteJSON(t *testing.T) {
 	}
 	if back.Title != "demo" || len(back.Series) != 1 || back.Series[0].Values[1] != 4 {
 		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+// TestSweepDurationColumn: results carrying execution metadata gain an
+// "ms" column (cache hits say so), results without stay metadata-free.
+func TestSweepDurationColumn(t *testing.T) {
+	plain := sweepFixture()
+	if tbl := SweepTable("no meta", plain); strings.Contains(strings.Join(tbl.Headers, " "), "ms") {
+		t.Errorf("meta-free sweep must not grow an ms column: %v", tbl.Headers)
+	}
+
+	timed := sweepFixture()
+	timed[0].Meta = &engine.RunMeta{DurationMS: 12.5}
+	timed[1].Meta = &engine.RunMeta{Cached: true}
+	tbl := SweepTable("timed", timed)
+	if !strings.Contains(strings.Join(tbl.Headers, " "), "ms") {
+		t.Fatalf("timed sweep missing ms column: %v", tbl.Headers)
+	}
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "12.5") || !strings.Contains(b.String(), "cached") {
+		t.Errorf("duration cells lost:\n%s", b.String())
+	}
+	b.Reset()
+	if err := WriteSweepCSV(&b, "", timed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ",ms") || !strings.Contains(b.String(), "12.5") {
+		t.Errorf("CSV duration column lost:\n%s", b.String())
+	}
+}
+
+func TestSweepThroughput(t *testing.T) {
+	results := sweepFixture()
+	results[0].Meta = &engine.RunMeta{DurationMS: 300}
+	results[1].Meta = &engine.RunMeta{DurationMS: 500}
+	results[2].Meta = &engine.RunMeta{Cached: true} // excluded from compute time
+	line := SweepThroughput(results, 400*time.Millisecond)
+	for _, want := range []string{"3 cells", "cells/sec", "800ms compute"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("throughput line %q missing %q", line, want)
+		}
+	}
+	if got := SweepThroughput(nil, time.Second); got != "" {
+		t.Errorf("empty sweep throughput = %q, want empty", got)
+	}
+	if got := SweepThroughput(results, 0); got != "" {
+		t.Errorf("zero wall throughput = %q, want empty", got)
 	}
 }
 

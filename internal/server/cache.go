@@ -1,0 +1,81 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// cacheKey canonicalizes a scenario name and its fully-defaulted params
+// into a cache key. Params must already be defaulted (Registry semantics):
+// two requests that resolve to the same effective run map to the same key
+// even when one spells the defaults out and the other omits them.
+func cacheKey(scenario string, p engine.Params) string {
+	return fmt.Sprintf("%s|p0=%v|beta0=%v|mode=%s|seed=%d|n=%d|horizon=%d|sample=%d",
+		scenario, p.P0, p.Beta0, p.Mode, p.Seed, p.N, p.Horizon, p.Sample)
+}
+
+// resultCache is a thread-safe LRU of successful scenario results keyed by
+// cacheKey. Results are stored without execution metadata; hits are served
+// with a fresh Cached marker.
+type resultCache struct {
+	mu           sync.Mutex
+	max          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res engine.Result
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result and promotes the entry.
+func (c *resultCache) get(key string) (engine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return engine.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add stores a result, evicting the least recently used entry when full.
+func (c *resultCache) add(key string, res engine.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *resultCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	res := func(n int) engine.Result {
+		return engine.Result{Scenario: fmt.Sprintf("s%d", n)}
+	}
+	c.add("a", res(1))
+	c.add("b", res(2))
+	if _, ok := c.get("a"); !ok { // promotes "a" over "b"
+		t.Fatal("a must be cached")
+	}
+	c.add("c", res(3)) // evicts "b", the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Error("b must have been evicted")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.get(key); !ok {
+			t.Errorf("%s must survive eviction", key)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	hits, misses := c.stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 3/1", hits, misses)
+	}
+}
+
+func TestResultCacheUpdateInPlace(t *testing.T) {
+	c := newResultCache(2)
+	c.add("k", engine.Result{Scenario: "old"})
+	c.add("k", engine.Result{Scenario: "new"})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (update, not duplicate)", c.len())
+	}
+	if r, _ := c.get("k"); r.Scenario != "new" {
+		t.Errorf("got %q, want the updated entry", r.Scenario)
+	}
+}
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	a := cacheKey("leaksim", engine.Params{P0: 0.5, N: 10000})
+	b := cacheKey("leaksim", engine.Params{P0: 0.5, N: 10000})
+	if a != b {
+		t.Error("identical params must share a key")
+	}
+	if cacheKey("leaksim", engine.Params{P0: 0.6, N: 10000}) == a {
+		t.Error("p0 must distinguish keys")
+	}
+	if cacheKey("bounce-mc", engine.Params{P0: 0.5, N: 10000}) == a {
+		t.Error("scenario must distinguish keys")
+	}
+}

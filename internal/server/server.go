@@ -1,0 +1,279 @@
+// Package server exposes the scenario registry over HTTP/JSON: listing,
+// single runs, and streaming parameter sweeps, with an LRU result cache so
+// repeated grid cells are served without recomputation.
+//
+// Endpoints:
+//
+//	GET  /scenarios  registry listing (name, description, defaults)
+//	POST /run        one scenario run, JSON in / JSON out, cached
+//	POST /sweep      parameter sweep, NDJSON stream of per-cell results
+//	GET  /healthz    liveness plus registry and cache statistics
+//
+// Sweep responses stream one engine.Update JSON object per line in
+// completion order; cancellation (client disconnect) propagates through
+// the engine's context and aborts the remaining cells promptly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// DefaultCacheSize is the LRU capacity used when Config.CacheSize is 0.
+const DefaultCacheSize = 512
+
+// Config parameterizes a Server.
+type Config struct {
+	// Registry resolves scenario names; nil means the default registry.
+	Registry *engine.Registry
+	// Workers is the default sweep worker pool (0 = all CPUs). Negative
+	// values are rejected by New.
+	Workers int
+	// CacheSize bounds the LRU result cache: 0 means DefaultCacheSize,
+	// negative disables caching.
+	CacheSize int
+}
+
+// Server serves the scenario registry over HTTP.
+type Server struct {
+	reg     *engine.Registry
+	workers int
+	cache   *resultCache
+}
+
+// New validates cfg and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("server: workers = %d, want >= 0 (0 = all CPUs)", cfg.Workers)
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = engine.Default
+	}
+	s := &Server{reg: reg, workers: cfg.Workers}
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		s.cache = newResultCache(size)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON emits v as JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// writeError emits a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleScenarios lists the registry.
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Infos())
+}
+
+// runRequest is the POST /run body.
+type runRequest struct {
+	Scenario string        `json:"scenario"`
+	Params   engine.Params `json:"params"`
+}
+
+// handleRun executes one scenario, serving repeated parameter points from
+// the cache.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sc, ok := s.reg.Lookup(req.Scenario)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scenario %q", req.Scenario)
+		return
+	}
+	key := cacheKey(req.Scenario, req.Params.WithDefaults(sc.Defaults()))
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			res.Meta = &engine.RunMeta{Cached: true}
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+	}
+	res, err := timedRun(r.Context(), s.reg, req.Scenario, req.Params)
+	if err != nil {
+		// A cancelled request context is a server-side abort (client
+		// disconnect or graceful shutdown), not a bad request.
+		status := http.StatusBadRequest
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "scenario %q: %v", req.Scenario, err)
+		return
+	}
+	if s.cache != nil {
+		s.cache.add(key, res.WithoutMeta())
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// sweepRequest is the POST /sweep body: either explicit cells, or a
+// scenario plus a ParseGrid spec (with params pinning unlisted
+// dimensions, mirroring the CLI flag fallback).
+type sweepRequest struct {
+	Cells    []engine.Cell `json:"cells,omitempty"`
+	Scenario string        `json:"scenario,omitempty"`
+	Sweep    string        `json:"sweep,omitempty"`
+	Params   engine.Params `json:"params,omitempty"`
+	// Workers overrides the server's sweep pool for this request
+	// (0 = server default, negative rejected).
+	Workers int `json:"workers,omitempty"`
+}
+
+// handleSweep expands the requested sweep and streams one NDJSON update
+// per cell as it completes. Cells whose (scenario, canonical params) are
+// cached are emitted immediately without recomputation.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "workers = %d, want >= 0 (0 = server default)", req.Workers)
+		return
+	}
+	cells := req.Cells
+	if len(cells) == 0 {
+		if req.Scenario == "" || req.Sweep == "" {
+			writeError(w, http.StatusBadRequest, "body wants cells, or scenario plus sweep spec")
+			return
+		}
+		if _, ok := s.reg.Lookup(req.Scenario); !ok {
+			writeError(w, http.StatusNotFound, "unknown scenario %q", req.Scenario)
+			return
+		}
+		grid, err := engine.ParseGrid(req.Scenario, req.Sweep)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		cells = grid.FillFrom(req.Params).Cells()
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.workers
+	}
+
+	// Split the sweep: cached cells are answered without recomputation,
+	// the rest go through the streaming engine.
+	type pending struct {
+		index int
+		key   string
+		ok    bool // key resolvable (known scenario)
+	}
+	var cached []engine.Update
+	var todo []engine.Cell
+	var meta []pending
+	for i, cell := range cells {
+		key, ok := s.cellKey(cell)
+		if ok && s.cache != nil {
+			if res, hit := s.cache.get(key); hit {
+				res.Meta = &engine.RunMeta{Cached: true}
+				cached = append(cached, engine.Update{Index: i, Result: res})
+				continue
+			}
+		}
+		todo = append(todo, cell)
+		meta = append(meta, pending{index: i, key: key, ok: ok})
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	total := len(cells)
+	completed := 0
+	emit := func(u engine.Update) {
+		completed++
+		u.Completed = completed
+		u.Total = total
+		enc.Encode(u) //nolint:errcheck // disconnects surface via the request context
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, u := range cached {
+		emit(u)
+	}
+	for u := range engine.SweepStream(r.Context(), todo, engine.Options{Workers: workers, Registry: s.reg}) {
+		p := meta[u.Index]
+		if s.cache != nil && p.ok && u.Result.Err == "" {
+			s.cache.add(p.key, u.Result.WithoutMeta())
+		}
+		u.Index = p.index
+		emit(u)
+	}
+}
+
+// handleHealthz reports liveness plus registry and cache statistics.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{
+		"status":    "ok",
+		"scenarios": len(s.reg.Names()),
+	}
+	if s.cache != nil {
+		hits, misses := s.cache.stats()
+		body["cache"] = map[string]uint64{
+			"entries": uint64(s.cache.len()),
+			"hits":    hits,
+			"misses":  misses,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// timedRun executes a scenario and stamps the result with its wall-clock
+// duration.
+func timedRun(ctx context.Context, reg *engine.Registry, name string, p engine.Params) (engine.Result, error) {
+	start := time.Now()
+	res, err := reg.RunContext(ctx, name, p)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	res.Meta = &engine.RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	return res, nil
+}
+
+// cellKey resolves a cell's cache key (false for unknown scenarios, whose
+// defaults cannot be applied).
+func (s *Server) cellKey(c engine.Cell) (string, bool) {
+	sc, ok := s.reg.Lookup(c.Scenario)
+	if !ok {
+		return "", false
+	}
+	return cacheKey(c.Scenario, c.Params.WithDefaults(sc.Defaults())), true
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// decodeNDJSON parses a streamed sweep response into updates.
+func decodeNDJSON(t *testing.T, resp *http.Response) []engine.Update {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var updates []engine.Update
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var u engine.Update
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		updates = append(updates, u)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return updates
+}
+
+func TestNewRejectsNegativeWorkers(t *testing.T) {
+	if _, err := New(Config{Workers: -2}); err == nil || !strings.Contains(err.Error(), "-2") {
+		t.Fatalf("New(Workers:-2) err = %v, want a clear validation error", err)
+	}
+}
+
+func TestScenariosEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []engine.Info
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(engine.Names()) {
+		t.Fatalf("infos = %d, want %d", len(infos), len(engine.Names()))
+	}
+	byName := map[string]engine.Info{}
+	for _, in := range infos {
+		byName[in.Name] = in
+	}
+	if in := byName[engine.ScenarioLeakSim]; in.Description == "" || in.Defaults.N != 10000 || !in.Cancellable {
+		t.Errorf("leaksim info incomplete over HTTP: %+v", in)
+	}
+}
+
+func TestRunEndpointAndCache(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := map[string]any{
+		"scenario": engine.ScenarioAnalyticThreshold,
+		"params":   engine.Params{P0: 0.5},
+	}
+	var first engine.Result
+	resp := postJSON(t, ts.URL+"/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v, ok := first.Metric("threshold_both_branches"); !ok || v < 0.24 || v > 0.245 {
+		t.Errorf("threshold = %v, want ~0.2421", v)
+	}
+	if first.Meta == nil || first.Meta.Cached {
+		t.Errorf("first run meta = %+v, want fresh computation", first.Meta)
+	}
+
+	// Same effective parameters, defaults spelled out this time: a hit.
+	var second engine.Result
+	resp = postJSON(t, ts.URL+"/run", map[string]any{
+		"scenario": engine.ScenarioAnalyticThreshold,
+		"params":   engine.Params{P0: 0.5, Mode: "paper"},
+	})
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if second.Meta == nil || !second.Meta.Cached {
+		t.Errorf("second run meta = %+v, want cache hit", second.Meta)
+	}
+	if !reflect.DeepEqual(first.WithoutMeta(), second.WithoutMeta()) {
+		t.Error("cached result diverges from computed result")
+	}
+
+	// Healthz reflects the traffic.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Status    string            `json:"status"`
+		Scenarios int               `json:"scenarios"`
+		Cache     map[string]uint64 `json:"cache"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Scenarios == 0 {
+		t.Errorf("healthz = %+v", health)
+	}
+	if health.Cache["hits"] < 1 || health.Cache["entries"] < 1 {
+		t.Errorf("cache stats = %v, want at least one hit and one entry", health.Cache)
+	}
+}
+
+func TestRunEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/run", map[string]any{"scenario": "no-such"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown scenario status = %d, want 404", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/run", map[string]any{
+		"scenario": engine.ScenarioLeakSim,
+		"params":   engine.Params{Mode: "warp", N: 100, Horizon: 10},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode status = %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "warp") {
+		t.Errorf("error envelope = %+v (%v)", e, err)
+	}
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/run", nil)
+	getResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run status = %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestSweepNDJSONMatchesInProcess is the serving-layer acceptance check:
+// the streamed cells of POST /sweep aggregate to exactly the result set of
+// an in-process sweep over the same grid.
+func TestSweepNDJSONMatchesInProcess(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	const spec = "beta0=0.32,0.33; seed=1:2:1"
+	updates := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", map[string]any{
+		"scenario": engine.ScenarioBounceMC,
+		"sweep":    spec,
+		"params":   engine.Params{N: 60, Horizon: 200},
+	}))
+
+	grid, err := engine.ParseGrid(engine.ScenarioBounceMC, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := grid.FillFrom(engine.Params{N: 60, Horizon: 200}).Cells()
+	if len(updates) != len(cells) {
+		t.Fatalf("streamed %d updates, want %d", len(updates), len(cells))
+	}
+	streamed := make([]engine.Result, len(cells))
+	for i, u := range updates {
+		if u.Completed != i+1 || u.Total != len(cells) {
+			t.Errorf("update %d: progress %d/%d, want %d/%d", i, u.Completed, u.Total, i+1, len(cells))
+		}
+		streamed[u.Index] = u.Result
+	}
+	local := engine.Sweep(cells, engine.Options{})
+	if !reflect.DeepEqual(engine.StripMeta(streamed), engine.StripMeta(local)) {
+		t.Error("streamed sweep diverges from in-process sweep")
+	}
+}
+
+// TestSweepCacheSkipsRecomputation: repeated cells are served from the
+// LRU without invoking the scenario again.
+func TestSweepCacheSkipsRecomputation(t *testing.T) {
+	var runs atomic.Int64
+	reg := engine.NewRegistry()
+	reg.MustRegister(engine.NewScenario("counted", "counts invocations",
+		engine.Params{P0: 0.5},
+		func(p engine.Params) (engine.Result, error) {
+			runs.Add(1)
+			return engine.Result{Metrics: []engine.Metric{{Name: "seed", Value: float64(p.Seed)}}}, nil
+		}))
+	ts := newTestServer(t, Config{Registry: reg})
+
+	body := map[string]any{"cells": []engine.Cell{
+		{Scenario: "counted", Params: engine.Params{Seed: 1}},
+		{Scenario: "counted", Params: engine.Params{Seed: 2}},
+		{Scenario: "counted", Params: engine.Params{Seed: 3}},
+	}}
+	first := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", body))
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("first sweep ran %d cells, want 3", got)
+	}
+	for _, u := range first {
+		if u.Result.Meta == nil || u.Result.Meta.Cached {
+			t.Errorf("first sweep cell %d meta = %+v, want fresh", u.Index, u.Result.Meta)
+		}
+	}
+
+	second := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", body))
+	if got := runs.Load(); got != 3 {
+		t.Errorf("repeat sweep recomputed: %d total runs, want still 3", got)
+	}
+	if len(second) != 3 {
+		t.Fatalf("repeat sweep streamed %d updates, want 3", len(second))
+	}
+	for _, u := range second {
+		if u.Result.Meta == nil || !u.Result.Meta.Cached {
+			t.Errorf("repeat sweep cell %d meta = %+v, want cached", u.Index, u.Result.Meta)
+		}
+	}
+	firstRes := make([]engine.Result, 3)
+	secondRes := make([]engine.Result, 3)
+	for i := range first {
+		firstRes[first[i].Index] = first[i].Result
+		secondRes[second[i].Index] = second[i].Result
+	}
+	if !reflect.DeepEqual(engine.StripMeta(firstRes), engine.StripMeta(secondRes)) {
+		t.Error("cached sweep payload diverges from computed payload")
+	}
+
+	// A mixed sweep recomputes only the unseen cell.
+	mixed := append(body["cells"].([]engine.Cell), engine.Cell{Scenario: "counted", Params: engine.Params{Seed: 4}})
+	updates := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", map[string]any{"cells": mixed}))
+	if got := runs.Load(); got != 4 {
+		t.Errorf("mixed sweep ran %d cells total, want 4", got)
+	}
+	if len(updates) != 4 {
+		t.Errorf("mixed sweep streamed %d updates, want 4", len(updates))
+	}
+}
+
+func TestSweepRequestValidation(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name string
+		body any
+		want int
+	}{
+		{"empty body", map[string]any{}, http.StatusBadRequest},
+		{"negative workers", map[string]any{"scenario": "leaksim", "sweep": "p0=0.5", "workers": -1}, http.StatusBadRequest},
+		{"unknown grid scenario", map[string]any{"scenario": "warp", "sweep": "p0=0.5"}, http.StatusNotFound},
+		{"malformed spec", map[string]any{"scenario": "leaksim", "sweep": "p0=zap"}, http.StatusBadRequest},
+	} {
+		resp := postJSON(t, ts.URL+"/sweep", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestSweepPerCellErrorsStream: explicit cells with an unknown scenario
+// stream an error result instead of failing the whole request.
+func TestSweepPerCellErrorsStream(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	updates := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", map[string]any{"cells": []engine.Cell{
+		{Scenario: engine.ScenarioAnalyticThreshold, Params: engine.Params{P0: 0.5}},
+		{Scenario: "no-such", Params: engine.Params{}},
+	}}))
+	if len(updates) != 2 {
+		t.Fatalf("updates = %d, want 2", len(updates))
+	}
+	byIndex := map[int]engine.Result{}
+	for _, u := range updates {
+		byIndex[u.Index] = u.Result
+	}
+	if byIndex[0].Err != "" {
+		t.Errorf("cell 0 failed: %s", byIndex[0].Err)
+	}
+	if !strings.Contains(byIndex[1].Err, "no-such") {
+		t.Errorf("cell 1 err = %q, want unknown-scenario error", byIndex[1].Err)
+	}
+}
+
+// TestSweepClientDisconnect: an abandoned request context aborts the sweep
+// server-side instead of computing the full grid.
+func TestSweepClientDisconnect(t *testing.T) {
+	var runs atomic.Int64
+	reg := engine.NewRegistry()
+	reg.MustRegister(engine.NewContextScenario("slow", "cancellable",
+		engine.Params{P0: 0.5},
+		func(ctx context.Context, p engine.Params) (engine.Result, error) {
+			runs.Add(1)
+			select {
+			case <-ctx.Done():
+				return engine.Result{}, ctx.Err()
+			case <-time.After(30 * time.Millisecond):
+				return engine.Result{}, nil
+			}
+		}))
+	ts := newTestServer(t, Config{Registry: reg, Workers: 1, CacheSize: -1})
+
+	cells := make([]engine.Cell, 50)
+	for i := range cells {
+		cells[i] = engine.Cell{Scenario: "slow", Params: engine.Params{Seed: int64(i + 1)}}
+	}
+	b, _ := json.Marshal(map[string]any{"cells": cells})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep", bytes.NewReader(b))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one line, then walk away.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatal("no first update")
+	}
+	cancel()
+	resp.Body.Close()
+
+	// Wait until the server-side sweep settles (the invocation counter
+	// stops growing), then assert it stopped short of the full grid. If
+	// cancellation did not propagate, the single worker keeps computing
+	// 30ms cells and the counter only stabilizes at all 50.
+	last := runs.Load()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(150 * time.Millisecond)
+		now := runs.Load()
+		if now == last {
+			break
+		}
+		last = now
+	}
+	if got := runs.Load(); got >= int64(len(cells)) {
+		t.Errorf("server computed all %d cells despite disconnect", got)
+	}
+}
