@@ -260,6 +260,32 @@ func BenchmarkProtocolSimHealthyEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocolSimPaperScaleEpoch measures one healthy-network
+// protocol epoch at paper scale (10,000 validators) on the view-cohort
+// kernel: the full protocol — block tree, LMD-GHOST, FFG, attestation
+// pool, columnar registry — at 625x the validator count of the
+// per-validator benchmark above, at comparable wall-clock.
+func BenchmarkProtocolSimPaperScaleEpoch(b *testing.B) {
+	s, err := gasperleak.NewSimulation(gasperleak.SimConfig{
+		Validators: 10000,
+		Spec:       gasperleak.DefaultSpec(),
+		Delay:      1,
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.RunEpochs(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunEpochs(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLeakSimFullScale measures one full-scale (9000-epoch, 10k
 // validators) aggregate leak simulation — the engine behind Tables 2-3.
 func BenchmarkLeakSimFullScale(b *testing.B) {

@@ -10,6 +10,9 @@
 //	leaksim -scenario 5.3 -beta0 0.33 -seed 1 -json
 //	leaksim -scenario leaksim -sweep "p0=0.3:0.7:0.1; beta0=0.1,0.2; mode=double,semi" -workers 8
 //	leaksim -scenario bounce-mc -sweep "beta0=0.32,0.33; seed=1:5:1" -csv
+//	leaksim -scenario sim/drops -sweep "rate=0:0.4:0.1" -n 1000      # full protocol, view-cohort kernel
+//	leaksim -scenario sim/gst -sweep "gst=4:20:4" -n 1000 -horizon 30
+//	leaksim -scenario sim/bounce -p0 0.7 -n 10000                    # paper-scale bouncing attack
 //
 // Sweeps run through the v2 client API: Ctrl-C cancels cooperatively, and
 // the same grids are network-addressable via the serve command.
@@ -54,6 +57,8 @@ func main() {
 	flag.IntVar(&o.params.N, "n", 0, "validator count (0 = scenario default)")
 	flag.IntVar(&o.params.Horizon, "horizon", 0, "epoch horizon / evaluation epoch (0 = scenario default)")
 	flag.IntVar(&o.params.Sample, "sample", 0, "trace sampling interval in epochs (0 = no trace)")
+	flag.Float64Var(&o.params.Rate, "rate", 0, "link-outage rate for protocol-simulator scenarios (0 = scenario default)")
+	flag.IntVar(&o.params.GST, "gst", 0, "partition-heal epoch for protocol-simulator scenarios (0 = scenario default)")
 	flag.Parse()
 
 	// Ctrl-C cancels in-flight sweeps cooperatively: finished cells keep

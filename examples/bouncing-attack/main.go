@@ -108,7 +108,7 @@ func protocolLevel() {
 		if err := s.RunEpochs(1); err != nil {
 			log.Fatal(err)
 		}
-		n := s.Nodes[1]
+		n := s.View(1)
 		phase := "attack"
 		if epoch >= 14 {
 			phase = "stopped"

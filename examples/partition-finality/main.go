@@ -72,7 +72,7 @@ func main() {
 		if err := s.RunEpochs(1); err != nil {
 			log.Fatal(err)
 		}
-		a, b := s.Nodes[0], s.Nodes[validators-1]
+		a, b := s.View(0), s.View(validators-1)
 		if epoch%4 == 0 || epoch > 20 {
 			fmt.Printf("%5d | %9d %9d %6.0f ETH | %9d %9d %6.0f ETH\n",
 				epoch,

@@ -66,7 +66,7 @@ func ExampleNewSimulation() {
 	if err := s.RunEpochs(8); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("finalized epoch:", s.Nodes[0].Finalized().Epoch)
+	fmt.Println("finalized epoch:", s.View(0).Finalized().Epoch)
 	fmt.Println("safety violation:", s.CheckFinalitySafety() != nil)
 	// Output:
 	// finalized epoch: 5

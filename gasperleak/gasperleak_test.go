@@ -71,8 +71,8 @@ func TestPublicProtocolSim(t *testing.T) {
 	if err := s.RunEpochs(6); err != nil {
 		t.Fatal(err)
 	}
-	if s.Nodes[0].Finalized().Epoch < 3 {
-		t.Errorf("finalized epoch = %d, want >= 3", s.Nodes[0].Finalized().Epoch)
+	if s.View(0).Finalized().Epoch < 3 {
+		t.Errorf("finalized epoch = %d, want >= 3", s.View(0).Finalized().Epoch)
 	}
 	if v := s.CheckFinalitySafety(); v != nil {
 		t.Errorf("safety violation on healthy chain: %v", v)

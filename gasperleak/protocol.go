@@ -10,12 +10,23 @@ import (
 type (
 	// SimConfig parameterizes a full protocol simulation.
 	SimConfig = sim.Config
-	// Simulation is a running protocol instance: one beacon node per
-	// validator over a partitionable network.
+	// Simulation is a running protocol instance: one materialized view
+	// per cohort (partition of honest validators, or the bridging
+	// Byzantine set) over a partitionable network. Set
+	// SimConfig.PerValidatorViews for the pre-refactor
+	// one-node-per-validator layout (the equivalence oracle).
 	Simulation = sim.Simulation
+	// Cohort is one materialized view and the validators holding it.
+	Cohort = sim.Cohort
+	// SimMessage is the simulator's wire format.
+	SimMessage = sim.Message
+	// AttBatch carries one attestation data value cast by many
+	// validators — the wire form of a cohort's duty slot.
+	AttBatch = sim.AttBatch
 	// Adversary coordinates the Byzantine validators.
 	Adversary = sim.Adversary
-	// Node is one validator's protocol view.
+	// Node is one materialized protocol view (use Simulation.View to
+	// fetch the view a validator acts from).
 	Node = beacon.Node
 	// SafetyViolation describes a detected conflicting finalization.
 	SafetyViolation = sim.SafetyViolation

@@ -121,6 +121,13 @@ func (p *Pool) VotedForTarget(e types.Epoch, v types.ValidatorIndex, root types.
 func (p *Pool) TargetWeights(e types.Epoch, stake func(types.ValidatorIndex) types.Gwei) map[Link]types.Gwei {
 	out := make(map[Link]types.Gwei)
 	for v, datas := range p.byEpoch[e] {
+		// Nearly every validator holds exactly one vote per epoch; skip
+		// the dedup map on that hot path so the boundary rescan stays
+		// allocation-light at paper-scale validator counts.
+		if len(datas) == 1 {
+			out[Link{Source: datas[0].Source, Target: datas[0].Target}] += stake(v)
+			continue
+		}
 		seen := make(map[Link]bool, len(datas))
 		for _, d := range datas {
 			l := Link{Source: d.Source, Target: d.Target}

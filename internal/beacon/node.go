@@ -55,6 +55,13 @@ type Node struct {
 	// after healing.
 	justifiedState *validator.Registry
 
+	// visible, when non-nil, restricts head computation to blocks for
+	// which it returns true. The view-cohort simulator installs it while
+	// a block one cohort member produced this slot is still in flight to
+	// the rest, the only within-cohort view difference the protocol
+	// creates (see internal/sim).
+	visible func(types.Root) bool
+
 	// pending buffers blocks whose parent has not arrived yet,
 	// keyed by the missing parent.
 	pending map[types.Root][]blocktree.Block
@@ -130,58 +137,84 @@ func (n *Node) SlashingEvidence() []slashing.Evidence {
 	return out
 }
 
+// SetVisibility installs (or, with nil, removes) a view filter: head
+// computations skip blocks for which visible returns false. The simulator
+// toggles it around per-validator computations; it does not affect block
+// or attestation ingestion.
+func (n *Node) SetVisibility(visible func(types.Root) bool) { n.visible = visible }
+
 // Head computes the node's candidate-chain head: LMD-GHOST from the block
 // of the latest justified checkpoint, weighing votes with the balances of
 // the justified state (not the current view's balances), as the consensus
-// spec does.
+// spec does. An installed visibility filter restricts the descent.
 func (n *Node) Head() (types.Root, error) {
 	start := n.FFG.LatestJustified().Root
 	if !n.Tree.Has(start) {
 		start = n.Tree.Genesis()
 	}
-	return n.Votes.Head(n.Tree, start, n.justifiedState.Stake)
+	return n.Votes.HeadFiltered(n.Tree, start, n.justifiedState.Stake, n.visible)
 }
 
-// ProduceBlock builds the block this node proposes at slot, extending its
-// current head. The block root is a deterministic hash of (slot, proposer,
-// parent) so that all views mint identical identifiers.
-func (n *Node) ProduceBlock(slot types.Slot) (blocktree.Block, error) {
+// ProduceBlockFor builds the block validator `proposer` would propose at
+// slot from this view, extending the current head. The block root is a
+// deterministic hash of (slot, proposer, parent) so that all views mint
+// identical identifiers. The block is NOT applied to the view; the caller
+// decides when the view receives it (the view-cohort simulator applies it
+// immediately for the proposer and embargoes it for everyone else).
+func (n *Node) ProduceBlockFor(slot types.Slot, proposer types.ValidatorIndex) (blocktree.Block, error) {
 	head, err := n.Head()
 	if err != nil {
 		return blocktree.Block{}, fmt.Errorf("beacon: produce block: %w", err)
 	}
-	b := blocktree.Block{
+	return blocktree.Block{
 		Slot:     slot,
-		Root:     crypto.HashRoots(uint64(slot)<<20|uint64(n.ID), head),
+		Root:     crypto.HashRoots(uint64(slot)<<20|uint64(proposer), head),
 		Parent:   head,
-		Proposer: n.ID,
+		Proposer: proposer,
+	}, nil
+}
+
+// ProduceBlock builds and immediately applies the block this node's own
+// validator proposes at slot.
+func (n *Node) ProduceBlock(slot types.Slot) (blocktree.Block, error) {
+	b, err := n.ProduceBlockFor(slot, n.ID)
+	if err != nil {
+		return blocktree.Block{}, err
 	}
 	n.ReceiveBlock(b)
 	return b, nil
 }
 
-// ProduceAttestation builds this node's attestation for the given slot:
-// block vote = current head, source = latest justified checkpoint, target =
-// current epoch's checkpoint on the head branch.
-func (n *Node) ProduceAttestation(slot types.Slot) (attestation.Attestation, error) {
+// AttestationData builds the attestation content any validator sharing
+// this view casts at the given slot: block vote = current head, source =
+// latest justified checkpoint, target = current epoch's checkpoint on the
+// head branch. The view-cohort simulator computes it once per cohort and
+// fans it out to every duty member.
+func (n *Node) AttestationData(slot types.Slot) (attestation.Data, error) {
 	head, err := n.Head()
 	if err != nil {
-		return attestation.Attestation{}, fmt.Errorf("beacon: attest: %w", err)
+		return attestation.Data{}, fmt.Errorf("beacon: attest: %w", err)
 	}
 	target, err := n.Tree.CheckpointFor(head, slot.Epoch())
 	if err != nil {
-		return attestation.Attestation{}, fmt.Errorf("beacon: attest: %w", err)
+		return attestation.Data{}, fmt.Errorf("beacon: attest: %w", err)
 	}
-	a := attestation.Attestation{
-		Validator: n.ID,
-		Data: attestation.Data{
-			Slot:   slot,
-			Head:   head,
-			Source: n.FFG.LatestJustified(),
-			Target: target,
-		},
+	return attestation.Data{
+		Slot:   slot,
+		Head:   head,
+		Source: n.FFG.LatestJustified(),
+		Target: target,
+	}, nil
+}
+
+// ProduceAttestation builds this node's own attestation for the given
+// slot.
+func (n *Node) ProduceAttestation(slot types.Slot) (attestation.Attestation, error) {
+	d, err := n.AttestationData(slot)
+	if err != nil {
+		return attestation.Attestation{}, err
 	}
-	return a, nil
+	return attestation.Attestation{Validator: n.ID, Data: d}, nil
 }
 
 // EpochReport summarizes one ProcessEpochBoundary call.

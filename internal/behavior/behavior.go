@@ -11,6 +11,11 @@
 //     their checkpoint votes and release them at epoch boundaries to
 //     alternately justify the two branches of a fork, bouncing honest
 //     validators between them and stalling finality indefinitely.
+//
+// The adversaries are cohort-aware: identical votes from many Byzantine
+// validators travel as one sim.AttBatch, and the Bouncer's per-validator
+// placement step uses sim.SetDutyView instead of touching per-validator
+// nodes, so every strategy runs at paper-scale validator counts.
 package behavior
 
 import (
@@ -22,54 +27,41 @@ import (
 	"repro/internal/types"
 )
 
-// viewAttestation crafts the attestation a validator would produce at slot
-// if it honestly followed the view of node rep. The adversary uses honest
-// representative views to act consistently on each branch.
-func viewAttestation(rep *beacon.Node, v types.ValidatorIndex, slot types.Slot) (attestation.Attestation, bool) {
-	head, err := rep.Head()
-	if err != nil {
-		return attestation.Attestation{}, false
+// dutyByzantine returns the Byzantine validators whose attestation duty
+// falls on slot, in Config order.
+func dutyByzantine(s *sim.Simulation, slot types.Slot) []types.ValidatorIndex {
+	epoch := slot.Epoch()
+	var out []types.ValidatorIndex
+	for _, v := range s.Cfg.Byzantine {
+		if s.AttestationSlot(v, epoch) == slot {
+			out = append(out, v)
+		}
 	}
-	target, err := rep.Tree.CheckpointFor(head, slot.Epoch())
-	if err != nil {
-		return attestation.Attestation{}, false
-	}
-	return attestation.Attestation{
-		Validator: v,
-		Data: attestation.Data{
-			Slot:   slot,
-			Head:   head,
-			Source: rep.FFG.LatestJustified(),
-			Target: target,
-		},
-	}, true
+	return out
 }
 
 // DoubleVoter is the Scenario 5.2.1 adversary. Each Byzantine validator
 // attests once per epoch on each branch, showing each partition only the
 // matching face (BroadcastAs), so the equivocation is undetectable before
-// GST.
+// GST. The identical votes of a slot travel as one batch per branch.
 type DoubleVoter struct {
 	// Reps holds one honest representative validator per partition; the
-	// adversary copies their views.
+	// adversary copies their cohorts' views.
 	Reps [2]types.ValidatorIndex
 }
 
 // OnSlot implements sim.Adversary.
 func (d *DoubleVoter) OnSlot(s *sim.Simulation, slot types.Slot) {
-	epoch := slot.Epoch()
-	for _, v := range s.Cfg.Byzantine {
-		if s.AttestationSlot(v, epoch) != slot {
+	members := dutyByzantine(s, slot)
+	if len(members) == 0 {
+		return
+	}
+	for p := 0; p < 2; p++ {
+		data, err := s.View(d.Reps[p]).AttestationData(slot)
+		if err != nil {
 			continue
 		}
-		for p := 0; p < 2; p++ {
-			rep := s.Nodes[d.Reps[p]]
-			att, ok := viewAttestation(rep, v, slot)
-			if !ok {
-				continue
-			}
-			s.BroadcastAs(v, p, slot, sim.Message{Att: &att})
-		}
+		s.BroadcastAs(members[0], p, slot, sim.Message{Batch: &sim.AttBatch{Data: data, Validators: members}})
 	}
 }
 
@@ -105,19 +97,16 @@ func (a *SemiActive) branchFor(epoch types.Epoch) int {
 
 // OnSlot implements sim.Adversary.
 func (a *SemiActive) OnSlot(s *sim.Simulation, slot types.Slot) {
-	epoch := slot.Epoch()
-	branch := a.branchFor(epoch)
-	for _, v := range s.Cfg.Byzantine {
-		if s.AttestationSlot(v, epoch) != slot {
-			continue
-		}
-		rep := s.Nodes[a.Reps[branch]]
-		att, ok := viewAttestation(rep, v, slot)
-		if !ok {
-			continue
-		}
-		s.BroadcastAs(v, branch, slot, sim.Message{Att: &att})
+	members := dutyByzantine(s, slot)
+	if len(members) == 0 {
+		return
 	}
+	branch := a.branchFor(slot.Epoch())
+	data, err := s.View(a.Reps[branch]).AttestationData(slot)
+	if err != nil {
+		return
+	}
+	s.BroadcastAs(members[0], branch, slot, sim.Message{Batch: &sim.AttBatch{Data: data, Validators: members}})
 }
 
 // Bouncer is the Scenario 5.3 adversary (probabilistic bouncing attack with
@@ -128,18 +117,20 @@ func (a *SemiActive) OnSlot(s *sim.Simulation, slot types.Slot) {
 //
 // After GST the adversary alternates branches. At the boundary of each
 // epoch it releases its withheld Byzantine checkpoint votes completing the
-// previous epoch's two-epoch justification link on one branch, and uses its
-// within-delta message-timing power to decide, per honest validator, whether
-// the release lands before or after that validator's attestation duty —
-// modeled by ffg.ForceJustify on the bounced subset. Every epoch each
-// honest validator therefore lands on the newly justified branch with
-// probability 1-P0 and stays on the other branch with probability P0, the
-// i.i.d. placement of the paper's Figure 8 Markov chain. The P0 crowd's
-// coherent two-epoch link is the one the adversary completes at the next
-// boundary, so justification alternates branches, links are never between
-// consecutive epochs, and finality never advances; after two warm-up epochs
-// the released links genuinely carry more than two-thirds of stake
-// (Equation 14(b)) and justify through the regular FFG rule as well.
+// previous epoch's two-epoch justification link on one branch (one batch),
+// and uses its within-delta message-timing power to decide, per honest
+// validator, whether the release lands before or after that validator's
+// attestation duty. With shared cohort views the placement is exactly a
+// duty-view assignment: the fresh branch's view is force-justified to the
+// released target, and each honest validator performs this epoch's duty
+// from the fresh view with probability 1-P0 (bouncing there) or from the
+// stale view with probability P0 (staying, becoming part of the coherent
+// link the adversary completes next boundary) — the i.i.d. placement of
+// the paper's Figure 8 Markov chain. Justification alternates branches,
+// links are never between consecutive epochs, and finality never advances;
+// after two warm-up epochs the released links genuinely carry more than
+// two-thirds of stake (Equation 14(b)) and justify through the regular FFG
+// rule as well.
 type Bouncer struct {
 	// P0 is the per-epoch probability that an honest validator stays on
 	// the branch whose justification the adversary completes next — the
@@ -151,8 +142,11 @@ type Bouncer struct {
 	// attack (used to demonstrate liveness recovery).
 	Stop types.Epoch
 
-	// anchors[i] is the first post-fork block root of branch i; set at
-	// GST from the partition representatives' heads.
+	// views[i] is the materialized view of branch i, captured at GST
+	// from the partition representatives (stable across duty-view
+	// reassignments).
+	views [2]*beacon.Node
+	// anchors[i] is the first post-fork block root of branch i.
 	anchors [2]types.Root
 	// lastJust[i] tracks the latest checkpoint the adversary justified
 	// on branch i.
@@ -163,7 +157,7 @@ type Bouncer struct {
 	// two-valued and the completed links above the quorum).
 	prevTarget types.Checkpoint
 	armed      bool
-	observer   types.ValidatorIndex // a Byzantine node used as omniscient view
+	observer   *beacon.Node // the Byzantine cohort's omniscient view
 	setupReps  [2]types.ValidatorIndex
 
 	// Bounces counts bounce placements per honest validator (metrics).
@@ -184,13 +178,14 @@ func NewBouncer(p0 float64, seed int64, reps [2]types.ValidatorIndex) *Bouncer {
 
 // arm captures the fork anchors at GST.
 func (b *Bouncer) arm(s *sim.Simulation) {
-	b.observer = s.Cfg.Byzantine[0]
+	b.observer = s.View(s.Cfg.Byzantine[0])
 	for i := 0; i < 2; i++ {
-		rep := s.Nodes[b.setupReps[i]]
+		rep := s.View(b.setupReps[i])
 		head, err := rep.Head()
 		if err != nil {
 			return
 		}
+		b.views[i] = rep
 		b.anchors[i] = head
 		b.lastJust[i] = rep.FFG.LatestJustified()
 	}
@@ -202,8 +197,8 @@ func (b *Bouncer) arm(s *sim.Simulation) {
 
 // branchTip finds the highest block descending from the branch anchor in
 // the omniscient Byzantine view.
-func (b *Bouncer) branchTip(s *sim.Simulation, branch int) (types.Root, bool) {
-	tree := s.Nodes[b.observer].Tree
+func (b *Bouncer) branchTip(branch int) (types.Root, bool) {
+	tree := b.observer.Tree
 	anchor := b.anchors[branch]
 	if !tree.Has(anchor) {
 		return types.Root{}, false
@@ -239,12 +234,11 @@ func (b *Bouncer) OnSlot(s *sim.Simulation, slot types.Slot) {
 	ended := epoch - 1
 	branch := int(ended % 2)
 
-	tip, ok := b.branchTip(s, branch)
+	tip, ok := b.branchTip(branch)
 	if !ok {
 		return
 	}
-	tree := s.Nodes[b.observer].Tree
-	target, err := tree.CheckpointFor(tip, ended)
+	target, err := b.observer.Tree.CheckpointFor(tip, ended)
 	if err != nil || target.Root == b.lastJust[branch].Root {
 		return
 	}
@@ -252,43 +246,44 @@ func (b *Bouncer) OnSlot(s *sim.Simulation, slot types.Slot) {
 	b.Releases++
 
 	// Release the withheld Byzantine votes completing the two-epoch link
-	// (source -> target) on this branch. One vote per Byzantine
-	// validator per epoch: semi-active per branch, never slashable.
-	for _, v := range s.Cfg.Byzantine {
-		att := attestation.Attestation{
-			Validator: v,
-			Data: attestation.Data{
-				Slot:   ended.EndSlot(),
-				Head:   tip,
-				Source: source,
-				Target: target,
-			},
-		}
-		s.Broadcast(v, slot, sim.Message{Att: &att})
+	// (source -> target) on this branch, as one batch. One vote per
+	// Byzantine validator per epoch: semi-active per branch, never
+	// slashable.
+	release := sim.AttBatch{
+		Data: attestation.Data{
+			Slot:   ended.EndSlot(),
+			Head:   tip,
+			Source: source,
+			Target: target,
+		},
+		Validators: s.Cfg.Byzantine,
 	}
+	s.Broadcast(s.Cfg.Byzantine[0], slot, sim.Message{Batch: &release})
 
 	// Catch-up: the previous release reached every validator within
 	// delta, so by this boundary every view has processed it.
 	if !b.prevTarget.IsZero() {
-		for _, h := range s.HonestIndices() {
-			s.Nodes[h].FFG.ForceJustify(b.prevTarget)
-		}
+		b.views[0].FFG.ForceJustify(b.prevTarget)
+		b.views[1].FFG.ForceJustify(b.prevTarget)
 	}
-	// Per-validator timing: with probability 1-P0 the validator sees the
-	// fresh release (and the resulting justification) before its duty
-	// this epoch and bounces to this branch; with probability P0 it acts
-	// on its previous view and stays put, becoming part of the coherent
-	// link the adversary completes next boundary.
+	// The fresh branch's view sees the release (and the resulting
+	// justification) immediately; the stale view stays on the previous
+	// target until next boundary.
+	b.views[branch].FFG.ForceJustify(target)
+	// Per-validator timing: with probability 1-P0 the validator's duty
+	// this epoch runs on the fresh view (it bounces to this branch); with
+	// probability P0 it acts on the stale view and stays put.
+	fresh, stale := b.setupReps[branch], b.setupReps[1-branch]
 	for _, h := range s.HonestIndices() {
 		if b.Rng.Float64() >= b.P0 {
-			s.Nodes[h].FFG.ForceJustify(target)
+			s.SetDutyView(h, fresh)
 			b.Bounces++
+		} else {
+			s.SetDutyView(h, stale)
 		}
 	}
-	// The omniscient Byzantine views track every justification.
-	for _, v := range s.Cfg.Byzantine {
-		s.Nodes[v].FFG.ForceJustify(target)
-	}
+	// The omniscient Byzantine view tracks every justification.
+	b.observer.FFG.ForceJustify(target)
 	b.lastJust[branch] = target
 	b.prevTarget = target
 }

@@ -1,6 +1,7 @@
 package behavior
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/sim"
@@ -92,15 +93,15 @@ func TestScenario521DoubleVoterAcceleratesConflict(t *testing.T) {
 	}
 	t.Logf("conflicting finalization: with double-voting %d, honest baseline %d", conflictEpoch, baseline)
 
-	// Before GST no honest node can prove the equivocation: each
+	// Before GST no honest view can prove the equivocation: each
 	// partition saw only one face.
 	for _, h := range s.HonestIndices() {
-		if len(s.Nodes[h].SlashingEvidence()) != 0 {
-			t.Fatalf("node %d detected slashing before GST", h)
+		if len(s.View(h).SlashingEvidence()) != 0 {
+			t.Fatalf("view of validator %d detected slashing before GST", h)
 		}
 		for _, b := range s.Cfg.Byzantine {
-			if !s.Nodes[h].Registry.InSet(b) {
-				t.Fatalf("Byzantine %d slashed before GST in node %d's view", b, h)
+			if !s.View(h).Registry.InSet(b) {
+				t.Fatalf("Byzantine %d slashed before GST in validator %d's view", b, h)
 			}
 		}
 	}
@@ -141,7 +142,7 @@ func TestScenario521WithShuffledDuties(t *testing.T) {
 }
 
 // TestScenario521SlashingAfterGST: once the partition heals, the withheld
-// faces cross over, honest nodes assemble double-vote evidence, and the
+// faces cross over, honest views assemble double-vote evidence, and the
 // Byzantine validators are slashed — but the conflicting finalization has
 // already happened ("the harm is already done").
 func TestScenario521SlashingAfterGST(t *testing.T) {
@@ -156,14 +157,56 @@ func TestScenario521SlashingAfterGST(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, h := range s.HonestIndices() {
-		if len(s.Nodes[h].SlashingEvidence()) == 0 {
-			t.Errorf("node %d has no slashing evidence after GST", h)
+		if len(s.View(h).SlashingEvidence()) == 0 {
+			t.Errorf("view of validator %d has no slashing evidence after GST", h)
 		}
 		for _, b := range s.Cfg.Byzantine {
-			if s.Nodes[h].Registry.InSet(b) {
-				t.Errorf("Byzantine %d still in set after GST in node %d's view", b, h)
+			if s.View(h).Registry.InSet(b) {
+				t.Errorf("Byzantine %d still in set after GST in validator %d's view", b, h)
 			}
 		}
+	}
+}
+
+// TestAdversaryCohortOracleEquivalence extends the kernel's equivalence
+// contract to adversarial runs: the batched cohort adversaries produce
+// bit-identical EpochMetrics histories in the default view-cohort mode and
+// the per-validator oracle mode.
+func TestAdversaryCohortOracleEquivalence(t *testing.T) {
+	build := map[string]func() sim.Adversary{
+		"double-voter": func() sim.Adversary { return &DoubleVoter{Reps: [2]types.ValidatorIndex{0, 12}} },
+		"semi-active":  func() sim.Adversary { return &SemiActive{Reps: [2]types.ValidatorIndex{0, 12}} },
+		"semi-active finalizing": func() sim.Adversary {
+			return &SemiActive{Reps: [2]types.ValidatorIndex{0, 12}, StayFrom: 22}
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			histories := make([][]sim.EpochMetrics, 2)
+			for mode, perValidator := range []bool{false, true} {
+				rec := &sim.Recorder{}
+				cfg := byzConfig(13, mk())
+				cfg.PerValidatorViews = perValidator
+				cfg.OnEpoch = rec.Hook
+				s, err := sim.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.RunEpochs(26); err != nil {
+					t.Fatal(err)
+				}
+				histories[mode] = rec.History
+			}
+			if !reflect.DeepEqual(histories[0], histories[1]) {
+				for i := range histories[0] {
+					if !reflect.DeepEqual(histories[0][i], histories[1][i]) {
+						t.Fatalf("epoch %d diverges:\n  cohort: %+v\n  oracle: %+v",
+							histories[0][i].Epoch, histories[0][i], histories[1][i])
+					}
+				}
+				t.Fatal("histories diverge in length")
+			}
+		})
 	}
 }
 
@@ -212,15 +255,15 @@ func TestScenario523SemiActiveCrossesOneThird(t *testing.T) {
 		t.Fatalf("scenario 5.2.3 crossed 1/3 without finalizing, but found: %v", v)
 	}
 	for _, h := range s.HonestIndices() {
-		if len(s.Nodes[h].SlashingEvidence()) != 0 {
-			t.Fatalf("semi-active behavior produced slashing evidence on node %d", h)
+		if len(s.View(h).SlashingEvidence()) != 0 {
+			t.Fatalf("semi-active behavior produced slashing evidence in validator %d's view", h)
 		}
 	}
 	// The crossing coincides with the ejection of the opposite side's
 	// honest validators on each view.
 	for _, pair := range [][2]types.ValidatorIndex{{0, 12}, {12, 0}} {
 		observer := pair[0]
-		reg := s.Nodes[observer].Registry
+		reg := s.View(observer).Registry
 		ejected := 0
 		for v := types.ValidatorIndex(0); v < 24; v++ {
 			if !reg.InSet(v) {
@@ -228,7 +271,7 @@ func TestScenario523SemiActiveCrossesOneThird(t *testing.T) {
 			}
 		}
 		if ejected < 12 {
-			t.Errorf("view of node %d: only %d honest validators ejected at the crossing, want >= 12",
+			t.Errorf("view of validator %d: only %d honest validators ejected at the crossing, want >= 12",
 				observer, ejected)
 		}
 	}
@@ -267,8 +310,8 @@ func TestScenario522SemiActiveFinalizesConflictingBranches(t *testing.T) {
 		t.Fatal("scenario 5.2.2 never finalized conflicting branches")
 	}
 	for _, h := range s.HonestIndices() {
-		if len(s.Nodes[h].SlashingEvidence()) != 0 {
-			t.Fatalf("scenario 5.2.2 must stay non-slashable; node %d has evidence", h)
+		if len(s.View(h).SlashingEvidence()) != 0 {
+			t.Fatalf("scenario 5.2.2 must stay non-slashable; validator %d's view has evidence", h)
 		}
 	}
 	t.Logf("non-slashable conflicting finalization at epoch %d", conflictEpoch)
@@ -300,14 +343,14 @@ func TestScenario53BouncerStallsFinality(t *testing.T) {
 	// Finality must not have advanced past the setup era during the
 	// attack.
 	for _, h := range s.HonestIndices() {
-		if got := s.Nodes[h].Finalized().Epoch; got > 3 {
-			t.Errorf("node %d finalized epoch %d during the bouncing attack", h, got)
+		if got := s.View(h).Finalized().Epoch; got > 3 {
+			t.Errorf("validator %d's view finalized epoch %d during the bouncing attack", h, got)
 		}
 	}
 	// The leak is running: honest stake is draining on honest views.
 	drained := 0
 	for _, h := range s.HonestIndices() {
-		if s.Nodes[h].Registry.TotalStake() < types.Gwei(32)*types.MaxEffectiveBalanceGwei {
+		if s.View(h).Registry.TotalStake() < types.Gwei(32)*types.MaxEffectiveBalanceGwei {
 			drained++
 		}
 	}
@@ -322,8 +365,8 @@ func TestScenario53BouncerStallsFinality(t *testing.T) {
 	}
 	// Non-slashable throughout.
 	for _, h := range s.HonestIndices() {
-		if len(s.Nodes[h].SlashingEvidence()) != 0 {
-			t.Fatalf("bouncing produced slashing evidence on node %d", h)
+		if len(s.View(h).SlashingEvidence()) != 0 {
+			t.Fatalf("bouncing produced slashing evidence in validator %d's view", h)
 		}
 	}
 	// No conflicting finalization either (synchronous period!).
@@ -337,14 +380,53 @@ func TestScenario53BouncerStallsFinality(t *testing.T) {
 	}
 	recovered := 0
 	for _, h := range s.HonestIndices() {
-		if s.Nodes[h].Finalized().Epoch >= 16 {
+		if s.View(h).Finalized().Epoch >= 16 {
 			recovered++
 		}
 	}
 	if recovered < len(s.HonestIndices())/2 {
-		t.Errorf("only %d honest nodes recovered finality after the attack stopped", recovered)
+		t.Errorf("only %d honest validators recovered finality after the attack stopped", recovered)
 	}
 	if v := s.CheckFinalitySafety(); v != nil {
 		t.Fatalf("post-attack safety violation: %v", v)
+	}
+}
+
+// TestBouncerUnderMessageLoss pins the cross-view proposer rule: a bounced
+// proposer acts on a foreign duty view, whose broadcast delivery may be
+// delayed by a link outage — the kernel must not apply such a block to the
+// foreign view early. The attack still engages under loss and, once the
+// adversary stops, finality eventually recovers; with correlated link
+// outages the post-attack duty-view split persists until the leak drains
+// the minority crowd, so recovery takes several extra epochs and reaches
+// one branch view first.
+func TestBouncerUnderMessageLoss(t *testing.T) {
+	adv := NewBouncer(0.6, 99, [2]types.ValidatorIndex{0, 12})
+	cfg := byzConfig(19, adv)
+	cfg.GST = 3 * 32
+	cfg.DropRate = 0.3
+	adv.Stop = 14
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(28); err != nil {
+		t.Fatal(err)
+	}
+	if adv.Releases < 8 {
+		t.Fatalf("only %d releases under loss; attack never engaged", adv.Releases)
+	}
+	if v := s.CheckFinalitySafety(); v != nil {
+		t.Fatalf("bouncing under loss must not fork finality: %v", v)
+	}
+	recovered := false
+	for _, h := range s.HonestIndices() {
+		if s.View(h).Finalized().Epoch >= 14 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Error("no honest view recovered finality after the adversary stopped")
 	}
 }

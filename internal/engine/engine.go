@@ -42,6 +42,12 @@ type Params struct {
 	// Sample requests a trajectory sampled every Sample epochs in the
 	// Result's Curve (0 = scalar metrics only).
 	Sample int `json:"sample,omitempty"`
+	// Rate is the network link-outage probability of protocol-simulator
+	// scenarios (the sim/drops robustness dimension).
+	Rate float64 `json:"rate,omitempty"`
+	// GST is the epoch at which network partitions heal in
+	// protocol-simulator scenarios (the sim/gst heal dimension).
+	GST int `json:"gst,omitempty"`
 }
 
 // WithDefaults fills every zero-valued field of p from d.
@@ -66,6 +72,12 @@ func (p Params) WithDefaults(d Params) Params {
 	}
 	if p.Sample == 0 {
 		p.Sample = d.Sample
+	}
+	if p.Rate == 0 {
+		p.Rate = d.Rate
+	}
+	if p.GST == 0 {
+		p.GST = d.GST
 	}
 	return p
 }
@@ -94,6 +106,12 @@ func (p Params) String() string {
 	}
 	if p.Horizon != 0 {
 		add("horizon=%d", p.Horizon)
+	}
+	if p.Rate != 0 {
+		add("rate=%.4g", p.Rate)
+	}
+	if p.GST != 0 {
+		add("gst=%d", p.GST)
 	}
 	return b.String()
 }

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/behavior"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Registry names of the view-cohort protocol-simulator scenarios. They run
+// the FULL protocol (block tree, LMD-GHOST, Casper FFG, attestation pool,
+// slashing, inactivity leak) at paper-scale validator counts, which the
+// cohort kernel makes affordable; registering here is all the plumbing
+// they need — the HTTP server lists them, the client sweeps them, and the
+// CLIs run them with no further wiring.
+const (
+	// ScenarioSimBounce is the node-level probabilistic bouncing attack
+	// (paper Section 5.3) at paper scale: a pre-GST fork, then per-epoch
+	// duty-view placement with stay-probability p0.
+	ScenarioSimBounce = "sim/bounce"
+	// ScenarioSimDrops is the message-loss robustness sweep: a
+	// synchronous multi-partition population under link outages of the
+	// given rate.
+	ScenarioSimDrops = "sim/drops"
+	// ScenarioSimGST is the partition-heal sweep: a 50/50 partition that
+	// heals at the gst epoch, probing how late healing can come before
+	// the leak finalizes conflicting branches.
+	ScenarioSimGST = "sim/gst"
+)
+
+func init() {
+	Default.MustRegister(NewContextScenario(ScenarioSimBounce,
+		"Full-protocol probabilistic bouncing attack at paper scale (p0 = stay probability, gst = setup epochs)",
+		Params{P0: 0.7, Beta0: 0.25, N: 10000, Horizon: 24, Seed: 19, GST: 3},
+		runSimBounce))
+	// sim/drops defaults rate to 0 on purpose: the engine's zero-value
+	// convention folds an explicit 0 into the default, and rate=0 is the
+	// lossless baseline every robustness sweep wants as its first cell.
+	Default.MustRegister(NewContextScenario(ScenarioSimDrops,
+		"Full-protocol link-outage robustness: synchronous 8-partition population under drop rate (rate=0 is the lossless baseline)",
+		Params{P0: 0.5, N: 1000, Horizon: 10, Seed: 1},
+		runSimDrops))
+	// sim/gst defaults gst to 0 (heal immediately — the no-partition
+	// baseline) for the same reason sim/drops defaults rate to 0: the
+	// engine folds an explicit zero into the default, and a heal sweep
+	// wants gst=0 as its first cell rather than a silent re-run of a
+	// nonzero default.
+	Default.MustRegister(NewContextScenario(ScenarioSimGST,
+		"Full-protocol partition heal: 50/50 split healing at the gst epoch (gst=0 is the no-partition baseline)",
+		Params{P0: 0.5, N: 1000, Horizon: 16, Seed: 3},
+		runSimGST))
+}
+
+// runEpochsContext advances the simulation one epoch at a time, checking
+// cancellation between epochs (a protocol epoch is orders of magnitude
+// heavier than an aggregate-engine epoch).
+func runEpochsContext(ctx context.Context, s *sim.Simulation, epochs int, onEpoch func(epoch int) bool) error {
+	for epoch := 1; epoch <= epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.RunEpochs(1); err != nil {
+			return err
+		}
+		if onEpoch != nil && !onEpoch(epoch) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runSimBounce stages the probabilistic bouncing attack on the cohort
+// kernel: a setup partition forks the chain for p.GST epochs, then the
+// Bouncer alternates branch justifications and places each honest
+// validator's duty view per epoch (stay probability p0). The adversary
+// stops 6 epochs before the horizon so the run also demonstrates liveness
+// recovery.
+func runSimBounce(ctx context.Context, p Params) (Result, error) {
+	if p.GST <= 0 || p.Horizon <= p.GST {
+		return Result{}, fmt.Errorf("engine: sim/bounce wants 0 < gst < horizon, got gst=%d horizon=%d", p.GST, p.Horizon)
+	}
+	nByz := int(math.Round(float64(p.N) * p.Beta0))
+	nHonest := p.N - nByz
+	if nHonest < 4 || nByz < 1 {
+		return Result{}, fmt.Errorf("engine: sim/bounce needs >= 4 honest and >= 1 byzantine validators, got %d/%d", nHonest, nByz)
+	}
+	byz := make([]types.ValidatorIndex, nByz)
+	for i := range byz {
+		byz[i] = types.ValidatorIndex(nHonest + i)
+	}
+	half := nHonest / 2
+	stop := types.Epoch(0)
+	if p.Horizon > 10 {
+		stop = types.Epoch(p.Horizon - 6)
+	}
+	adv := behavior.NewBouncer(p.P0, p.Seed, [2]types.ValidatorIndex{0, types.ValidatorIndex(half)})
+	adv.Stop = stop
+
+	spec := types.CompressedSpec(1 << 16)
+	s, err := sim.New(sim.Config{
+		Validators: p.N,
+		Spec:       spec,
+		Byzantine:  byz,
+		GST:        types.Slot(uint64(p.GST) * spec.SlotsPerEpoch),
+		Delay:      1,
+		Seed:       p.Seed,
+		PartitionOf: func(v types.ValidatorIndex) int {
+			if int(v) < half {
+				return 0
+			}
+			return 1
+		},
+		Adversary: adv,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	initialStake := types.Gwei(uint64(p.N)) * spec.MaxEffectiveBalance
+	finalizedAtStop := types.Epoch(0)
+	minStakeRatio := 1.0
+	err = runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
+		m := s.Snapshot(types.Epoch(epoch))
+		if r := float64(m.MinTotalStake) / float64(initialStake); r < minStakeRatio {
+			minStakeRatio = r
+		}
+		if stop != 0 && types.Epoch(epoch) == stop {
+			finalizedAtStop = m.MaxFinalized
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	finalizedFinal := s.Snapshot(types.Epoch(p.Horizon)).MaxFinalized
+	recovered := stop != 0 && finalizedFinal >= stop
+	out := Result{
+		Metrics: []Metric{
+			{Name: "releases", Value: float64(adv.Releases)},
+			{Name: "bounces", Value: float64(adv.Bounces)},
+			{Name: "finalized_at_stop", Value: float64(finalizedAtStop)},
+			{Name: "finalized_final", Value: float64(finalizedFinal)},
+			{Name: "recovered", Value: boolMetric(recovered)},
+			{Name: "min_stake_ratio", Value: minStakeRatio},
+		},
+	}
+	if stop != 0 && finalizedAtStop <= types.Epoch(p.GST) {
+		out.Outcome = fmt.Sprintf("finality stalled for %d epochs", int64(stop)-int64(p.GST))
+	}
+	return out, nil
+}
+
+// runSimDrops runs a synchronous population spread over eight partitions
+// whose cross-partition links suffer outages at p.Rate, and reports how far
+// finality lags the healthy two-epoch trail.
+func runSimDrops(ctx context.Context, p Params) (Result, error) {
+	if p.Horizon < 4 {
+		return Result{}, fmt.Errorf("engine: sim/drops wants horizon >= 4 (finality needs a runway), got %d", p.Horizon)
+	}
+	if p.Rate < 0 || p.Rate >= 1 {
+		return Result{}, fmt.Errorf("engine: sim/drops wants 0 <= rate < 1, got %v", p.Rate)
+	}
+	parts := 8
+	if p.N < parts {
+		parts = p.N
+	}
+	s, err := sim.New(sim.Config{
+		Validators:  p.N,
+		Spec:        types.DefaultSpec(),
+		Delay:       1,
+		Seed:        p.Seed,
+		DropRate:    p.Rate,
+		PartitionOf: func(v types.ValidatorIndex) int { return int(v) % parts },
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := runEpochsContext(ctx, s, p.Horizon, nil); err != nil {
+		return Result{}, err
+	}
+	final := s.Snapshot(types.Epoch(p.Horizon))
+	minFin, maxFin := final.MinFinalized, final.MaxFinalized
+	// On a lossless run the last processed boundary (start of epoch h-1)
+	// has finalized epoch h-3; anything lower is loss-induced lag.
+	lag := 0.0
+	if healthy := types.Epoch(p.Horizon - 3); minFin < healthy {
+		lag = float64(healthy - minFin)
+	}
+	sent, delayed := s.Net.Stats()
+	out := Result{
+		Metrics: []Metric{
+			{Name: "min_finalized", Value: float64(minFin)},
+			{Name: "max_finalized", Value: float64(maxFin)},
+			{Name: "finality_lag", Value: lag},
+			{Name: "msgs_sent", Value: float64(sent)},
+			{Name: "msgs_delayed", Value: float64(delayed)},
+		},
+	}
+	if lag == 0 {
+		out.Outcome = "finality unharmed"
+	}
+	return out, nil
+}
+
+// runSimGST heals a p0-weighted two-way partition at the p.GST epoch and
+// reports whether safety survived and how finality recovered — the
+// mechanism-level boundary between the paper's Scenario 5.1 (never heals,
+// conflicting finalization) and a harmless outage.
+func runSimGST(ctx context.Context, p Params) (Result, error) {
+	if p.GST < 0 {
+		return Result{}, fmt.Errorf("engine: sim/gst wants gst >= 0, got %d", p.GST)
+	}
+	nA := int(math.Round(float64(p.N) * p.P0))
+	spec := types.CompressedSpec(1 << 16)
+	s, err := sim.New(sim.Config{
+		Validators: p.N,
+		Spec:       spec,
+		GST:        types.Slot(uint64(p.GST) * spec.SlotsPerEpoch),
+		Delay:      1,
+		Seed:       p.Seed,
+		PartitionOf: func(v types.ValidatorIndex) int {
+			if int(v) < nA {
+				return 0
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	violation := 0.0
+	err = runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
+		if violation == 0 {
+			if v := s.CheckFinalitySafety(); v != nil {
+				violation = float64(epoch)
+			}
+		}
+		return violation == 0
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	minFin := s.Snapshot(types.Epoch(p.Horizon)).MinFinalized
+	recovered := violation == 0 && minFin >= types.Epoch(p.GST)
+	out := Result{
+		Metrics: []Metric{
+			{Name: "violation_epoch", Value: violation},
+			{Name: "violation_detected", Value: boolMetric(violation != 0)},
+			{Name: "min_finalized_final", Value: float64(minFin)},
+			{Name: "recovered", Value: boolMetric(recovered)},
+		},
+	}
+	switch {
+	case violation != 0:
+		out.Outcome = "2 finalized branches"
+	case recovered:
+		out.Outcome = "healed, finality recovered"
+	}
+	return out, nil
+}

@@ -19,9 +19,9 @@ type Cell struct {
 }
 
 // Grid is a rectangular parameter sweep for one scenario: the cross
-// product of the listed dimensions (p0 x beta0 x mode x seed x horizon).
-// An empty dimension contributes a single zero value, which Registry.Run
-// resolves to the scenario's default.
+// product of the listed dimensions (p0 x beta0 x mode x seed x horizon x
+// rate x gst). An empty dimension contributes a single zero value, which
+// Registry.Run resolves to the scenario's default.
 type Grid struct {
 	Scenario string
 	P0       []float64
@@ -29,6 +29,13 @@ type Grid struct {
 	Modes    []string
 	Seeds    []int64
 	Horizons []int
+	// Rates sweeps the link-outage probability of protocol-simulator
+	// scenarios; GSTs sweeps their partition-heal epoch. Cells differing
+	// only in rate or gst share their derived seed (common random
+	// numbers), which is the right comparison mode for a robustness
+	// sweep: every cell faces the same duty schedule.
+	Rates []float64
+	GSTs  []int
 	// N and Sample apply uniformly to every cell.
 	N      int
 	Sample int
@@ -66,17 +73,29 @@ func (g Grid) Cells() []Cell {
 	if len(horizons) == 0 {
 		horizons = []int{0}
 	}
-	cells := make([]Cell, 0, len(p0s)*len(beta0s)*len(modes)*len(seeds)*len(horizons))
+	rates := g.Rates
+	if len(rates) == 0 {
+		rates = []float64{0}
+	}
+	gsts := g.GSTs
+	if len(gsts) == 0 {
+		gsts = []int{0}
+	}
+	cells := make([]Cell, 0, len(p0s)*len(beta0s)*len(modes)*len(seeds)*len(horizons)*len(rates)*len(gsts))
 	for _, p0 := range p0s {
 		for _, b := range beta0s {
 			for _, m := range modes {
 				for _, s := range seeds {
 					for _, h := range horizons {
-						p := Params{P0: p0, Beta0: b, Mode: m, N: g.N, Horizon: h, Sample: g.Sample}
-						if seedSpecified {
-							p.Seed = DeriveSeed(s, p0, b, m, h)
+						for _, rate := range rates {
+							for _, gst := range gsts {
+								p := Params{P0: p0, Beta0: b, Mode: m, N: g.N, Horizon: h, Sample: g.Sample, Rate: rate, GST: gst}
+								if seedSpecified {
+									p.Seed = DeriveSeed(s, p0, b, m, h)
+								}
+								cells = append(cells, Cell{Scenario: g.Scenario, Params: p})
+							}
 						}
-						cells = append(cells, Cell{Scenario: g.Scenario, Params: p})
 					}
 				}
 			}
@@ -103,6 +122,12 @@ func (g Grid) FillFrom(p Params) Grid {
 	}
 	if len(g.Horizons) == 0 && p.Horizon != 0 {
 		g.Horizons = []int{p.Horizon}
+	}
+	if len(g.Rates) == 0 && p.Rate != 0 {
+		g.Rates = []float64{p.Rate}
+	}
+	if len(g.GSTs) == 0 && p.GST != 0 {
+		g.GSTs = []int{p.GST}
 	}
 	if g.N == 0 {
 		g.N = p.N
@@ -149,7 +174,7 @@ func DeriveSeed(base int64, p0, beta0 float64, mode string, horizon int) int64 {
 // ParseGrid parses a sweep spec into a Grid for the named scenario. The
 // spec is semicolon-separated key=value items; values are comma lists or
 // lo:hi:step ranges (inclusive). Keys: p0, beta0, mode, seed, horizon,
-// n, sample.
+// rate, gst, n, sample.
 //
 //	p0=0.2:0.8:0.1; beta0=0.1,0.2,0.25; mode=double,semi; seed=1,2,3
 func ParseGrid(scenario, spec string) (Grid, error) {
@@ -184,6 +209,14 @@ func ParseGrid(scenario, spec string) (Grid, error) {
 			for _, h := range hs {
 				g.Horizons = append(g.Horizons, int(h))
 			}
+		case "rate":
+			g.Rates, err = parseFloatList(value)
+		case "gst":
+			var gs []int64
+			gs, err = parseIntList(value)
+			for _, gst := range gs {
+				g.GSTs = append(g.GSTs, int(gst))
+			}
 		case "n":
 			var ns []int64
 			ns, err = parseIntList(value)
@@ -205,7 +238,7 @@ func ParseGrid(scenario, spec string) (Grid, error) {
 				}
 			}
 		default:
-			return Grid{}, fmt.Errorf("engine: unknown sweep key %q (want p0, beta0, mode, seed, horizon, n, sample)", key)
+			return Grid{}, fmt.Errorf("engine: unknown sweep key %q (want p0, beta0, mode, seed, horizon, rate, gst, n, sample)", key)
 		}
 		if err != nil {
 			return Grid{}, fmt.Errorf("engine: sweep dimension %q: %w", key, err)

@@ -285,3 +285,55 @@ func TestTable1CellsMatchPaper(t *testing.T) {
 		t.Error("5.2.3 must cross one third")
 	}
 }
+
+func TestParseGridRateAndGST(t *testing.T) {
+	g, err := ParseGrid("sim/drops", "rate=0.1:0.3:0.1; gst=4,8; seed=1; n=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rates) != 3 || g.Rates[0] != 0.1 {
+		t.Errorf("rates = %v", g.Rates)
+	}
+	if len(g.GSTs) != 2 || g.GSTs[1] != 8 {
+		t.Errorf("gsts = %v", g.GSTs)
+	}
+	cells := g.Cells()
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 3 rates x 2 gsts", len(cells))
+	}
+	// Cells differing only in rate/gst share their derived seed (common
+	// random numbers): every cell of a robustness sweep faces the same
+	// duty schedule.
+	for _, c := range cells[1:] {
+		if c.Params.Seed != cells[0].Params.Seed {
+			t.Errorf("cell %v has different seed than %v", c.Params, cells[0].Params)
+		}
+	}
+	// The rate/gst coordinates land in the cell params.
+	if cells[0].Params.Rate != 0.1 || cells[0].Params.GST != 4 {
+		t.Errorf("first cell params = %v", cells[0].Params)
+	}
+	if cells[5].Params.GST != 8 {
+		t.Errorf("last cell params = %v", cells[5].Params)
+	}
+}
+
+func TestGridFillFromRateAndGST(t *testing.T) {
+	g := Grid{Scenario: "sim/gst"}
+	g = g.FillFrom(Params{Rate: 0.25, GST: 6})
+	if len(g.Rates) != 1 || g.Rates[0] != 0.25 {
+		t.Errorf("rates = %v", g.Rates)
+	}
+	if len(g.GSTs) != 1 || g.GSTs[0] != 6 {
+		t.Errorf("gsts = %v", g.GSTs)
+	}
+}
+
+func TestParamsStringIncludesRateAndGST(t *testing.T) {
+	s := Params{P0: 0.5, Rate: 0.2, GST: 8}.String()
+	for _, want := range []string{"rate=0.2", "gst=8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Params.String() = %q, missing %q", s, want)
+		}
+	}
+}

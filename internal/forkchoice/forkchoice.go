@@ -72,6 +72,15 @@ func (s *Store) Len() int { return len(s.latest) }
 // Messages pointing at blocks missing from the tree (e.g. not yet received
 // across a partition) are ignored.
 func (s *Store) Head(tree *blocktree.Tree, start types.Root, stake func(types.ValidatorIndex) types.Gwei) (types.Root, error) {
+	return s.HeadFiltered(tree, start, stake, nil)
+}
+
+// HeadFiltered is Head restricted to the visible portion of the tree:
+// descent skips children for which visible returns false (nil = everything
+// is visible). The view-cohort simulator uses it to compute a member's head
+// while blocks another member produced this slot are still in flight — a
+// per-validator difference the shared tree would otherwise erase.
+func (s *Store) HeadFiltered(tree *blocktree.Tree, start types.Root, stake func(types.ValidatorIndex) types.Gwei, visible func(types.Root) bool) (types.Root, error) {
 	if !tree.Has(start) {
 		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start)
 	}
@@ -79,34 +88,44 @@ func (s *Store) Head(tree *blocktree.Tree, start types.Root, stake func(types.Va
 	head := start
 	for {
 		children := tree.Children(head)
-		if len(children) == 0 {
-			return head, nil
-		}
-		best := children[0]
-		bestW := weights[best]
-		for _, c := range children[1:] {
-			w := weights[c]
-			if w > bestW || (w == bestW && lessRoot(c, best)) {
-				best, bestW = c, w
+		var best types.Root
+		var bestW types.Gwei
+		found := false
+		for _, c := range children {
+			if visible != nil && !visible(c) {
+				continue
 			}
+			w := weights[c]
+			if !found || w > bestW || (w == bestW && lessRoot(c, best)) {
+				best, bestW, found = c, w, true
+			}
+		}
+		if !found {
+			return head, nil
 		}
 		head = best
 	}
 }
 
 // subtreeWeights computes, for every block, the total stake of validators
-// whose latest message is in that block's subtree. It walks each vote's
-// ancestor path once; with the simulator's bounded trees this is cheap and
-// requires no auxiliary parent-sum pass.
+// whose latest message is in that block's subtree. Votes are first grouped
+// by target block, then each distinct target's ancestor path is walked
+// once: with paper-scale validator counts the latest messages concentrate
+// on a handful of recent blocks, so the walk cost is distinct-roots x
+// depth, not validators x depth.
 func (s *Store) subtreeWeights(tree *blocktree.Tree, stake func(types.ValidatorIndex) types.Gwei) map[types.Root]types.Gwei {
-	weights := make(map[types.Root]types.Gwei, tree.Len())
-	genesis := tree.Genesis()
+	byRoot := make(map[types.Root]types.Gwei, 16)
 	for v, m := range s.latest {
 		w := stake(v)
 		if w == 0 || !tree.Has(m.Root) {
 			continue
 		}
-		cur := m.Root
+		byRoot[m.Root] += w
+	}
+	weights := make(map[types.Root]types.Gwei, tree.Len())
+	genesis := tree.Genesis()
+	for root, w := range byRoot {
+		cur := root
 		for {
 			weights[cur] += w
 			if cur == genesis {

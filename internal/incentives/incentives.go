@@ -52,66 +52,73 @@ type Summary struct {
 //
 // Per the paper's Equations 1-2, the penalty at epoch t uses the score and
 // stake of epoch t-1, so penalties are applied before scores are updated.
+//
+// The sweep runs directly over the registry's columns: one pass for
+// penalties and scores, one for ejections, one for post-state measurement,
+// with no per-validator allocation. The Ejected slice is the only
+// allocation and only happens in epochs that actually eject.
 func (e Engine) ProcessEpoch(reg *validator.Registry, active func(types.ValidatorIndex) bool, inLeak bool, epoch types.Epoch) Summary {
 	var sum Summary
 	spec := e.Spec
+	cols := reg.Columns()
 
-	reg.ForEach(func(v *validator.Validator) {
-		if !v.InSet() {
-			return
+	for i := range cols.Stakes {
+		if cols.Status[i] != validator.Active {
+			continue
 		}
-		isActive := active(v.Index)
+		isActive := active(types.ValidatorIndex(i))
 
 		// Penalty first: I(t-1) * s(t-1) / quotient — during leaks,
 		// and with ResidualPenalties whenever the score is positive.
-		if inLeak || (spec.ResidualPenalties && v.InactivityScore > 0) {
-			penalty := types.Gwei(v.InactivityScore * uint64(v.Stake) / spec.InactivityPenaltyQuotient)
-			applied := v.Stake
-			v.Stake = v.Stake.SaturatingSub(penalty)
-			sum.TotalPenalty += applied - v.Stake
+		if inLeak || (spec.ResidualPenalties && cols.Scores[i] > 0) {
+			penalty := types.Gwei(cols.Scores[i] * uint64(cols.Stakes[i]) / spec.InactivityPenaltyQuotient)
+			applied := cols.Stakes[i]
+			cols.Stakes[i] = cols.Stakes[i].SaturatingSub(penalty)
+			sum.TotalPenalty += applied - cols.Stakes[i]
 		} else if !isActive && e.AttestationPenalty > 0 {
-			applied := v.Stake
-			v.Stake = v.Stake.SaturatingSub(e.AttestationPenalty)
-			sum.TotalPenalty += applied - v.Stake
+			applied := cols.Stakes[i]
+			cols.Stakes[i] = cols.Stakes[i].SaturatingSub(e.AttestationPenalty)
+			sum.TotalPenalty += applied - cols.Stakes[i]
 		}
 
 		// Score update (Equation 1).
 		if isActive {
-			if v.InactivityScore >= spec.InactivityScoreRecovery {
-				v.InactivityScore -= spec.InactivityScoreRecovery
+			if cols.Scores[i] >= spec.InactivityScoreRecovery {
+				cols.Scores[i] -= spec.InactivityScoreRecovery
 			} else {
-				v.InactivityScore = 0
+				cols.Scores[i] = 0
 			}
 		} else {
-			v.InactivityScore += spec.InactivityScoreBias
+			cols.Scores[i] += spec.InactivityScoreBias
 		}
 		// Flat recovery outside a leak.
 		if !inLeak {
-			if v.InactivityScore >= spec.InactivityScoreFlatRecovery {
-				v.InactivityScore -= spec.InactivityScoreFlatRecovery
+			if cols.Scores[i] >= spec.InactivityScoreFlatRecovery {
+				cols.Scores[i] -= spec.InactivityScoreFlatRecovery
 			} else {
-				v.InactivityScore = 0
+				cols.Scores[i] = 0
 			}
 		}
-	})
+	}
 
 	// Ejection sweep after penalties.
-	reg.ForEach(func(v *validator.Validator) {
-		if v.InSet() && v.Stake <= spec.EjectionBalance {
-			_ = reg.Eject(v.Index, epoch)
-			sum.Ejected = append(sum.Ejected, v.Index)
+	for i := range cols.Stakes {
+		if cols.Status[i] == validator.Active && cols.Stakes[i] <= spec.EjectionBalance {
+			cols.Status[i] = validator.Ejected
+			cols.Exit[i] = epoch
+			sum.Ejected = append(sum.Ejected, types.ValidatorIndex(i))
 		}
-	})
+	}
 
 	// Post-state measurements.
-	reg.ForEach(func(v *validator.Validator) {
-		if v.InSet() {
-			sum.TotalStake += v.Stake
-			if active(v.Index) {
-				sum.ActiveStake += v.Stake
+	for i := range cols.Stakes {
+		if cols.Status[i] == validator.Active {
+			sum.TotalStake += cols.Stakes[i]
+			if active(types.ValidatorIndex(i)) {
+				sum.ActiveStake += cols.Stakes[i]
 			}
 		}
-	})
+	}
 	return sum
 }
 

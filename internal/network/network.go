@@ -4,45 +4,53 @@
 // cannot hear each other; within a partition (and globally after GST)
 // message delay is bounded.
 //
-// Byzantine nodes may be marked as bridging: they hear every partition and
-// their messages reach every partition even before GST — the paper's strong
-// adversary that "can coordinate Byzantine validators, even across network
-// partitions". The adversary can additionally schedule point-to-point
-// deliveries at chosen slots (SendDirect), which is what the probabilistic
-// bouncing attack's withhold-and-release step needs.
+// Endpoints are abstract: the view-cohort simulator (internal/sim) attaches
+// one endpoint per materialized view — a whole partition of honest
+// validators shares one endpoint, because its members provably receive the
+// same messages — while its per-validator oracle mode attaches one endpoint
+// per validator. Nothing in this package assumes either granularity.
 //
-// Failure injection: a drop rate can be configured; dropped deliveries are
-// retransmitted with extra delay, preserving the best-effort-broadcast
-// guarantee that messages between correct processes are eventually
-// delivered.
+// Byzantine endpoints may be marked as bridging: they hear every partition
+// and their messages reach every partition even before GST — the paper's
+// strong adversary that "can coordinate Byzantine validators, even across
+// network partitions". The adversary can additionally schedule
+// point-to-point deliveries at chosen slots (SendDirect), which is what the
+// probabilistic bouncing attack's withhold-and-release step needs.
+//
+// Failure injection uses a link-outage model: with probability DropRate,
+// the inbound link of a partition is down for a slot, and every message
+// sent into it that slot is retransmitted RetryDelay slots later.
+// Intra-partition delivery is reliable (members of one partition share a
+// view; there is no lossy link between them). Outages are derived from a
+// deterministic hash of (seed, send slot, receiver partition), so the drop
+// schedule is identical no matter how senders batch their messages or how
+// many endpoints a partition is split into — the property that keeps the
+// cohort simulator bit-identical to its per-validator oracle under loss.
 package network
 
 import (
-	"math/rand"
-
 	"repro/internal/types"
 )
 
-// NodeID identifies a network node; the simulator gives each validator its
-// own node.
+// NodeID identifies a network endpoint.
 type NodeID = types.ValidatorIndex
 
 // Config parameterizes a simulated network.
 type Config struct {
-	// Nodes is the number of nodes (0..Nodes-1).
+	// Nodes is the number of endpoints (0..Nodes-1).
 	Nodes int
 	// GST is the slot at which partitions heal and delays become
 	// uniformly bounded.
 	GST types.Slot
 	// Delay is the in-partition (and post-GST) delivery delay in slots.
-	// Delay 0 delivers in the sending slot.
 	Delay types.Slot
-	// DropRate is the probability that any single delivery is dropped on
-	// first attempt and retransmitted RetryDelay slots later.
+	// DropRate is the probability that a partition's inbound link is down
+	// for any given slot; messages sent into it that slot arrive
+	// RetryDelay slots late.
 	DropRate float64
 	// RetryDelay is the extra delay of a retransmission (default 2).
 	RetryDelay types.Slot
-	// Seed feeds the deterministic drop RNG.
+	// Seed feeds the deterministic link-outage schedule.
 	Seed int64
 }
 
@@ -54,12 +62,11 @@ type Network[M any] struct {
 	bridging  []bool
 	// inbox[node] maps delivery slot to the messages arriving then.
 	inbox []map[types.Slot][]M
-	rng   *rand.Rand
 	// counters for metrics.
 	sent, dropped int
 }
 
-// New creates a network with all nodes in partition 0.
+// New creates a network with all endpoints in partition 0.
 func New[M any](cfg Config) *Network[M] {
 	if cfg.RetryDelay == 0 {
 		cfg.RetryDelay = 2
@@ -69,7 +76,6 @@ func New[M any](cfg Config) *Network[M] {
 		partition: make([]int, cfg.Nodes),
 		bridging:  make([]bool, cfg.Nodes),
 		inbox:     make([]map[types.Slot][]M, cfg.Nodes),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 	for i := range n.inbox {
 		n.inbox[i] = make(map[types.Slot][]M)
@@ -77,14 +83,16 @@ func New[M any](cfg Config) *Network[M] {
 	return n
 }
 
-// SetPartition assigns node to a partition (effective before GST only).
+// SetPartition assigns an endpoint to a partition. The partition scopes
+// pre-GST reachability and identifies the endpoint's inbound link for the
+// outage schedule.
 func (n *Network[M]) SetPartition(node NodeID, p int) {
 	if int(node) < len(n.partition) {
 		n.partition[node] = p
 	}
 }
 
-// Partition returns the partition of node.
+// Partition returns the partition of an endpoint.
 func (n *Network[M]) Partition(node NodeID) int {
 	if int(node) >= len(n.partition) {
 		return 0
@@ -92,7 +100,8 @@ func (n *Network[M]) Partition(node NodeID) int {
 	return n.partition[node]
 }
 
-// SetBridging marks node as partition-bridging (the Byzantine privilege).
+// SetBridging marks an endpoint as partition-bridging (the Byzantine
+// privilege).
 func (n *Network[M]) SetBridging(node NodeID, b bool) {
 	if int(node) < len(n.bridging) {
 		n.bridging[node] = b
@@ -117,29 +126,54 @@ func (n *Network[M]) Reachable(from, to NodeID, at types.Slot) bool {
 	return n.Partition(from) == n.Partition(to)
 }
 
-// Broadcast sends msg from node `from` at slot `at` to every node,
+// linkDown reports whether the inbound link of partition p is down at the
+// given slot: a deterministic splitmix64 hash of (seed, slot, partition)
+// mapped to [0,1) and compared against DropRate.
+func (n *Network[M]) linkDown(at types.Slot, p int) bool {
+	if n.cfg.DropRate <= 0 {
+		return false
+	}
+	z := uint64(n.cfg.Seed) ^ uint64(at)*0x9e3779b97f4a7c15 ^ uint64(int64(p))*0xbf58476d1ce4e5b9
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / float64(1<<53)
+	return u < n.cfg.DropRate
+}
+
+// deliveryAt computes the arrival slot of a message sent at `at` from the
+// sender's partition into the receiver's, given base reachability:
+// unreachable messages are held until GST, and a cross-partition link
+// outage adds the retransmission delay.
+func (n *Network[M]) deliveryAt(at types.Slot, reachable bool, fromPartition, toPartition int) types.Slot {
+	var deliverAt types.Slot
+	if reachable {
+		deliverAt = at + n.cfg.Delay
+	} else {
+		deliverAt = n.cfg.GST + n.cfg.Delay
+	}
+	if fromPartition != toPartition && n.linkDown(at, toPartition) {
+		n.dropped++
+		deliverAt += n.cfg.RetryDelay
+	}
+	return deliverAt
+}
+
+// Broadcast sends msg from endpoint `from` at slot `at` to every endpoint,
 // including the sender (self-delivery also takes Delay, so that a slot's
 // already-drained inbox is never appended to). Cross-partition messages
 // before GST are held and delivered at GST + Delay, mirroring the partial
 // synchrony guarantee that pre-GST messages arrive by GST + delta.
 func (n *Network[M]) Broadcast(from NodeID, at types.Slot, msg M) {
+	fromP := n.Partition(from)
 	for node := 0; node < n.cfg.Nodes; node++ {
 		to := NodeID(node)
 		if to == from {
 			n.enqueue(to, at+n.cfg.Delay, msg)
 			continue
 		}
-		var deliverAt types.Slot
-		if n.Reachable(from, to, at) {
-			deliverAt = at + n.cfg.Delay
-		} else {
-			deliverAt = n.cfg.GST + n.cfg.Delay
-		}
-		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
-			n.dropped++
-			deliverAt += n.cfg.RetryDelay
-		}
-		n.enqueue(to, deliverAt, msg)
+		n.enqueue(to, n.deliveryAt(at, n.Reachable(from, to, at), fromP, n.Partition(to)), msg)
 	}
 	n.sent++
 }
@@ -150,8 +184,9 @@ func (n *Network[M]) Broadcast(from NodeID, at types.Slot, msg M) {
 // validator shows one face per partition — its double votes reach only the
 // intended partition before GST, yet partial synchrony still delivers every
 // pre-GST message by GST + Delay, so evidence of equivocation eventually
-// surfaces.
+// surfaces. Link outages still key on the sender's true partition.
 func (n *Network[M]) BroadcastAs(from NodeID, asPartition int, at types.Slot, msg M) {
+	fromP := n.Partition(from)
 	for node := 0; node < n.cfg.Nodes; node++ {
 		to := NodeID(node)
 		if to == from {
@@ -161,24 +196,14 @@ func (n *Network[M]) BroadcastAs(from NodeID, asPartition int, at types.Slot, ms
 		reachable := n.Healed(at) ||
 			n.Partition(to) == asPartition ||
 			(int(to) < len(n.bridging) && n.bridging[to])
-		var deliverAt types.Slot
-		if reachable {
-			deliverAt = at + n.cfg.Delay
-		} else {
-			deliverAt = n.cfg.GST + n.cfg.Delay
-		}
-		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
-			n.dropped++
-			deliverAt += n.cfg.RetryDelay
-		}
-		n.enqueue(to, deliverAt, msg)
+		n.enqueue(to, n.deliveryAt(at, reachable, fromP, n.Partition(to)), msg)
 	}
 	n.sent++
 }
 
 // SendDirect schedules a point-to-point delivery at an explicit slot,
-// bypassing partition rules: the adversary's withhold-and-release
-// primitive.
+// bypassing partition rules and link outages: the adversary's
+// withhold-and-release primitive.
 func (n *Network[M]) SendDirect(from, to NodeID, deliverAt types.Slot, msg M) {
 	_ = from
 	n.enqueue(to, deliverAt, msg)
@@ -192,8 +217,8 @@ func (n *Network[M]) enqueue(to NodeID, at types.Slot, msg M) {
 	n.inbox[to][at] = append(n.inbox[to][at], msg)
 }
 
-// Deliveries drains and returns the messages arriving at node `to` in slot
-// `at`, in deterministic send order.
+// Deliveries drains and returns the messages arriving at endpoint `to` in
+// slot `at`, in deterministic send order.
 func (n *Network[M]) Deliveries(to NodeID, at types.Slot) []M {
 	if int(to) >= len(n.inbox) {
 		return nil
@@ -203,7 +228,7 @@ func (n *Network[M]) Deliveries(to NodeID, at types.Slot) []M {
 	return msgs
 }
 
-// PendingFor counts queued messages for a node (metrics and tests).
+// PendingFor counts queued messages for an endpoint (metrics and tests).
 func (n *Network[M]) PendingFor(to NodeID) int {
 	if int(to) >= len(n.inbox) {
 		return 0
@@ -215,5 +240,5 @@ func (n *Network[M]) PendingFor(to NodeID) int {
 	return total
 }
 
-// Stats returns (messages sent, first-attempt drops).
+// Stats returns (messages sent, deliveries delayed by link outages).
 func (n *Network[M]) Stats() (sent, dropped int) { return n.sent, n.dropped }

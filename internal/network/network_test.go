@@ -175,7 +175,11 @@ func TestSendDirect(t *testing.T) {
 }
 
 func TestDropRateRetransmits(t *testing.T) {
-	n := New[string](Config{Nodes: 2, GST: 1000, Delay: 1, DropRate: 1.0, RetryDelay: 3, Seed: 7})
+	// Drops are link outages between distinct partitions: a healed
+	// network (GST 0) with the receiver in another partition sees every
+	// cross-partition delivery delayed by RetryDelay at DropRate 1.
+	n := New[string](Config{Nodes: 2, GST: 0, Delay: 1, DropRate: 1.0, RetryDelay: 3, Seed: 7})
+	n.SetPartition(1, 1)
 	n.Broadcast(0, 10, "flaky")
 	// First attempt always dropped; retransmission arrives at 10+1+3.
 	if got := n.Deliveries(1, 11); len(got) != 0 {
@@ -190,10 +194,47 @@ func TestDropRateRetransmits(t *testing.T) {
 	}
 }
 
+func TestDropIntraPartitionReliable(t *testing.T) {
+	// Members of one partition share a view; there is no lossy link
+	// between them, so even DropRate 1 never delays intra-partition
+	// delivery.
+	n := New[string](Config{Nodes: 2, GST: 0, Delay: 1, DropRate: 1.0, Seed: 7})
+	n.Broadcast(0, 10, "local")
+	if got := n.Deliveries(1, 11); len(got) != 1 {
+		t.Errorf("intra-partition delivery dropped: %v", got)
+	}
+}
+
+func TestDropScheduleIndependentOfEndpointCount(t *testing.T) {
+	// The outage schedule keys on (seed, slot, receiver partition), so a
+	// partition split across many endpoints experiences exactly the same
+	// delays as the same partition behind a single endpoint — the
+	// property the view-cohort simulator's oracle equivalence relies on.
+	coarse := New[string](Config{Nodes: 2, GST: 0, Delay: 1, DropRate: 0.5, Seed: 42})
+	coarse.SetPartition(1, 1)
+	fine := New[string](Config{Nodes: 4, GST: 0, Delay: 1, DropRate: 0.5, Seed: 42})
+	fine.SetPartition(1, 1)
+	fine.SetPartition(2, 1)
+	fine.SetPartition(3, 1)
+	for i := 0; i < 50; i++ {
+		coarse.Broadcast(0, types.Slot(i), "m")
+		fine.Broadcast(0, types.Slot(i), "m")
+	}
+	for s := types.Slot(0); s < 60; s++ {
+		want := len(coarse.Deliveries(1, s))
+		for to := NodeID(1); to <= 3; to++ {
+			if got := len(fine.Deliveries(to, s)); got != want {
+				t.Fatalf("slot %d endpoint %d: %d deliveries, single-endpoint partition got %d", s, to, got, want)
+			}
+		}
+	}
+}
+
 func TestDropNeverLosesMessages(t *testing.T) {
 	// Best-effort broadcast: every message eventually arrives despite a
-	// 50% drop rate.
+	// 50% outage rate on the receiver's link.
 	n := New[string](Config{Nodes: 4, GST: 0, Delay: 1, DropRate: 0.5, Seed: 42})
+	n.SetPartition(1, 1)
 	const msgs = 100
 	for i := 0; i < msgs; i++ {
 		n.Broadcast(0, types.Slot(i), "m")

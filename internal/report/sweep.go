@@ -15,6 +15,7 @@ import (
 // appearance wins, so a homogeneous sweep keeps its scenario's order).
 type sweepColumns struct {
 	hasBeta0, hasMode, hasSeed, hasN, hasHorizon, hasOutcome, hasErr bool
+	hasRate, hasGST                                                  bool
 	hasDuration                                                      bool
 	metrics                                                          []string
 }
@@ -29,6 +30,8 @@ func columnsOf(results []engine.Result) sweepColumns {
 		c.hasSeed = c.hasSeed || p.Seed != 0
 		c.hasN = c.hasN || p.N != 0
 		c.hasHorizon = c.hasHorizon || p.Horizon != 0
+		c.hasRate = c.hasRate || p.Rate != 0
+		c.hasGST = c.hasGST || p.GST != 0
 		c.hasOutcome = c.hasOutcome || r.Outcome != ""
 		c.hasErr = c.hasErr || r.Err != ""
 		c.hasDuration = c.hasDuration || r.Meta != nil
@@ -58,6 +61,12 @@ func (c sweepColumns) headers() []string {
 	}
 	if c.hasHorizon {
 		h = append(h, "horizon")
+	}
+	if c.hasRate {
+		h = append(h, "rate")
+	}
+	if c.hasGST {
+		h = append(h, "gst")
 	}
 	if c.hasOutcome {
 		h = append(h, "outcome")
@@ -89,6 +98,12 @@ func (c sweepColumns) row(r engine.Result, format func(float64) string) []string
 	}
 	if c.hasHorizon {
 		row = append(row, fmt.Sprintf("%d", p.Horizon))
+	}
+	if c.hasRate {
+		row = append(row, fmt.Sprintf("%.4g", p.Rate))
+	}
+	if c.hasGST {
+		row = append(row, fmt.Sprintf("%d", p.GST))
 	}
 	if c.hasOutcome {
 		row = append(row, r.Outcome)

@@ -13,8 +13,8 @@ import (
 // two requests that resolve to the same effective run map to the same key
 // even when one spells the defaults out and the other omits them.
 func cacheKey(scenario string, p engine.Params) string {
-	return fmt.Sprintf("%s|p0=%v|beta0=%v|mode=%s|seed=%d|n=%d|horizon=%d|sample=%d",
-		scenario, p.P0, p.Beta0, p.Mode, p.Seed, p.N, p.Horizon, p.Sample)
+	return fmt.Sprintf("%s|p0=%v|beta0=%v|mode=%s|seed=%d|n=%d|horizon=%d|sample=%d|rate=%v|gst=%d",
+		scenario, p.P0, p.Beta0, p.Mode, p.Seed, p.N, p.Horizon, p.Sample, p.Rate, p.GST)
 }
 
 // resultCache is a thread-safe LRU of successful scenario results keyed by

@@ -59,4 +59,13 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	if cacheKey("bounce-mc", engine.Params{P0: 0.5, N: 10000}) == a {
 		t.Error("scenario must distinguish keys")
 	}
+	// Every Params dimension must be part of the key: cells of a rate or
+	// gst sweep differ only in those fields, and a collision would serve
+	// one cell's result for every other cell.
+	if cacheKey("leaksim", engine.Params{P0: 0.5, N: 10000, Rate: 0.2}) == a {
+		t.Error("rate must distinguish keys")
+	}
+	if cacheKey("leaksim", engine.Params{P0: 0.5, N: 10000, GST: 8}) == a {
+		t.Error("gst must distinguish keys")
+	}
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/incentives"
+	"repro/internal/types"
+	"repro/internal/validator"
+)
+
+// benchmarkSimEpoch measures the cost of one healthy-network protocol
+// epoch under the given configuration (one warm-up epoch excluded).
+func benchmarkSimEpoch(b *testing.B, cfg Config) {
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.RunEpochs(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunEpochs(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEpoch is the kernel's hot-path record. The view-cohort
+// kernel runs 10,000 (and 100,000) validators per epoch at or below the
+// per-epoch wall-clock the pre-refactor one-node-per-validator layout
+// (the oracle sub-benchmark) needs for 200 — the >= 50x capacity jump the
+// refactor is for.
+func BenchmarkSimEpoch(b *testing.B) {
+	b.Run("cohort-10000", func(b *testing.B) {
+		benchmarkSimEpoch(b, healthyConfig(10000))
+	})
+	b.Run("cohort-100000", func(b *testing.B) {
+		benchmarkSimEpoch(b, healthyConfig(100000))
+	})
+	b.Run("cohort-partitioned-20000", func(b *testing.B) {
+		benchmarkSimEpoch(b, Config{
+			Validators: 20000, Spec: types.CompressedSpec(1 << 16),
+			GST: 1 << 30, Delay: 1, Seed: 3, PartitionOf: halfSplit(20000),
+		})
+	})
+	b.Run("per-validator-oracle-200", func(b *testing.B) {
+		cfg := healthyConfig(200)
+		cfg.PerValidatorViews = true
+		benchmarkSimEpoch(b, cfg)
+	})
+}
+
+// BenchmarkCohortRegistry measures the columnar registry's epoch-boundary
+// sweep — penalties, scores, ejections, and post-state measurement over
+// flat stake/score/status slices — at paper scale (1M validators), plus
+// the Clone a justified-checkpoint snapshot costs.
+func BenchmarkCohortRegistry(b *testing.B) {
+	const n = 1_000_000
+	spec := types.DefaultSpec()
+	engine := incentives.Engine{Spec: spec}
+	active := func(v types.ValidatorIndex) bool { return v%2 == 0 }
+
+	b.Run("process-epoch-leak", func(b *testing.B) {
+		reg := validator.NewRegistry(n, spec.MaxEffectiveBalance)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.ProcessEpoch(reg, active, true, types.Epoch(i+1))
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		reg := validator.NewRegistry(n, spec.MaxEffectiveBalance)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if reg.Clone().Len() != n {
+				b.Fatal("clone lost validators")
+			}
+		}
+	})
+	b.Run("total-stake", func(b *testing.B) {
+		reg := validator.NewRegistry(n, spec.MaxEffectiveBalance)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if reg.TotalStake() == 0 {
+				b.Fatal("empty registry")
+			}
+		}
+	})
+}

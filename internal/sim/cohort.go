@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"repro/internal/attestation"
+	"repro/internal/beacon"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// Cohort is one materialized view and the set of validators holding it.
+//
+// All honest validators sharing a partition receive exactly the same
+// messages at the same slots (intra-partition delivery is uniform, drops
+// are link-level, and the only per-validator difference — a proposer
+// holding its own block one delay early — is tracked separately as an
+// embargo), so they provably hold identical views and one beacon.Node can
+// serve the whole cohort. All Byzantine validators bridge every partition
+// and hear everything, so they share a single omniscient view too.
+type Cohort struct {
+	// Index is the cohort's position in Simulation.Cohorts and its
+	// network endpoint id.
+	Index int
+	// Node is the materialized view every member holds.
+	Node *beacon.Node
+	// Partition is the pre-GST network partition (and drop-link class) of
+	// the members; -1 for the Byzantine cohort.
+	Partition int
+	// Byzantine marks the adversary's cohort.
+	Byzantine bool
+	// Members lists the validators holding this view, ascending. Callers
+	// must not mutate it.
+	Members []types.ValidatorIndex
+}
+
+// byzPartition is the drop-link class of the bridging Byzantine cohort;
+// bridging dominates reachability, so the value only needs to differ from
+// every honest partition id.
+const byzPartition = -1
+
+// buildCohorts groups the validator set into cohorts. In the default mode,
+// honest validators cohort by partition (in order of first appearance,
+// scanning ascending validator indices) and all Byzantine validators form
+// one bridging cohort. With cfg.PerValidatorViews every validator is its
+// own cohort, which reproduces the pre-refactor one-node-per-validator
+// layout exactly and serves as the equivalence oracle in tests.
+func buildCohorts(cfg Config, byzantine map[types.ValidatorIndex]bool, genesis types.Root) (cohorts []*Cohort, cohortOf []int) {
+	cohortOf = make([]int, cfg.Validators)
+	partitionOf := func(v types.ValidatorIndex) int {
+		if byzantine[v] {
+			return byzPartition
+		}
+		if cfg.PartitionOf != nil {
+			return cfg.PartitionOf(v)
+		}
+		return 0
+	}
+
+	newCohort := func(first types.ValidatorIndex) *Cohort {
+		c := &Cohort{
+			Index:     len(cohorts),
+			Node:      beacon.NewNode(first, cfg.Validators, cfg.Spec, genesis),
+			Partition: partitionOf(first),
+			Byzantine: byzantine[first],
+		}
+		c.Node.EnforceSlashing = !c.Byzantine
+		cohorts = append(cohorts, c)
+		return c
+	}
+
+	if cfg.PerValidatorViews {
+		for i := 0; i < cfg.Validators; i++ {
+			v := types.ValidatorIndex(i)
+			c := newCohort(v)
+			c.Members = []types.ValidatorIndex{v}
+			cohortOf[i] = c.Index
+		}
+		return cohorts, cohortOf
+	}
+
+	byKey := make(map[int]*Cohort)
+	for i := 0; i < cfg.Validators; i++ {
+		v := types.ValidatorIndex(i)
+		key := partitionOf(v)
+		c, ok := byKey[key]
+		if !ok {
+			c = newCohort(v)
+			byKey[key] = c
+		}
+		c.Members = append(c.Members, v)
+		cohortOf[i] = c.Index
+	}
+	return cohorts, cohortOf
+}
+
+// wireNetwork builds the message bus with one endpoint per cohort.
+func wireNetwork(cfg Config, cohorts []*Cohort) *network.Network[Message] {
+	net := network.New[Message](network.Config{
+		Nodes:    len(cohorts),
+		GST:      cfg.GST,
+		Delay:    cfg.Delay,
+		DropRate: cfg.DropRate,
+		Seed:     cfg.Seed,
+	})
+	for _, c := range cohorts {
+		net.SetPartition(network.NodeID(c.Index), c.Partition)
+		if c.Byzantine {
+			net.SetBridging(network.NodeID(c.Index), true)
+		}
+	}
+	return net
+}
+
+// deliver applies one message to the cohort's view. Batches fan out to one
+// attestation per listed validator, in listed order.
+func (c *Cohort) deliver(m Message) {
+	switch {
+	case m.Block != nil:
+		c.Node.ReceiveBlock(*m.Block)
+	case m.Att != nil:
+		c.Node.ReceiveAttestation(*m.Att)
+	case m.Batch != nil:
+		for _, v := range m.Batch.Validators {
+			c.Node.ReceiveAttestation(attestation.Attestation{Validator: v, Data: m.Batch.Data})
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// recordHistory runs cfg for the given number of epochs with a metrics
+// recorder installed and returns the per-epoch history plus the epoch of
+// the first detected safety violation (0 = none).
+func recordHistory(t *testing.T, cfg Config, epochs int) ([]EpochMetrics, types.Epoch) {
+	t.Helper()
+	rec := &Recorder{}
+	prev := cfg.OnEpoch
+	cfg.OnEpoch = func(s *Simulation, e types.Epoch) {
+		rec.Hook(s, e)
+		if prev != nil {
+			prev(s, e)
+		}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violation types.Epoch
+	for e := 1; e <= epochs; e++ {
+		if err := s.RunEpochs(1); err != nil {
+			t.Fatal(err)
+		}
+		if violation == 0 {
+			if v := s.CheckFinalitySafety(); v != nil {
+				violation = types.Epoch(e)
+			}
+		}
+	}
+	return rec.History, violation
+}
+
+// TestCohortKernelMatchesPerValidatorOracle is the refactor's contract: the
+// view-cohort kernel and the pre-refactor one-node-per-validator layout
+// (PerValidatorViews, retained as the oracle) produce bit-identical
+// EpochMetrics histories — across partitions, link outages, shuffled
+// duties, delays, and idle Byzantine bridges — because cohort members
+// provably hold identical views.
+func TestCohortKernelMatchesPerValidatorOracle(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		epochs int
+	}{
+		{
+			name: "healthy synchronous",
+			cfg: Config{
+				Validators: 16, Spec: types.DefaultSpec(), Delay: 1, Seed: 1,
+			},
+			epochs: 8,
+		},
+		{
+			name: "healthy delay 2",
+			cfg: Config{
+				Validators: 16, Spec: types.DefaultSpec(), Delay: 2, Seed: 5,
+			},
+			epochs: 8,
+		},
+		{
+			name: "lasting 50/50 partition (compressed leak to conflict)",
+			cfg: Config{
+				Validators: 16, Spec: types.CompressedSpec(1 << 16),
+				GST: 1 << 30, Delay: 1, Seed: 3, PartitionOf: halfSplit(16),
+			},
+			epochs: 30,
+		},
+		{
+			name: "uneven three-way partition",
+			cfg: Config{
+				Validators: 18, Spec: types.CompressedSpec(1 << 16),
+				GST: 1 << 30, Delay: 1, Seed: 11,
+				PartitionOf: func(v types.ValidatorIndex) int {
+					switch {
+					case v < 9:
+						return 0
+					case v < 15:
+						return 1
+					default:
+						return 2
+					}
+				},
+			},
+			epochs: 16,
+		},
+		{
+			name: "partition heals at GST",
+			cfg: Config{
+				Validators: 16, Spec: types.CompressedSpec(1 << 16),
+				GST: 8 * 32, Delay: 1, Seed: 3, PartitionOf: halfSplit(16),
+			},
+			epochs: 16,
+		},
+		{
+			name: "link outages across four synchronous partitions",
+			cfg: Config{
+				Validators: 16, Spec: types.DefaultSpec(), Delay: 1, Seed: 7,
+				DropRate:    0.2,
+				PartitionOf: func(v types.ValidatorIndex) int { return int(v) % 4 },
+			},
+			epochs: 10,
+		},
+		{
+			name: "partition with drops and shuffled duties",
+			cfg: Config{
+				Validators: 16, Spec: types.CompressedSpec(1 << 16),
+				GST: 1 << 30, Delay: 1, Seed: 13, DropRate: 0.15,
+				ShuffledDuties: true, PartitionOf: halfSplit(16),
+			},
+			epochs: 24,
+		},
+		{
+			name: "shuffled duties healthy",
+			cfg: Config{
+				Validators: 24, Spec: types.DefaultSpec(), Delay: 1, Seed: 9,
+				ShuffledDuties: true,
+			},
+			epochs: 8,
+		},
+		{
+			name: "idle byzantine bridges during partition",
+			cfg: Config{
+				Validators: 16, Spec: types.CompressedSpec(1 << 16),
+				GST: 1 << 30, Delay: 1, Seed: 17,
+				Byzantine:   []types.ValidatorIndex{3, 12},
+				PartitionOf: halfSplit(16),
+			},
+			epochs: 16,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cohortCfg := tc.cfg
+			cohortCfg.PerValidatorViews = false
+			oracleCfg := tc.cfg
+			oracleCfg.PerValidatorViews = true
+
+			got, gotViolation := recordHistory(t, cohortCfg, tc.epochs)
+			want, wantViolation := recordHistory(t, oracleCfg, tc.epochs)
+
+			if len(got) != len(want) {
+				t.Fatalf("history lengths differ: cohort %d, oracle %d", len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("epoch %d metrics diverge:\n  cohort: %+v\n  oracle: %+v", want[i].Epoch, got[i], want[i])
+				}
+			}
+			if gotViolation != wantViolation {
+				t.Fatalf("safety violation epoch: cohort %d, oracle %d", gotViolation, wantViolation)
+			}
+		})
+	}
+}
+
+// TestCohortKernelSharesViews pins the memory shape the refactor is for:
+// at any honest population in one partition, the kernel materializes
+// exactly one view (plus one per extra partition and one Byzantine),
+// regardless of validator count.
+func TestCohortKernelSharesViews(t *testing.T) {
+	cfg := healthyConfig(512)
+	cfg.Byzantine = []types.ValidatorIndex{510, 511}
+	cfg.PartitionOf = halfSplit(512)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Cohorts()); got != 3 {
+		t.Fatalf("512 validators materialized %d views, want 3", got)
+	}
+	if err := s.RunEpochs(2); err != nil {
+		t.Fatal(err)
+	}
+}

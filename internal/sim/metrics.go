@@ -3,7 +3,11 @@ package sim
 import "repro/internal/types"
 
 // EpochMetrics snapshots the aggregate state of all honest views at one
-// epoch boundary — the time series the paper's figures are made of.
+// epoch boundary — the time series the paper's figures are made of. The
+// values are defined over honest validators; since every validator in a
+// cohort holds the cohort's view, the kernel computes them once per cohort
+// and weighs counts by membership, which is bit-identical to the
+// per-validator definition.
 type EpochMetrics struct {
 	Epoch types.Epoch
 	// MinFinalized / MaxFinalized are the extremes of honest nodes'
@@ -11,7 +15,8 @@ type EpochMetrics struct {
 	MinFinalized, MaxFinalized types.Epoch
 	// MaxJustified is the highest justified epoch across honest views.
 	MaxJustified types.Epoch
-	// InLeak counts honest views currently in an inactivity leak.
+	// InLeak counts honest validators whose view is currently in an
+	// inactivity leak.
 	InLeak int
 	// MinTotalStake / MaxTotalStake bound the per-view total in-set
 	// stake.
@@ -25,8 +30,11 @@ type EpochMetrics struct {
 func (s *Simulation) Snapshot(epoch types.Epoch) EpochMetrics {
 	m := EpochMetrics{Epoch: epoch}
 	first := true
-	for _, h := range s.HonestIndices() {
-		n := s.Nodes[h]
+	for _, c := range s.cohorts {
+		if c.Byzantine || len(c.Members) == 0 {
+			continue
+		}
+		n := c.Node
 		fin := n.Finalized().Epoch
 		just := n.FFG.LatestJustified().Epoch
 		total := n.Registry.TotalStake()
@@ -51,9 +59,9 @@ func (s *Simulation) Snapshot(epoch types.Epoch) EpochMetrics {
 			m.MaxTotalStake = total
 		}
 		if n.FFG.InLeak(epoch, s.Cfg.Spec) {
-			m.InLeak++
+			m.InLeak += len(c.Members)
 		}
-		if p := s.ByzantineProportionOn(h); p > m.MaxByzProportion {
+		if p := s.byzantineProportionIn(n.Registry); p > m.MaxByzProportion {
 			m.MaxByzProportion = p
 		}
 	}

@@ -1,20 +1,43 @@
-// Package sim drives full-protocol simulations: one beacon node per
-// validator, a partitionable network, a deterministic proposer schedule,
-// honest duties (propose, attest once per epoch), and an adversary hook
-// with the full power of the paper's fault model — Byzantine validators are
-// coordinated by a single adversary that sees every partition and may send
-// arbitrary protocol messages at chosen times.
+// Package sim drives full-protocol simulations at paper scale. The kernel
+// is view-cohort structured: instead of one beacon node per validator, the
+// simulator materializes one beacon.Node per *cohort* — a set of validators
+// that provably hold identical views. Honest validators sharing a pre-GST
+// partition (and the global delay class) form one cohort; all Byzantine
+// validators, who bridge every partition and hear everything, form another.
+// Attestations are produced once per cohort per duty slot and delivered as
+// batches, so a slot costs O(cohorts^2 + validators) instead of
+// O(validators^2), which is what lets the full protocol run at hundreds of
+// thousands of validators.
+//
+// Two per-validator effects survive cohorting and are modeled explicitly:
+//
+//   - a proposer applies its own block immediately but the rest of its
+//     cohort only sees it one network delay later; the kernel applies the
+//     block to the shared view at once and embargoes it — head computations
+//     for other members skip embargoed blocks until their broadcast copy
+//     arrives (beacon.Node.SetVisibility / forkchoice.HeadFiltered);
+//   - an adversary with within-delta timing power can place individual
+//     honest validators on different views (the probabilistic bouncing
+//     attack); SetDutyView reassigns which cohort view a validator performs
+//     its duties from, per epoch, without moving it between network
+//     partitions.
+//
+// Setting Config.PerValidatorViews gives every validator a singleton
+// cohort, reproducing the pre-refactor one-node-per-validator simulator
+// exactly (including the link-outage drop schedule); the equivalence tests
+// use it as the oracle to assert bit-identical EpochMetrics histories.
 //
 // The engine is slot-driven. Each slot it (1) delivers network messages,
-// (2) runs epoch-boundary processing on every node at epoch starts,
-// (3) lets the slot's honest proposer extend its head, (4) lets honest
-// attesters with this slot assignment attest, and (5) gives the adversary
-// its turn.
+// (2) runs epoch-boundary processing on every cohort at epoch starts,
+// (3) gives the adversary its turn, (4) lets the slot's honest proposer
+// extend its cohort's head, and (5) batches the attestations of honest
+// validators with this slot's duty, one batch per (duty view, home cohort).
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/attestation"
 	"repro/internal/beacon"
@@ -23,17 +46,27 @@ import (
 	"repro/internal/ffg"
 	"repro/internal/network"
 	"repro/internal/types"
+	"repro/internal/validator"
 )
+
+// AttBatch carries one attestation data value cast by many validators — the
+// wire form of a cohort's duty slot. Receivers process it as one
+// attestation per listed validator, in listed order.
+type AttBatch struct {
+	Data       attestation.Data
+	Validators []types.ValidatorIndex
+}
 
 // Message is the wire format: exactly one field is set.
 type Message struct {
 	Block *blocktree.Block
 	Att   *attestation.Attestation
+	Batch *AttBatch
 }
 
-// Adversary coordinates the Byzantine validators. OnSlot runs at the end of
-// every slot with full access to the simulation (global knowledge, per the
-// strong-adversary model).
+// Adversary coordinates the Byzantine validators. OnSlot runs every slot
+// (after boundary processing, before honest duties) with full access to the
+// simulation — global knowledge, per the strong-adversary model.
 type Adversary interface {
 	OnSlot(s *Simulation, slot types.Slot)
 }
@@ -45,25 +78,38 @@ type Config struct {
 	// Spec holds protocol constants; use types.CompressedSpec to shorten
 	// leak time scales in tests.
 	Spec types.Spec
-	// Byzantine lists adversary-controlled validators. They are bridging
-	// network nodes and perform no honest duties.
+	// Byzantine lists adversary-controlled validators. They bridge
+	// network partitions and perform no honest duties. Duplicate indices
+	// are rejected.
 	Byzantine []types.ValidatorIndex
 	// PartitionOf assigns each validator a partition id (pre-GST). Nil
 	// means a single partition.
 	PartitionOf func(types.ValidatorIndex) int
 	// GST is the slot at which partitions heal.
 	GST types.Slot
-	// Delay is the in-partition message delay in slots.
+	// Delay is the in-partition message delay in slots (>= 1).
 	Delay types.Slot
-	// DropRate injects first-attempt delivery failures.
+	// DropRate injects link outages between distinct partitions; dropped
+	// deliveries are retransmitted with extra delay (see
+	// internal/network).
 	DropRate float64
-	// Seed drives every pseudo-random choice (proposer schedule, drops).
+	// Seed drives every pseudo-random choice (proposer schedule, link
+	// outages).
 	Seed int64
 	// ShuffledDuties re-assigns attestation duty slots pseudo-randomly
 	// every epoch (as the spec's committee shuffling does) instead of
 	// the fixed v-mod-32 assignment. The bouncing analysis assumes
 	// per-epoch random placement, which shuffling provides natively.
 	ShuffledDuties bool
+	// PerValidatorViews gives every validator its own singleton cohort —
+	// the pre-refactor one-node-per-validator layout. It is retained as
+	// the equivalence oracle for tests and costs O(validators^2) per
+	// slot; production scenarios leave it off. The bit-identical
+	// equivalence contract covers every run that does not reassign duty
+	// views: SetDutyView is a cohort-native primitive (the Bouncer's
+	// placement step), and under singleton cohorts it models the
+	// adversary differently, so bouncing runs are not oracle-comparable.
+	PerValidatorViews bool
 	// Adversary, if non-nil, receives an OnSlot call every slot.
 	Adversary Adversary
 	// OnEpoch, if non-nil, is called after boundary processing of each
@@ -71,13 +117,27 @@ type Config struct {
 	OnEpoch func(s *Simulation, epoch types.Epoch)
 }
 
+// embargo records a block a cohort member produced and self-applied, whose
+// broadcast copy has not yet reached the rest of the cohort: until `until`,
+// head computations for members other than the producer skip it.
+type embargo struct {
+	cohort   int
+	producer types.ValidatorIndex
+	root     types.Root
+	until    types.Slot
+}
+
 // Simulation is a running instance. Construct with New.
 type Simulation struct {
-	Cfg   Config
-	Nodes []*beacon.Node
-	Net   *network.Network[Message]
+	Cfg Config
+	Net *network.Network[Message]
 
+	cohorts  []*Cohort
+	cohortOf []int // validator -> home cohort (network routing)
+	dutyView []int // validator -> cohort whose view it acts from
+	honest   []types.ValidatorIndex
 	byzantine map[types.ValidatorIndex]bool
+	embargoes []embargo
 	// oracle is an omniscient block tree used only for Safety auditing.
 	oracle *blocktree.Tree
 	slot   types.Slot
@@ -86,7 +146,7 @@ type Simulation struct {
 // ErrBadConfig reports an invalid configuration.
 var ErrBadConfig = errors.New("sim: invalid config")
 
-// New builds the simulation: nodes, network, partitions.
+// New builds the simulation: cohorts, views, network.
 func New(cfg Config) (*Simulation, error) {
 	if cfg.Validators <= 0 {
 		return nil, fmt.Errorf("%w: validators = %d", ErrBadConfig, cfg.Validators)
@@ -94,34 +154,62 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.Spec.SlotsPerEpoch == 0 {
 		return nil, fmt.Errorf("%w: zero spec", ErrBadConfig)
 	}
-	genesis := types.RootFromUint64(0)
-	s := &Simulation{
-		Cfg: cfg,
-		Net: network.New[Message](network.Config{
-			Nodes:    cfg.Validators,
-			GST:      cfg.GST,
-			Delay:    cfg.Delay,
-			DropRate: cfg.DropRate,
-			Seed:     cfg.Seed,
-		}),
-		byzantine: make(map[types.ValidatorIndex]bool, len(cfg.Byzantine)),
-		oracle:    blocktree.New(genesis),
+	if cfg.Delay == 0 {
+		return nil, fmt.Errorf("%w: delay must be >= 1 slot (same-slot delivery would race the slot's already-drained inbox)", ErrBadConfig)
 	}
+	byzantine := make(map[types.ValidatorIndex]bool, len(cfg.Byzantine))
 	for _, b := range cfg.Byzantine {
 		if int(b) >= cfg.Validators {
 			return nil, fmt.Errorf("%w: byzantine index %d out of range", ErrBadConfig, b)
 		}
-		s.byzantine[b] = true
-		s.Net.SetBridging(b, true)
+		if byzantine[b] {
+			return nil, fmt.Errorf("%w: duplicate byzantine index %d", ErrBadConfig, b)
+		}
+		byzantine[b] = true
 	}
-	s.Nodes = make([]*beacon.Node, cfg.Validators)
-	for i := range s.Nodes {
+	// Honest partition ids must be non-negative: negative ids would
+	// collide with the Byzantine cohort's internal partition sentinel and
+	// silently merge views.
+	partitions := map[int]bool{}
+	for i := 0; i < cfg.Validators; i++ {
 		v := types.ValidatorIndex(i)
-		n := beacon.NewNode(v, cfg.Validators, cfg.Spec, genesis)
-		n.EnforceSlashing = !s.byzantine[v]
-		s.Nodes[i] = n
+		if byzantine[v] {
+			continue
+		}
+		p := 0
 		if cfg.PartitionOf != nil {
-			s.Net.SetPartition(v, cfg.PartitionOf(v))
+			p = cfg.PartitionOf(v)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("%w: partition id %d for validator %d (ids must be >= 0)", ErrBadConfig, p, v)
+		}
+		partitions[p] = true
+	}
+	if cfg.DropRate < 0 || cfg.DropRate > 1 {
+		return nil, fmt.Errorf("%w: drop rate %v outside [0, 1]", ErrBadConfig, cfg.DropRate)
+	}
+	// Drops are link outages BETWEEN partitions (members of one partition
+	// share a view; there is no lossy link inside it), so a drop rate on
+	// a single-partition population would silently inject no loss at all.
+	// Reject the combination instead of measuring a lossless baseline.
+	if cfg.DropRate > 0 && len(partitions) < 2 {
+		return nil, fmt.Errorf("%w: drop rate %v needs >= 2 partitions (losses are cross-partition link outages; a single partition has no lossy links)", ErrBadConfig, cfg.DropRate)
+	}
+
+	genesis := types.RootFromUint64(0)
+	s := &Simulation{
+		Cfg:       cfg,
+		byzantine: byzantine,
+		oracle:    blocktree.New(genesis),
+	}
+	s.cohorts, s.cohortOf = buildCohorts(cfg, byzantine, genesis)
+	s.Net = wireNetwork(cfg, s.cohorts)
+	s.dutyView = make([]int, cfg.Validators)
+	copy(s.dutyView, s.cohortOf)
+	s.honest = make([]types.ValidatorIndex, 0, cfg.Validators-len(byzantine))
+	for i := 0; i < cfg.Validators; i++ {
+		if v := types.ValidatorIndex(i); !byzantine[v] {
+			s.honest = append(s.honest, v)
 		}
 	}
 	return s, nil
@@ -133,15 +221,38 @@ func (s *Simulation) Slot() types.Slot { return s.slot }
 // IsByzantine reports whether v is adversary-controlled.
 func (s *Simulation) IsByzantine(v types.ValidatorIndex) bool { return s.byzantine[v] }
 
-// HonestIndices returns all honest validator indices in order.
-func (s *Simulation) HonestIndices() []types.ValidatorIndex {
-	out := make([]types.ValidatorIndex, 0, s.Cfg.Validators)
-	for i := 0; i < s.Cfg.Validators; i++ {
-		if !s.byzantine[types.ValidatorIndex(i)] {
-			out = append(out, types.ValidatorIndex(i))
-		}
-	}
-	return out
+// HonestIndices returns all honest validator indices in ascending order.
+// The slice is computed once at construction and shared; callers must not
+// mutate it.
+func (s *Simulation) HonestIndices() []types.ValidatorIndex { return s.honest }
+
+// Cohorts returns the cohort list in construction order (honest cohorts by
+// first partition appearance, the Byzantine cohort where its first member
+// falls). Callers must not mutate it.
+func (s *Simulation) Cohorts() []*Cohort { return s.cohorts }
+
+// View returns the materialized view validator v currently performs its
+// duties from — its home cohort's node unless SetDutyView reassigned it.
+func (s *Simulation) View(v types.ValidatorIndex) *beacon.Node {
+	return s.cohorts[s.dutyView[v]].Node
+}
+
+// HomeCohort returns v's home cohort (network routing and metrics
+// attribution, independent of duty-view reassignment).
+func (s *Simulation) HomeCohort(v types.ValidatorIndex) *Cohort {
+	return s.cohorts[s.cohortOf[v]]
+}
+
+// SetDutyView makes validator v perform its duties (attestations,
+// proposals) from the home-cohort view of validator `like`, modeling an
+// adversary whose within-delta message timing decides which view a
+// validator acts on (the bouncing attack's placement step). Network routing
+// and metrics attribution stay with v's home cohort. This is a cohort-mode
+// primitive: under PerValidatorViews the "view of like's cohort" is like's
+// own node, a different (coarser) adversary model, so runs using it are
+// outside the cohort-vs-oracle equivalence contract.
+func (s *Simulation) SetDutyView(v, like types.ValidatorIndex) {
+	s.dutyView[v] = s.cohortOf[like]
 }
 
 // ProposerAt returns the proposer of a slot: a seeded hash over the full
@@ -165,24 +276,26 @@ func (s *Simulation) AttestationSlot(v types.ValidatorIndex, epoch types.Epoch) 
 	return epoch.StartSlot() + types.Slot(uint64(v)%s.Cfg.Spec.SlotsPerEpoch)
 }
 
-// Broadcast sends a message from a validator and records blocks in the
-// Safety oracle.
+// Broadcast sends a message from a validator (routed via its home cohort)
+// and records blocks in the Safety oracle.
 func (s *Simulation) Broadcast(from types.ValidatorIndex, at types.Slot, m Message) {
 	s.recordOracle(m)
-	s.Net.Broadcast(from, at, m)
+	s.Net.Broadcast(network.NodeID(s.cohortOf[from]), at, m)
 }
 
 // SendDirect schedules an adversary-controlled point-to-point delivery.
+// The message reaches the whole cohort of `to` — with shared views, a
+// cohort member's inbox is the cohort's inbox.
 func (s *Simulation) SendDirect(from, to types.ValidatorIndex, deliverAt types.Slot, m Message) {
 	s.recordOracle(m)
-	s.Net.SendDirect(from, to, deliverAt, m)
+	s.Net.SendDirect(network.NodeID(s.cohortOf[from]), network.NodeID(s.cohortOf[to]), deliverAt, m)
 }
 
 // BroadcastAs sends a message routed as if the sender belonged to the given
 // partition — the Byzantine one-face-per-partition primitive.
 func (s *Simulation) BroadcastAs(from types.ValidatorIndex, partition int, at types.Slot, m Message) {
 	s.recordOracle(m)
-	s.Net.BroadcastAs(from, partition, at, m)
+	s.Net.BroadcastAs(network.NodeID(s.cohortOf[from]), partition, at, m)
 }
 
 func (s *Simulation) recordOracle(m Message) {
@@ -194,27 +307,86 @@ func (s *Simulation) recordOracle(m Message) {
 // Oracle exposes the omniscient tree for Safety audits.
 func (s *Simulation) Oracle() *blocktree.Tree { return s.oracle }
 
+// expireEmbargoes drops embargoes whose broadcast copies arrive at `slot`
+// (the arriving duplicate is deduplicated by the tree).
+func (s *Simulation) expireEmbargoes(slot types.Slot) {
+	if len(s.embargoes) == 0 {
+		return
+	}
+	kept := s.embargoes[:0]
+	for _, e := range s.embargoes {
+		if e.until > slot {
+			kept = append(kept, e)
+		}
+	}
+	s.embargoes = kept
+}
+
+// visibilityFor builds the head-computation filter for cohort ci acting as
+// `actor` (the actor sees its own in-flight blocks; everyone else does
+// not). hasActor=false hides every live embargoed block of the cohort. A
+// nil return means the unfiltered view.
+func (s *Simulation) visibilityFor(ci int, actor types.ValidatorIndex, hasActor bool) func(types.Root) bool {
+	var hidden []types.Root
+	for _, e := range s.embargoes {
+		if e.cohort == ci && (!hasActor || e.producer != actor) {
+			hidden = append(hidden, e.root)
+		}
+	}
+	if len(hidden) == 0 {
+		return nil
+	}
+	return func(r types.Root) bool {
+		for _, h := range hidden {
+			if h == r {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ownsLiveEmbargo reports whether validator v has a block of cohort ci
+// still in flight (v then computes duties on a slightly newer view than its
+// cohort mates).
+func (s *Simulation) ownsLiveEmbargo(ci int, v types.ValidatorIndex) bool {
+	for _, e := range s.embargoes {
+		if e.cohort == ci && e.producer == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Step executes one slot.
 func (s *Simulation) Step() error {
 	slot := s.slot
+	s.expireEmbargoes(slot)
 
-	// 1. Deliver messages.
-	for i := range s.Nodes {
-		for _, m := range s.Net.Deliveries(types.ValidatorIndex(i), slot) {
-			switch {
-			case m.Block != nil:
-				s.Nodes[i].ReceiveBlock(*m.Block)
-			case m.Att != nil:
-				s.Nodes[i].ReceiveAttestation(*m.Att)
-			}
+	// 1. Deliver messages, one drain per cohort endpoint.
+	for _, c := range s.cohorts {
+		for _, m := range s.Net.Deliveries(network.NodeID(c.Index), slot) {
+			c.deliver(m)
 		}
 	}
 
-	// 2. Epoch boundary.
+	// 2. Epoch boundary, once per view. A singleton cohort processes as
+	// its only member (seeing its own in-flight blocks, as the
+	// pre-refactor per-validator node did); a shared view processes with
+	// in-flight blocks hidden — the boundary outcome is identical either
+	// way for sane delays, because an in-flight tip block is never the
+	// ended epoch's checkpoint.
 	if slot.IsEpochStart() && slot > 0 {
 		epoch := slot.Epoch()
-		for _, n := range s.Nodes {
-			if _, err := n.ProcessEpochBoundary(epoch); err != nil {
+		for _, c := range s.cohorts {
+			if len(c.Members) == 1 {
+				c.Node.SetVisibility(s.visibilityFor(c.Index, c.Members[0], true))
+			} else {
+				c.Node.SetVisibility(s.visibilityFor(c.Index, 0, false))
+			}
+			_, err := c.Node.ProcessEpochBoundary(epoch)
+			c.Node.SetVisibility(nil)
+			if err != nil {
 				return fmt.Errorf("sim: slot %d: %w", slot, err)
 			}
 		}
@@ -229,29 +401,101 @@ func (s *Simulation) Step() error {
 		s.Cfg.Adversary.OnSlot(s, slot)
 	}
 
-	// 4. Honest proposer.
+	// 4. Honest proposer: produce from the proposer's duty view. Within
+	// its own cohort the proposer holds the block at once, so it is
+	// applied immediately and embargoed for the other members until the
+	// broadcast copy lands — which is provably slot+Delay, since the
+	// sender shares the receivers' partition. A proposer reassigned to a
+	// foreign duty view (SetDutyView) broadcasts from its home partition,
+	// whose delivery into the duty cohort may be slower (link outage,
+	// pre-GST hold), so no early application is justified there: the duty
+	// cohort receives the block like every other endpoint.
 	if p := s.ProposerAt(slot); !s.byzantine[p] && slot > 0 {
-		b, err := s.Nodes[p].ProduceBlock(slot)
+		ci := s.dutyView[p]
+		node := s.cohorts[ci].Node
+		node.SetVisibility(s.visibilityFor(ci, p, true))
+		b, err := node.ProduceBlockFor(slot, p)
+		node.SetVisibility(nil)
 		if err == nil {
+			if ci == s.cohortOf[p] {
+				node.ReceiveBlock(b)
+				s.embargoes = append(s.embargoes, embargo{
+					cohort: ci, producer: p, root: b.Root, until: slot + s.Cfg.Delay,
+				})
+			}
 			s.Broadcast(p, slot, Message{Block: &b})
 		}
 	}
 
-	// 5. Honest attesters.
-	epoch := slot.Epoch()
-	for i := range s.Nodes {
-		v := types.ValidatorIndex(i)
-		if s.byzantine[v] || s.AttestationSlot(v, epoch) != slot {
-			continue
-		}
-		a, err := s.Nodes[i].ProduceAttestation(slot)
-		if err == nil {
-			s.Broadcast(v, slot, Message{Att: &a})
-		}
-	}
+	// 5. Honest attesters: one batch per (duty view, home cohort) bucket,
+	// computed once from the shared view; members with their own block
+	// still in flight (the slot's proposer) attest individually on their
+	// slightly newer view.
+	s.attest(slot)
 
 	s.slot++
 	return nil
+}
+
+// dutyBucket groups a slot's attesters acting from one view and routed via
+// one home cohort.
+type dutyBucket struct {
+	view, home int
+	members    []types.ValidatorIndex
+}
+
+func (s *Simulation) attest(slot types.Slot) {
+	epoch := slot.Epoch()
+	var buckets []*dutyBucket
+	index := make(map[[2]int]*dutyBucket)
+	for _, v := range s.honest {
+		if s.AttestationSlot(v, epoch) != slot {
+			continue
+		}
+		key := [2]int{s.dutyView[v], s.cohortOf[v]}
+		b, ok := index[key]
+		if !ok {
+			b = &dutyBucket{view: key[0], home: key[1]}
+			index[key] = b
+			buckets = append(buckets, b)
+		}
+		b.members = append(b.members, v)
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].view != buckets[j].view {
+			return buckets[i].view < buckets[j].view
+		}
+		return buckets[i].home < buckets[j].home
+	})
+
+	for _, b := range buckets {
+		node := s.cohorts[b.view].Node
+		var plain, special []types.ValidatorIndex
+		for _, v := range b.members {
+			if s.ownsLiveEmbargo(b.view, v) {
+				special = append(special, v)
+			} else {
+				plain = append(plain, v)
+			}
+		}
+		if len(plain) > 0 {
+			node.SetVisibility(s.visibilityFor(b.view, 0, false))
+			d, err := node.AttestationData(slot)
+			node.SetVisibility(nil)
+			if err == nil {
+				s.Broadcast(plain[0], slot, Message{Batch: &AttBatch{Data: d, Validators: plain}})
+			}
+		}
+		for _, v := range special {
+			node.SetVisibility(s.visibilityFor(b.view, v, true))
+			d, err := node.AttestationData(slot)
+			node.SetVisibility(nil)
+			if err == nil {
+				a := attestation.Attestation{Validator: v, Data: d}
+				s.Broadcast(v, slot, Message{Att: &a})
+			}
+		}
+	}
 }
 
 // RunEpochs executes whole epochs from the current slot.
@@ -277,18 +521,25 @@ func (v SafetyViolation) Error() string {
 		v.NodeA, v.A, v.NodeB, v.B)
 }
 
-// CheckFinalitySafety audits all honest nodes' finalized checkpoints
+// CheckFinalitySafety audits the honest cohorts' finalized checkpoints
 // against the omniscient tree and returns a SafetyViolation if two of them
 // are on different branches — the paper's Safety violation (1). Returns nil
-// when Safety holds.
+// when Safety holds. Two validators sharing a view cannot conflict, so the
+// audit is quadratic in cohorts, not validators.
 func (s *Simulation) CheckFinalitySafety() *SafetyViolation {
-	honest := s.HonestIndices()
-	for i := 0; i < len(honest); i++ {
-		for j := i + 1; j < len(honest); j++ {
-			a := s.Nodes[honest[i]].Finalized()
-			b := s.Nodes[honest[j]].Finalized()
+	for i := 0; i < len(s.cohorts); i++ {
+		ca := s.cohorts[i]
+		if ca.Byzantine {
+			continue
+		}
+		for j := i + 1; j < len(s.cohorts); j++ {
+			cb := s.cohorts[j]
+			if cb.Byzantine {
+				continue
+			}
+			a, b := ca.Node.Finalized(), cb.Node.Finalized()
 			if err := ffg.CheckConflict(a, b, s.oracle.IsAncestor); err != nil {
-				return &SafetyViolation{NodeA: honest[i], NodeB: honest[j], A: a, B: b}
+				return &SafetyViolation{NodeA: ca.Members[0], NodeB: cb.Members[0], A: a, B: b}
 			}
 		}
 	}
@@ -296,15 +547,18 @@ func (s *Simulation) CheckFinalitySafety() *SafetyViolation {
 }
 
 // ByzantineProportionOn computes the Byzantine stake proportion in the view
-// of node observer — the paper's Safety threshold metric (2).
+// of validator observer — the paper's Safety threshold metric (2).
 func (s *Simulation) ByzantineProportionOn(observer types.ValidatorIndex) float64 {
-	reg := s.Nodes[observer].Registry
+	return s.byzantineProportionIn(s.View(observer).Registry)
+}
+
+func (s *Simulation) byzantineProportionIn(reg *validator.Registry) float64 {
 	total := reg.TotalStake()
 	if total == 0 {
 		return 0
 	}
 	var byz types.Gwei
-	for v := range s.byzantine {
+	for _, v := range s.Cfg.Byzantine {
 		byz += reg.Stake(v)
 	}
 	return float64(byz) / float64(total)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/types"
@@ -23,10 +24,22 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	if _, err := New(Config{Validators: 4}); err == nil {
 		t.Error("zero spec must be rejected")
 	}
+	if _, err := New(Config{Validators: 4, Spec: types.DefaultSpec(), Delay: 0}); err == nil {
+		t.Error("zero delay must be rejected (same-slot delivery races the drained inbox)")
+	}
 	cfg := healthyConfig(4)
 	cfg.Byzantine = []types.ValidatorIndex{9}
 	if _, err := New(cfg); err == nil {
 		t.Error("out-of-range Byzantine index must be rejected")
+	}
+	cfg = healthyConfig(4)
+	cfg.Byzantine = []types.ValidatorIndex{2, 2}
+	_, err := New(cfg)
+	if err == nil {
+		t.Error("duplicate Byzantine indices must be rejected, not silently collapsed")
+	}
+	if !errors.Is(err, ErrBadConfig) {
+		t.Errorf("duplicate Byzantine error = %v, want ErrBadConfig", err)
 	}
 }
 
@@ -101,9 +114,9 @@ func TestShuffledDutiesChainStillFinalizes(t *testing.T) {
 	if err := s.RunEpochs(8); err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range s.Nodes {
-		if got := n.Finalized().Epoch; got < 5 {
-			t.Errorf("node %d finalized epoch %d with shuffled duties, want >= 5", i, got)
+	for _, v := range s.HonestIndices() {
+		if got := s.View(v).Finalized().Epoch; got < 5 {
+			t.Errorf("validator %d finalized epoch %d with shuffled duties, want >= 5", v, got)
 		}
 	}
 }
@@ -124,6 +137,62 @@ func TestHonestIndicesExcludesByzantine(t *testing.T) {
 			t.Errorf("honest list contains Byzantine %d", h)
 		}
 	}
+	// The slice is cached: repeated calls return the same backing array
+	// instead of allocating per call (it runs inside every Snapshot).
+	again := s.HonestIndices()
+	if &again[0] != &honest[0] {
+		t.Error("HonestIndices must return the construction-time slice, not a fresh copy")
+	}
+}
+
+// TestCohortLayout: the default mode materializes one view per honest
+// partition plus one bridging Byzantine view; the oracle mode one per
+// validator.
+func TestCohortLayout(t *testing.T) {
+	cfg := healthyConfig(10)
+	cfg.Byzantine = []types.ValidatorIndex{8, 9}
+	cfg.PartitionOf = func(v types.ValidatorIndex) int { return int(v) % 2 }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cohorts := s.Cohorts()
+	if len(cohorts) != 3 {
+		t.Fatalf("cohorts = %d, want 2 honest partitions + 1 byzantine", len(cohorts))
+	}
+	byz := 0
+	members := 0
+	for _, c := range cohorts {
+		members += len(c.Members)
+		if c.Byzantine {
+			byz++
+			if len(c.Members) != 2 {
+				t.Errorf("byzantine cohort members = %v", c.Members)
+			}
+		}
+	}
+	if byz != 1 || members != 10 {
+		t.Errorf("byz cohorts = %d, total members = %d", byz, members)
+	}
+	// Cohort-mates share one view object.
+	if s.View(0) != s.View(2) {
+		t.Error("validators 0 and 2 share partition 0 but not a view")
+	}
+	if s.View(0) == s.View(1) {
+		t.Error("validators 0 and 1 are in different partitions but share a view")
+	}
+
+	cfg.PerValidatorViews = true
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(o.Cohorts()); got != 10 {
+		t.Fatalf("oracle mode cohorts = %d, want one per validator", got)
+	}
+	if o.View(0) == o.View(2) {
+		t.Error("oracle mode must not share views")
+	}
 }
 
 // TestHealthyChainFinalizes is the baseline liveness check: with all
@@ -137,15 +206,16 @@ func TestHealthyChainFinalizes(t *testing.T) {
 	if err := s.RunEpochs(8); err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range s.Nodes {
+	for _, v := range s.HonestIndices() {
+		n := s.View(v)
 		if got := n.Finalized().Epoch; got < 5 {
-			t.Errorf("node %d finalized epoch %d, want >= 5", i, got)
+			t.Errorf("validator %d finalized epoch %d, want >= 5", v, got)
 		}
 		if n.FFG.InLeak(8, s.Cfg.Spec) {
-			t.Errorf("node %d believes it is in a leak on a healthy chain", i)
+			t.Errorf("validator %d believes it is in a leak on a healthy chain", v)
 		}
-		if n.Registry.Stake(types.ValidatorIndex(i)) != types.MaxEffectiveBalanceGwei {
-			t.Errorf("node %d lost stake on a healthy chain", i)
+		if n.Registry.Stake(v) != types.MaxEffectiveBalanceGwei {
+			t.Errorf("validator %d lost stake on a healthy chain", v)
 		}
 	}
 	if v := s.CheckFinalitySafety(); v != nil {
@@ -153,11 +223,13 @@ func TestHealthyChainFinalizes(t *testing.T) {
 	}
 }
 
-// TestHealthyChainTolatesMessageLoss injects a 20% first-attempt drop rate;
-// retransmissions preserve liveness.
+// TestHealthyChainToleratesMessageLoss spreads a synchronous (GST 0)
+// population over four partitions whose cross-partition links suffer 20%
+// outage slots; retransmissions preserve liveness.
 func TestHealthyChainToleratesMessageLoss(t *testing.T) {
 	cfg := healthyConfig(16)
 	cfg.DropRate = 0.2
+	cfg.PartitionOf = func(v types.ValidatorIndex) int { return int(v) % 4 }
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -165,9 +237,12 @@ func TestHealthyChainToleratesMessageLoss(t *testing.T) {
 	if err := s.RunEpochs(10); err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range s.Nodes {
-		if got := n.Finalized().Epoch; got < 5 {
-			t.Errorf("node %d finalized epoch %d under 20%% loss, want >= 5", i, got)
+	if _, dropped := s.Net.Stats(); dropped == 0 {
+		t.Fatal("no deliveries were delayed; the loss injection is inert")
+	}
+	for _, v := range s.HonestIndices() {
+		if got := s.View(v).Finalized().Epoch; got < 5 {
+			t.Errorf("validator %d finalized epoch %d under 20%% loss, want >= 5", v, got)
 		}
 	}
 }
@@ -196,16 +271,17 @@ func TestPartitionStallsFinalityAndStartsLeak(t *testing.T) {
 	if err := s.RunEpochs(8); err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range s.Nodes {
+	for _, v := range s.HonestIndices() {
+		n := s.View(v)
 		if got := n.Finalized().Epoch; got != 0 {
-			t.Errorf("node %d finalized epoch %d during 50/50 partition, want 0", i, got)
+			t.Errorf("validator %d finalized epoch %d during 50/50 partition, want 0", v, got)
 		}
 		if !n.FFG.InLeak(8, s.Cfg.Spec) {
-			t.Errorf("node %d not in leak after 8 unfinalized epochs", i)
+			t.Errorf("validator %d not in leak after 8 unfinalized epochs", v)
 		}
 		// Availability: candidate chains grew.
 		if n.Tree.Len() < 32 {
-			t.Errorf("node %d tree has only %d blocks; chain growth stalled", i, n.Tree.Len())
+			t.Errorf("validator %d tree has only %d blocks; chain growth stalled", v, n.Tree.Len())
 		}
 	}
 	if v := s.CheckFinalitySafety(); v != nil {
@@ -251,7 +327,7 @@ func TestScenario51ConflictingFinalization(t *testing.T) {
 		t.Errorf("conflicting finalization at epoch %d, want ~20-30 under 2^10 quotient", conflictEpoch)
 	}
 	// Both halves finalized different branches.
-	a, b := s.Nodes[0].Finalized(), s.Nodes[15].Finalized()
+	a, b := s.View(0).Finalized(), s.View(15).Finalized()
 	if a.Root == b.Root {
 		t.Error("the two partitions should have finalized different branches")
 	}
@@ -281,9 +357,9 @@ func TestPartitionHealsBeforeLeakCompletes(t *testing.T) {
 		t.Fatalf("healed partition must not violate safety: %v", v)
 	}
 	// Finality resumed after GST.
-	for i, n := range s.Nodes {
-		if got := n.Finalized().Epoch; got < 9 {
-			t.Errorf("node %d finalized epoch %d, want >= 9 after healing", i, got)
+	for _, v := range s.HonestIndices() {
+		if got := s.View(v).Finalized().Epoch; got < 9 {
+			t.Errorf("validator %d finalized epoch %d, want >= 9 after healing", v, got)
 		}
 	}
 }
@@ -298,9 +374,9 @@ func TestStakeConservationOnHealthyChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := types.Gwei(8) * types.MaxEffectiveBalanceGwei
-	for i, n := range s.Nodes {
-		if got := n.Registry.TotalStake(); got != want {
-			t.Errorf("node %d total stake = %d, want %d", i, got, want)
+	for _, v := range s.HonestIndices() {
+		if got := s.View(v).Registry.TotalStake(); got != want {
+			t.Errorf("validator %d total stake = %d, want %d", v, got, want)
 		}
 	}
 }
@@ -335,7 +411,7 @@ func TestOnEpochHookRuns(t *testing.T) {
 }
 
 // TestFinalizedPruningBoundsTreeMemory: on a healthy chain, finalization
-// keeps each node's block tree bounded to the unfinalized suffix instead of
+// keeps each view's block tree bounded to the unfinalized suffix instead of
 // the whole history.
 func TestFinalizedPruningBoundsTreeMemory(t *testing.T) {
 	s, err := New(healthyConfig(8))
@@ -347,12 +423,12 @@ func TestFinalizedPruningBoundsTreeMemory(t *testing.T) {
 	}
 	// 12 epochs x ~30 blocks/epoch would be ~360 blocks unpruned; with
 	// finality trailing by 2 epochs the suffix holds ~4 epochs of blocks.
-	for i, n := range s.Nodes {
-		if n.Tree.Len() > 6*32 {
-			t.Errorf("node %d tree = %d blocks; pruning not effective", i, n.Tree.Len())
+	for _, c := range s.Cohorts() {
+		if c.Node.Tree.Len() > 6*32 {
+			t.Errorf("cohort %d tree = %d blocks; pruning not effective", c.Index, c.Node.Tree.Len())
 		}
-		if n.Finalized().Epoch < 9 {
-			t.Errorf("node %d finalized %d; chain unhealthy", i, n.Finalized().Epoch)
+		if c.Node.Finalized().Epoch < 9 {
+			t.Errorf("cohort %d finalized %d; chain unhealthy", c.Index, c.Node.Finalized().Epoch)
 		}
 	}
 }
@@ -365,13 +441,40 @@ func TestOracleRecordsAllBlocks(t *testing.T) {
 	if err := s.RunEpochs(2); err != nil {
 		t.Fatal(err)
 	}
-	// Every block any node holds is in the oracle.
-	for i, n := range s.Nodes {
-		if n.Tree.Len() > s.Oracle().Len() {
-			t.Errorf("node %d tree (%d) larger than oracle (%d)", i, n.Tree.Len(), s.Oracle().Len())
+	// Every block any view holds is in the oracle.
+	for _, c := range s.Cohorts() {
+		if c.Node.Tree.Len() > s.Oracle().Len() {
+			t.Errorf("cohort %d tree (%d) larger than oracle (%d)", c.Index, c.Node.Tree.Len(), s.Oracle().Len())
 		}
 	}
 	if s.Oracle().Len() < 32 {
 		t.Errorf("oracle has %d blocks after 2 epochs, want ~60", s.Oracle().Len())
+	}
+}
+
+func TestNewRejectsInertOrColludingNetworkConfig(t *testing.T) {
+	// Negative partition ids would collide with the Byzantine cohort's
+	// internal sentinel.
+	cfg := healthyConfig(4)
+	cfg.PartitionOf = func(types.ValidatorIndex) int { return -1 }
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative partition id accepted: %v", err)
+	}
+	// A drop rate without >= 2 partitions injects no loss at all (drops
+	// are cross-partition link outages); reject instead of silently
+	// measuring a lossless baseline.
+	cfg = healthyConfig(4)
+	cfg.DropRate = 0.2
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("inert drop rate accepted: %v", err)
+	}
+	cfg.PartitionOf = func(v types.ValidatorIndex) int { return int(v) % 2 }
+	if _, err := New(cfg); err != nil {
+		t.Errorf("drop rate with 2 partitions rejected: %v", err)
+	}
+	// Out-of-range rates.
+	cfg.DropRate = 1.5
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("drop rate > 1 accepted: %v", err)
 	}
 }

@@ -209,3 +209,96 @@ func TestTotalStakeInvariantUnderPenalties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- columnar (struct-of-arrays) storage tests ---
+
+// TestColumnsAliasRegistry: Columns exposes the live storage — writes
+// through the column view are visible to the row API and vice versa.
+func TestColumnsAliasRegistry(t *testing.T) {
+	r := NewRegistry(4, 100)
+	cols := r.Columns()
+	if len(cols.Stakes) != 4 || len(cols.Scores) != 4 || len(cols.Status) != 4 || len(cols.Exit) != 4 {
+		t.Fatalf("column lengths = %d/%d/%d/%d, want 4 each",
+			len(cols.Stakes), len(cols.Scores), len(cols.Status), len(cols.Exit))
+	}
+	cols.Stakes[2] = 55
+	cols.Scores[2] = 7
+	if got := r.RawStake(2); got != 55 {
+		t.Errorf("column write invisible to row API: stake = %d", got)
+	}
+	if got := r.Score(2); got != 7 {
+		t.Errorf("column write invisible to row API: score = %d", got)
+	}
+	r.SetStake(1, 42)
+	if cols.Stakes[1] != 42 {
+		t.Errorf("row write invisible to column view: %d", cols.Stakes[1])
+	}
+	cols.Status[3] = Ejected
+	if r.InSet(3) {
+		t.Error("status column write must remove the validator from the set")
+	}
+}
+
+// TestCloneDetachesColumns: a clone's columns are independent storage.
+func TestCloneDetachesColumns(t *testing.T) {
+	r := NewRegistry(3, 100)
+	c := r.Clone()
+	c.Columns().Stakes[0] = 1
+	c.Columns().Scores[1] = 9
+	if err := c.Slash(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if r.RawStake(0) != 100 || r.Score(1) != 0 || !r.InSet(2) {
+		t.Error("mutating a clone leaked into the original")
+	}
+}
+
+// TestForEachWritesBack: the row iterator reassembles rows from columns
+// and persists mutations.
+func TestForEachWritesBack(t *testing.T) {
+	r := NewRegistry(3, 100)
+	r.ForEach(func(v *Validator) {
+		v.Stake = types.Gwei(10 * (uint64(v.Index) + 1))
+		v.InactivityScore = uint64(v.Index)
+		if v.Index == 2 {
+			v.Status = Ejected
+			v.ExitEpoch = 7
+		}
+	})
+	if r.RawStake(0) != 10 || r.RawStake(1) != 20 || r.RawStake(2) != 30 {
+		t.Errorf("stakes not written back: %d %d %d", r.RawStake(0), r.RawStake(1), r.RawStake(2))
+	}
+	if r.Score(2) != 2 {
+		t.Errorf("score not written back: %d", r.Score(2))
+	}
+	if r.InSet(2) {
+		t.Error("status not written back")
+	}
+	got, err := r.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ExitEpoch != 7 {
+		t.Errorf("exit epoch not written back: %d", got.ExitEpoch)
+	}
+}
+
+// TestColumnsRowRoundTrip: rows assembled by Get agree with the columns
+// for every field, under a quick-check of mutations.
+func TestColumnsRowRoundTrip(t *testing.T) {
+	r := NewRegistry(8, 64)
+	r.SetScore(3, 12)
+	_ = r.Slash(4, 9)
+	_ = r.Eject(5, 11)
+	cols := r.Columns()
+	for i := 0; i < r.Len(); i++ {
+		v, err := r.Get(types.ValidatorIndex(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Stake != cols.Stakes[i] || v.InactivityScore != cols.Scores[i] ||
+			v.Status != cols.Status[i] || v.ExitEpoch != cols.Exit[i] {
+			t.Errorf("row %d disagrees with columns: %+v", i, v)
+		}
+	}
+}
