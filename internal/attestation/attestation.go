@@ -57,48 +57,70 @@ func (a Attestation) String() string {
 // Pool accumulates attestations indexed by target epoch and validator. It
 // retains every distinct vote (an equivocating validator contributes
 // several), which is what both the FFG engine and the slashing detector
-// need. The zero value is not usable; construct with NewPool.
+// need. Per-epoch storage is columnar — one votes-by-validator-index slice
+// per epoch — so the hot paths (Add during batch fan-out, the boundary
+// TargetWeights rescan) are array indexing, not nested map probes. The
+// zero value is not usable; construct with NewPool.
 type Pool struct {
-	// byEpoch[epoch][validator] lists the distinct attestation data
-	// values the validator signed with that target epoch.
-	byEpoch map[types.Epoch]map[types.ValidatorIndex][]Data
+	byEpoch map[types.Epoch]*epochVotes
+}
+
+// epochVotes holds one target epoch's votes, indexed by validator.
+type epochVotes struct {
+	// votes[v] lists the distinct attestation data values validator v
+	// signed with this target epoch (nil = none). The slice grows to the
+	// highest validator index seen.
+	votes [][]Data
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
-	return &Pool{byEpoch: make(map[types.Epoch]map[types.ValidatorIndex][]Data)}
+	return &Pool{byEpoch: make(map[types.Epoch]*epochVotes)}
 }
 
 // Add records an attestation. Duplicate (validator, data) pairs are
 // ignored. It reports whether the attestation was new.
+//
+// Dedup compares Data values directly: Data is a comparable struct, and
+// value equality is both exact (Digest truncates epochs to 16 bits) and
+// hash-free, which matters when a paper-scale batch fans out to thousands
+// of per-validator Adds.
 func (p *Pool) Add(a Attestation) bool {
 	epoch := a.Data.Target.Epoch
-	m, ok := p.byEpoch[epoch]
+	ev, ok := p.byEpoch[epoch]
 	if !ok {
-		m = make(map[types.ValidatorIndex][]Data)
-		p.byEpoch[epoch] = m
+		ev = &epochVotes{}
+		p.byEpoch[epoch] = ev
 	}
-	digest := a.Data.Digest()
-	for _, existing := range m[a.Validator] {
-		if existing.Digest() == digest {
+	v := int(a.Validator)
+	for len(ev.votes) <= v {
+		ev.votes = append(ev.votes, nil)
+	}
+	for _, existing := range ev.votes[v] {
+		if existing == a.Data {
 			return false
 		}
 	}
-	m[a.Validator] = append(m[a.Validator], a.Data)
+	ev.votes[v] = append(ev.votes[v], a.Data)
 	return true
 }
 
-// VotesForEpoch returns, for each validator, the distinct attestation data
-// with the given target epoch. The inner slices are shared; callers must
-// not mutate them.
-func (p *Pool) VotesForEpoch(e types.Epoch) map[types.ValidatorIndex][]Data {
-	return p.byEpoch[e]
+// VotesForEpoch returns the distinct attestation data with the given
+// target epoch, indexed by validator (validators beyond the highest index
+// seen are absent). The slices are shared; callers must not mutate them.
+func (p *Pool) VotesForEpoch(e types.Epoch) [][]Data {
+	ev := p.byEpoch[e]
+	if ev == nil {
+		return nil
+	}
+	return ev.votes
 }
 
 // Voted reports whether the validator cast any attestation with target
 // epoch e.
 func (p *Pool) Voted(e types.Epoch, v types.ValidatorIndex) bool {
-	return len(p.byEpoch[e][v]) > 0
+	ev := p.byEpoch[e]
+	return ev != nil && int(v) < len(ev.votes) && len(ev.votes[v]) > 0
 }
 
 // VotedForTarget reports whether the validator cast an attestation with
@@ -106,7 +128,11 @@ func (p *Pool) Voted(e types.Epoch, v types.ValidatorIndex) bool {
 // criterion: a validator is active on a branch for an epoch iff it sent an
 // attestation whose checkpoint vote is correct for that branch.
 func (p *Pool) VotedForTarget(e types.Epoch, v types.ValidatorIndex, root types.Root) bool {
-	for _, d := range p.byEpoch[e][v] {
+	ev := p.byEpoch[e]
+	if ev == nil || int(v) >= len(ev.votes) {
+		return false
+	}
+	for _, d := range ev.votes[v] {
 		if d.Target.Root == root {
 			return true
 		}
@@ -120,12 +146,19 @@ func (p *Pool) VotedForTarget(e types.Epoch, v types.ValidatorIndex, root types.
 // would credit them on each branch.
 func (p *Pool) TargetWeights(e types.Epoch, stake func(types.ValidatorIndex) types.Gwei) map[Link]types.Gwei {
 	out := make(map[Link]types.Gwei)
-	for v, datas := range p.byEpoch[e] {
+	ev := p.byEpoch[e]
+	if ev == nil {
+		return out
+	}
+	for v, datas := range ev.votes {
 		// Nearly every validator holds exactly one vote per epoch; skip
 		// the dedup map on that hot path so the boundary rescan stays
 		// allocation-light at paper-scale validator counts.
+		if len(datas) == 0 {
+			continue
+		}
 		if len(datas) == 1 {
-			out[Link{Source: datas[0].Source, Target: datas[0].Target}] += stake(v)
+			out[Link{Source: datas[0].Source, Target: datas[0].Target}] += stake(types.ValidatorIndex(v))
 			continue
 		}
 		seen := make(map[Link]bool, len(datas))
@@ -135,7 +168,7 @@ func (p *Pool) TargetWeights(e types.Epoch, stake func(types.ValidatorIndex) typ
 				continue
 			}
 			seen[l] = true
-			out[l] += stake(v)
+			out[l] += stake(types.ValidatorIndex(v))
 		}
 	}
 	return out

@@ -35,7 +35,7 @@ type Node struct {
 	Spec types.Spec
 
 	Tree     *blocktree.Tree
-	Votes    *forkchoice.Store
+	Votes    forkchoice.Engine
 	FFG      *ffg.Engine
 	Pool     *attestation.Pool
 	Detector *slashing.Detector
@@ -73,14 +73,22 @@ type Node struct {
 }
 
 // NewNode builds a node for validator id over a fresh view with nValidators
-// at the spec's maximum balance.
+// at the spec's maximum balance, running the incremental proto-array
+// fork-choice engine.
 func NewNode(id types.ValidatorIndex, nValidators int, spec types.Spec, genesis types.Root) *Node {
+	return NewNodeWithForkChoice(id, nValidators, spec, genesis, forkchoice.NewProtoArray())
+}
+
+// NewNodeWithForkChoice is NewNode with an explicit fork-choice engine; the
+// equivalence suites use it to run whole simulations on the map-based
+// oracle (forkchoice.NewOracle) against the proto-array default.
+func NewNodeWithForkChoice(id types.ValidatorIndex, nValidators int, spec types.Spec, genesis types.Root, votes forkchoice.Engine) *Node {
 	reg := validator.NewRegistry(nValidators, spec.MaxEffectiveBalance)
-	return &Node{
+	n := &Node{
 		ID:                  id,
 		Spec:                spec,
 		Tree:                blocktree.New(genesis),
-		Votes:               forkchoice.NewStore(),
+		Votes:               votes,
 		FFG:                 ffg.NewEngine(genesis),
 		Pool:                attestation.NewPool(),
 		Detector:            slashing.NewDetector(),
@@ -90,6 +98,8 @@ func NewNode(id types.ValidatorIndex, nValidators int, spec types.Spec, genesis 
 		pending:             make(map[types.Root][]blocktree.Block),
 		processedIncentives: make(map[types.Epoch]bool),
 	}
+	n.Votes.UpdateStakes(nValidators, n.justifiedState.Stake)
+	return n
 }
 
 // ReceiveBlock ingests a block, buffering it if its parent is unknown and
@@ -146,13 +156,16 @@ func (n *Node) SetVisibility(visible func(types.Root) bool) { n.visible = visibl
 // Head computes the node's candidate-chain head: LMD-GHOST from the block
 // of the latest justified checkpoint, weighing votes with the balances of
 // the justified state (not the current view's balances), as the consensus
-// spec does. An installed visibility filter restricts the descent.
+// spec does. Those balances are pushed into the fork-choice engine whenever
+// the justified snapshot advances, so the engine applies them as vote
+// deltas instead of re-reading every validator's stake per call. An
+// installed visibility filter restricts the descent.
 func (n *Node) Head() (types.Root, error) {
 	start := n.FFG.LatestJustified().Root
 	if !n.Tree.Has(start) {
 		start = n.Tree.Genesis()
 	}
-	return n.Votes.HeadFiltered(n.Tree, start, n.justifiedState.Stake, n.visible)
+	return n.Votes.HeadFiltered(n.Tree, start, n.visible)
 }
 
 // ProduceBlockFor builds the block validator `proposer` would propose at
@@ -254,9 +267,11 @@ func (n *Node) ProcessEpochBoundary(newEpoch types.Epoch) (EpochReport, error) {
 		ffgRes.NewlyFinalized = append(ffgRes.NewlyFinalized, res.NewlyFinalized...)
 	}
 	// The justified checkpoint advanced: snapshot the balances that the
-	// fork-choice rule will weigh votes with.
+	// fork-choice rule will weigh votes with, and push them into the
+	// engine as stake deltas.
 	if n.FFG.LatestJustified() != justifiedBefore {
 		n.justifiedState = n.Registry.Clone()
+		n.Votes.UpdateStakes(n.justifiedState.Len(), n.justifiedState.Stake)
 	}
 
 	// Finality advanced: blocks conflicting with the finalized checkpoint

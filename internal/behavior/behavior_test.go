@@ -169,9 +169,10 @@ func TestScenario521SlashingAfterGST(t *testing.T) {
 }
 
 // TestAdversaryCohortOracleEquivalence extends the kernel's equivalence
-// contract to adversarial runs: the batched cohort adversaries produce
-// bit-identical EpochMetrics histories in the default view-cohort mode and
-// the per-validator oracle mode.
+// contract to adversarial runs, across BOTH oracle axes: the batched
+// cohort adversaries produce bit-identical EpochMetrics histories in the
+// default view-cohort mode and the per-validator oracle mode, and on both
+// the proto-array fork-choice engine and the map-based oracle engine.
 func TestAdversaryCohortOracleEquivalence(t *testing.T) {
 	build := map[string]func() sim.Adversary{
 		"double-voter": func() sim.Adversary { return &DoubleVoter{Reps: [2]types.ValidatorIndex{0, 12}} },
@@ -180,13 +181,23 @@ func TestAdversaryCohortOracleEquivalence(t *testing.T) {
 			return &SemiActive{Reps: [2]types.ValidatorIndex{0, 12}, StayFrom: 22}
 		},
 	}
+	modes := []struct {
+		name                           string
+		perValidator, oracleForkChoice bool
+	}{
+		{"cohort+proto-array", false, false},
+		{"cohort+map-oracle", false, true},
+		{"per-validator+proto-array", true, false},
+		{"per-validator+map-oracle", true, true},
+	}
 	for name, mk := range build {
 		t.Run(name, func(t *testing.T) {
-			histories := make([][]sim.EpochMetrics, 2)
-			for mode, perValidator := range []bool{false, true} {
+			histories := make([][]sim.EpochMetrics, len(modes))
+			for i, mode := range modes {
 				rec := &sim.Recorder{}
 				cfg := byzConfig(13, mk())
-				cfg.PerValidatorViews = perValidator
+				cfg.PerValidatorViews = mode.perValidator
+				cfg.OracleForkChoice = mode.oracleForkChoice
 				cfg.OnEpoch = rec.Hook
 				s, err := sim.New(cfg)
 				if err != nil {
@@ -195,16 +206,19 @@ func TestAdversaryCohortOracleEquivalence(t *testing.T) {
 				if err := s.RunEpochs(26); err != nil {
 					t.Fatal(err)
 				}
-				histories[mode] = rec.History
+				histories[i] = rec.History
 			}
-			if !reflect.DeepEqual(histories[0], histories[1]) {
-				for i := range histories[0] {
-					if !reflect.DeepEqual(histories[0][i], histories[1][i]) {
-						t.Fatalf("epoch %d diverges:\n  cohort: %+v\n  oracle: %+v",
-							histories[0][i].Epoch, histories[0][i], histories[1][i])
+			for i := 1; i < len(modes); i++ {
+				if reflect.DeepEqual(histories[0], histories[i]) {
+					continue
+				}
+				for e := range histories[0] {
+					if !reflect.DeepEqual(histories[0][e], histories[i][e]) {
+						t.Fatalf("epoch %d diverges:\n  %s: %+v\n  %s: %+v",
+							histories[0][e].Epoch, modes[0].name, histories[0][e], modes[i].name, histories[i][e])
 					}
 				}
-				t.Fatal("histories diverge in length")
+				t.Fatalf("%s and %s histories diverge in length", modes[0].name, modes[i].name)
 			}
 		})
 	}

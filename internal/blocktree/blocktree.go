@@ -6,9 +6,19 @@
 // checkpoint (b, e) refers to is the last block at or before the first slot
 // of epoch e on the branch), and chain extraction — the primitives that the
 // fork-choice rule and the FFG finality engine are built on.
+//
+// Storage is flat: blocks live in an insertion-ordered node array with
+// parent/first-child/next-sibling index links, plus a root→index map. The
+// array order is topological (a parent always precedes its children), and
+// every index stays stable until PruneBelow compacts the array — each
+// compaction bumps Version, which incremental consumers (the proto-array
+// fork-choice engine in internal/forkchoice) watch to know when their
+// cached indices are void. Ancestry walks are integer chases with no map
+// lookups.
 package blocktree
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +34,10 @@ var (
 	ErrBadSlot       = errors.New("blocktree: slot not after parent slot")
 )
 
+// NoIndex marks "no node" in the index-link accessors (missing parent,
+// child, or sibling).
+const NoIndex int32 = -1
+
 // Block is a vertex of the tree. Payload contents are irrelevant to the
 // consensus analysis; identity, position, and parentage are everything.
 type Block struct {
@@ -33,109 +47,165 @@ type Block struct {
 	Proposer types.ValidatorIndex
 }
 
+// node is one slot of the flat array: the block plus its structural links.
+type node struct {
+	block       Block
+	parent      int32
+	firstChild  int32
+	lastChild   int32
+	nextSibling int32
+}
+
 // Tree is an append-only block tree rooted at a genesis block. The zero
 // value is not usable; construct with New.
 type Tree struct {
-	blocks   map[types.Root]Block
-	children map[types.Root][]types.Root
-	genesis  types.Root
+	nodes   []node
+	index   map[types.Root]int32
+	version uint64
 }
 
 // New creates a tree containing only the genesis block at slot 0.
 func New(genesis types.Root) *Tree {
-	t := &Tree{
-		blocks:   make(map[types.Root]Block),
-		children: make(map[types.Root][]types.Root),
-		genesis:  genesis,
-	}
-	t.blocks[genesis] = Block{Slot: 0, Root: genesis}
+	t := &Tree{index: make(map[types.Root]int32)}
+	t.nodes = append(t.nodes, node{
+		block:       Block{Slot: 0, Root: genesis},
+		parent:      NoIndex,
+		firstChild:  NoIndex,
+		lastChild:   NoIndex,
+		nextSibling: NoIndex,
+	})
+	t.index[genesis] = 0
 	return t
 }
 
-// Genesis returns the root of the genesis block.
-func (t *Tree) Genesis() types.Root { return t.genesis }
+// Genesis returns the root of the tree's effective root block (the original
+// genesis, or the finalized block PruneBelow promoted).
+func (t *Tree) Genesis() types.Root { return t.nodes[0].block.Root }
 
 // Len returns the number of blocks in the tree, genesis included.
-func (t *Tree) Len() int { return len(t.blocks) }
+func (t *Tree) Len() int { return len(t.nodes) }
+
+// Version identifies the current index space. It is bumped whenever node
+// indices are invalidated (PruneBelow compaction); plain Add calls never
+// change it, so consumers caching indices only re-sync after pruning.
+func (t *Tree) Version() uint64 { return t.version }
 
 // Has reports whether the tree contains root.
 func (t *Tree) Has(root types.Root) bool {
-	_, ok := t.blocks[root]
+	_, ok := t.index[root]
 	return ok
 }
 
+// IndexOf returns the stable array index of root within the current
+// Version's index space.
+func (t *Tree) IndexOf(root types.Root) (int32, bool) {
+	i, ok := t.index[root]
+	return i, ok
+}
+
+// BlockAt returns the block stored at array index i. The index must be in
+// [0, Len()).
+func (t *Tree) BlockAt(i int32) Block { return t.nodes[i].block }
+
+// ParentIndex returns the array index of i's parent, or NoIndex for the
+// effective root. Parents always have smaller indices than their children.
+func (t *Tree) ParentIndex(i int32) int32 { return t.nodes[i].parent }
+
+// FirstChild returns the array index of i's first child in insertion order,
+// or NoIndex for a leaf.
+func (t *Tree) FirstChild(i int32) int32 { return t.nodes[i].firstChild }
+
+// NextSibling returns the array index of the sibling inserted after i, or
+// NoIndex for the last child.
+func (t *Tree) NextSibling(i int32) int32 { return t.nodes[i].nextSibling }
+
 // Block returns the block stored under root.
 func (t *Tree) Block(root types.Root) (Block, error) {
-	b, ok := t.blocks[root]
+	i, ok := t.index[root]
 	if !ok {
 		return Block{}, fmt.Errorf("%w: %s", ErrUnknownBlock, root)
 	}
-	return b, nil
+	return t.nodes[i].block, nil
 }
 
 // Add inserts b. The parent must already be present, the slot must be
 // strictly greater than the parent's slot, and the root must be new.
 func (t *Tree) Add(b Block) error {
-	if _, ok := t.blocks[b.Root]; ok {
+	if _, ok := t.index[b.Root]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicate, b.Root)
 	}
-	parent, ok := t.blocks[b.Parent]
+	pi, ok := t.index[b.Parent]
 	if !ok {
 		return fmt.Errorf("%w: parent %s of %s", ErrUnknownParent, b.Parent, b.Root)
 	}
-	if b.Slot <= parent.Slot {
+	if b.Slot <= t.nodes[pi].block.Slot {
 		return fmt.Errorf("%w: block %s at slot %d, parent at slot %d",
-			ErrBadSlot, b.Root, b.Slot, parent.Slot)
+			ErrBadSlot, b.Root, b.Slot, t.nodes[pi].block.Slot)
 	}
-	t.blocks[b.Root] = b
-	t.children[b.Parent] = append(t.children[b.Parent], b.Root)
+	i := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{
+		block:       b,
+		parent:      pi,
+		firstChild:  NoIndex,
+		lastChild:   NoIndex,
+		nextSibling: NoIndex,
+	})
+	if t.nodes[pi].firstChild == NoIndex {
+		t.nodes[pi].firstChild = i
+	} else {
+		t.nodes[t.nodes[pi].lastChild].nextSibling = i
+	}
+	t.nodes[pi].lastChild = i
+	t.index[b.Root] = i
 	return nil
 }
 
 // Children returns the direct children of root in insertion order. The
 // returned slice is a copy.
 func (t *Tree) Children(root types.Root) []types.Root {
-	kids := t.children[root]
-	out := make([]types.Root, len(kids))
-	copy(out, kids)
+	i, ok := t.index[root]
+	if !ok {
+		return nil
+	}
+	var out []types.Root
+	for c := t.nodes[i].firstChild; c != NoIndex; c = t.nodes[c].nextSibling {
+		out = append(out, t.nodes[c].block.Root)
+	}
 	return out
 }
 
 // IsAncestor reports whether a is an ancestor of (or equal to) d.
 func (t *Tree) IsAncestor(a, d types.Root) bool {
-	if !t.Has(a) || !t.Has(d) {
+	ai, ok := t.index[a]
+	if !ok {
 		return false
 	}
-	cur := d
-	for {
-		if cur == a {
-			return true
-		}
-		b := t.blocks[cur]
-		if cur == t.genesis {
-			return false
-		}
-		cur = b.Parent
+	di, ok := t.index[d]
+	if !ok {
+		return false
 	}
+	// Parents precede children in the array, so the walk can stop as soon
+	// as the descendant's index drops below the candidate ancestor's.
+	for di > ai {
+		di = t.nodes[di].parent
+	}
+	return di == ai
 }
 
 // AncestorAt walks from root toward genesis and returns the last block on
 // that path whose slot is <= slot. This is the block a checkpoint for a
 // given epoch resolves to on the branch ending at root.
 func (t *Tree) AncestorAt(root types.Root, slot types.Slot) (types.Root, error) {
-	if !t.Has(root) {
+	i, ok := t.index[root]
+	if !ok {
 		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownBlock, root)
 	}
-	cur := root
 	for {
-		b := t.blocks[cur]
-		if b.Slot <= slot {
-			return cur, nil
+		n := &t.nodes[i]
+		if n.block.Slot <= slot || n.parent == NoIndex {
+			return n.block.Root, nil
 		}
-		if cur == t.genesis {
-			return t.genesis, nil
-		}
-		cur = b.Parent
+		i = n.parent
 	}
 }
 
@@ -152,21 +222,16 @@ func (t *Tree) CheckpointFor(head types.Root, e types.Epoch) (types.Checkpoint, 
 // Chain returns the path from genesis to root, inclusive, in increasing
 // slot order.
 func (t *Tree) Chain(root types.Root) ([]Block, error) {
-	if !t.Has(root) {
+	i, ok := t.index[root]
+	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownBlock, root)
 	}
 	var rev []Block
-	cur := root
-	for {
-		b := t.blocks[cur]
-		rev = append(rev, b)
-		if cur == t.genesis {
-			break
-		}
-		cur = b.Parent
+	for ; i != NoIndex; i = t.nodes[i].parent {
+		rev = append(rev, t.nodes[i].block)
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
 	}
 	return rev, nil
 }
@@ -175,16 +240,16 @@ func (t *Tree) Chain(root types.Root) ([]Block, error) {
 // determinism.
 func (t *Tree) Leaves() []Block {
 	var out []Block
-	for root, b := range t.blocks {
-		if len(t.children[root]) == 0 {
-			out = append(out, b)
+	for i := range t.nodes {
+		if t.nodes[i].firstChild == NoIndex {
+			out = append(out, t.nodes[i].block)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Slot != out[j].Slot {
 			return out[i].Slot < out[j].Slot
 		}
-		return lessRoot(out[i].Root, out[j].Root)
+		return bytes.Compare(out[i].Root[:], out[j].Root[:]) < 0
 	})
 	return out
 }
@@ -192,69 +257,104 @@ func (t *Tree) Leaves() []Block {
 // CommonAncestor returns the highest block that is an ancestor of both a
 // and b.
 func (t *Tree) CommonAncestor(a, b types.Root) (types.Root, error) {
-	if !t.Has(a) || !t.Has(b) {
+	ai, ok := t.index[a]
+	if !ok {
 		return types.Root{}, ErrUnknownBlock
 	}
-	onPath := map[types.Root]bool{}
-	cur := a
-	for {
-		onPath[cur] = true
-		if cur == t.genesis {
-			break
-		}
-		cur = t.blocks[cur].Parent
+	bi, ok := t.index[b]
+	if !ok {
+		return types.Root{}, ErrUnknownBlock
 	}
-	cur = b
-	for {
-		if onPath[cur] {
-			return cur, nil
+	// Parents precede children, so repeatedly lifting the deeper index
+	// converges on the meet without any visited-set allocation.
+	for ai != bi {
+		if ai > bi {
+			ai = t.nodes[ai].parent
+		} else {
+			bi = t.nodes[bi].parent
 		}
-		if cur == t.genesis {
-			return t.genesis, nil
-		}
-		cur = t.blocks[cur].Parent
 	}
+	return t.nodes[ai].block.Root, nil
 }
 
 // PruneBelow discards every block that is not a descendant of (or equal
 // to) keep, which becomes the tree's effective root. Nodes prune at
 // finalized checkpoints: blocks conflicting with finality can never return
 // to the canonical chain, and long simulations need the memory back. The
-// genesis pointer moves to keep. Returns the number of blocks removed.
+// genesis pointer moves to keep, the node array is compacted in pre-order
+// (keeping it topological), and Version is bumped to void cached indices.
+// Returns the number of blocks removed.
 func (t *Tree) PruneBelow(keep types.Root) (int, error) {
-	if !t.Has(keep) {
+	ki, ok := t.index[keep]
+	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownBlock, keep)
 	}
-	if keep == t.genesis {
+	if ki == 0 {
 		return 0, nil
 	}
-	// Collect the surviving subtree.
-	survivors := make(map[types.Root]bool, len(t.blocks))
-	stack := []types.Root{keep}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if survivors[cur] {
-			continue
-		}
-		survivors[cur] = true
-		stack = append(stack, t.children[cur]...)
+	// Collect the surviving subtree in pre-order: parents stay ahead of
+	// their children and sibling order is preserved, so relinking the
+	// compacted array by ascending index reproduces insertion order.
+	order := make([]int32, 0, len(t.nodes))
+	t.preorder(ki, &order)
+	oldToNew := make(map[int32]int32, len(order))
+	for newIdx, oldIdx := range order {
+		oldToNew[oldIdx] = int32(newIdx)
 	}
-	removed := 0
-	for root := range t.blocks {
-		if !survivors[root] {
-			delete(t.blocks, root)
-			delete(t.children, root)
-			removed++
+	fresh := make([]node, len(order))
+	index := make(map[types.Root]int32, len(order))
+	for newIdx, oldIdx := range order {
+		b := t.nodes[oldIdx].block
+		fresh[newIdx] = node{
+			block:       b,
+			parent:      NoIndex,
+			firstChild:  NoIndex,
+			lastChild:   NoIndex,
+			nextSibling: NoIndex,
 		}
+		if oldIdx != ki {
+			fresh[newIdx].parent = oldToNew[t.nodes[oldIdx].parent]
+		}
+		index[b.Root] = int32(newIdx)
 	}
 	// The new root keeps its slot but forgets its parent, so ancestry
 	// walks terminate at it.
-	b := t.blocks[keep]
-	b.Parent = keep
-	t.blocks[keep] = b
-	t.genesis = keep
+	fresh[0].block.Parent = keep
+	for i := int32(1); i < int32(len(fresh)); i++ {
+		p := fresh[i].parent
+		if fresh[p].firstChild == NoIndex {
+			fresh[p].firstChild = i
+		} else {
+			fresh[fresh[p].lastChild].nextSibling = i
+		}
+		fresh[p].lastChild = i
+	}
+	removed := len(t.nodes) - len(fresh)
+	t.nodes = fresh
+	t.index = index
+	t.version++
 	return removed, nil
+}
+
+// preorder appends the subtree of root to out in pre-order (parent first,
+// children in sibling order), with an explicit stack so a deep surviving
+// chain costs no call-stack growth.
+func (t *Tree) preorder(root int32, out *[]int32) {
+	stack := []int32{root}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		*out = append(*out, i)
+		// Push the children, then reverse the pushed run so they pop in
+		// sibling order.
+		n := len(stack)
+		for c := t.nodes[i].firstChild; c != NoIndex; c = t.nodes[c].nextSibling {
+			stack = append(stack, c)
+		}
+		for a, b := n, len(stack)-1; a < b; a, b = a+1, b-1 {
+			stack[a], stack[b] = stack[b], stack[a]
+		}
+	}
 }
 
 // Slot returns the slot of root, or an error if unknown.
@@ -264,13 +364,4 @@ func (t *Tree) Slot(root types.Root) (types.Slot, error) {
 		return 0, err
 	}
 	return b.Slot, nil
-}
-
-func lessRoot(a, b types.Root) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
 }

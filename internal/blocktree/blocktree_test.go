@@ -348,3 +348,96 @@ func TestAncestorAtPropertyMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFlatIndexInvariants pins the contract the proto-array fork-choice
+// engine builds on: indices are insertion-ordered and topological (parent
+// before child), the child links walk in insertion order, and plain Adds
+// never bump Version.
+func TestFlatIndexInvariants(t *testing.T) {
+	tree := New(types.RootFromUint64(0))
+	v0 := tree.Version()
+	for _, b := range []Block{
+		{Slot: 1, Root: types.RootFromUint64(1), Parent: types.RootFromUint64(0)},
+		{Slot: 1, Root: types.RootFromUint64(2), Parent: types.RootFromUint64(0)},
+		{Slot: 2, Root: types.RootFromUint64(3), Parent: types.RootFromUint64(1)},
+		{Slot: 3, Root: types.RootFromUint64(4), Parent: types.RootFromUint64(1)},
+	} {
+		if err := tree.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Version() != v0 {
+		t.Error("Add must not bump Version")
+	}
+	for i := int32(0); i < int32(tree.Len()); i++ {
+		b := tree.BlockAt(i)
+		if gi, ok := tree.IndexOf(b.Root); !ok || gi != i {
+			t.Errorf("IndexOf(%v) = %d/%v, want %d", b.Root, gi, ok, i)
+		}
+		if p := tree.ParentIndex(i); p != NoIndex && p >= i {
+			t.Errorf("parent index %d of node %d not topological", p, i)
+		}
+		// Child links must reproduce Children() exactly.
+		var linked []types.Root
+		for c := tree.FirstChild(i); c != NoIndex; c = tree.NextSibling(c) {
+			linked = append(linked, tree.BlockAt(c).Root)
+		}
+		want := tree.Children(b.Root)
+		if len(linked) != len(want) {
+			t.Fatalf("node %d: %d linked children, Children() has %d", i, len(linked), len(want))
+		}
+		for j := range want {
+			if linked[j] != want[j] {
+				t.Errorf("node %d child %d: link walk %v, Children %v", i, j, linked[j], want[j])
+			}
+		}
+	}
+}
+
+// TestPruneBumpsVersionAndReindexes: compaction preserves structure,
+// stays topological, and signals consumers through Version.
+func TestPruneBumpsVersionAndReindexes(t *testing.T) {
+	tree := New(types.RootFromUint64(0))
+	for _, b := range []Block{
+		{Slot: 1, Root: types.RootFromUint64(1), Parent: types.RootFromUint64(0)},
+		{Slot: 1, Root: types.RootFromUint64(2), Parent: types.RootFromUint64(0)},
+		{Slot: 2, Root: types.RootFromUint64(3), Parent: types.RootFromUint64(1)},
+		{Slot: 3, Root: types.RootFromUint64(4), Parent: types.RootFromUint64(3)},
+		{Slot: 4, Root: types.RootFromUint64(5), Parent: types.RootFromUint64(3)},
+	} {
+		if err := tree.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v0 := tree.Version()
+	removed, err := tree.PruneBelow(types.RootFromUint64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 { // genesis sibling branch (block 2) and old genesis
+		t.Errorf("removed = %d, want 2", removed)
+	}
+	if tree.Version() == v0 {
+		t.Error("PruneBelow must bump Version")
+	}
+	if tree.Genesis() != types.RootFromUint64(1) {
+		t.Errorf("new effective root = %v", tree.Genesis())
+	}
+	if i, ok := tree.IndexOf(types.RootFromUint64(1)); !ok || i != 0 {
+		t.Errorf("new root index = %d/%v, want 0", i, ok)
+	}
+	if tree.ParentIndex(0) != NoIndex {
+		t.Error("new root must have no parent index")
+	}
+	for i := int32(1); i < int32(tree.Len()); i++ {
+		if p := tree.ParentIndex(i); p == NoIndex || p >= i {
+			t.Errorf("post-prune node %d has non-topological parent %d", i, p)
+		}
+	}
+	if !tree.IsAncestor(types.RootFromUint64(3), types.RootFromUint64(5)) {
+		t.Error("surviving ancestry lost in compaction")
+	}
+	if tree.Has(types.RootFromUint64(2)) {
+		t.Error("pruned branch still present")
+	}
+}

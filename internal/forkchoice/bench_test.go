@@ -1,34 +1,127 @@
 package forkchoice
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/blocktree"
 	"repro/internal/types"
 )
 
-// BenchmarkHead measures LMD-GHOST head computation over a 200-block random
-// tree with 128 latest messages.
-func BenchmarkHead(b *testing.B) {
+// protoFixture builds a 256-block random tree with n validators voting on
+// recent blocks and all deltas applied, leaving the engine in steady state.
+func protoFixture(b *testing.B, n int) (*ProtoArray, *blocktree.Tree) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(1))
-	tree, roots := randomTree(rng, 200)
-	s := NewStore()
-	for v := 0; v < 128; v++ {
-		s.Process(types.ValidatorIndex(v), roots[rng.Intn(len(roots))], types.Slot(v+1))
+	tree, roots := randomTree(rng, 256)
+	p := NewProtoArray()
+	p.UpdateStakes(n, func(types.ValidatorIndex) types.Gwei { return 32_000_000_000 })
+	// Latest messages concentrate on recent blocks, as in a live run.
+	recent := roots[len(roots)-8:]
+	for v := 0; v < n; v++ {
+		p.Process(types.ValidatorIndex(v), recent[v%len(recent)], types.Slot(v+1))
 	}
-	stake := func(types.ValidatorIndex) types.Gwei { return 32_000_000_000 }
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Head(tree, tree.Genesis(), stake); err != nil {
-			b.Fatal(err)
-		}
+	if _, err := p.Head(tree, tree.Genesis()); err != nil {
+		b.Fatal(err)
+	}
+	return p, tree
+}
+
+// BenchmarkHead measures the steady-state proto-array head query — the
+// per-slot hot path — at 1k, 100k, and 1M validators. The cost must be
+// near-flat in validator count (a cached-pointer chase) and allocation-free;
+// the CI bench-smoke job fails if allocs/op is nonzero.
+func BenchmarkHead(b *testing.B) {
+	for _, n := range []int{1_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("steady-%d", n), func(b *testing.B) {
+			p, tree := protoFixture(b, n)
+			genesis := tree.Genesis()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Head(tree, genesis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-// BenchmarkProcess measures latest-message ingestion.
+// BenchmarkHeadVoteChurn measures a head query absorbing a slot's worth of
+// moved votes (one cohort batch re-targeting), the incremental-delta path.
+func BenchmarkHeadVoteChurn(b *testing.B) {
+	for _, n := range []int{100_000} {
+		b.Run(fmt.Sprintf("churn-%d", n), func(b *testing.B) {
+			p, tree := protoFixture(b, n)
+			rng := rand.New(rand.NewSource(2))
+			var leaves []types.Root
+			for _, l := range tree.Leaves() {
+				leaves = append(leaves, l.Root)
+			}
+			genesis := tree.Genesis()
+			const batch = 3_000 // ~n/32 attesters per slot
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				target := leaves[rng.Intn(len(leaves))]
+				base := types.ValidatorIndex((i * batch) % n)
+				for v := types.ValidatorIndex(0); v < batch; v++ {
+					p.Process((base+v)%types.ValidatorIndex(n), target, types.Slot(n+i+2))
+				}
+				if _, err := p.Head(tree, genesis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHeadOracle is the map-based oracle on the same fixture shape,
+// for the BENCH.md before/after comparison (it rebuilds every weight map
+// per call, so its cost scales with validator count).
+func BenchmarkHeadOracle(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("steady-%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			tree, roots := randomTree(rng, 256)
+			o := NewOracle()
+			o.UpdateStakes(n, func(types.ValidatorIndex) types.Gwei { return 32_000_000_000 })
+			recent := roots[len(roots)-8:]
+			for v := 0; v < n; v++ {
+				o.Process(types.ValidatorIndex(v), recent[v%len(recent)], types.Slot(v+1))
+			}
+			genesis := tree.Genesis()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.Head(tree, genesis); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProcess measures latest-message ingestion into the proto-array's
+// columnar store.
 func BenchmarkProcess(b *testing.B) {
-	s := NewStore()
+	p := NewProtoArray()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Process(types.ValidatorIndex(i%256), types.RootFromUint64(uint64(i)), types.Slot(i))
+		p.Process(types.ValidatorIndex(i%256), types.RootFromUint64(uint64(i)), types.Slot(i))
+	}
+}
+
+// BenchmarkClone measures forking a paper-scale engine for a partitioned
+// view — flat column copies, no map rehash.
+func BenchmarkClone(b *testing.B) {
+	p, _ := protoFixture(b, 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.CloneEngine().Len() != 1_000_000 {
+			b.Fatal("clone lost votes")
+		}
 	}
 }

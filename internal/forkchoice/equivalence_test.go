@@ -1,0 +1,270 @@
+package forkchoice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blocktree"
+	"repro/internal/types"
+)
+
+// TestProtoArrayMatchesOracleRandomized is the engine-equivalence contract:
+// over arbitrary trees, vote streams, stake decays, visibility filters, and
+// finalization prunes, the incremental proto-array engine returns
+// bit-identical Head / HeadFiltered / SubtreeWeight results to the
+// map-based recompute-everything oracle.
+func TestProtoArrayMatchesOracleRandomized(t *testing.T) {
+	const (
+		seeds      = 25
+		steps      = 400
+		validators = 48
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tree := blocktree.New(types.RootFromUint64(0))
+
+		// Pre-plan a block schedule so votes can target blocks that have
+		// not arrived yet (the cross-partition / in-flight case): planned
+		// roots beyond nextBlock are known to voters but absent from the
+		// tree until the schedule catches up.
+		type planned struct {
+			root   types.Root
+			parent int // index into plan (parent always planned earlier)
+		}
+		plan := []planned{{root: types.RootFromUint64(0)}}
+		for i := 1; i <= steps/2; i++ {
+			plan = append(plan, planned{
+				root:   types.RootFromUint64(uint64(i)),
+				parent: rng.Intn(i),
+			})
+		}
+		nextBlock := 1
+		addBlock := func() {
+			if nextBlock >= len(plan) {
+				return
+			}
+			p := plan[nextBlock]
+			parent := plan[p.parent].root
+			if !tree.Has(parent) {
+				// Parent fell to a prune; skip the whole stale branch.
+				nextBlock++
+				return
+			}
+			ps, err := tree.Slot(parent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := blocktree.Block{
+				Slot:   ps + 1 + types.Slot(rng.Intn(3)),
+				Root:   p.root,
+				Parent: parent,
+			}
+			if err := tree.Add(b); err != nil {
+				t.Fatalf("seed %d: add: %v", seed, err)
+			}
+			nextBlock++
+		}
+
+		proto := NewProtoArray()
+		oracle := NewOracle()
+		engines := []Engine{proto, oracle}
+
+		stakes := make([]types.Gwei, validators)
+		for i := range stakes {
+			stakes[i] = 32_000_000_000
+		}
+		pushStakes := func() {
+			for _, e := range engines {
+				e.UpdateStakes(validators, func(v types.ValidatorIndex) types.Gwei { return stakes[v] })
+			}
+		}
+		pushStakes()
+
+		treeRoots := func() []types.Root {
+			var out []types.Root
+			for _, pl := range plan[:nextBlock] {
+				if tree.Has(pl.root) {
+					out = append(out, pl.root)
+				}
+			}
+			return out
+		}
+
+		check := func(step int) {
+			roots := treeRoots()
+			start := roots[rng.Intn(len(roots))]
+
+			ph, perr := proto.Head(tree, start)
+			oh, oerr := oracle.Head(tree, start)
+			if (perr == nil) != (oerr == nil) || ph != oh {
+				t.Fatalf("seed %d step %d: Head(%s) diverges: proto %v (%v), oracle %v (%v)",
+					seed, step, start, ph, perr, oh, oerr)
+			}
+
+			// Visibility filter hiding a random subset of blocks.
+			hidden := map[types.Root]bool{}
+			for i := 0; i < rng.Intn(3); i++ {
+				hidden[roots[rng.Intn(len(roots))]] = true
+			}
+			visible := func(r types.Root) bool { return !hidden[r] }
+			ph, perr = proto.HeadFiltered(tree, start, visible)
+			oh, oerr = oracle.HeadFiltered(tree, start, visible)
+			if (perr == nil) != (oerr == nil) || ph != oh {
+				t.Fatalf("seed %d step %d: HeadFiltered diverges: proto %v (%v), oracle %v (%v)",
+					seed, step, ph, perr, oh, oerr)
+			}
+
+			probe := roots[rng.Intn(len(roots))]
+			pw, perr := proto.SubtreeWeight(tree, probe)
+			ow, oerr := oracle.SubtreeWeight(tree, probe)
+			if perr != nil || oerr != nil || pw != ow {
+				t.Fatalf("seed %d step %d: SubtreeWeight(%s) diverges: proto %d (%v), oracle %d (%v)",
+					seed, step, probe, pw, perr, ow, oerr)
+			}
+		}
+
+		slot := types.Slot(1)
+		for step := 0; step < steps; step++ {
+			switch op := rng.Intn(10); {
+			case op < 3: // grow the tree
+				addBlock()
+			case op < 8: // vote, possibly for a block not yet in the tree
+				v := types.ValidatorIndex(rng.Intn(validators))
+				hi := nextBlock + 5
+				if hi > len(plan) {
+					hi = len(plan)
+				}
+				target := plan[rng.Intn(hi)].root
+				slot += types.Slot(rng.Intn(2))
+				pc := proto.Process(v, target, slot)
+				oc := oracle.Process(v, target, slot)
+				if pc != oc {
+					t.Fatalf("seed %d step %d: Process changed-report diverges: proto %v, oracle %v", seed, step, pc, oc)
+				}
+			case op < 9: // stake decay / ejection
+				v := rng.Intn(validators)
+				switch rng.Intn(3) {
+				case 0:
+					stakes[v] = 0 // ejected
+				case 1:
+					stakes[v] = stakes[v] - stakes[v]/4 // leak penalty
+				default:
+					stakes[v] = 32_000_000_000 // restored
+				}
+				pushStakes()
+			default: // finalization prune
+				roots := treeRoots()
+				keep := roots[rng.Intn(len(roots))]
+				if _, err := tree.PruneBelow(keep); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check(step)
+		}
+
+		if proto.Len() != oracle.Len() {
+			t.Fatalf("seed %d: Len diverges: proto %d, oracle %d", seed, proto.Len(), oracle.Len())
+		}
+		for v := types.ValidatorIndex(0); v < validators; v++ {
+			pm, pok := proto.Latest(v)
+			om, ook := oracle.Latest(v)
+			if pok != ook || pm != om {
+				t.Fatalf("seed %d: Latest(%d) diverges: proto %v/%v, oracle %v/%v", seed, v, pm, pok, om, ook)
+			}
+		}
+	}
+}
+
+// TestProtoArrayUnresolvedVoteResolvesOnArrival: a vote for a block the
+// view has not received is ignored (matching the oracle) and starts
+// counting the instant the block arrives.
+func TestProtoArrayUnresolvedVoteResolvesOnArrival(t *testing.T) {
+	tree := blocktree.New(root(0))
+	if err := tree.Add(blocktree.Block{Slot: 1, Root: root(10), Parent: root(0)}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProtoArray()
+	p.UpdateStakes(4, flatStake)
+	p.Process(1, root(20), 2) // block 20 still in flight
+	head, err := p.Head(tree, root(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != root(10) {
+		t.Fatalf("head = %v, want %v (vote for missing block ignored)", head, root(10))
+	}
+	if err := tree.Add(blocktree.Block{Slot: 1, Root: root(20), Parent: root(0)}); err != nil {
+		t.Fatal(err)
+	}
+	head, err = p.Head(tree, root(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head != root(20) {
+		t.Fatalf("head = %v, want %v (parked vote must apply when its block arrives)", head, root(20))
+	}
+}
+
+// TestProtoArrayCloneIndependence: a cloned engine diverges from its
+// original without sharing vote or weight state.
+func TestProtoArrayCloneIndependence(t *testing.T) {
+	tree := blocktree.New(root(0))
+	for _, b := range []blocktree.Block{
+		{Slot: 1, Root: root(10), Parent: root(0)},
+		{Slot: 1, Root: root(20), Parent: root(0)},
+	} {
+		if err := tree.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewProtoArray()
+	p.UpdateStakes(4, flatStake)
+	p.Process(1, root(10), 1)
+	if _, err := p.Head(tree, root(0)); err != nil {
+		t.Fatal(err)
+	}
+	c := p.CloneEngine()
+	c.Process(1, root(20), 2)
+	c.Process(2, root(20), 2)
+	ch, err := c.Head(tree, root(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != root(20) {
+		t.Fatalf("clone head = %v, want %v", ch, root(20))
+	}
+	ph, err := p.Head(tree, root(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph != root(10) {
+		t.Fatalf("original head = %v after clone mutation, want %v", ph, root(10))
+	}
+	if m, _ := p.Latest(1); m.Root != root(10) {
+		t.Error("clone mutation leaked into original's latest messages")
+	}
+}
+
+// TestProtoArraySteadyStateHeadDoesNotAllocate pins the hot-path contract
+// the CI bench gate enforces: once votes are applied, a head query is a
+// pointer chase with zero allocations.
+func TestProtoArraySteadyStateHeadDoesNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree, roots := randomTree(rng, 300)
+	p := NewProtoArray()
+	p.UpdateStakes(1024, flatStake)
+	for v := 0; v < 1024; v++ {
+		p.Process(types.ValidatorIndex(v), roots[rng.Intn(len(roots))], types.Slot(v+1))
+	}
+	if _, err := p.Head(tree, tree.Genesis()); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.Head(tree, tree.Genesis()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Head allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -168,14 +168,14 @@ func TestWeightOf(t *testing.T) {
 	s := NewStore()
 	s.Process(1, root(11), 2)
 	s.Process(2, root(10), 1)
-	if got := s.WeightOf(tree, root(10), flatStake); got != 64 {
-		t.Errorf("weight(a1) = %d, want 64 (both a-branch votes)", got)
+	if got, err := s.WeightOf(tree, root(10), flatStake); err != nil || got != 64 {
+		t.Errorf("weight(a1) = %d (%v), want 64 (both a-branch votes)", got, err)
 	}
-	if got := s.WeightOf(tree, root(11), flatStake); got != 32 {
-		t.Errorf("weight(a2) = %d, want 32", got)
+	if got, err := s.WeightOf(tree, root(11), flatStake); err != nil || got != 32 {
+		t.Errorf("weight(a2) = %d (%v), want 32", got, err)
 	}
-	if got := s.WeightOf(tree, root(20), flatStake); got != 0 {
-		t.Errorf("weight(b1) = %d, want 0", got)
+	if got, err := s.WeightOf(tree, root(20), flatStake); err != nil || got != 0 {
+		t.Errorf("weight(b1) = %d (%v), want 0", got, err)
 	}
 }
 

@@ -67,8 +67,9 @@ func TestSubtreeWeightConservationProperty(t *testing.T) {
 			s.Process(types.ValidatorIndex(v), target, types.Slot(v+1))
 			counted += 32
 		}
-		got := s.WeightOf(tree, tree.Genesis(), func(types.ValidatorIndex) types.Gwei { return 32 })
-		return got == counted
+		got, err := s.WeightOf(tree, tree.Genesis(), func(types.ValidatorIndex) types.Gwei { return 32 })
+		// The inconsistency branch must never fire on a well-formed tree.
+		return err == nil && got == counted
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

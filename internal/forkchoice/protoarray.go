@@ -1,0 +1,365 @@
+package forkchoice
+
+import (
+	"fmt"
+
+	"repro/internal/blocktree"
+	"repro/internal/types"
+)
+
+// ProtoArray is the incremental LMD-GHOST engine. It mirrors the block
+// tree's flat index space (blocktree.Tree stores insertion-ordered nodes
+// with parent/first-child/next-sibling links) and keeps, per node, the
+// subtree weight plus cached best-child/best-descendant pointers.
+//
+// Latest messages live in columnar per-validator slices. When a
+// validator's vote moves from block A to B — or its stake changes with a
+// justified-state advance — nothing is walked: the stake is queued as a
+// negative delta on A and a positive delta on B, and the next head query
+// propagates all pending deltas leaf-to-root in one O(tree) pass (the
+// array order is topological, so a single reverse sweep both settles every
+// subtree weight and refreshes the best-child/best-descendant caches).
+// A head query with no pending work is a pointer read: O(1), zero
+// allocations, independent of validator count.
+//
+// Votes targeting blocks the view has not received yet are parked in an
+// unresolved list and re-queued when the tree grows, exactly matching the
+// oracle's "ignore votes for missing blocks" semantics. PruneBelow bumps
+// the tree's Version, which voids the index space; the engine detects it
+// and rebuilds from the retained votes (an O(validators + tree) event that
+// happens only when finality advances).
+type ProtoArray struct {
+	// Per-validator columns (latest messages and applied weight state).
+	voteRoot     []types.Root
+	voteSlot     []types.Slot
+	hasVote      []bool
+	stakes       []types.Gwei
+	appliedIdx   []int32 // node currently credited with the vote; NoIndex if none
+	appliedStake []types.Gwei
+	voted        int
+
+	// Worklists. changed holds validators whose vote or stake moved since
+	// the last apply; unresolved holds validators whose current vote
+	// target is not in the tree (re-queued when blocks arrive).
+	changed      []int32
+	inChanged    []bool
+	unresolved   []int32
+	inUnresolved []bool
+
+	// Per-node columns, mirroring the cached tree's index space.
+	tree        *blocktree.Tree
+	treeVersion uint64
+	weights     []types.Gwei
+	deltas      []int64
+	bestChild   []int32
+	bestDesc    []int32
+	dirty       bool
+}
+
+// NewProtoArray returns an empty incremental engine.
+func NewProtoArray() *ProtoArray {
+	return &ProtoArray{}
+}
+
+// ensureValidators grows the per-validator columns to hold n validators.
+func (p *ProtoArray) ensureValidators(n int) {
+	for len(p.voteRoot) < n {
+		p.voteRoot = append(p.voteRoot, types.Root{})
+		p.voteSlot = append(p.voteSlot, 0)
+		p.hasVote = append(p.hasVote, false)
+		p.stakes = append(p.stakes, 0)
+		p.appliedIdx = append(p.appliedIdx, blocktree.NoIndex)
+		p.appliedStake = append(p.appliedStake, 0)
+		p.inChanged = append(p.inChanged, false)
+		p.inUnresolved = append(p.inUnresolved, false)
+	}
+}
+
+func (p *ProtoArray) markChanged(v int32) {
+	if !p.inChanged[v] {
+		p.inChanged[v] = true
+		p.changed = append(p.changed, v)
+	}
+}
+
+// Process implements Engine.
+func (p *ProtoArray) Process(v types.ValidatorIndex, root types.Root, slot types.Slot) bool {
+	p.ensureValidators(int(v) + 1)
+	if p.hasVote[v] && p.voteSlot[v] >= slot {
+		return false
+	}
+	if !p.hasVote[v] {
+		p.hasVote[v] = true
+		p.voted++
+	}
+	p.voteRoot[v] = root
+	p.voteSlot[v] = slot
+	p.markChanged(int32(v))
+	return true
+}
+
+// Latest implements Engine.
+func (p *ProtoArray) Latest(v types.ValidatorIndex) (Message, bool) {
+	if int(v) >= len(p.hasVote) || !p.hasVote[v] {
+		return Message{}, false
+	}
+	return Message{Root: p.voteRoot[v], Slot: p.voteSlot[v]}, true
+}
+
+// Len implements Engine.
+func (p *ProtoArray) Len() int { return p.voted }
+
+// UpdateStakes implements Engine. Only validators whose stake actually
+// moved are re-queued, so a justified-state advance costs one column scan
+// plus deltas proportional to the number of balances that changed.
+func (p *ProtoArray) UpdateStakes(n int, stake func(types.ValidatorIndex) types.Gwei) {
+	p.ensureValidators(n)
+	for i := 0; i < n; i++ {
+		s := stake(types.ValidatorIndex(i))
+		if s == p.stakes[i] {
+			continue
+		}
+		p.stakes[i] = s
+		if p.hasVote[i] {
+			p.markChanged(int32(i))
+		}
+	}
+}
+
+// sync brings the node columns up to date with tree: rebuild on identity or
+// version change, extend on growth, then apply queued vote deltas and — if
+// anything moved — run the one-pass weight/best-pointer recompute.
+func (p *ProtoArray) sync(tree *blocktree.Tree) {
+	if tree != p.tree || tree.Version() != p.treeVersion {
+		p.rebuild(tree)
+		return
+	}
+	if n := tree.Len(); n > len(p.weights) {
+		for len(p.weights) < n {
+			p.weights = append(p.weights, 0)
+			p.deltas = append(p.deltas, 0)
+			p.bestChild = append(p.bestChild, blocktree.NoIndex)
+			p.bestDesc = append(p.bestDesc, blocktree.NoIndex)
+		}
+		// New blocks arrived: even with no votes, a fresh leaf can win a
+		// tie-break, and parked votes may now resolve.
+		p.dirty = true
+		for _, v := range p.unresolved {
+			p.inUnresolved[v] = false
+			p.markChanged(v)
+		}
+		p.unresolved = p.unresolved[:0]
+	}
+	p.applyChanged(tree)
+	if p.dirty {
+		p.recompute(tree)
+	}
+}
+
+// applyChanged drains the changed worklist into per-node deltas.
+func (p *ProtoArray) applyChanged(tree *blocktree.Tree) {
+	if len(p.changed) == 0 {
+		return
+	}
+	for _, v := range p.changed {
+		p.inChanged[v] = false
+		newIdx := blocktree.NoIndex
+		if p.hasVote[v] {
+			if i, ok := tree.IndexOf(p.voteRoot[v]); ok {
+				newIdx = i
+			}
+		}
+		newStake := p.stakes[v]
+		if newIdx == p.appliedIdx[v] && (newIdx == blocktree.NoIndex || newStake == p.appliedStake[v]) {
+			p.parkUnresolved(v, newIdx)
+			continue
+		}
+		if p.appliedIdx[v] != blocktree.NoIndex && p.appliedStake[v] != 0 {
+			p.deltas[p.appliedIdx[v]] -= int64(p.appliedStake[v])
+			p.dirty = true
+		}
+		if newIdx != blocktree.NoIndex {
+			if newStake != 0 {
+				p.deltas[newIdx] += int64(newStake)
+				p.dirty = true
+			}
+			p.appliedIdx[v] = newIdx
+			p.appliedStake[v] = newStake
+		} else {
+			p.appliedIdx[v] = blocktree.NoIndex
+			p.appliedStake[v] = 0
+			p.parkUnresolved(v, newIdx)
+		}
+	}
+	p.changed = p.changed[:0]
+}
+
+// parkUnresolved records that v's current vote target is missing from the
+// tree, so tree growth re-queues it.
+func (p *ProtoArray) parkUnresolved(v int32, resolvedIdx int32) {
+	if resolvedIdx == blocktree.NoIndex && p.hasVote[v] && !p.inUnresolved[v] {
+		p.inUnresolved[v] = true
+		p.unresolved = append(p.unresolved, v)
+	}
+}
+
+// rebuild reconstructs the node columns and applied-vote state from scratch
+// against a new tree identity or index space (post-prune).
+func (p *ProtoArray) rebuild(tree *blocktree.Tree) {
+	p.tree = tree
+	p.treeVersion = tree.Version()
+	n := tree.Len()
+	if cap(p.weights) < n {
+		p.weights = make([]types.Gwei, n)
+		p.deltas = make([]int64, n)
+		p.bestChild = make([]int32, n)
+		p.bestDesc = make([]int32, n)
+	} else {
+		p.weights = p.weights[:n]
+		p.deltas = p.deltas[:n]
+		p.bestChild = p.bestChild[:n]
+		p.bestDesc = p.bestDesc[:n]
+	}
+	for i := range p.weights {
+		p.weights[i] = 0
+		p.deltas[i] = 0
+	}
+	for _, v := range p.changed {
+		p.inChanged[v] = false
+	}
+	p.changed = p.changed[:0]
+	for _, v := range p.unresolved {
+		p.inUnresolved[v] = false
+	}
+	p.unresolved = p.unresolved[:0]
+	for v := range p.voteRoot {
+		p.appliedIdx[v] = blocktree.NoIndex
+		p.appliedStake[v] = 0
+		if !p.hasVote[v] {
+			continue
+		}
+		if i, ok := tree.IndexOf(p.voteRoot[v]); ok {
+			st := p.stakes[v]
+			p.appliedIdx[v] = i
+			p.appliedStake[v] = st
+			p.deltas[i] += int64(st)
+		} else {
+			p.inUnresolved[v] = true
+			p.unresolved = append(p.unresolved, int32(v))
+		}
+	}
+	p.dirty = true
+	p.recompute(tree)
+}
+
+// recompute settles pending deltas into subtree weights and refreshes the
+// best-child/best-descendant caches in one reverse (leaf-to-root) pass.
+// The array is topological, so by the time a node is visited every child's
+// weight and best descendant are final.
+func (p *ProtoArray) recompute(tree *blocktree.Tree) {
+	for i := int32(len(p.weights)) - 1; i >= 0; i-- {
+		if d := p.deltas[i]; d != 0 {
+			p.weights[i] = types.Gwei(int64(p.weights[i]) + d)
+			if pi := tree.ParentIndex(i); pi != blocktree.NoIndex {
+				p.deltas[pi] += d
+			}
+			p.deltas[i] = 0
+		}
+		bc := blocktree.NoIndex
+		for c := tree.FirstChild(i); c != blocktree.NoIndex; c = tree.NextSibling(c) {
+			if bc == blocktree.NoIndex || p.weights[c] > p.weights[bc] ||
+				(p.weights[c] == p.weights[bc] && lessRoot(tree.BlockAt(c).Root, tree.BlockAt(bc).Root)) {
+				bc = c
+			}
+		}
+		p.bestChild[i] = bc
+		if bc == blocktree.NoIndex {
+			p.bestDesc[i] = i
+		} else {
+			p.bestDesc[i] = p.bestDesc[bc]
+		}
+	}
+	p.dirty = false
+}
+
+// Head implements Engine: sync, then chase the cached best-descendant
+// pointer from start.
+func (p *ProtoArray) Head(tree *blocktree.Tree, start types.Root) (types.Root, error) {
+	p.sync(tree)
+	si, ok := tree.IndexOf(start)
+	if !ok {
+		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start)
+	}
+	return tree.BlockAt(p.bestDesc[si]).Root, nil
+}
+
+// HeadFiltered implements Engine. With a visibility filter the cached best
+// pointers may reference hidden blocks, so the descent excludes them on the
+// fly: at each node the best visible child is picked directly from the
+// settled weights — still O(depth · branching) over an already-synced
+// array, with no per-call weight rebuild.
+func (p *ProtoArray) HeadFiltered(tree *blocktree.Tree, start types.Root, visible func(types.Root) bool) (types.Root, error) {
+	if visible == nil {
+		return p.Head(tree, start)
+	}
+	p.sync(tree)
+	i, ok := tree.IndexOf(start)
+	if !ok {
+		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start)
+	}
+	for {
+		bc := blocktree.NoIndex
+		for c := tree.FirstChild(i); c != blocktree.NoIndex; c = tree.NextSibling(c) {
+			if !visible(tree.BlockAt(c).Root) {
+				continue
+			}
+			if bc == blocktree.NoIndex || p.weights[c] > p.weights[bc] ||
+				(p.weights[c] == p.weights[bc] && lessRoot(tree.BlockAt(c).Root, tree.BlockAt(bc).Root)) {
+				bc = c
+			}
+		}
+		if bc == blocktree.NoIndex {
+			return tree.BlockAt(i).Root, nil
+		}
+		i = bc
+	}
+}
+
+// SubtreeWeight implements Engine.
+func (p *ProtoArray) SubtreeWeight(tree *blocktree.Tree, root types.Root) (types.Gwei, error) {
+	p.sync(tree)
+	i, ok := tree.IndexOf(root)
+	if !ok {
+		return 0, nil
+	}
+	return p.weights[i], nil
+}
+
+// CloneEngine implements Engine: every column is a flat copy (no maps to
+// rehash), so forking a paper-scale view is a handful of memcpys. The
+// cached tree identity is retained — a clone queried against the same tree
+// stays incremental; against a cloned tree it detects the new identity and
+// rebuilds once.
+func (p *ProtoArray) CloneEngine() Engine {
+	out := &ProtoArray{
+		voteRoot:     append([]types.Root(nil), p.voteRoot...),
+		voteSlot:     append([]types.Slot(nil), p.voteSlot...),
+		hasVote:      append([]bool(nil), p.hasVote...),
+		stakes:       append([]types.Gwei(nil), p.stakes...),
+		appliedIdx:   append([]int32(nil), p.appliedIdx...),
+		appliedStake: append([]types.Gwei(nil), p.appliedStake...),
+		voted:        p.voted,
+		changed:      append([]int32(nil), p.changed...),
+		inChanged:    append([]bool(nil), p.inChanged...),
+		unresolved:   append([]int32(nil), p.unresolved...),
+		inUnresolved: append([]bool(nil), p.inUnresolved...),
+		tree:         p.tree,
+		treeVersion:  p.treeVersion,
+		weights:      append([]types.Gwei(nil), p.weights...),
+		deltas:       append([]int64(nil), p.deltas...),
+		bestChild:    append([]int32(nil), p.bestChild...),
+		bestDesc:     append([]int32(nil), p.bestDesc...),
+		dirty:        p.dirty,
+	}
+	return out
+}

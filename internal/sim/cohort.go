@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/attestation"
 	"repro/internal/beacon"
+	"repro/internal/forkchoice"
 	"repro/internal/network"
 	"repro/internal/types"
 )
@@ -56,9 +57,13 @@ func buildCohorts(cfg Config, byzantine map[types.ValidatorIndex]bool, genesis t
 	}
 
 	newCohort := func(first types.ValidatorIndex) *Cohort {
+		var votes forkchoice.Engine = forkchoice.NewProtoArray()
+		if cfg.OracleForkChoice {
+			votes = forkchoice.NewOracle()
+		}
 		c := &Cohort{
 			Index:     len(cohorts),
-			Node:      beacon.NewNode(first, cfg.Validators, cfg.Spec, genesis),
+			Node:      beacon.NewNodeWithForkChoice(first, cfg.Validators, cfg.Spec, genesis, votes),
 			Partition: partitionOf(first),
 			Byzantine: byzantine[first],
 		}

@@ -136,26 +136,44 @@ func TestCohortKernelMatchesPerValidatorOracle(t *testing.T) {
 		},
 	}
 
+	// Both oracle axes are exercised: view layout (cohort vs singleton
+	// per-validator) and fork-choice engine (incremental proto-array vs
+	// map-based recompute oracle). All four combinations must produce the
+	// same bit-identical history.
+	modes := []struct {
+		name                           string
+		perValidator, oracleForkChoice bool
+	}{
+		{"cohort+proto-array", false, false},
+		{"cohort+map-oracle", false, true},
+		{"per-validator+proto-array", true, false},
+		{"per-validator+map-oracle", true, true},
+	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			cohortCfg := tc.cfg
-			cohortCfg.PerValidatorViews = false
-			oracleCfg := tc.cfg
-			oracleCfg.PerValidatorViews = true
+			refCfg := tc.cfg
+			refCfg.PerValidatorViews = modes[0].perValidator
+			refCfg.OracleForkChoice = modes[0].oracleForkChoice
+			want, wantViolation := recordHistory(t, refCfg, tc.epochs)
 
-			got, gotViolation := recordHistory(t, cohortCfg, tc.epochs)
-			want, wantViolation := recordHistory(t, oracleCfg, tc.epochs)
+			for _, mode := range modes[1:] {
+				cfg := tc.cfg
+				cfg.PerValidatorViews = mode.perValidator
+				cfg.OracleForkChoice = mode.oracleForkChoice
+				got, gotViolation := recordHistory(t, cfg, tc.epochs)
 
-			if len(got) != len(want) {
-				t.Fatalf("history lengths differ: cohort %d, oracle %d", len(got), len(want))
-			}
-			for i := range got {
-				if !reflect.DeepEqual(got[i], want[i]) {
-					t.Fatalf("epoch %d metrics diverge:\n  cohort: %+v\n  oracle: %+v", want[i].Epoch, got[i], want[i])
+				if len(got) != len(want) {
+					t.Fatalf("history lengths differ: %s %d, %s %d", mode.name, len(got), modes[0].name, len(want))
 				}
-			}
-			if gotViolation != wantViolation {
-				t.Fatalf("safety violation epoch: cohort %d, oracle %d", gotViolation, wantViolation)
+				for i := range got {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("epoch %d metrics diverge:\n  %s: %+v\n  %s: %+v",
+							want[i].Epoch, mode.name, got[i], modes[0].name, want[i])
+					}
+				}
+				if gotViolation != wantViolation {
+					t.Fatalf("safety violation epoch: %s %d, %s %d", mode.name, gotViolation, modes[0].name, wantViolation)
+				}
 			}
 		})
 	}

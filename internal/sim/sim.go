@@ -110,6 +110,12 @@ type Config struct {
 	// placement step), and under singleton cohorts it models the
 	// adversary differently, so bouncing runs are not oracle-comparable.
 	PerValidatorViews bool
+	// OracleForkChoice runs every view on the map-based recompute-
+	// everything fork-choice engine (forkchoice.NewOracle) instead of the
+	// incremental proto-array default. The two are bit-identical — the
+	// equivalence suite asserts it — so this is a test-oracle knob, not a
+	// behavioral mode; production scenarios leave it off.
+	OracleForkChoice bool
 	// Adversary, if non-nil, receives an OnSlot call every slot.
 	Adversary Adversary
 	// OnEpoch, if non-nil, is called after boundary processing of each
@@ -132,12 +138,19 @@ type Simulation struct {
 	Cfg Config
 	Net *network.Network[Message]
 
-	cohorts  []*Cohort
-	cohortOf []int // validator -> home cohort (network routing)
-	dutyView []int // validator -> cohort whose view it acts from
-	honest   []types.ValidatorIndex
+	cohorts   []*Cohort
+	cohortOf  []int // validator -> home cohort (network routing)
+	dutyView  []int // validator -> cohort whose view it acts from
+	honest    []types.ValidatorIndex
 	byzantine map[types.ValidatorIndex]bool
 	embargoes []embargo
+	// dutyRoster caches one epoch's attestation duties: dutyRoster[off]
+	// lists the honest validators whose duty falls on the epoch's off-th
+	// slot, ascending. Built once per epoch instead of scanning every
+	// honest validator every slot.
+	dutyRoster      [][]types.ValidatorIndex
+	dutyRosterEpoch types.Epoch
+	dutyRosterSet   bool
 	// oracle is an omniscient block tree used only for Safety auditing.
 	oracle *blocktree.Tree
 	slot   types.Slot
@@ -444,14 +457,45 @@ type dutyBucket struct {
 	members    []types.ValidatorIndex
 }
 
+// dutyRosterFor returns the cached duty roster of the epoch, rebuilding it
+// on epoch change. The roster depends only on (epoch, seed, shuffling), so
+// one O(validators) pass serves the epoch's 32 slot scans.
+func (s *Simulation) dutyRosterFor(epoch types.Epoch) [][]types.ValidatorIndex {
+	if s.dutyRosterSet && s.dutyRosterEpoch == epoch {
+		return s.dutyRoster
+	}
+	if s.dutyRoster == nil {
+		// Consumption indexes by slot.PositionInEpoch() (the global
+		// types.SlotsPerEpoch grid); production offsets come from
+		// AttestationSlot, which spreads duties over the spec's own epoch
+		// length. Size for both so a spec that differs from the global
+		// constant neither panics on build nor on lookup — offsets beyond
+		// the consumable window simply stay unread, exactly as the old
+		// per-slot scan never matched them.
+		n := uint64(types.SlotsPerEpoch)
+		if s.Cfg.Spec.SlotsPerEpoch > n {
+			n = s.Cfg.Spec.SlotsPerEpoch
+		}
+		s.dutyRoster = make([][]types.ValidatorIndex, n)
+	}
+	for i := range s.dutyRoster {
+		s.dutyRoster[i] = s.dutyRoster[i][:0]
+	}
+	start := epoch.StartSlot()
+	for _, v := range s.honest {
+		off := s.AttestationSlot(v, epoch) - start
+		s.dutyRoster[off] = append(s.dutyRoster[off], v)
+	}
+	s.dutyRosterEpoch = epoch
+	s.dutyRosterSet = true
+	return s.dutyRoster
+}
+
 func (s *Simulation) attest(slot types.Slot) {
 	epoch := slot.Epoch()
 	var buckets []*dutyBucket
 	index := make(map[[2]int]*dutyBucket)
-	for _, v := range s.honest {
-		if s.AttestationSlot(v, epoch) != slot {
-			continue
-		}
+	for _, v := range s.dutyRosterFor(epoch)[slot.PositionInEpoch()] {
 		key := [2]int{s.dutyView[v], s.cohortOf[v]}
 		b, ok := index[key]
 		if !ok {

@@ -478,3 +478,22 @@ func TestNewRejectsInertOrColludingNetworkConfig(t *testing.T) {
 		t.Errorf("drop rate > 1 accepted: %v", err)
 	}
 }
+
+// TestDutyRosterHandlesNonStandardEpochLength: the per-epoch duty roster
+// must serve specs whose SlotsPerEpoch differs from the global 32-slot
+// grid — a 16-slot spec packs all duties into the epoch's first half, and
+// neither building nor consuming the roster may index out of range.
+func TestDutyRosterHandlesNonStandardEpochLength(t *testing.T) {
+	for _, slots := range []uint64{16, 48} {
+		spec := types.DefaultSpec()
+		spec.SlotsPerEpoch = slots
+		cfg := Config{Validators: 8, Spec: spec, Delay: 1, Seed: 1}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunEpochs(2); err != nil {
+			t.Fatalf("SlotsPerEpoch=%d: %v", slots, err)
+		}
+	}
+}

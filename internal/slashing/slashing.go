@@ -59,31 +59,35 @@ func (e Evidence) String() string {
 // Detector accumulates every attestation it observes and reports offenses.
 // One Detector instance corresponds to one observer's knowledge: feed it
 // only the attestations that observer has actually received, and it will
-// find exactly the offenses that observer can prove. The zero value is not
-// usable; construct with NewDetector.
+// find exactly the offenses that observer can prove. Storage is columnar
+// (history and slashed flags indexed by validator), so the per-attestation
+// observation on the batch fan-out path is array indexing plus value
+// compares — no maps, no hashing. The zero value is not usable; construct
+// with NewDetector.
 type Detector struct {
-	// history[v] holds all distinct attestation data seen from v.
-	history map[types.ValidatorIndex][]attestation.Data
-	// slashed tracks validators with already-reported evidence so each
+	// history[v] holds all distinct attestation data seen from v; the
+	// outer slice grows to the highest validator index observed.
+	history [][]attestation.Data
+	// slashed[v] marks validators with already-reported evidence so each
 	// offender is reported once.
-	slashed map[types.ValidatorIndex]bool
+	slashed []bool
 }
 
 // NewDetector returns an empty detector.
 func NewDetector() *Detector {
-	return &Detector{
-		history: make(map[types.ValidatorIndex][]attestation.Data),
-		slashed: make(map[types.ValidatorIndex]bool),
-	}
+	return &Detector{}
 }
 
 // Observe records an attestation and returns evidence if it completes an
 // offense by a not-yet-reported validator, or nil.
 func (d *Detector) Observe(a attestation.Attestation) *Evidence {
-	v := a.Validator
-	digest := a.Data.Digest()
+	v := int(a.Validator)
+	for len(d.history) <= v {
+		d.history = append(d.history, nil)
+		d.slashed = append(d.slashed, false)
+	}
 	for _, prev := range d.history[v] {
-		if prev.Digest() == digest {
+		if prev == a.Data {
 			return nil // exact duplicate, not an offense
 		}
 	}
@@ -91,7 +95,7 @@ func (d *Detector) Observe(a attestation.Attestation) *Evidence {
 	if !d.slashed[v] {
 		for _, prev := range d.history[v] {
 			if kind := Conflict(prev, a.Data); kind != None {
-				found = &Evidence{Validator: v, Kind: kind, First: prev, Second: a.Data}
+				found = &Evidence{Validator: a.Validator, Kind: kind, First: prev, Second: a.Data}
 				d.slashed[v] = true
 				break
 			}
@@ -102,16 +106,23 @@ func (d *Detector) Observe(a attestation.Attestation) *Evidence {
 }
 
 // Slashed reports whether evidence against v has been produced.
-func (d *Detector) Slashed(v types.ValidatorIndex) bool { return d.slashed[v] }
+func (d *Detector) Slashed(v types.ValidatorIndex) bool {
+	return int(v) < len(d.slashed) && d.slashed[v]
+}
 
 // HistoryLen returns the number of distinct votes recorded for v (for tests
 // and metrics).
-func (d *Detector) HistoryLen(v types.ValidatorIndex) int { return len(d.history[v]) }
+func (d *Detector) HistoryLen(v types.ValidatorIndex) int {
+	if int(v) >= len(d.history) {
+		return 0
+	}
+	return len(d.history[v])
+}
 
 // Conflict classifies the offense formed by two distinct attestation data
 // values from the same validator, or None.
 func Conflict(a, b attestation.Data) Kind {
-	if a.Digest() == b.Digest() {
+	if a == b {
 		return None
 	}
 	// Double vote: same target epoch, different votes.
