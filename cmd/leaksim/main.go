@@ -50,16 +50,31 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = all CPUs)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit results as JSON")
 	flag.BoolVar(&o.csvOut, "csv", false, "emit results as CSV")
-	flag.Float64Var(&o.params.P0, "p0", 0, "proportion of honest validators on branch A (0 = scenario default)")
-	flag.Float64Var(&o.params.Beta0, "beta0", 0, "initial Byzantine stake proportion (0 = scenario default)")
+	flag.Float64Var(&o.params.P0, "p0", 0, "proportion of honest validators on branch A (omit for the scenario default; an explicit -p0 0 means zero)")
+	flag.Float64Var(&o.params.Beta0, "beta0", 0, "initial Byzantine stake proportion (omit for the scenario default; an explicit -beta0 0 means no Byzantine stake)")
 	flag.StringVar(&o.params.Mode, "mode", "", "scenario mode (empty = scenario default)")
 	flag.Int64Var(&o.params.Seed, "seed", 0, "random seed for Monte-Carlo scenarios (0 = scenario default)")
 	flag.IntVar(&o.params.N, "n", 0, "validator count (0 = scenario default)")
 	flag.IntVar(&o.params.Horizon, "horizon", 0, "epoch horizon / evaluation epoch (0 = scenario default)")
 	flag.IntVar(&o.params.Sample, "sample", 0, "trace sampling interval in epochs (0 = no trace)")
-	flag.Float64Var(&o.params.Rate, "rate", 0, "link-outage rate for protocol-simulator scenarios (0 = scenario default)")
-	flag.IntVar(&o.params.GST, "gst", 0, "partition-heal epoch for protocol-simulator scenarios (0 = scenario default)")
+	flag.Float64Var(&o.params.Rate, "rate", 0, "link-outage rate for protocol-simulator scenarios (omit for the scenario default; an explicit -rate 0 means rate zero)")
+	flag.IntVar(&o.params.GST, "gst", 0, "partition-heal epoch for protocol-simulator scenarios (omit for the scenario default; an explicit -gst 0 means heal at once)")
 	flag.Parse()
+	// Flags whose zero is a meaningful value are explicit when the user
+	// actually passed them: -rate 0 pins the lossless baseline and -gst 0
+	// the immediate heal (likewise -p0/-beta0 0) instead of deferring to
+	// the scenario default. The remaining flags keep their documented
+	// "0 = scenario default" contract — a zero -n, -horizon, -seed, or
+	// -sample is never a runnable value, so zero stays "use the default".
+	explicitZeroFlags := map[string]bool{"p0": true, "beta0": true, "rate": true, "gst": true}
+	flag.Visit(func(f *flag.Flag) {
+		if !explicitZeroFlags[f.Name] {
+			return
+		}
+		if field, ok := gasperleak.ParamFieldForKey(f.Name); ok {
+			o.params = o.params.MarkExplicit(field)
+		}
+	})
 
 	// Ctrl-C cancels in-flight sweeps cooperatively: finished cells keep
 	// their results, unfinished ones record the context error.

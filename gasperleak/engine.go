@@ -38,7 +38,16 @@ type (
 	SweepGrid = engine.Grid
 	// SweepOptions bounds sweep concurrency and selects the registry.
 	SweepOptions = engine.Options
+	// ParamField identifies one ScenarioParams field for
+	// explicit-presence tracking (ScenarioParams.Explicit): marking a
+	// field keeps an explicit zero — rate=0, gst=0 — through defaulting.
+	ParamField = engine.Field
 )
+
+// ParamFieldForKey resolves a canonical parameter key ("p0", "rate",
+// "gst", …) to its ScenarioParams presence bit; CLIs use it with
+// flag.Visit to mark exactly the flags the user passed.
+func ParamFieldForKey(key string) (ParamField, bool) { return engine.FieldForKey(key) }
 
 // RunScenario executes a named scenario from the default registry.
 //

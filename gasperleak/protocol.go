@@ -30,10 +30,16 @@ type (
 	Node = beacon.Node
 	// SafetyViolation describes a detected conflicting finalization.
 	SafetyViolation = sim.SafetyViolation
-	// EpochMetrics snapshots aggregate honest-view state per epoch.
+	// EpochMetrics snapshots aggregate honest-view state per epoch
+	// (Simulation.MetricsAt).
 	EpochMetrics = sim.EpochMetrics
 	// MetricsRecorder accumulates per-epoch metrics via its Hook.
 	MetricsRecorder = sim.Recorder
+	// SimSnapshot is a frozen deep copy of a simulation's full protocol
+	// state: take one with Simulation.Snapshot, rewind or fan out
+	// continuations with Simulation.Restore — long runs become
+	// resumable and same-config sweeps warm-start from a shared prefix.
+	SimSnapshot = sim.Snapshot
 
 	// DoubleVoter is the Scenario 5.2.1 adversary.
 	DoubleVoter = behavior.DoubleVoter

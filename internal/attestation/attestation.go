@@ -128,16 +128,91 @@ func (p *Pool) Voted(e types.Epoch, v types.ValidatorIndex) bool {
 // criterion: a validator is active on a branch for an epoch iff it sent an
 // attestation whose checkpoint vote is correct for that branch.
 func (p *Pool) VotedForTarget(e types.Epoch, v types.ValidatorIndex, root types.Root) bool {
-	ev := p.byEpoch[e]
-	if ev == nil || int(v) >= len(ev.votes) {
+	return VotedForTargetIn(p.VotesForEpoch(e), v, root)
+}
+
+// VotedForTargetIn is VotedForTarget over an already-fetched epoch column
+// (VotesForEpoch): the epoch-boundary incentive sweep hoists the column
+// lookup out of its per-validator loop and consults this instead, so the
+// activity criterion has one definition on both the map-probe and the
+// columnar path.
+func VotedForTargetIn(votes [][]Data, v types.ValidatorIndex, root types.Root) bool {
+	if int(v) >= len(votes) {
 		return false
 	}
-	for _, d := range ev.votes[v] {
+	for _, d := range votes[v] {
 		if d.Target.Root == root {
 			return true
 		}
 	}
 	return false
+}
+
+// LinkWeight is one row of a columnar per-epoch tally: a distinct
+// source->target link and the total stake behind it.
+type LinkWeight struct {
+	Link   Link
+	Weight types.Gwei
+}
+
+// AppendLinkTally appends the per-link stake tally of target epoch e to
+// dst and returns it. It is the allocation-free boundary-path counterpart
+// of TargetWeights: the epoch's votes are already stored as a
+// validator-indexed column, the distinct links of one epoch are few (one
+// or two per branch), so the tally is a single O(validators) sweep with a
+// short linear probe per vote — when dst has capacity, the sweep does not
+// allocate. Equivocating validators count toward every distinct link they
+// voted for, exactly as on-chain inclusion would credit them on each
+// branch.
+func (p *Pool) AppendLinkTally(dst []LinkWeight, e types.Epoch, stake func(types.ValidatorIndex) types.Gwei) []LinkWeight {
+	ev := p.byEpoch[e]
+	if ev == nil {
+		return dst
+	}
+	base := len(dst)
+	for v, datas := range ev.votes {
+		if len(datas) == 0 {
+			continue
+		}
+		w := stake(types.ValidatorIndex(v))
+		if w == 0 {
+			continue
+		}
+		if len(datas) == 1 {
+			// The hot path: one vote per validator per epoch.
+			dst = accumulateLink(dst, base, Link{Source: datas[0].Source, Target: datas[0].Target}, w)
+			continue
+		}
+		// An equivocator's distinct data values may still share a link
+		// (same source/target, different head or slot); count each link
+		// once by checking the validator's own earlier votes.
+		for i, d := range datas {
+			l := Link{Source: d.Source, Target: d.Target}
+			dup := false
+			for _, prev := range datas[:i] {
+				if (Link{Source: prev.Source, Target: prev.Target}) == l {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = accumulateLink(dst, base, l, w)
+			}
+		}
+	}
+	return dst
+}
+
+// accumulateLink adds w to l's row in dst[base:], appending a new row for
+// a first-seen link.
+func accumulateLink(dst []LinkWeight, base int, l Link, w types.Gwei) []LinkWeight {
+	for i := base; i < len(dst); i++ {
+		if dst[i].Link == l {
+			dst[i].Weight += w
+			return dst
+		}
+	}
+	return append(dst, LinkWeight{Link: l, Weight: w})
 }
 
 // TargetWeights sums stake per (source, target) pair for the given target
@@ -170,6 +245,22 @@ func (p *Pool) TargetWeights(e types.Epoch, stake func(types.ValidatorIndex) typ
 			seen[l] = true
 			out[l] += stake(types.ValidatorIndex(v))
 		}
+	}
+	return out
+}
+
+// Clone deep-copies the pool, so a snapshotted view can evolve apart from
+// its restore points.
+func (p *Pool) Clone() *Pool {
+	out := &Pool{byEpoch: make(map[types.Epoch]*epochVotes, len(p.byEpoch))}
+	for e, ev := range p.byEpoch {
+		cp := &epochVotes{votes: make([][]Data, len(ev.votes))}
+		for v, datas := range ev.votes {
+			if len(datas) > 0 {
+				cp.votes[v] = append([]Data(nil), datas...)
+			}
+		}
+		out.byEpoch[e] = cp
 	}
 	return out
 }

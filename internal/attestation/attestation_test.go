@@ -164,3 +164,45 @@ func TestAttestationString(t *testing.T) {
 		t.Error("Link.String should be non-empty")
 	}
 }
+
+// TestAppendLinkTallyMatchesTargetWeights pins the columnar boundary path
+// against the map tally: same links, same weights, equivocators counted
+// once per distinct link, duplicate links of one validator deduplicated.
+func TestAppendLinkTallyMatchesTargetWeights(t *testing.T) {
+	p := NewPool()
+	stake := func(v types.ValidatorIndex) types.Gwei { return types.Gwei(10 + v) }
+	src := types.Checkpoint{Epoch: 0, Root: types.RootFromUint64(1)}
+	tgtA := types.Checkpoint{Epoch: 1, Root: types.RootFromUint64(2)}
+	tgtB := types.Checkpoint{Epoch: 1, Root: types.RootFromUint64(3)}
+	add := func(v types.ValidatorIndex, slot types.Slot, tgt types.Checkpoint) {
+		p.Add(Attestation{Validator: v, Data: Data{Slot: slot, Head: tgt.Root, Source: src, Target: tgt}})
+	}
+	add(0, 32, tgtA)
+	add(1, 33, tgtA)
+	add(2, 32, tgtB)
+	// Equivocator: both branches, plus a second distinct data value on the
+	// same link (different slot) that must NOT double its link weight.
+	add(3, 32, tgtA)
+	add(3, 32, tgtB)
+	add(3, 40, tgtA)
+
+	want := p.TargetWeights(1, stake)
+	tally := p.AppendLinkTally(nil, 1, stake)
+	if len(tally) != len(want) {
+		t.Fatalf("tally has %d links, map has %d", len(tally), len(want))
+	}
+	for _, lw := range tally {
+		if want[lw.Link] != lw.Weight {
+			t.Errorf("link %s: tally %d, map %d", lw.Link, lw.Weight, want[lw.Link])
+		}
+	}
+	// Scratch reuse: appending into recovered capacity must not grow.
+	scratch := tally[:0]
+	again := p.AppendLinkTally(scratch, 1, stake)
+	if &again[0] != &tally[0] {
+		t.Error("tally with sufficient capacity reallocated its scratch")
+	}
+	if p.AppendLinkTally(nil, 99, stake) != nil {
+		t.Error("empty epoch must produce an empty tally")
+	}
+}

@@ -65,8 +65,24 @@ type Node struct {
 	// pending buffers blocks whose parent has not arrived yet,
 	// keyed by the missing parent.
 	pending map[types.Root][]blocktree.Block
-	// processedIncentives marks epochs whose penalties were applied.
-	processedIncentives map[types.Epoch]bool
+	// incentivesNext is the next epoch whose penalties are still to be
+	// applied. Boundary processing advances strictly forward, so a single
+	// watermark replaces the per-epoch map the pre-long-horizon node kept
+	// (which grew one entry per epoch for the whole run).
+	incentivesNext types.Epoch
+	// tallyScratch is the reusable boundary buffer for the columnar FFG
+	// link tally, and stakeFn the pre-bound Registry.Stake method value,
+	// so a steady-state epoch transition performs no allocation (a method
+	// value materialized at the call site would allocate its receiver
+	// binding on every boundary).
+	tallyScratch []attestation.LinkWeight
+	stakeFn      func(types.ValidatorIndex) types.Gwei
+	// activityVotes/activityRoot parameterize activeFn, the reusable
+	// activity predicate handed to the incentive sweep — constructed once
+	// so the boundary does not allocate a fresh closure per epoch.
+	activityVotes [][]attestation.Data
+	activityRoot  types.Root
+	activeFn      func(types.ValidatorIndex) bool
 	// slashEvidence collects offenses observed and (if enforcing)
 	// applied.
 	slashEvidence []slashing.Evidence
@@ -85,21 +101,61 @@ func NewNode(id types.ValidatorIndex, nValidators int, spec types.Spec, genesis 
 func NewNodeWithForkChoice(id types.ValidatorIndex, nValidators int, spec types.Spec, genesis types.Root, votes forkchoice.Engine) *Node {
 	reg := validator.NewRegistry(nValidators, spec.MaxEffectiveBalance)
 	n := &Node{
-		ID:                  id,
-		Spec:                spec,
-		Tree:                blocktree.New(genesis),
-		Votes:               votes,
-		FFG:                 ffg.NewEngine(genesis),
-		Pool:                attestation.NewPool(),
-		Detector:            slashing.NewDetector(),
-		Registry:            reg,
-		Leak:                incentives.Engine{Spec: spec},
-		justifiedState:      reg.Clone(),
-		pending:             make(map[types.Root][]blocktree.Block),
-		processedIncentives: make(map[types.Epoch]bool),
+		ID:             id,
+		Spec:           spec,
+		Tree:           blocktree.New(genesis),
+		Votes:          votes,
+		FFG:            ffg.NewEngine(genesis),
+		Pool:           attestation.NewPool(),
+		Detector:       slashing.NewDetector(),
+		Registry:       reg,
+		Leak:           incentives.Engine{Spec: spec},
+		justifiedState: reg.Clone(),
+		pending:        make(map[types.Root][]blocktree.Block),
+	}
+	n.stakeFn = n.Registry.Stake
+	n.activeFn = func(v types.ValidatorIndex) bool {
+		return attestation.VotedForTargetIn(n.activityVotes, v, n.activityRoot)
 	}
 	n.Votes.UpdateStakes(nValidators, n.justifiedState.Stake)
 	return n
+}
+
+// Clone deep-copies the node's full protocol state. The clone's fork-choice
+// engine retains its cached identity of the ORIGINAL tree, so its first
+// head query against the cloned tree detects the new identity and rebuilds
+// once — an O(validators + tree) event, after which it is incremental
+// again. A visibility filter (SetVisibility) is NOT carried over: filters
+// are transient per-computation state, installed and removed around a
+// single head query; clone between queries, when no filter is installed
+// (as the simulator's Snapshot does). Clones power the simulator's
+// Snapshot/Restore (long runs resumed, sweeps warm-started from a shared
+// prefix).
+func (n *Node) Clone() *Node {
+	out := &Node{
+		ID:              n.ID,
+		Spec:            n.Spec,
+		Tree:            n.Tree.Clone(),
+		Votes:           n.Votes.CloneEngine(),
+		FFG:             n.FFG.Clone(),
+		Pool:            n.Pool.Clone(),
+		Detector:        n.Detector.Clone(),
+		Registry:        n.Registry.Clone(),
+		Leak:            n.Leak,
+		EnforceSlashing: n.EnforceSlashing,
+		justifiedState:  n.justifiedState.Clone(),
+		pending:         make(map[types.Root][]blocktree.Block, len(n.pending)),
+		incentivesNext:  n.incentivesNext,
+		slashEvidence:   append([]slashing.Evidence(nil), n.slashEvidence...),
+	}
+	for parent, blocks := range n.pending {
+		out.pending[parent] = append([]blocktree.Block(nil), blocks...)
+	}
+	out.stakeFn = out.Registry.Stake
+	out.activeFn = func(v types.ValidatorIndex) bool {
+		return attestation.VotedForTargetIn(out.activityVotes, v, out.activityRoot)
+	}
+	return out
 }
 
 // ReceiveBlock ingests a block, buffering it if its parent is unknown and
@@ -253,16 +309,20 @@ func (n *Node) ProcessEpochBoundary(newEpoch types.Epoch) (EpochReport, error) {
 	}
 	ended := newEpoch - 1
 
-	// FFG window re-scan.
+	// FFG window re-scan, on the columnar path: the pool's
+	// validator-indexed vote columns are tallied into a reusable
+	// link-weight scratch and fed to the FFG engine's slice sweep, so a
+	// steady-state boundary (the whole of a leak) allocates nothing.
 	var ffgRes ffg.Result
 	justifiedBefore := n.FFG.LatestJustified()
 	lo := types.Epoch(0)
 	if newEpoch > 4 {
 		lo = newEpoch - 4
 	}
+	total := n.Registry.TotalStake()
 	for e := lo; e <= ended; e++ {
-		weights := n.Pool.TargetWeights(e, n.Registry.Stake)
-		res := n.FFG.ProcessEpoch(e, weights, n.Registry.TotalStake(), newEpoch)
+		n.tallyScratch = n.Pool.AppendLinkTally(n.tallyScratch[:0], e, n.stakeFn)
+		res := n.FFG.ProcessTally(e, n.tallyScratch, total, newEpoch)
 		ffgRes.NewlyJustified = append(ffgRes.NewlyJustified, res.NewlyJustified...)
 		ffgRes.NewlyFinalized = append(ffgRes.NewlyFinalized, res.NewlyFinalized...)
 	}
@@ -284,9 +344,11 @@ func (n *Node) ProcessEpochBoundary(newEpoch types.Epoch) (EpochReport, error) {
 
 	report := EpochReport{Epoch: ended, FFG: ffgRes}
 
-	// Incentives: once per ended epoch.
-	if !n.processedIncentives[ended] {
-		n.processedIncentives[ended] = true
+	// Incentives: once per ended epoch (the watermark advances with the
+	// boundary; replays of an already-processed boundary re-scan FFG —
+	// idempotent — but never re-apply penalties).
+	if ended >= n.incentivesNext {
+		n.incentivesNext = ended + 1
 		head, err := n.Head()
 		if err != nil {
 			return report, fmt.Errorf("beacon: epoch boundary: %w", err)
@@ -298,15 +360,20 @@ func (n *Node) ProcessEpochBoundary(newEpoch types.Epoch) (EpochReport, error) {
 		report.CanonicalCheck = canonical
 		inLeak := n.FFG.InLeak(newEpoch, n.Spec)
 		report.InLeak = inLeak
-		active := func(v types.ValidatorIndex) bool {
-			return n.Pool.VotedForTarget(ended, v, canonical.Root)
-		}
-		report.Leak = n.Leak.ProcessEpoch(n.Registry, active, inLeak, ended)
+		// Activity is read straight off the ended epoch's vote column —
+		// one slice index per validator inside the incentive sweep, no
+		// per-validator map probe and no per-epoch closure allocation
+		// (activeFn is built once at construction).
+		n.activityVotes = n.Pool.VotesForEpoch(ended)
+		n.activityRoot = canonical.Root
+		report.Leak = n.Leak.ProcessEpoch(n.Registry, n.activeFn, inLeak, ended)
+		n.activityVotes = nil // do not pin the column past the sweep
 	}
 
-	// Bound pool memory.
+	// Bound pool and detector memory.
 	if newEpoch > 8 {
 		n.Pool.Prune(newEpoch - 8)
+		n.Detector.Prune(newEpoch - 8)
 	}
 	return report, nil
 }

@@ -67,36 +67,107 @@ func (d *DoubleVoter) OnSlot(s *sim.Simulation, slot types.Slot) {
 
 // SemiActive is the Scenario 5.2.2 / 5.2.3 adversary: Byzantine validators
 // are active on branch (epoch mod 2) each epoch — never equivocating within
-// an epoch, hence non-slashable. When StayFrom is nonzero, from that epoch
-// on they switch to the finalization gait: two consecutive epochs on branch
-// 0, then two consecutive epochs on branch 1, forcing two sequential
-// justifications (and hence finalization) on each branch.
+// an epoch, hence non-slashable. To finalize, the adversary switches to the
+// finalization gait: it camps on branch 0 until that view finalizes a
+// post-fork checkpoint (two consecutive justifications), then camps on
+// branch 1 until it finalizes too — conflicting finalization — and resumes
+// alternation. Camping (rather than staying a fixed two epochs) makes the
+// gait robust at the exact quorum boundary, where a marginal link can miss
+// the supermajority by a hair and only clear it an epoch or two later as
+// the leak keeps draining the denominators.
+//
+// The gait starts at StayFrom when set; with AutoFinalize the adversary
+// picks the moment itself, as soon as alternation has justified recent
+// checkpoints on both branches — the earliest epoch at which conflicting
+// finalization is in reach, the Scenario 5.2.2 / Table 3 timing. With
+// neither, it alternates forever (the Scenario 5.2.3 "delay finalization
+// to cross 1/3" mode).
 type SemiActive struct {
 	Reps [2]types.ValidatorIndex
 	// StayFrom, when nonzero, is the epoch at which the adversary stops
-	// delaying and finalizes both branches. Zero means never (the
-	// Scenario 5.2.3 "delay finalization to cross 1/3" mode).
+	// delaying and finalizes both branches. Zero means never, unless
+	// AutoFinalize picks a moment.
 	StayFrom types.Epoch
+	// AutoFinalize lets the adversary trigger its own finalization gait
+	// (see above). StayFrom, when also set, acts as a floor.
+	AutoFinalize bool
+
+	// gaitFrom is the epoch the gait actually started; gaitPhase tracks
+	// its progress (0 = alternating, 1 = camping on branch 0, 2 = camping
+	// on branch 1, 3 = done, back to alternating).
+	gaitFrom  types.Epoch
+	gaitPhase int
 }
+
+// GaitFrom reports the epoch at which the adversary began its finalization
+// gait; zero means not (yet) started.
+func (a *SemiActive) GaitFrom() types.Epoch { return a.gaitFrom }
 
 // branchFor returns which branch the Byzantine validators act on during an
 // epoch.
 func (a *SemiActive) branchFor(epoch types.Epoch) int {
-	if a.StayFrom != 0 && epoch >= a.StayFrom {
-		// Two epochs on branch 0, then two on branch 1, then resume
-		// alternation (the harm is done after four epochs).
-		switch epoch - a.StayFrom {
-		case 0, 1:
-			return 0
-		case 2, 3:
-			return 1
+	switch a.gaitPhase {
+	case 1:
+		return 0
+	case 2:
+		return 1
+	default:
+		return int(epoch % 2)
+	}
+}
+
+// advanceGait runs the finalization state machine at an epoch boundary
+// (after the views processed theirs, so justification/finalization state
+// is current for the ended epoch).
+func (a *SemiActive) advanceGait(s *sim.Simulation, epoch types.Epoch) {
+	// A camped branch counts as finalized only for checkpoints the gait
+	// itself produced: epoch >= gaitFrom, minus one for a justification
+	// that landed late (a target justifying an epoch after the votes were
+	// cast, completing a consecutive pair one epoch behind the camp). A
+	// stale pre-gait finalization must NOT satisfy the camp, or the gait
+	// would declare victory without finalizing anything post-fork.
+	finalized := func(branch int) bool {
+		fin := s.View(a.Reps[branch]).FFG.Finalized()
+		return fin.Epoch != 0 && a.gaitFrom != 0 && fin.Epoch+1 >= a.gaitFrom
+	}
+	switch a.gaitPhase {
+	case 0: // alternating; decide whether to start the gait
+		var start bool
+		if a.AutoFinalize {
+			// AutoFinalize owns the trigger: both branches must have
+			// justified recently, and StayFrom — when also set — is
+			// only a floor below which the trigger is not consulted.
+			start = epoch >= 2 && (a.StayFrom == 0 || epoch >= a.StayFrom)
+			for i := 0; start && i < 2; i++ {
+				just := s.View(a.Reps[i]).FFG.LatestJustified()
+				if just.Epoch+2 < epoch || just.Epoch == 0 {
+					start = false
+				}
+			}
+		} else {
+			// Manual mode: the caller picked the moment outright.
+			start = a.StayFrom != 0 && epoch >= a.StayFrom
+		}
+		if start {
+			a.gaitFrom = epoch
+			a.gaitPhase = 1
+		}
+	case 1: // camping on branch 0 until it finalizes
+		if finalized(0) {
+			a.gaitPhase = 2
+		}
+	case 2: // camping on branch 1 until it finalizes too
+		if finalized(1) {
+			a.gaitPhase = 3
 		}
 	}
-	return int(epoch % 2)
 }
 
 // OnSlot implements sim.Adversary.
 func (a *SemiActive) OnSlot(s *sim.Simulation, slot types.Slot) {
+	if slot.IsEpochStart() {
+		a.advanceGait(s, slot.Epoch())
+	}
 	members := dutyByzantine(s, slot)
 	if len(members) == 0 {
 		return

@@ -444,3 +444,45 @@ func TestBouncerUnderMessageLoss(t *testing.T) {
 		t.Error("no honest view recovered finality after the adversary stopped")
 	}
 }
+
+// TestSemiActiveAutoFinalizeRespectsStayFromFloor pins the documented
+// contract: with both knobs set, AutoFinalize may not start the
+// finalization gait before the StayFrom floor, and the gait it does start
+// must finalize post-fork checkpoints (a stale pre-gait finalization
+// cannot satisfy the camping phases).
+func TestSemiActiveAutoFinalizeRespectsStayFromFloor(t *testing.T) {
+	// Without a floor, AutoFinalize triggers as soon as both branches
+	// justify (the Table 3 timing).
+	free := &SemiActive{Reps: [2]types.ValidatorIndex{0, 12}, AutoFinalize: true}
+	s, err := sim.New(byzConfig(17, free))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict := runUntilConflict(t, s, 40); conflict == 0 {
+		t.Fatal("AutoFinalize never finalized conflicting branches")
+	}
+	unfloored := free.GaitFrom()
+	if unfloored == 0 {
+		t.Fatal("AutoFinalize never started its gait")
+	}
+
+	// With a floor beyond that trigger epoch, the gait must wait for it.
+	floor := unfloored + 4
+	floored := &SemiActive{Reps: [2]types.ValidatorIndex{0, 12}, AutoFinalize: true, StayFrom: floor}
+	s, err = sim.New(byzConfig(17, floored))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflict := runUntilConflict(t, s, 48)
+	if got := floored.GaitFrom(); got < floor {
+		t.Fatalf("AutoFinalize started the gait at epoch %d, before the StayFrom floor %d", got, floor)
+	}
+	if conflict == 0 {
+		t.Fatal("floored AutoFinalize never finalized conflicting branches")
+	}
+	// The conflict is produced BY the gait, not by stale finality: it
+	// cannot precede the floor.
+	if conflict < floor {
+		t.Fatalf("conflicting finalization at epoch %d precedes the gait floor %d", conflict, floor)
+	}
+}

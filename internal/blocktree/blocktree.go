@@ -78,6 +78,21 @@ func New(genesis types.Root) *Tree {
 	return t
 }
 
+// Clone deep-copies the tree. The clone starts a fresh identity: consumers
+// caching indices against the original (the proto-array fork-choice
+// engine) detect the new tree pointer and rebuild.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{
+		nodes:   append([]node(nil), t.nodes...),
+		index:   make(map[types.Root]int32, len(t.index)),
+		version: t.version,
+	}
+	for r, i := range t.index {
+		out.index[r] = i
+	}
+	return out
+}
+
 // Genesis returns the root of the tree's effective root block (the original
 // genesis, or the finalized block PruneBelow promoted).
 func (t *Tree) Genesis() types.Root { return t.nodes[0].block.Root }

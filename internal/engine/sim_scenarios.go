@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/analytic"
 	"repro/internal/behavior"
+	"repro/internal/core"
+	"repro/internal/network"
 	"repro/internal/sim"
 	"repro/internal/types"
 )
@@ -29,6 +32,20 @@ const (
 	// heals at the gst epoch, probing how late healing can come before
 	// the leak finalizes conflicting branches.
 	ScenarioSimGST = "sim/gst"
+	// ScenarioSimLeak is the paper's Table 1 Scenario 5.1 at FULL
+	// protocol and FULL spec: a lasting p0 partition of n validators,
+	// run under the real inactivity-penalty quotient (2^26) until the
+	// two branches finalize conflicting checkpoints — thousands of
+	// epochs, the long-horizon run the columnar epoch transition exists
+	// for. Reports the measured conflict epoch against the continuous
+	// analytic anchor (Equation 6: 4662 at p0 = 0.5).
+	ScenarioSimLeak = "sim/leak"
+	// ScenarioSimSemiActive is Table 3 at full protocol: semi-active
+	// Byzantine validators alternate branches each epoch (never
+	// slashable), accelerating both branches' quorum recovery, and
+	// finalize both branches as soon as alternation justifies on each —
+	// the AutoFinalize gait.
+	ScenarioSimSemiActive = "sim/semiactive"
 )
 
 func init() {
@@ -36,22 +53,27 @@ func init() {
 		"Full-protocol probabilistic bouncing attack at paper scale (p0 = stay probability, gst = setup epochs)",
 		Params{P0: 0.7, Beta0: 0.25, N: 10000, Horizon: 24, Seed: 19, GST: 3},
 		runSimBounce))
-	// sim/drops defaults rate to 0 on purpose: the engine's zero-value
-	// convention folds an explicit 0 into the default, and rate=0 is the
-	// lossless baseline every robustness sweep wants as its first cell.
+	// sim/drops defaults rate to 0 (the lossless baseline) and sim/gst
+	// defaults gst to 0 (heal immediately). Since defaulting became
+	// set-aware (Params.Explicit), a zero default is a choice, not a
+	// necessity: an explicit rate=0 or gst=0 cell survives even against
+	// a non-zero default.
 	Default.MustRegister(NewContextScenario(ScenarioSimDrops,
 		"Full-protocol link-outage robustness: synchronous 8-partition population under drop rate (rate=0 is the lossless baseline)",
 		Params{P0: 0.5, N: 1000, Horizon: 10, Seed: 1},
 		runSimDrops))
-	// sim/gst defaults gst to 0 (heal immediately — the no-partition
-	// baseline) for the same reason sim/drops defaults rate to 0: the
-	// engine folds an explicit zero into the default, and a heal sweep
-	// wants gst=0 as its first cell rather than a silent re-run of a
-	// nonzero default.
 	Default.MustRegister(NewContextScenario(ScenarioSimGST,
 		"Full-protocol partition heal: 50/50 split healing at the gst epoch (gst=0 is the no-partition baseline)",
 		Params{P0: 0.5, N: 1000, Horizon: 16, Seed: 3},
 		runSimGST))
+	Default.MustRegister(NewContextScenario(ScenarioSimLeak,
+		"Table 1 Scenario 5.1 at full protocol and full spec: lasting partition run to conflicting finalization (analytic anchor 4662 at p0=0.5)",
+		Params{P0: 0.5, N: 10000, Horizon: 6000, Seed: 1},
+		runSimLeak))
+	Default.MustRegister(NewContextScenario(ScenarioSimSemiActive,
+		"Table 3 at full protocol: semi-active Byzantine validators accelerate the leak and finalize both branches (full spec)",
+		Params{P0: 0.5, Beta0: 0.33, N: 10000, Horizon: 2000, Seed: 1},
+		runSimSemiActive))
 }
 
 // runEpochsContext advances the simulation one epoch at a time, checking
@@ -123,7 +145,7 @@ func runSimBounce(ctx context.Context, p Params) (Result, error) {
 	finalizedAtStop := types.Epoch(0)
 	minStakeRatio := 1.0
 	err = runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
-		m := s.Snapshot(types.Epoch(epoch))
+		m := s.MetricsAt(types.Epoch(epoch))
 		if r := float64(m.MinTotalStake) / float64(initialStake); r < minStakeRatio {
 			minStakeRatio = r
 		}
@@ -136,7 +158,7 @@ func runSimBounce(ctx context.Context, p Params) (Result, error) {
 		return Result{}, err
 	}
 
-	finalizedFinal := s.Snapshot(types.Epoch(p.Horizon)).MaxFinalized
+	finalizedFinal := s.MetricsAt(types.Epoch(p.Horizon)).MaxFinalized
 	recovered := stop != 0 && finalizedFinal >= stop
 	out := Result{
 		Metrics: []Metric{
@@ -182,7 +204,7 @@ func runSimDrops(ctx context.Context, p Params) (Result, error) {
 	if err := runEpochsContext(ctx, s, p.Horizon, nil); err != nil {
 		return Result{}, err
 	}
-	final := s.Snapshot(types.Epoch(p.Horizon))
+	final := s.MetricsAt(types.Epoch(p.Horizon))
 	minFin, maxFin := final.MinFinalized, final.MaxFinalized
 	// On a lossless run the last processed boundary (start of epoch h-1)
 	// has finalized epoch h-3; anything lower is loss-induced lag.
@@ -244,7 +266,7 @@ func runSimGST(ctx context.Context, p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	minFin := s.Snapshot(types.Epoch(p.Horizon)).MinFinalized
+	minFin := s.MetricsAt(types.Epoch(p.Horizon)).MinFinalized
 	recovered := violation == 0 && minFin >= types.Epoch(p.GST)
 	out := Result{
 		Metrics: []Metric{
@@ -261,4 +283,181 @@ func runSimGST(ctx context.Context, p Params) (Result, error) {
 		out.Outcome = "healed, finality recovered"
 	}
 	return out, nil
+}
+
+// leakPartitionSim builds the lasting-partition full-protocol simulation
+// shared by sim/leak and sim/semiactive: honest validators split p0/(1-p0)
+// across a partition that NEVER heals (network.Never, so undeliverable
+// cross-partition traffic is discarded instead of accumulating for
+// thousands of epochs), under the FULL paper spec — the runs reproduce
+// Table 1 / Table 3 headline epochs, so no compressed quotient.
+func leakPartitionSim(p Params, byz []types.ValidatorIndex) (*sim.Simulation, error) {
+	nHonest := p.N - len(byz)
+	nA := int(math.Round(float64(nHonest) * p.P0))
+	return sim.New(sim.Config{
+		Validators: p.N,
+		Spec:       types.DefaultSpec(),
+		Byzantine:  byz,
+		GST:        network.Never,
+		Delay:      1,
+		Seed:       p.Seed,
+		PartitionOf: func(v types.ValidatorIndex) int {
+			if int(v) < nA {
+				return 0
+			}
+			return 1
+		},
+	})
+}
+
+// runToConflict advances the simulation one epoch at a time until the
+// honest views finalize conflicting checkpoints (or the horizon runs
+// out), sampling an optional metrics curve. It returns the epoch at which
+// the violation was first observed (0 = none within the horizon).
+func runToConflict(ctx context.Context, s *sim.Simulation, p Params, curve *[]CurvePoint, minStakeRatio *float64) (types.Epoch, error) {
+	initialStake := types.Gwei(uint64(p.N)) * s.Cfg.Spec.MaxEffectiveBalance
+	conflict := types.Epoch(0)
+	err := runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
+		m := s.MetricsAt(types.Epoch(epoch))
+		if r := float64(m.MinTotalStake) / float64(initialStake); r < *minStakeRatio {
+			*minStakeRatio = r
+		}
+		if p.Sample > 0 && epoch%p.Sample == 0 {
+			*curve = append(*curve, CurvePoint{
+				X: float64(epoch),
+				Y: float64(m.MinTotalStake) / float64(initialStake),
+			})
+		}
+		if v := s.CheckFinalitySafety(); v != nil {
+			conflict = types.Epoch(epoch)
+			return false
+		}
+		return true
+	})
+	return conflict, err
+}
+
+// runSimLeak is the paper's headline experiment — Table 1 Scenario 5.1 —
+// at full protocol: the 50/50 (p0) lasting partition leaks for thousands
+// of epochs under the real 2^26 penalty quotient until each branch's
+// inactive half has drained enough for the branch to regain a
+// supermajority, justify two consecutive epochs, and finalize — on both
+// sides of the partition at once. The measured conflict epoch is reported
+// against the continuous-model analytic anchor (Equation 6; 4662 at
+// p0=0.5) and the aggregate integer engine's epoch (Table 1's own 4686 is
+// the paper-parameter variant of the same quantity).
+func runSimLeak(ctx context.Context, p Params) (Result, error) {
+	if p.P0 <= 0 || p.P0 >= 1 {
+		return Result{}, fmt.Errorf("engine: sim/leak wants 0 < p0 < 1 (two non-empty branches), got %v", p.P0)
+	}
+	if p.N < 4 || p.Horizon < 8 {
+		return Result{}, fmt.Errorf("engine: sim/leak wants n >= 4 and horizon >= 8, got n=%d horizon=%d", p.N, p.Horizon)
+	}
+	// Rounding must leave both branches populated, or the single-view run
+	// would burn the whole horizon unable to conflict by construction.
+	if nA := int(math.Round(float64(p.N) * p.P0)); nA < 2 || p.N-nA < 2 {
+		return Result{}, fmt.Errorf("engine: sim/leak wants >= 2 validators per branch, got %d/%d (p0=%v n=%d)", nA, p.N-nA, p.P0, p.N)
+	}
+	s, err := leakPartitionSim(p, nil)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var curve []CurvePoint
+	minStakeRatio := 1.0
+	conflict, err := runToConflict(ctx, s, p, &curve, &minStakeRatio)
+	if err != nil {
+		return Result{}, err
+	}
+
+	bc, err := analytic.ContinuousParams().ConflictingFinalization(analytic.HonestOnly, p.P0, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	return conflictResult(p, conflict, "analytic_epoch", bc.ConflictEpoch, nil, minStakeRatio, curve), nil
+}
+
+// conflictResult assembles the shared result shape of the long-horizon
+// conflicting-finalization scenarios: the measured conflict epoch, the
+// anchor it is compared against (under anchorName), the relative
+// deviation, any scenario-specific extra metrics, the stake floor, and
+// the optional sampled curve.
+func conflictResult(p Params, conflict types.Epoch, anchorName string, anchor float64, extra []Metric, minStakeRatio float64, curve []CurvePoint) Result {
+	deviation := 0.0
+	if conflict != 0 && anchor > 0 {
+		deviation = (float64(conflict) - anchor) / anchor
+	}
+	out := Result{
+		Metrics: append([]Metric{
+			{Name: "conflict_epoch", Value: float64(conflict)},
+			{Name: anchorName, Value: anchor},
+			{Name: "deviation", Value: deviation},
+		}, append(extra, Metric{Name: "min_stake_ratio", Value: minStakeRatio})...),
+	}
+	if conflict != 0 {
+		out.Outcome = "2 finalized branches"
+	} else {
+		out.Outcome = fmt.Sprintf("no conflicting finalization within %d epochs", p.Horizon)
+	}
+	if p.Sample > 0 {
+		out.CurveName = "min_total_stake_ratio"
+		out.Curve = curve
+	}
+	return out
+}
+
+// runSimSemiActive is Table 3 at full protocol: beta0 of the stake is
+// semi-active Byzantine — active on alternating branches every epoch,
+// never equivocating within an epoch, hence never slashable — which keeps
+// both branches' active ratios near the quorum from the start and makes
+// the leak drain only the honest inactive half. The adversary watches
+// both branch views (AutoFinalize) and, the moment alternation justifies
+// recent checkpoints on both branches, stays two consecutive epochs per
+// branch to finalize each: conflicting finalization at the Table 3 epoch.
+// The aggregate integer engine's conflict epoch for the same parameters
+// is reported as the mechanism anchor.
+func runSimSemiActive(ctx context.Context, p Params) (Result, error) {
+	if p.P0 <= 0 || p.P0 >= 1 {
+		return Result{}, fmt.Errorf("engine: sim/semiactive wants 0 < p0 < 1, got %v", p.P0)
+	}
+	nByz := int(math.Round(float64(p.N) * p.Beta0))
+	nHonest := p.N - nByz
+	if nHonest < 4 || nByz < 1 {
+		return Result{}, fmt.Errorf("engine: sim/semiactive needs >= 4 honest and >= 1 byzantine validators, got %d/%d", nHonest, nByz)
+	}
+	byz := make([]types.ValidatorIndex, nByz)
+	for i := range byz {
+		byz[i] = types.ValidatorIndex(nHonest + i)
+	}
+	nA := int(math.Round(float64(nHonest) * p.P0))
+	if nA < 2 || nHonest-nA < 2 {
+		return Result{}, fmt.Errorf("engine: sim/semiactive wants >= 2 honest validators per branch, got %d/%d", nA, nHonest-nA)
+	}
+	adv := &behavior.SemiActive{
+		Reps:         [2]types.ValidatorIndex{0, types.ValidatorIndex(nA)},
+		AutoFinalize: true,
+	}
+	s, err := leakPartitionSim(p, byz)
+	if err != nil {
+		return Result{}, err
+	}
+	s.Cfg.Adversary = adv
+
+	var curve []CurvePoint
+	minStakeRatio := 1.0
+	conflict, err := runToConflict(ctx, s, p, &curve, &minStakeRatio)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// The aggregate two-branch engine (Tables 2-3) on identical
+	// parameters: the mechanism-level anchor the full protocol should
+	// land next to.
+	anchorRes, err := core.LeakSim{N: p.N, P0: p.P0, Beta0: p.Beta0, Mode: core.ByzSemiActive}.
+		RunContext(ctx, p.Horizon, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	return conflictResult(p, conflict, "aggregate_epoch", float64(anchorRes.ConflictEpoch),
+		[]Metric{{Name: "gait_epoch", Value: float64(adv.GaitFrom())}}, minStakeRatio, curve), nil
 }

@@ -81,6 +81,29 @@ func (g Grid) Cells() []Cell {
 	if len(gsts) == 0 {
 		gsts = []int{0}
 	}
+	// Dimensions the grid actually lists are explicit: a listed value of
+	// zero (rate=0 lossless baseline, gst=0 immediate heal, beta0=0
+	// honest-only) is the cell's value, not a request for the scenario
+	// default.
+	var explicit Field
+	for _, dim := range []struct {
+		listed bool
+		f      Field
+	}{
+		{len(g.P0) > 0, FieldP0},
+		{len(g.Beta0) > 0, FieldBeta0},
+		{len(g.Modes) > 0, FieldMode},
+		{seedSpecified, FieldSeed},
+		{len(g.Horizons) > 0, FieldHorizon},
+		{len(g.Rates) > 0, FieldRate},
+		{len(g.GSTs) > 0, FieldGST},
+		{g.N != 0, FieldN},
+		{g.Sample != 0, FieldSample},
+	} {
+		if dim.listed {
+			explicit |= dim.f
+		}
+	}
 	cells := make([]Cell, 0, len(p0s)*len(beta0s)*len(modes)*len(seeds)*len(horizons)*len(rates)*len(gsts))
 	for _, p0 := range p0s {
 		for _, b := range beta0s {
@@ -89,7 +112,7 @@ func (g Grid) Cells() []Cell {
 					for _, h := range horizons {
 						for _, rate := range rates {
 							for _, gst := range gsts {
-								p := Params{P0: p0, Beta0: b, Mode: m, N: g.N, Horizon: h, Sample: g.Sample, Rate: rate, GST: gst}
+								p := Params{P0: p0, Beta0: b, Mode: m, N: g.N, Horizon: h, Sample: g.Sample, Rate: rate, GST: gst, Explicit: explicit}
 								if seedSpecified {
 									p.Seed = DeriveSeed(s, p0, b, m, h)
 								}
@@ -106,12 +129,14 @@ func (g Grid) Cells() []Cell {
 
 // FillFrom pins any unspecified grid dimension (and the uniform N/Sample
 // knobs) from the given params, so CLI flags can cover dimensions a sweep
-// spec leaves out. Zero-valued params leave the dimension unspecified.
+// spec leaves out. A param pins its dimension when it is non-zero or
+// marked explicit (an explicit -rate=0 pins the lossless baseline); unset
+// zero-valued params leave the dimension unspecified.
 func (g Grid) FillFrom(p Params) Grid {
-	if len(g.P0) == 0 && p.P0 != 0 {
+	if len(g.P0) == 0 && (p.P0 != 0 || p.IsExplicit(FieldP0)) {
 		g.P0 = []float64{p.P0}
 	}
-	if len(g.Beta0) == 0 && p.Beta0 != 0 {
+	if len(g.Beta0) == 0 && (p.Beta0 != 0 || p.IsExplicit(FieldBeta0)) {
 		g.Beta0 = []float64{p.Beta0}
 	}
 	if len(g.Modes) == 0 && p.Mode != "" {
@@ -123,10 +148,10 @@ func (g Grid) FillFrom(p Params) Grid {
 	if len(g.Horizons) == 0 && p.Horizon != 0 {
 		g.Horizons = []int{p.Horizon}
 	}
-	if len(g.Rates) == 0 && p.Rate != 0 {
+	if len(g.Rates) == 0 && (p.Rate != 0 || p.IsExplicit(FieldRate)) {
 		g.Rates = []float64{p.Rate}
 	}
-	if len(g.GSTs) == 0 && p.GST != 0 {
+	if len(g.GSTs) == 0 && (p.GST != 0 || p.IsExplicit(FieldGST)) {
 		g.GSTs = []int{p.GST}
 	}
 	if g.N == 0 {

@@ -26,7 +26,14 @@ var ErrConflictingFinality = errors.New("ffg: conflicting finalized checkpoints"
 // Engine is the per-view finality state machine. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	justified map[types.Checkpoint]bool
+	// justified lists the justified checkpoints in justification order.
+	// The set is columnar rather than a map: during a leak it stays a
+	// handful of entries (nothing justifies — that is what a leak is) and
+	// during healthy stretches finalization prunes it, so membership is a
+	// short backward scan over recent entries and Clone is one flat copy
+	// instead of a map rehash — the properties the long-horizon epoch
+	// transition needs.
+	justified []types.Checkpoint
 	// latestJustified is the justified checkpoint with the greatest
 	// epoch; it seeds honest validators' source votes and the
 	// fork-choice starting point.
@@ -44,7 +51,7 @@ type Engine struct {
 func NewEngine(genesis types.Root) *Engine {
 	g := types.Checkpoint{Epoch: 0, Root: genesis}
 	return &Engine{
-		justified:       map[types.Checkpoint]bool{g: true},
+		justified:       []types.Checkpoint{g},
 		latestJustified: g,
 		finalized:       g,
 		genesis:         g,
@@ -54,20 +61,50 @@ func NewEngine(genesis types.Root) *Engine {
 // Clone deep-copies the engine, so partitioned views can evolve apart.
 func (e *Engine) Clone() *Engine {
 	out := &Engine{
-		justified:       make(map[types.Checkpoint]bool, len(e.justified)),
+		justified:       append([]types.Checkpoint(nil), e.justified...),
 		latestJustified: e.latestJustified,
 		finalized:       e.finalized,
 		lastFinalizedAt: e.lastFinalizedAt,
 		genesis:         e.genesis,
 	}
-	for c := range e.justified {
-		out.justified[c] = true
-	}
 	return out
 }
 
 // Justified reports whether checkpoint c is justified in this view.
-func (e *Engine) Justified(c types.Checkpoint) bool { return e.justified[c] }
+// Recent checkpoints sit at the end of the column, so the backward scan
+// answers the boundary re-scan's queries in a handful of compares.
+func (e *Engine) Justified(c types.Checkpoint) bool {
+	for i := len(e.justified) - 1; i >= 0; i-- {
+		if e.justified[i] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// markJustified records a justified checkpoint (caller guarantees it is
+// not yet present) and maintains latestJustified.
+func (e *Engine) markJustified(c types.Checkpoint) {
+	e.justified = append(e.justified, c)
+	if c.Epoch > e.latestJustified.Epoch {
+		e.latestJustified = c
+	}
+}
+
+// pruneJustified drops justified checkpoints older than the finalized
+// epoch. Supermajority links always originate from a justified source at
+// or after the finalized checkpoint, so the dropped entries can never be
+// consulted again; pruning is what keeps the column a handful of entries
+// over thousands of healthy epochs.
+func (e *Engine) pruneJustified() {
+	kept := e.justified[:0]
+	for _, c := range e.justified {
+		if c.Epoch >= e.finalized.Epoch {
+			kept = append(kept, c)
+		}
+	}
+	e.justified = kept
+}
 
 // LatestJustified returns the highest-epoch justified checkpoint.
 func (e *Engine) LatestJustified() types.Checkpoint { return e.latestJustified }
@@ -92,33 +129,48 @@ func (r Result) Advanced() bool {
 // ProcessEpoch ingests the per-link vote weights for target epoch `epoch`
 // (as produced by attestation.Pool.TargetWeights), the total in-set stake
 // of this view, and the current epoch number `now` (used to timestamp
-// finalization advances). It applies the two FFG rules:
+// finalization advances). It is a thin adapter over ProcessTally for
+// callers that already hold a map tally; the boundary hot path feeds
+// ProcessTally directly from attestation.Pool.AppendLinkTally.
+func (e *Engine) ProcessEpoch(epoch types.Epoch, weights map[attestation.Link]types.Gwei, total types.Gwei, now types.Epoch) Result {
+	tally := make([]attestation.LinkWeight, 0, len(weights))
+	for link, w := range weights {
+		tally = append(tally, attestation.LinkWeight{Link: link, Weight: w})
+	}
+	return e.ProcessTally(epoch, tally, total, now)
+}
+
+// ProcessTally ingests a columnar per-link tally for target epoch `epoch`
+// (as produced by attestation.Pool.AppendLinkTally), the total in-set
+// stake of this view, and the current epoch number `now` (used to
+// timestamp finalization advances). It applies the two FFG rules:
 //
 //  1. justify target if its source is justified and the link weight
 //     exceeds 2/3 of total stake;
 //  2. finalize source if source and target are consecutive epochs and the
 //     justifying link connects them.
-func (e *Engine) ProcessEpoch(epoch types.Epoch, weights map[attestation.Link]types.Gwei, total types.Gwei, now types.Epoch) Result {
+//
+// A boundary call that advances nothing — the steady state of a leak —
+// performs no allocation.
+func (e *Engine) ProcessTally(epoch types.Epoch, tally []attestation.LinkWeight, total types.Gwei, now types.Epoch) Result {
 	var res Result
 	if total == 0 {
 		return res
 	}
-	for link, w := range weights {
+	for _, lw := range tally {
+		link := lw.Link
 		if link.Target.Epoch != epoch {
 			continue
 		}
-		if !e.justified[link.Source] {
+		if !e.Justified(link.Source) {
 			continue
 		}
-		if !Supermajority(w, total) {
+		if !Supermajority(lw.Weight, total) {
 			continue
 		}
-		if !e.justified[link.Target] {
-			e.justified[link.Target] = true
+		if !e.Justified(link.Target) {
+			e.markJustified(link.Target)
 			res.NewlyJustified = append(res.NewlyJustified, link.Target)
-			if link.Target.Epoch > e.latestJustified.Epoch {
-				e.latestJustified = link.Target
-			}
 		}
 		// Finalization: consecutive justified checkpoints joined by a
 		// supermajority link finalize the source.
@@ -127,6 +179,7 @@ func (e *Engine) ProcessEpoch(epoch types.Epoch, weights map[attestation.Link]ty
 				e.finalized = link.Source
 				e.lastFinalizedAt = now
 				res.NewlyFinalized = append(res.NewlyFinalized, link.Source)
+				e.pruneJustified()
 			}
 		}
 	}
@@ -144,13 +197,10 @@ func (e *Engine) ProcessEpoch(epoch types.Epoch, weights map[attestation.Link]ty
 // pins the per-validator timing that a slot-granular simulator cannot
 // express. It must not be used outside bouncing scenarios.
 func (e *Engine) ForceJustify(c types.Checkpoint) {
-	if e.justified[c] {
+	if e.Justified(c) {
 		return
 	}
-	e.justified[c] = true
-	if c.Epoch > e.latestJustified.Epoch {
-		e.latestJustified = c
-	}
+	e.markJustified(c)
 }
 
 // EpochsSinceFinality returns how many epochs have elapsed at `now` since

@@ -53,10 +53,16 @@ type Summary struct {
 // Per the paper's Equations 1-2, the penalty at epoch t uses the score and
 // stake of epoch t-1, so penalties are applied before scores are updated.
 //
-// The sweep runs directly over the registry's columns: one pass for
-// penalties and scores, one for ejections, one for post-state measurement,
-// with no per-validator allocation. The Ejected slice is the only
-// allocation and only happens in epochs that actually eject.
+// The sweep is one fused pass over the registry's columns — penalty,
+// score update, ejection, and post-state measurement per validator — with
+// no per-validator allocation. Per-validator processing is independent, so
+// fusing is bit-identical to running the stages as separate sweeps; what
+// fusing guarantees on top is that active(v) is consulted EXACTLY ONCE per
+// validator per epoch. (The pre-fusion sweep asked again during post-state
+// measurement, doubling the callback cost over a long horizon and giving
+// impure closures a chance to disagree with the penalty stage.) The
+// Ejected slice is the only allocation and only happens in epochs that
+// actually eject.
 func (e Engine) ProcessEpoch(reg *validator.Registry, active func(types.ValidatorIndex) bool, inLeak bool, epoch types.Epoch) Summary {
 	var sum Summary
 	spec := e.Spec
@@ -99,24 +105,19 @@ func (e Engine) ProcessEpoch(reg *validator.Registry, active func(types.Validato
 				cols.Scores[i] = 0
 			}
 		}
-	}
 
-	// Ejection sweep after penalties.
-	for i := range cols.Stakes {
-		if cols.Status[i] == validator.Active && cols.Stakes[i] <= spec.EjectionBalance {
+		// Ejection after penalties.
+		if cols.Stakes[i] <= spec.EjectionBalance {
 			cols.Status[i] = validator.Ejected
 			cols.Exit[i] = epoch
 			sum.Ejected = append(sum.Ejected, types.ValidatorIndex(i))
+			continue
 		}
-	}
 
-	// Post-state measurements.
-	for i := range cols.Stakes {
-		if cols.Status[i] == validator.Active {
-			sum.TotalStake += cols.Stakes[i]
-			if active(types.ValidatorIndex(i)) {
-				sum.ActiveStake += cols.Stakes[i]
-			}
+		// Post-state measurement, reusing the activity already read.
+		sum.TotalStake += cols.Stakes[i]
+		if isActive {
+			sum.ActiveStake += cols.Stakes[i]
 		}
 	}
 	return sum

@@ -333,3 +333,39 @@ func TestIntPow2(t *testing.T) {
 		t.Error("IntPow2(26) mismatch")
 	}
 }
+
+// TestProcessEpochConsultsActivityOncePerValidator pins the fused sweep's
+// contract: active(v) runs EXACTLY once per in-set validator per epoch.
+// The pre-fusion sweep asked a second time during post-state measurement,
+// which doubled the callback cost at long horizons and let an impure
+// closure disagree with the penalty stage.
+func TestProcessEpochConsultsActivityOncePerValidator(t *testing.T) {
+	const n = 64
+	e := Engine{Spec: types.CompressedSpec(1 << 16)}
+	reg := validator.NewRegistry(n, e.Spec.MaxEffectiveBalance)
+	if err := reg.Eject(7, 0); err != nil { // out-of-set validators are never consulted
+		t.Fatal(err)
+	}
+	calls := make(map[types.ValidatorIndex]int)
+	active := func(v types.ValidatorIndex) bool {
+		calls[v]++
+		return v%2 == 0
+	}
+	sum := e.ProcessEpoch(reg, active, true, 1)
+	for v, c := range calls {
+		if c != 1 {
+			t.Errorf("active(%d) called %d times, want exactly 1", v, c)
+		}
+	}
+	if len(calls) != n-1 {
+		t.Errorf("active consulted for %d validators, want %d (out-of-set skipped)", len(calls), n-1)
+	}
+	if _, ok := calls[7]; ok {
+		t.Error("active consulted for an ejected validator")
+	}
+	// The measurement must reuse the SAME answer the penalty stage saw:
+	// an impure closure cannot split the two.
+	if sum.ActiveStake == 0 || sum.ActiveStake >= sum.TotalStake {
+		t.Errorf("post-state measurement inconsistent: active=%d total=%d", sum.ActiveStake, sum.TotalStake)
+	}
+}

@@ -35,6 +35,15 @@ import (
 // NodeID identifies a network endpoint.
 type NodeID = types.ValidatorIndex
 
+// Never is a GST value meaning "partitions never heal". Any delivery
+// scheduled at or after it can never occur within a run, so such messages
+// are discarded at enqueue time instead of being held: a lasting-partition
+// leak run to paper horizons would otherwise accumulate every
+// cross-partition message of thousands of epochs in inboxes that are never
+// drained. Semantically the two are identical for any run shorter than
+// Never; dropping just returns the memory.
+const Never types.Slot = 1 << 62
+
 // Config parameterizes a simulated network.
 type Config struct {
 	// Nodes is the number of endpoints (0..Nodes-1).
@@ -214,7 +223,33 @@ func (n *Network[M]) enqueue(to NodeID, at types.Slot, msg M) {
 	if int(to) >= len(n.inbox) {
 		return
 	}
+	// A delivery scheduled at or past Never can never happen; see Never.
+	if at >= Never {
+		return
+	}
 	n.inbox[to][at] = append(n.inbox[to][at], msg)
+}
+
+// Clone deep-copies the network's mutable state (in-flight inboxes and
+// counters), so a snapshotted simulation can be restored mid-run. Message
+// payloads are shared: the simulator treats sent messages as immutable.
+func (n *Network[M]) Clone() *Network[M] {
+	out := &Network[M]{
+		cfg:       n.cfg,
+		partition: append([]int(nil), n.partition...),
+		bridging:  append([]bool(nil), n.bridging...),
+		inbox:     make([]map[types.Slot][]M, len(n.inbox)),
+		sent:      n.sent,
+		dropped:   n.dropped,
+	}
+	for i, box := range n.inbox {
+		cp := make(map[types.Slot][]M, len(box))
+		for at, msgs := range box {
+			cp[at] = append([]M(nil), msgs...)
+		}
+		out.inbox[i] = cp
+	}
+	return out
 }
 
 // Deliveries drains and returns the messages arriving at endpoint `to` in

@@ -286,3 +286,41 @@ func TestDeterministicOrder(t *testing.T) {
 		t.Errorf("delivery order = %v, want send order", got)
 	}
 }
+
+// TestNeverHealingDropsUndeliverable pins the long-horizon memory
+// contract: with GST = Never, cross-partition messages (which could only
+// ever deliver at GST) are discarded at enqueue instead of accumulating,
+// while intra-partition traffic is unaffected.
+func TestNeverHealingDropsUndeliverable(t *testing.T) {
+	n := New[int](Config{Nodes: 2, GST: Never, Delay: 1})
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 1)
+	n.Broadcast(0, 5, 42)
+	if got := n.PendingFor(1); got != 0 {
+		t.Errorf("cross-partition message held despite Never GST: %d pending", got)
+	}
+	if got := n.Deliveries(0, 6); len(got) != 1 || got[0] != 42 {
+		t.Errorf("self/intra-partition delivery broken under Never: %v", got)
+	}
+	if n.Healed(1 << 61) {
+		t.Error("a Never network must not heal")
+	}
+}
+
+// TestNetworkCloneIsolatesInboxes pins the snapshot substrate: a cloned
+// network shares no mutable delivery state with its original.
+func TestNetworkCloneIsolatesInboxes(t *testing.T) {
+	n := New[int](Config{Nodes: 2, Delay: 1})
+	n.Broadcast(0, 1, 7)
+	c := n.Clone()
+	if got := n.Deliveries(1, 2); len(got) != 1 {
+		t.Fatalf("original lost its delivery: %v", got)
+	}
+	if got := c.Deliveries(1, 2); len(got) != 1 || got[0] != 7 {
+		t.Errorf("clone missing the in-flight delivery: %v", got)
+	}
+	sent, _ := c.Stats()
+	if sent != 1 {
+		t.Errorf("clone sent counter = %d, want 1", sent)
+	}
+}

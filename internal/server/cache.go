@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"fmt"
+	"reflect"
+	"strings"
 	"sync"
 
 	"repro/internal/engine"
@@ -12,9 +14,29 @@ import (
 // into a cache key. Params must already be defaulted (Registry semantics):
 // two requests that resolve to the same effective run map to the same key
 // even when one spells the defaults out and the other omits them.
+//
+// The key is derived by reflection over engine.Params rather than a
+// handwritten format string, so a future Params field is part of the key
+// the moment it exists — the handwritten predecessor silently omitted new
+// fields, serving stale results for any sweep over the new dimension
+// until someone remembered this file. Fields tagged `json:"-"` are
+// skipped: they are presence metadata, not parameters — after defaulting
+// every Params carries the same constant FieldAll mask, so the mask can
+// never distinguish two effective runs. TestCacheKeyCoversEveryParamsField
+// fails if a parameter field ever stops influencing the key.
 func cacheKey(scenario string, p engine.Params) string {
-	return fmt.Sprintf("%s|p0=%v|beta0=%v|mode=%s|seed=%d|n=%d|horizon=%d|sample=%d|rate=%v|gst=%d",
-		scenario, p.P0, p.Beta0, p.Mode, p.Seed, p.N, p.Horizon, p.Sample, p.Rate, p.GST)
+	var b strings.Builder
+	b.WriteString(scenario)
+	rv := reflect.ValueOf(p)
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if strings.HasPrefix(f.Tag.Get("json"), "-") {
+			continue
+		}
+		fmt.Fprintf(&b, "|%s=%v", f.Name, rv.Field(i).Interface())
+	}
+	return b.String()
 }
 
 // resultCache is a thread-safe LRU of successful scenario results keyed by
@@ -34,6 +56,12 @@ type cacheEntry struct {
 }
 
 func newResultCache(max int) *resultCache {
+	// A non-positive capacity would make every add evict immediately (or
+	// grow without bound, depending on reading); callers wanting "no
+	// cache" must not construct one, so clamp to the serving default.
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
 	return &resultCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 

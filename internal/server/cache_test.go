@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/engine"
@@ -67,5 +69,50 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	}
 	if cacheKey("leaksim", engine.Params{P0: 0.5, N: 10000, GST: 8}) == a {
 		t.Error("gst must distinguish keys")
+	}
+}
+
+// TestCacheKeyCoversEveryParamsField fails the moment engine.Params gains
+// a parameter field the cache key ignores: it perturbs each field via
+// reflection and demands a different key. (The handwritten predecessor of
+// cacheKey silently omitted new fields, so a sweep over a new dimension
+// would have served the first cell's result for every other cell.) Fields
+// tagged `json:"-"` are exempt: presence metadata, constant (FieldAll)
+// across all fully-defaulted Params, so never run-distinguishing.
+func TestCacheKeyCoversEveryParamsField(t *testing.T) {
+	base := cacheKey("s", engine.Params{})
+	rt := reflect.TypeOf(engine.Params{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if strings.HasPrefix(f.Tag.Get("json"), "-") {
+			continue
+		}
+		var p engine.Params
+		fv := reflect.ValueOf(&p).Elem().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Float64:
+			fv.SetFloat(0.123)
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(123)
+		case reflect.String:
+			fv.SetString("x")
+		default:
+			t.Fatalf("field %s has kind %s: teach this test (and check cacheKey) about it", f.Name, f.Type.Kind())
+		}
+		if cacheKey("s", p) == base {
+			t.Errorf("cache key ignores Params.%s", f.Name)
+		}
+	}
+}
+
+// TestNewResultCacheGuardsNonPositiveCapacity pins the max <= 0 guard: a
+// clamped cache must still cache (not evict every entry immediately).
+func TestNewResultCacheGuardsNonPositiveCapacity(t *testing.T) {
+	for _, max := range []int{0, -5} {
+		c := newResultCache(max)
+		c.add("k", engine.Result{Scenario: "s"})
+		if _, ok := c.get("k"); !ok {
+			t.Errorf("newResultCache(%d) evicted its only entry", max)
+		}
 	}
 }

@@ -96,7 +96,9 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Infos())
 }
 
-// runRequest is the POST /run body.
+// runRequest is the POST /run body. engine.Params decodes presence-aware
+// (its UnmarshalJSON marks every key present in the document), so an
+// explicit zero like {"rate": 0} survives defaulting as-is.
 type runRequest struct {
 	Scenario string        `json:"scenario"`
 	Params   engine.Params `json:"params"`
@@ -142,7 +144,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // sweepRequest is the POST /sweep body: either explicit cells, or a
 // scenario plus a ParseGrid spec (with params pinning unlisted
-// dimensions, mirroring the CLI flag fallback).
+// dimensions, mirroring the CLI flag fallback). Cell and fallback params
+// decode presence-aware (engine.Params.UnmarshalJSON), so an explicit
+// zero in the request is an explicit zero in the run.
 type sweepRequest struct {
 	Cells    []engine.Cell `json:"cells,omitempty"`
 	Scenario string        `json:"scenario,omitempty"`

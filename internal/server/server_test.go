@@ -381,3 +381,52 @@ func TestSweepClientDisconnect(t *testing.T) {
 		t.Errorf("server computed all %d cells despite disconnect", got)
 	}
 }
+
+// TestRunEndpointKeepsExplicitZeroParams: a request whose document spells
+// out a zero parameter ({"rate": 0}) runs with that zero, while omitting
+// the key takes the scenario default — and the two land on distinct cache
+// keys.
+func TestRunEndpointKeepsExplicitZeroParams(t *testing.T) {
+	reg := engine.NewRegistry()
+	reg.MustRegister(engine.NewScenario("echo", "echoes the effective rate/gst",
+		engine.Params{P0: 0.5, Rate: 0.4, GST: 7},
+		func(p engine.Params) (engine.Result, error) {
+			return engine.Result{Metrics: []engine.Metric{
+				{Name: "rate", Value: p.Rate},
+				{Name: "gst", Value: float64(p.GST)},
+			}}, nil
+		}))
+	ts := newTestServer(t, Config{Registry: reg})
+
+	run := func(body string) engine.Result {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var res engine.Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	defaulted := run(`{"scenario": "echo", "params": {}}`)
+	if rate, _ := defaulted.Metric("rate"); rate != 0.4 {
+		t.Fatalf("omitted rate ran as %v, want default 0.4", rate)
+	}
+	explicit := run(`{"scenario": "echo", "params": {"rate": 0, "gst": 0}}`)
+	if rate, _ := explicit.Metric("rate"); rate != 0 {
+		t.Fatalf("explicit rate=0 ran as %v, want 0", rate)
+	}
+	if gst, _ := explicit.Metric("gst"); gst != 0 {
+		t.Fatalf("explicit gst=0 ran as %v, want 0", gst)
+	}
+	if explicit.Meta != nil && explicit.Meta.Cached {
+		t.Fatal("explicit-zero run was served from the defaulted run's cache entry")
+	}
+}

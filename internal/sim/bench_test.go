@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/incentives"
+	"repro/internal/network"
 	"repro/internal/types"
 	"repro/internal/validator"
 )
@@ -49,6 +50,35 @@ func BenchmarkSimEpoch(b *testing.B) {
 		cfg.PerValidatorViews = true
 		benchmarkSimEpoch(b, cfg)
 	})
+}
+
+// BenchmarkSimLongHorizon is the paper-horizon workload: the Table 1
+// Scenario 5.1 simulation — 10,000 validators, FULL spec (2^26 penalty
+// quotient), lasting 50/50 partition that never heals — advanced from a
+// mid-leak state. The sim/leak scenario runs this for ~4,660 epochs;
+// the sustained epochs/sec here is what bounds its wall clock (BENCH.md
+// tracks the trajectory).
+func BenchmarkSimLongHorizon(b *testing.B) {
+	s, err := New(Config{
+		Validators: 10000, Spec: types.DefaultSpec(),
+		GST: network.Never, Delay: 1, Seed: 1, PartitionOf: halfSplit(10000),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Enter the leak (finality stalls after MinEpochsToInactivityLeak).
+	if err := s.RunEpochs(6); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunEpochs(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "epochs/sec")
+	}
 }
 
 // BenchmarkCohortRegistry measures the columnar registry's epoch-boundary

@@ -26,8 +26,10 @@ type EpochMetrics struct {
 	MaxByzProportion float64
 }
 
-// Snapshot computes the metrics for the current state at the given epoch.
-func (s *Simulation) Snapshot(epoch types.Epoch) EpochMetrics {
+// MetricsAt computes the metrics for the current state at the given epoch.
+// (It was named Snapshot before run-state snapshotting existed; Snapshot
+// now captures full protocol state for Restore.)
+func (s *Simulation) MetricsAt(epoch types.Epoch) EpochMetrics {
 	m := EpochMetrics{Epoch: epoch}
 	first := true
 	for _, c := range s.cohorts {
@@ -76,7 +78,7 @@ type Recorder struct {
 
 // Hook is the Config.OnEpoch callback.
 func (r *Recorder) Hook(s *Simulation, epoch types.Epoch) {
-	r.History = append(r.History, s.Snapshot(epoch))
+	r.History = append(r.History, s.MetricsAt(epoch))
 }
 
 // FinalityStalledSince returns the longest suffix of recorded epochs during

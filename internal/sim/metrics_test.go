@@ -64,7 +64,7 @@ func TestSnapshotByzProportion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := s.Snapshot(0)
+	m := s.MetricsAt(0)
 	if m.MaxByzProportion != 0.25 {
 		t.Errorf("byz proportion = %v, want 0.25", m.MaxByzProportion)
 	}

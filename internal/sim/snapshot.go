@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/beacon"
+	"repro/internal/blocktree"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// Snapshot is a frozen copy of a simulation's full protocol state at a
+// slot boundary: every cohort view (block tree, fork-choice engine, FFG
+// state, attestation pool, slashing detector, registry), the in-flight
+// network messages, duty-view assignments, live proposer embargoes, the
+// Safety-audit oracle, and the clock. Construct with Simulation.Snapshot;
+// replay with Simulation.Restore.
+//
+// A snapshot is immutable once taken: Restore clones it again, so one
+// snapshot can seed any number of continuations — long runs become
+// resumable, and sweeps whose cells share a prefix (same Config up to the
+// branch point) warm-start from one simulated prefix instead of
+// re-simulating epoch 0 per cell.
+//
+// Everything pseudo-random in the simulator is a stateless hash of
+// (seed, slot, ...) — proposer schedule, duty shuffling, link outages —
+// so the snapshot needs no RNG cursor beyond the slot itself: a restored
+// run re-derives the identical schedule. The one thing OUTSIDE the
+// snapshot is Config.Adversary: adversary-internal state is the caller's
+// to manage. Adversary-free runs (sim/partition, sim/leak, sim/drops,
+// sim/gst) and the stateless DoubleVoter restore exactly; the SemiActive
+// adversary is stateless only until its finalization gait starts (its
+// gait state machine is not rewound by Restore), and the Bouncer caches
+// view pointers and carries its own RNG — neither may be resumed across
+// a Restore of an epoch range in which it mutated.
+type Snapshot struct {
+	validators int
+	slot       types.Slot
+	nodes      []*beacon.Node
+	dutyView   []int
+	embargoes  []embargo
+	oracle     *blocktree.Tree
+	net        *network.Network[Message]
+}
+
+// Slot returns the slot at which the snapshot was taken (the next slot to
+// execute after a Restore).
+func (sn *Snapshot) Slot() types.Slot { return sn.slot }
+
+// Snapshot captures the simulation's current state. The cost is one deep
+// copy of every cohort view plus the undelivered messages — flat column
+// copies throughout (registry, proto-array, tree nodes), no per-validator
+// map rehashing.
+func (s *Simulation) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		validators: s.Cfg.Validators,
+		slot:       s.slot,
+		nodes:      make([]*beacon.Node, len(s.cohorts)),
+		dutyView:   append([]int(nil), s.dutyView...),
+		embargoes:  append([]embargo(nil), s.embargoes...),
+		oracle:     s.oracle.Clone(),
+		net:        s.Net.Clone(),
+	}
+	for i, c := range s.cohorts {
+		sn.nodes[i] = c.Node.Clone()
+	}
+	return sn
+}
+
+// Restore rewinds (or fast-forwards) the simulation to the snapshot's
+// state. The snapshot must come from a simulation with the same Config —
+// same validator set, cohort layout, spec, and seed — normally the very
+// simulation being restored. The snapshot itself is not consumed: its
+// state is cloned in, so it can be restored again.
+func (s *Simulation) Restore(sn *Snapshot) error {
+	if sn.validators != s.Cfg.Validators || len(sn.nodes) != len(s.cohorts) {
+		return fmt.Errorf("%w: snapshot of %d validators / %d cohorts restored into %d / %d",
+			ErrBadConfig, sn.validators, len(sn.nodes), s.Cfg.Validators, len(s.cohorts))
+	}
+	for i, c := range s.cohorts {
+		c.Node = sn.nodes[i].Clone()
+	}
+	s.Net = sn.net.Clone()
+	s.oracle = sn.oracle.Clone()
+	copy(s.dutyView, sn.dutyView)
+	s.embargoes = append(s.embargoes[:0], sn.embargoes...)
+	s.slot = sn.slot
+	// The duty roster caches (epoch, seed, shuffling)-derived state; the
+	// restored epoch may differ, so force a rebuild.
+	s.dutyRosterSet = false
+	return nil
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// snapshotCfg is a state-rich configuration: partitioned population under
+// a compressed leak with link outages and shuffled duties, so a snapshot
+// must carry diverging FFG state, in-flight (and retransmitted) messages,
+// embargoes, and per-epoch duty shuffling to reproduce the run.
+func snapshotCfg(perValidator, oracleForkChoice bool) Config {
+	return Config{
+		Validators: 16, Spec: types.CompressedSpec(1 << 16),
+		GST: 1 << 30, Delay: 1, Seed: 13, DropRate: 0.15,
+		ShuffledDuties: true, PartitionOf: halfSplit(16),
+		PerValidatorViews: perValidator, OracleForkChoice: oracleForkChoice,
+	}
+}
+
+// runRecorded advances the sim by `epochs` whole epochs, returning one
+// EpochMetrics per boundary crossed.
+func runRecorded(t *testing.T, s *Simulation, epochs int) []EpochMetrics {
+	t.Helper()
+	var hist []EpochMetrics
+	start := s.Slot().Epoch()
+	for e := 0; e < epochs; e++ {
+		if err := s.RunEpochs(1); err != nil {
+			t.Fatal(err)
+		}
+		hist = append(hist, s.MetricsAt(start+types.Epoch(e+1)))
+	}
+	return hist
+}
+
+// TestSnapshotRestoreDeterminism is the snapshot contract: Restore of a
+// Snapshot taken at epoch k, then running to epoch n, yields EpochMetrics
+// bit-identical to the uninterrupted run — across the 2×2 view-layout ×
+// fork-choice-engine matrix.
+func TestSnapshotRestoreDeterminism(t *testing.T) {
+	const snapAt, total = 6, 20
+	modes := []struct {
+		name                           string
+		perValidator, oracleForkChoice bool
+	}{
+		{"cohort+proto-array", false, false},
+		{"cohort+map-oracle", false, true},
+		{"per-validator+proto-array", true, false},
+		{"per-validator+map-oracle", true, true},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := snapshotCfg(mode.perValidator, mode.oracleForkChoice)
+
+			base, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := runRecorded(t, base, snapAt)
+			snap := base.Snapshot()
+			if got, want := snap.Slot(), types.Epoch(snapAt).StartSlot(); got != want {
+				t.Fatalf("snapshot slot = %d, want %d", got, want)
+			}
+			suffix := runRecorded(t, base, total-snapAt)
+			want := append(append([]EpochMetrics(nil), prefix...), suffix...)
+
+			// An uninterrupted reference run.
+			ref, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uninterrupted := runRecorded(t, ref, total)
+			if !reflect.DeepEqual(uninterrupted, want) {
+				t.Fatalf("taking a snapshot perturbed the run:\n  with snapshot: %+v\n  without:       %+v", want, uninterrupted)
+			}
+
+			// Restore the mutated base back to epoch k and re-run: the
+			// suffix must reproduce bit-identically, twice in a row (the
+			// snapshot is not consumed by Restore).
+			for round := 0; round < 2; round++ {
+				if err := base.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				if got := base.Slot(); got != snap.Slot() {
+					t.Fatalf("restored slot = %d, want %d", got, snap.Slot())
+				}
+				replay := runRecorded(t, base, total-snapAt)
+				if !reflect.DeepEqual(replay, suffix) {
+					t.Fatalf("round %d: restored run diverged:\n  replay: %+v\n  want:   %+v", round, replay, suffix)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotIsolation pins the fan-out property warm-started sweeps rely
+// on: two continuations restored from one snapshot do not share mutable
+// state — running one to conflict does not disturb the other.
+func TestSnapshotIsolation(t *testing.T) {
+	cfg := snapshotCfg(false, false)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(4); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	before := s.MetricsAt(4)
+
+	// Continuation A: run far enough that the compressed leak finalizes
+	// conflicting branches (mutating trees, registries, FFG state).
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(26); err != nil {
+		t.Fatal(err)
+	}
+	if v := s.CheckFinalitySafety(); v == nil {
+		t.Fatal("compressed 50/50 partition should have finalized conflicting branches by epoch 30")
+	}
+
+	// Continuation B: the snapshot must still describe epoch 4.
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MetricsAt(4); !reflect.DeepEqual(got, before) {
+		t.Fatalf("snapshot state mutated by a continuation: %+v != %+v", got, before)
+	}
+	if v := s.CheckFinalitySafety(); v != nil {
+		t.Fatalf("restored epoch-4 state already reports a violation: %v", v)
+	}
+}
+
+// TestRestoreRejectsMismatchedShape guards against restoring a snapshot
+// into a simulation with a different validator set or cohort layout.
+func TestRestoreRejectsMismatchedShape(t *testing.T) {
+	a, err := New(snapshotCfg(false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(Config{Validators: 8, Spec: types.CompressedSpec(1 << 16), Delay: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(a.Snapshot()); err == nil {
+		t.Fatal("Restore accepted a snapshot with a mismatched shape")
+	}
+}

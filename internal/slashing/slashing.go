@@ -105,6 +105,44 @@ func (d *Detector) Observe(a attestation.Attestation) *Evidence {
 	return found
 }
 
+// Clone deep-copies the detector, so a snapshotted view can evolve apart
+// from its restore points.
+func (d *Detector) Clone() *Detector {
+	out := &Detector{
+		history: make([][]attestation.Data, len(d.history)),
+		slashed: append([]bool(nil), d.slashed...),
+	}
+	for v, datas := range d.history {
+		if len(datas) > 0 {
+			out.history[v] = append([]attestation.Data(nil), datas...)
+		}
+	}
+	return out
+}
+
+// Prune drops recorded votes with target epoch strictly below e, bounding
+// detector memory over long simulations. Already-reported offenders stay
+// marked. Pruning narrows the detection window to votes the observer still
+// retains — the same weak-subjectivity trade-off real clients make; the
+// paper's scenarios surface their evidence within a few epochs of the
+// conflicting votes, so the simulator's 8-epoch retention (matching the
+// attestation pool's) never loses an offense.
+func (d *Detector) Prune(e types.Epoch) {
+	for v, datas := range d.history {
+		kept := datas[:0]
+		for _, data := range datas {
+			if data.Target.Epoch >= e {
+				kept = append(kept, data)
+			}
+		}
+		if len(kept) == 0 {
+			d.history[v] = nil
+		} else {
+			d.history[v] = kept
+		}
+	}
+}
+
 // Slashed reports whether evidence against v has been produced.
 func (d *Detector) Slashed(v types.ValidatorIndex) bool {
 	return int(v) < len(d.slashed) && d.slashed[v]

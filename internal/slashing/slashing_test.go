@@ -152,3 +152,36 @@ func TestKindString(t *testing.T) {
 		t.Error("Evidence.String should be non-empty")
 	}
 }
+
+// TestDetectorPruneBoundsHistory pins the long-horizon memory contract:
+// pruning drops votes below the retention epoch, keeps newer ones (still
+// matching offenses against them), and never forgets reported offenders.
+func TestDetectorPruneBoundsHistory(t *testing.T) {
+	d := NewDetector()
+	att := func(v types.ValidatorIndex, tgt types.Epoch, root uint64) attestation.Attestation {
+		return attestation.Attestation{Validator: v, Data: attestation.Data{
+			Slot:   tgt.StartSlot(),
+			Head:   types.RootFromUint64(root),
+			Source: types.Checkpoint{Epoch: 0, Root: types.RootFromUint64(0)},
+			Target: types.Checkpoint{Epoch: tgt, Root: types.RootFromUint64(root)},
+		}}
+	}
+	for e := types.Epoch(1); e <= 20; e++ {
+		if ev := d.Observe(att(1, e, uint64(e))); ev != nil {
+			t.Fatalf("honest history produced evidence at epoch %d", e)
+		}
+	}
+	d.Prune(13)
+	if got := d.HistoryLen(1); got != 8 {
+		t.Fatalf("history after prune = %d votes, want 8 (epochs 13-20)", got)
+	}
+	// A double vote against a RETAINED epoch is still caught...
+	if ev := d.Observe(att(1, 18, 999)); ev == nil || ev.Kind != DoubleVote {
+		t.Fatalf("double vote against retained epoch 18 not detected: %v", ev)
+	}
+	// ...and the offender stays marked through further pruning.
+	d.Prune(30)
+	if !d.Slashed(1) {
+		t.Error("prune forgot a reported offender")
+	}
+}
