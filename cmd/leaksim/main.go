@@ -39,6 +39,7 @@ type options struct {
 	workers  int
 	jsonOut  bool
 	csvOut   bool
+	verbose  bool
 	params   gasperleak.ScenarioParams
 }
 
@@ -50,6 +51,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = all CPUs)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit results as JSON")
 	flag.BoolVar(&o.csvOut, "csv", false, "emit results as CSV")
+	flag.BoolVar(&o.verbose, "v", false, "log execution metadata per cell (throughput, tree/engine retention)")
 	flag.Float64Var(&o.params.P0, "p0", 0, "proportion of honest validators on branch A (omit for the scenario default; an explicit -p0 0 means zero)")
 	flag.Float64Var(&o.params.Beta0, "beta0", 0, "initial Byzantine stake proportion (omit for the scenario default; an explicit -beta0 0 means no Byzantine stake)")
 	flag.StringVar(&o.params.Mode, "mode", "", "scenario mode (empty = scenario default)")
@@ -194,6 +196,34 @@ func emit(w io.Writer, o options, title string, results []gasperleak.ScenarioRes
 		if len(r.Curve) > 0 {
 			_, err = fmt.Fprintf(w, "# %d cells carry a sampled %s curve; use -json to export it\n",
 				curveCount(results), r.CurveName)
+			break
+		}
+	}
+	if err == nil && o.verbose {
+		err = emitVerbose(w, results)
+	}
+	return err
+}
+
+// emitVerbose logs per-cell execution metadata: sustained simulation
+// throughput plus the retention statistics (block-tree node/segment/folded
+// counts and byte footprints) that make the memory half of the leak-depth
+// story visible.
+func emitVerbose(w io.Writer, results []gasperleak.ScenarioResult) error {
+	for _, r := range results {
+		m := r.Meta
+		if m == nil {
+			continue
+		}
+		line := fmt.Sprintf("# %s %s:", r.Scenario, r.Params)
+		if m.EpochsPerSec != 0 {
+			line += fmt.Sprintf(" %.1f epochs/sec;", m.EpochsPerSec)
+		}
+		if s := m.Sim; s != nil {
+			line += fmt.Sprintf(" trees %d nodes (%d skip segments, %d blocks folded, %d KiB); oracle %d nodes; engines %d KiB",
+				s.TreeNodes, s.TreeSegments, s.TreeFolded, s.TreeBytes/1024, s.OracleNodes, s.EngineBytes/1024)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
 		}
 	}

@@ -18,8 +18,13 @@ type (
 	// scenario.
 	ScenarioInfo = engine.Info
 	// ScenarioRunMeta is the non-deterministic execution metadata of a
-	// ScenarioResult (wall-clock duration, cache provenance).
+	// ScenarioResult (wall-clock duration, sustained simulation
+	// throughput, cache provenance).
 	ScenarioRunMeta = engine.RunMeta
+	// ScenarioSimStats is the end-of-run retention summary simulation
+	// scenarios attach to their metadata (block-tree and fork-choice
+	// column sizes after compaction).
+	ScenarioSimStats = engine.SimStats
 )
 
 // Client is the v2 entry point of the reproduction: a handle on a scenario

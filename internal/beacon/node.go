@@ -378,6 +378,31 @@ func (n *Node) ProcessEpochBoundary(newEpoch types.Epoch) (EpochReport, error) {
 	return report, nil
 }
 
+// CompactTree folds the cold unbranched spine of the block tree into
+// skip segments (blocktree.Compact) once finality has stalled long enough
+// that PruneBelow cannot reclaim it. Every root the node can still
+// observe is pinned exactly: the FFG checkpoint anchors (justified set,
+// finalized, latest justified) and the latest vote target of every
+// validator. Returns the number of folded blocks; the tree's Version bump
+// makes the fork-choice engine rebuild against the compacted index space.
+func (n *Node) CompactTree(olderThan types.Slot) int {
+	pinned := make(map[types.Root]struct{}, n.Registry.Len()+8)
+	for _, c := range n.FFG.Justifieds() {
+		pinned[c.Root] = struct{}{}
+	}
+	pinned[n.FFG.Finalized().Root] = struct{}{}
+	pinned[n.FFG.LatestJustified().Root] = struct{}{}
+	for v := 0; v < n.Registry.Len(); v++ {
+		if m, ok := n.Votes.Latest(types.ValidatorIndex(v)); ok {
+			pinned[m.Root] = struct{}{}
+		}
+	}
+	return n.Tree.Compact(olderThan, func(r types.Root) bool {
+		_, ok := pinned[r]
+		return ok
+	})
+}
+
 // Finalized returns the node's finalized checkpoint.
 func (n *Node) Finalized() types.Checkpoint { return n.FFG.Finalized() }
 

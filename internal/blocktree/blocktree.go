@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"repro/internal/types"
 )
@@ -32,6 +33,11 @@ var (
 	ErrUnknownParent = errors.New("blocktree: unknown parent")
 	ErrDuplicate     = errors.New("blocktree: duplicate block")
 	ErrBadSlot       = errors.New("blocktree: slot not after parent slot")
+	// ErrCompactedRange reports an ancestor-at-slot query whose answer was
+	// folded away by Compact: the walk crossed a summarized segment that
+	// could contain the true answer. Callers querying inside the retention
+	// window (Compact's olderThan horizon) never see it.
+	ErrCompactedRange = errors.New("blocktree: ancestor query crosses a compacted range")
 )
 
 // NoIndex marks "no node" in the index-link accessors (missing parent,
@@ -54,6 +60,10 @@ type node struct {
 	firstChild  int32
 	lastChild   int32
 	nextSibling int32
+	// foldedBelow counts the blocks Compact folded away between this node
+	// and its parent: a nonzero value marks the parent link as an
+	// ancestor-skip link summarizing a segment of the spine.
+	foldedBelow int32
 }
 
 // Tree is an append-only block tree rooted at a genesis block. The zero
@@ -62,6 +72,8 @@ type Tree struct {
 	nodes   []node
 	index   map[types.Root]int32
 	version uint64
+	// folded is the lifetime count of blocks removed by Compact.
+	folded int
 }
 
 // New creates a tree containing only the genesis block at slot 0.
@@ -86,6 +98,7 @@ func (t *Tree) Clone() *Tree {
 		nodes:   append([]node(nil), t.nodes...),
 		index:   make(map[types.Root]int32, len(t.index)),
 		version: t.version,
+		folded:  t.folded,
 	}
 	for r, i := range t.index {
 		out.index[r] = i
@@ -210,6 +223,12 @@ func (t *Tree) IsAncestor(a, d types.Root) bool {
 // AncestorAt walks from root toward genesis and returns the last block on
 // that path whose slot is <= slot. This is the block a checkpoint for a
 // given epoch resolves to on the branch ending at root.
+//
+// Stepping across a compacted segment (a skip link with folded blocks
+// behind it) whose slot range straddles the query returns
+// ErrCompactedRange: the true answer may have been folded, and a silently
+// lower ancestor would corrupt checkpoint resolution. Queries at or above
+// Compact's retention horizon never cross such a segment.
 func (t *Tree) AncestorAt(root types.Root, slot types.Slot) (types.Root, error) {
 	i, ok := t.index[root]
 	if !ok {
@@ -219,6 +238,12 @@ func (t *Tree) AncestorAt(root types.Root, slot types.Slot) (types.Root, error) 
 		n := &t.nodes[i]
 		if n.block.Slot <= slot || n.parent == NoIndex {
 			return n.block.Root, nil
+		}
+		if n.foldedBelow > 0 && t.nodes[n.parent].block.Slot < slot {
+			// The folded blocks between parent and n occupied slots in
+			// (parent.Slot, n.Slot); one of them could be the answer.
+			return types.Root{}, fmt.Errorf("%w: slot %d between %s (slot %d) and its skip parent (%d folded blocks)",
+				ErrCompactedRange, slot, n.block.Root, n.block.Slot, n.foldedBelow)
 		}
 		i = n.parent
 	}
@@ -326,6 +351,7 @@ func (t *Tree) PruneBelow(keep types.Root) (int, error) {
 			firstChild:  NoIndex,
 			lastChild:   NoIndex,
 			nextSibling: NoIndex,
+			foldedBelow: t.nodes[oldIdx].foldedBelow,
 		}
 		if oldIdx != ki {
 			fresh[newIdx].parent = oldToNew[t.nodes[oldIdx].parent]
@@ -333,8 +359,9 @@ func (t *Tree) PruneBelow(keep types.Root) (int, error) {
 		index[b.Root] = int32(newIdx)
 	}
 	// The new root keeps its slot but forgets its parent, so ancestry
-	// walks terminate at it.
+	// walks terminate at it; any segment folded below it is gone too.
 	fresh[0].block.Parent = keep
+	fresh[0].foldedBelow = 0
 	for i := int32(1); i < int32(len(fresh)); i++ {
 		p := fresh[i].parent
 		if fresh[p].firstChild == NoIndex {
@@ -370,6 +397,149 @@ func (t *Tree) preorder(root int32, out *[]int32) {
 			stack[a], stack[b] = stack[b], stack[a]
 		}
 	}
+}
+
+// Compact folds the cold interior of the tree into summary segments,
+// PruneBelow's sibling for runs where finality — and therefore pruning —
+// never happens (an inactivity leak). A block survives compaction iff it
+//
+//   - sits at or above the retention horizon (Slot >= olderThan),
+//   - is the effective root,
+//   - is protected by the keep predicate (vote targets, checkpoint
+//     anchors — whatever the caller still addresses by root), or
+//   - is a branch point of the surviving set (the lowest common ancestor
+//     of two survivors), so ancestry relations among survivors persist.
+//
+// Everything else — the unbranched non-finalized spine and dead side
+// branches carrying no protected root — is folded away: each survivor's
+// parent link jumps to its nearest surviving ancestor (an ancestor-skip
+// link), its Block.Parent is rewritten to that ancestor's root so
+// root-chain walks stay closed, and foldedBelow records the segment
+// length. Version is bumped so incremental consumers rebuild. Returns the
+// number of blocks folded (0 leaves the tree and Version untouched).
+//
+// IsAncestor and CommonAncestor remain exact over surviving blocks.
+// AncestorAt queries below olderThan may answer ErrCompactedRange.
+func (t *Tree) Compact(olderThan types.Slot, keep func(types.Root) bool) int {
+	n := int32(len(t.nodes))
+	if n <= 1 {
+		return 0
+	}
+	mark := make([]bool, n)
+	mark[0] = true
+	retained := int32(1)
+	for i := int32(1); i < n; i++ {
+		b := &t.nodes[i].block
+		if b.Slot >= olderThan || (keep != nil && keep(b.Root)) {
+			mark[i] = true
+			retained++
+		}
+	}
+	// LCA closure, leaf-to-root (children have larger indices, so each
+	// node's child counts are final when visited): a node with two or more
+	// children whose subtrees carry survivors is a branch point of the
+	// surviving set and must survive itself.
+	childrenWith := make([]int8, n)
+	for i := n - 1; i >= 1; i-- {
+		if !mark[i] && childrenWith[i] >= 2 {
+			mark[i] = true
+			retained++
+		}
+		if mark[i] || childrenWith[i] > 0 {
+			if p := t.nodes[i].parent; childrenWith[p] < 2 {
+				childrenWith[p]++
+			}
+		}
+	}
+	if retained == n {
+		return 0
+	}
+	// Nearest surviving ancestor and folded-gap length, root-to-leaf: a
+	// dropped node accumulates its own segment history (foldedBelow) plus
+	// itself into the gap its surviving descendants inherit.
+	nrAnc := make([]int32, n)
+	gap := make([]int32, n)
+	nrAnc[0] = NoIndex
+	for i := int32(1); i < n; i++ {
+		p := t.nodes[i].parent
+		if mark[p] {
+			nrAnc[i] = p
+			gap[i] = t.nodes[i].foldedBelow
+		} else {
+			nrAnc[i] = nrAnc[p]
+			gap[i] = t.nodes[i].foldedBelow + 1 + gap[p]
+		}
+	}
+	// Rebuild in ascending index order: survivors keep their relative
+	// order, so the array stays topological.
+	fresh := make([]node, 0, retained)
+	index := make(map[types.Root]int32, retained)
+	oldToNew := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		if !mark[i] {
+			oldToNew[i] = NoIndex
+			continue
+		}
+		nd := node{
+			block:       t.nodes[i].block,
+			parent:      NoIndex,
+			firstChild:  NoIndex,
+			lastChild:   NoIndex,
+			nextSibling: NoIndex,
+			foldedBelow: gap[i],
+		}
+		if i != 0 {
+			np := oldToNew[nrAnc[i]]
+			nd.parent = np
+			nd.block.Parent = fresh[np].block.Root
+		}
+		oldToNew[i] = int32(len(fresh))
+		index[nd.block.Root] = oldToNew[i]
+		fresh = append(fresh, nd)
+	}
+	for i := int32(1); i < int32(len(fresh)); i++ {
+		p := fresh[i].parent
+		if fresh[p].firstChild == NoIndex {
+			fresh[p].firstChild = i
+		} else {
+			fresh[fresh[p].lastChild].nextSibling = i
+		}
+		fresh[p].lastChild = i
+	}
+	removed := int(n) - len(fresh)
+	t.nodes = fresh
+	t.index = index
+	t.folded += removed
+	t.version++
+	return removed
+}
+
+// Stats reports the tree's retained-state sizes: the memory-growth half of
+// the leak-depth story.
+type Stats struct {
+	// Nodes is the live block count (Len).
+	Nodes int
+	// Segments counts skip links currently summarizing a folded run.
+	Segments int
+	// Folded is the lifetime count of blocks removed by Compact.
+	Folded int
+	// Bytes approximates the retained heap footprint (node array plus
+	// root index).
+	Bytes int
+}
+
+// Stats computes the current Stats by one scan of the node array.
+func (t *Tree) Stats() Stats {
+	s := Stats{Nodes: len(t.nodes), Folded: t.folded}
+	for i := range t.nodes {
+		if t.nodes[i].foldedBelow > 0 {
+			s.Segments++
+		}
+	}
+	// Rough per-entry map cost: key, value, and bucket overhead.
+	const mapEntryBytes = int(unsafe.Sizeof(types.Root{})) + 8 + 16
+	s.Bytes = cap(t.nodes)*int(unsafe.Sizeof(node{})) + len(t.index)*mapEntryBytes
+	return s
 }
 
 // Slot returns the slot of root, or an error if unknown.

@@ -441,3 +441,185 @@ func TestPruneBumpsVersionAndReindexes(t *testing.T) {
 		t.Error("pruned branch still present")
 	}
 }
+
+// TestCompactFoldsSpine: on a deep linear chain, Compact folds everything
+// older than the watermark slot into one skip segment below the retained
+// suffix, bumps Version, and keeps ancestry exact over the survivors.
+func TestCompactFoldsSpine(t *testing.T) {
+	tree, roots := buildLinearChain(t, 50)
+	v0 := tree.Version()
+	removed := tree.Compact(40, nil)
+	if removed != 39 { // blocks 1..39 fold; genesis and 40..50 survive
+		t.Fatalf("removed = %d, want 39", removed)
+	}
+	if tree.Version() == v0 {
+		t.Error("Compact must bump Version")
+	}
+	if tree.Len() != 12 {
+		t.Errorf("len = %d, want 12", tree.Len())
+	}
+	for _, i := range []int{1, 20, 39} {
+		if tree.Has(roots[i]) {
+			t.Errorf("folded block %d still present", i)
+		}
+	}
+	// The skip link: block 40's parent pointer was rewritten to the
+	// nearest surviving ancestor (genesis), recording the gap length.
+	b40, err := tree.Block(roots[40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b40.Parent != roots[0] {
+		t.Errorf("block 40 parent = %v, want genesis", b40.Parent)
+	}
+	if !tree.IsAncestor(roots[0], roots[50]) || !tree.IsAncestor(roots[40], roots[50]) {
+		t.Error("ancestry broken across the fold")
+	}
+	st := tree.Stats()
+	if st.Nodes != 12 || st.Segments != 1 || st.Folded != 39 || st.Bytes <= 0 {
+		t.Errorf("Stats = %+v, want 12 nodes / 1 segment / 39 folded", st)
+	}
+	// Queries landing inside the folded range fail loudly instead of
+	// returning a wrong ancestor; queries at surviving slots stay exact.
+	if _, err := tree.AncestorAt(roots[50], 20); !errors.Is(err, ErrCompactedRange) {
+		t.Errorf("AncestorAt into fold: got %v, want ErrCompactedRange", err)
+	}
+	if got, err := tree.AncestorAt(roots[50], 45); err != nil || got != roots[45] {
+		t.Errorf("AncestorAt(45) = %v, %v", got, err)
+	}
+	if got, err := tree.AncestorAt(roots[50], 0); err != nil || got != roots[0] {
+		t.Errorf("AncestorAt(0) = %v, %v, want genesis", got, err)
+	}
+	// The tree still extends normally.
+	if err := tree.Add(Block{Slot: 51, Root: root(51), Parent: roots[50]}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactKeepsPinnedRoots: pinned roots survive inside the folded
+// range, splitting the spine into multiple skip segments, and a second
+// compaction accumulates gap lengths instead of losing history.
+func TestCompactKeepsPinnedRoots(t *testing.T) {
+	tree, roots := buildLinearChain(t, 50)
+	pin := roots[20]
+	removed := tree.Compact(40, func(r types.Root) bool { return r == pin })
+	if removed != 38 {
+		t.Fatalf("removed = %d, want 38", removed)
+	}
+	if !tree.Has(pin) {
+		t.Fatal("pinned root folded")
+	}
+	if got, err := tree.AncestorAt(roots[50], 20); err != nil || got != pin {
+		t.Errorf("AncestorAt(pinned slot) = %v, %v", got, err)
+	}
+	if st := tree.Stats(); st.Segments != 2 || st.Folded != 38 {
+		t.Errorf("Stats = %+v, want 2 segments / 38 folded", st)
+	}
+	// Unpin and recompact: the pinned survivor folds too, and block 40's
+	// skip segment absorbs both prior gaps plus the dropped node itself.
+	if r2 := tree.Compact(40, nil); r2 != 1 {
+		t.Fatalf("second compact removed %d, want 1", r2)
+	}
+	if st := tree.Stats(); st.Segments != 1 || st.Folded != 39 {
+		t.Errorf("Stats after recompact = %+v, want 1 segment / 39 folded", st)
+	}
+	if b40, err := tree.Block(roots[40]); err != nil || b40.Parent != roots[0] {
+		t.Errorf("block 40 parent after recompact = %v, %v", b40, err)
+	}
+}
+
+// TestCompactPreservesBranchPoints: an old, unpinned fork node whose both
+// subtrees carry survivors is retained by the LCA closure, so
+// CommonAncestor stays exact over the surviving set.
+func TestCompactPreservesBranchPoints(t *testing.T) {
+	tree := New(root(0))
+	prev := root(0)
+	var forkRoot types.Root
+	for i := 1; i <= 10; i++ {
+		b := Block{Slot: types.Slot(i), Root: root(uint64(i)), Parent: prev}
+		mustAdd(t, tree, b)
+		prev = b.Root
+	}
+	forkRoot = prev // slot 10
+	// Two branches from the fork, both reaching past the watermark.
+	for side, base := range []uint64{100, 200} {
+		p := forkRoot
+		for i := 11; i <= 45; i++ {
+			b := Block{Slot: types.Slot(i), Root: root(base + uint64(i)), Parent: p}
+			mustAdd(t, tree, b)
+			p = b.Root
+		}
+		_ = side
+	}
+	removed := tree.Compact(40, nil)
+	if removed == 0 {
+		t.Fatal("expected compaction")
+	}
+	if !tree.Has(forkRoot) {
+		t.Fatal("branch point folded despite surviving subtrees on both sides")
+	}
+	tipA, tipB := root(100+45), root(200+45)
+	if ca, err := tree.CommonAncestor(tipA, tipB); err != nil || ca != forkRoot {
+		t.Errorf("CommonAncestor = %v, %v, want fork root", ca, err)
+	}
+	if tree.IsAncestor(tipA, tipB) || !tree.IsAncestor(forkRoot, tipA) {
+		t.Error("ancestry wrong across compacted fork")
+	}
+}
+
+// TestCompactDropsDeadBranches: a side branch that is entirely old and
+// unpinned disappears wholesale — no branch point is retained for it.
+func TestCompactDropsDeadBranches(t *testing.T) {
+	tree, roots := buildLinearChain(t, 50)
+	// Dead side branch off block 5, tip at slot 8.
+	mustAdd(t, tree, Block{Slot: 6, Root: root(300), Parent: roots[5]})
+	mustAdd(t, tree, Block{Slot: 7, Root: root(301), Parent: root(300)})
+	mustAdd(t, tree, Block{Slot: 8, Root: root(302), Parent: root(301)})
+	removed := tree.Compact(40, nil)
+	if removed != 42 { // 39 spine blocks + 3 dead-branch blocks
+		t.Fatalf("removed = %d, want 42", removed)
+	}
+	for _, r := range []types.Root{root(300), root(301), root(302), roots[5]} {
+		if tree.Has(r) {
+			t.Errorf("dead branch block %v survived", r)
+		}
+	}
+	if leaves := tree.Leaves(); len(leaves) != 1 || leaves[0].Root != roots[50] {
+		t.Errorf("leaves after compact = %v", leaves)
+	}
+}
+
+// TestCompactNoop: when everything is retained (watermark at or below the
+// oldest block), Compact returns 0 and does not bump Version.
+func TestCompactNoop(t *testing.T) {
+	tree, _ := buildLinearChain(t, 10)
+	v0 := tree.Version()
+	if removed := tree.Compact(0, nil); removed != 0 {
+		t.Fatalf("removed = %d, want 0", removed)
+	}
+	if tree.Version() != v0 {
+		t.Error("no-op Compact must not bump Version")
+	}
+}
+
+// TestCompactCloneIndependence: Clone deep-copies compacted state — skip
+// links, fold counters, and index — bit-identically and independently.
+func TestCompactCloneIndependence(t *testing.T) {
+	tree, roots := buildLinearChain(t, 50)
+	tree.Compact(40, nil)
+	clone := tree.Clone()
+	if clone.Stats() != tree.Stats() {
+		t.Fatalf("clone stats %+v != original %+v", clone.Stats(), tree.Stats())
+	}
+	if clone.Version() != tree.Version() {
+		t.Error("clone must carry Version")
+	}
+	// Divergence after cloning stays local.
+	mustAdd(t, clone, Block{Slot: 51, Root: root(400), Parent: roots[50]})
+	if tree.Has(root(400)) {
+		t.Error("clone write leaked into original")
+	}
+	if _, err := clone.AncestorAt(root(400), 20); !errors.Is(err, ErrCompactedRange) {
+		t.Error("clone lost skip-segment ambiguity guard")
+	}
+}

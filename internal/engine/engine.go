@@ -292,8 +292,44 @@ type RunMeta struct {
 	// DurationMS is the wall-clock time of the cell's computation in
 	// milliseconds.
 	DurationMS float64 `json:"duration_ms,omitempty"`
+	// EpochsPerSec is the sustained simulation throughput of the cell
+	// (simulated epochs divided by wall-clock seconds). Zero for
+	// non-simulation scenarios.
+	EpochsPerSec float64 `json:"epochs_per_sec,omitempty"`
+	// Sim carries end-of-run simulation retention statistics. Nil for
+	// non-simulation scenarios.
+	Sim *SimStats `json:"sim,omitempty"`
 	// Cached marks a result served from a cache instead of recomputed.
 	Cached bool `json:"cached,omitempty"`
+}
+
+// SimStats summarizes what a simulation still held in memory when it
+// finished: block-tree node columns across all materialized views (after
+// any pruning/compaction), the skip-segment and folded-block counts spine
+// compaction produced, and the fork-choice engines' column footprint.
+type SimStats struct {
+	TreeNodes    int `json:"tree_nodes,omitempty"`
+	TreeSegments int `json:"tree_segments,omitempty"`
+	TreeFolded   int `json:"tree_folded,omitempty"`
+	TreeBytes    int `json:"tree_bytes,omitempty"`
+	OracleNodes  int `json:"oracle_nodes,omitempty"`
+	EngineBytes  int `json:"engine_bytes,omitempty"`
+}
+
+// Merged returns m with the non-deterministic fields of prior carried
+// over where m itself has none — serving layers stamp their own
+// duration/cache provenance without erasing the throughput a scenario
+// measured.
+func (m RunMeta) Merged(prior *RunMeta) *RunMeta {
+	if prior != nil {
+		if m.EpochsPerSec == 0 {
+			m.EpochsPerSec = prior.EpochsPerSec
+		}
+		if m.Sim == nil {
+			m.Sim = prior.Sim
+		}
+	}
+	return &m
 }
 
 // WithoutMeta returns a copy of r with execution metadata stripped, for

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/behavior"
@@ -76,6 +77,30 @@ func init() {
 		runSimSemiActive))
 }
 
+// simMeta stamps a simulation result with its sustained throughput —
+// simulated epochs per wall-clock second — so sweep and server consumers
+// see a cell's cost without running benchmarks. Serving layers merge
+// their own duration/cache fields on top (RunMeta.Merged) rather than
+// overwriting this.
+func simMeta(s *sim.Simulation, elapsed time.Duration) *RunMeta {
+	st := s.Stats()
+	meta := &RunMeta{
+		Sim: &SimStats{
+			TreeNodes:    st.Tree.Nodes,
+			TreeSegments: st.Tree.Segments,
+			TreeFolded:   st.Tree.Folded,
+			TreeBytes:    st.Tree.Bytes,
+			OracleNodes:  st.Oracle.Nodes,
+			EngineBytes:  st.Engine.Bytes,
+		},
+	}
+	epochs := float64(uint64(s.Slot()) / s.Cfg.Spec.SlotsPerEpoch)
+	if secs := elapsed.Seconds(); secs > 0 && epochs > 0 {
+		meta.EpochsPerSec = epochs / secs
+	}
+	return meta
+}
+
 // runEpochsContext advances the simulation one epoch at a time, checking
 // cancellation between epochs (a protocol epoch is orders of magnitude
 // heavier than an aggregate-engine epoch).
@@ -144,6 +169,7 @@ func runSimBounce(ctx context.Context, p Params) (Result, error) {
 	initialStake := types.Gwei(uint64(p.N)) * spec.MaxEffectiveBalance
 	finalizedAtStop := types.Epoch(0)
 	minStakeRatio := 1.0
+	start := time.Now()
 	err = runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
 		m := s.MetricsAt(types.Epoch(epoch))
 		if r := float64(m.MinTotalStake) / float64(initialStake); r < minStakeRatio {
@@ -173,6 +199,7 @@ func runSimBounce(ctx context.Context, p Params) (Result, error) {
 	if stop != 0 && finalizedAtStop <= types.Epoch(p.GST) {
 		out.Outcome = fmt.Sprintf("finality stalled for %d epochs", int64(stop)-int64(p.GST))
 	}
+	out.Meta = simMeta(s, time.Since(start))
 	return out, nil
 }
 
@@ -201,9 +228,11 @@ func runSimDrops(ctx context.Context, p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
 	if err := runEpochsContext(ctx, s, p.Horizon, nil); err != nil {
 		return Result{}, err
 	}
+	elapsed := time.Since(start)
 	final := s.MetricsAt(types.Epoch(p.Horizon))
 	minFin, maxFin := final.MinFinalized, final.MaxFinalized
 	// On a lossless run the last processed boundary (start of epoch h-1)
@@ -225,6 +254,7 @@ func runSimDrops(ctx context.Context, p Params) (Result, error) {
 	if lag == 0 {
 		out.Outcome = "finality unharmed"
 	}
+	out.Meta = simMeta(s, elapsed)
 	return out, nil
 }
 
@@ -255,6 +285,7 @@ func runSimGST(ctx context.Context, p Params) (Result, error) {
 		return Result{}, err
 	}
 	violation := 0.0
+	start := time.Now()
 	err = runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
 		if violation == 0 {
 			if v := s.CheckFinalitySafety(); v != nil {
@@ -282,6 +313,7 @@ func runSimGST(ctx context.Context, p Params) (Result, error) {
 	case recovered:
 		out.Outcome = "healed, finality recovered"
 	}
+	out.Meta = simMeta(s, time.Since(start))
 	return out, nil
 }
 
@@ -365,16 +397,20 @@ func runSimLeak(ctx context.Context, p Params) (Result, error) {
 
 	var curve []CurvePoint
 	minStakeRatio := 1.0
+	start := time.Now()
 	conflict, err := runToConflict(ctx, s, p, &curve, &minStakeRatio)
 	if err != nil {
 		return Result{}, err
 	}
+	elapsed := time.Since(start)
 
 	bc, err := analytic.ContinuousParams().ConflictingFinalization(analytic.HonestOnly, p.P0, 0)
 	if err != nil {
 		return Result{}, err
 	}
-	return conflictResult(p, conflict, "analytic_epoch", bc.ConflictEpoch, nil, minStakeRatio, curve), nil
+	res := conflictResult(p, conflict, "analytic_epoch", bc.ConflictEpoch, nil, minStakeRatio, curve)
+	res.Meta = simMeta(s, elapsed)
+	return res, nil
 }
 
 // conflictResult assembles the shared result shape of the long-horizon
@@ -445,10 +481,12 @@ func runSimSemiActive(ctx context.Context, p Params) (Result, error) {
 
 	var curve []CurvePoint
 	minStakeRatio := 1.0
+	start := time.Now()
 	conflict, err := runToConflict(ctx, s, p, &curve, &minStakeRatio)
 	if err != nil {
 		return Result{}, err
 	}
+	elapsed := time.Since(start)
 
 	// The aggregate two-branch engine (Tables 2-3) on identical
 	// parameters: the mechanism-level anchor the full protocol should
@@ -458,6 +496,8 @@ func runSimSemiActive(ctx context.Context, p Params) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return conflictResult(p, conflict, "aggregate_epoch", float64(anchorRes.ConflictEpoch),
-		[]Metric{{Name: "gait_epoch", Value: float64(adv.GaitFrom())}}, minStakeRatio, curve), nil
+	res := conflictResult(p, conflict, "aggregate_epoch", float64(anchorRes.ConflictEpoch),
+		[]Metric{{Name: "gait_epoch", Value: float64(adv.GaitFrom())}}, minStakeRatio, curve)
+	res.Meta = simMeta(s, elapsed)
+	return res, nil
 }

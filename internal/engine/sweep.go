@@ -433,7 +433,7 @@ func SweepStream(ctx context.Context, cells []Cell, opt Options) <-chan Update {
 					if err != nil {
 						r = failedCell(reg, cell, err)
 					}
-					r.Meta = &RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}
+					r.Meta = RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}.Merged(r.Meta)
 					res = r
 				}
 				finished <- indexed{i, res}

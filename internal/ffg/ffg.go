@@ -109,6 +109,12 @@ func (e *Engine) pruneJustified() {
 // LatestJustified returns the highest-epoch justified checkpoint.
 func (e *Engine) LatestJustified() types.Checkpoint { return e.latestJustified }
 
+// Justifieds returns the retained justified checkpoints in justification
+// order. The returned slice is the engine's own backing store — callers
+// must treat it as read-only (it exists so block-tree compaction can pin
+// every checkpoint root without copying).
+func (e *Engine) Justifieds() []types.Checkpoint { return e.justified }
+
 // Finalized returns the highest-epoch finalized checkpoint.
 func (e *Engine) Finalized() types.Checkpoint { return e.finalized }
 

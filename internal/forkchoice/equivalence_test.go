@@ -125,7 +125,7 @@ func TestProtoArrayMatchesOracleRandomized(t *testing.T) {
 
 		slot := types.Slot(1)
 		for step := 0; step < steps; step++ {
-			switch op := rng.Intn(10); {
+			switch op := rng.Intn(11); {
 			case op < 3: // grow the tree
 				addBlock()
 			case op < 8: // vote, possibly for a block not yet in the tree
@@ -152,12 +152,25 @@ func TestProtoArrayMatchesOracleRandomized(t *testing.T) {
 					stakes[v] = 32_000_000_000 // restored
 				}
 				pushStakes()
-			default: // finalization prune
+			case op < 10: // finalization prune
 				roots := treeRoots()
 				keep := roots[rng.Intn(len(roots))]
 				if _, err := tree.PruneBelow(keep); err != nil {
 					t.Fatal(err)
 				}
+			default: // spine compaction pinning live vote targets
+				roots := treeRoots()
+				wm, err := tree.Slot(roots[rng.Intn(len(roots))])
+				if err != nil {
+					t.Fatal(err)
+				}
+				pinned := map[types.Root]bool{}
+				for v := types.ValidatorIndex(0); v < validators; v++ {
+					if m, ok := proto.Latest(v); ok {
+						pinned[m.Root] = true
+					}
+				}
+				tree.Compact(wm, func(r types.Root) bool { return pinned[r] })
 			}
 			check(step)
 		}
@@ -267,4 +280,70 @@ func TestProtoArraySteadyStateHeadDoesNotAllocate(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state Head allocates %.1f times per call, want 0", allocs)
 	}
+}
+
+// TestProtoArrayCompactRebuildDeepChainWithParkedVotes covers the
+// Compact -> Version-bump -> engine-rebuild path at leak depth: a
+// 2000-block spine folds down to its recent suffix while parked
+// (unresolved) votes survive the rebuild and resolve the instant their
+// block arrives, bit-identically to the oracle throughout.
+func TestProtoArrayCompactRebuildDeepChainWithParkedVotes(t *testing.T) {
+	const depth = 2000
+	tree := blocktree.New(root(0))
+	for i := 1; i <= depth; i++ {
+		b := blocktree.Block{Slot: types.Slot(i), Root: root(uint64(i)), Parent: root(uint64(i - 1))}
+		if err := tree.Add(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proto := NewProtoArray()
+	oracle := NewOracle()
+	engines := []Engine{proto, oracle}
+	for _, e := range engines {
+		e.UpdateStakes(8, flatStake)
+	}
+	inFlight := root(999999) // voted for before it exists in any view
+	for _, e := range engines {
+		e.Process(0, root(depth), 1)
+		e.Process(1, root(depth), 1)
+		e.Process(2, root(1990), 1)
+		e.Process(3, inFlight, 1)
+		e.Process(4, inFlight, 1)
+		e.Process(5, inFlight, 1)
+	}
+	heads := func(label string, want types.Root) {
+		t.Helper()
+		ph, perr := proto.Head(tree, root(0))
+		oh, oerr := oracle.Head(tree, root(0))
+		if perr != nil || oerr != nil || ph != oh {
+			t.Fatalf("%s: heads diverge: proto %v (%v), oracle %v (%v)", label, ph, perr, oh, oerr)
+		}
+		if ph != want {
+			t.Fatalf("%s: head = %v, want %v", label, ph, want)
+		}
+	}
+	heads("pre-compaction", root(depth))
+
+	v0 := tree.Version()
+	pinned := map[types.Root]bool{}
+	for v := types.ValidatorIndex(0); v < 8; v++ {
+		if m, ok := proto.Latest(v); ok {
+			pinned[m.Root] = true
+		}
+	}
+	removed := tree.Compact(1900, func(r types.Root) bool { return pinned[r] })
+	if removed != 1899 {
+		t.Fatalf("removed = %d, want 1899", removed)
+	}
+	if tree.Version() == v0 {
+		t.Fatal("Compact must bump Version to force engine rebuilds")
+	}
+	heads("post-compaction rebuild", root(depth))
+
+	// The in-flight block lands on a surviving branch point: the parked
+	// votes (3 x flat stake vs 2 on the old tip) flip the head at once.
+	if err := tree.Add(blocktree.Block{Slot: 1991, Root: inFlight, Parent: root(1990)}); err != nil {
+		t.Fatal(err)
+	}
+	heads("parked votes resolved", inFlight)
 }

@@ -113,3 +113,64 @@ func TestHeadStableUnderVoteOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEngineEquivalenceUnderCompactionProperty: compacting the block tree
+// mid-stream (pinning live vote targets, as beacon nodes do) never
+// diverges the incremental proto-array from the recompute-everything
+// oracle — neither right after the forced rebuild nor after further votes
+// land on the compacted tree — and the head stays a leaf in the genesis
+// subtree.
+func TestEngineEquivalenceUnderCompactionProperty(t *testing.T) {
+	f := func(seed int64, votes, wmSel uint8) bool {
+		const n = 24
+		rng := rand.New(rand.NewSource(seed))
+		tree, roots := randomTree(rng, 40)
+		proto := NewProtoArray()
+		oracle := NewOracle()
+		stake := func(types.ValidatorIndex) types.Gwei { return 32 }
+		proto.UpdateStakes(n, stake)
+		oracle.UpdateStakes(n, stake)
+		vote := func(v int) {
+			target := roots[rng.Intn(len(roots))]
+			proto.Process(types.ValidatorIndex(v), target, types.Slot(v+1))
+			oracle.Process(types.ValidatorIndex(v), target, types.Slot(v+1))
+		}
+		for v := 0; v < int(votes%n); v++ {
+			vote(v)
+		}
+		if _, err := proto.Head(tree, tree.Genesis()); err != nil {
+			return false
+		}
+		wm, err := tree.Slot(roots[int(wmSel)%len(roots)])
+		if err != nil {
+			return false
+		}
+		pinned := map[types.Root]bool{}
+		for v := types.ValidatorIndex(0); v < n; v++ {
+			if m, ok := proto.Latest(v); ok {
+				pinned[m.Root] = true
+			}
+		}
+		tree.Compact(wm, func(r types.Root) bool { return pinned[r] })
+		agree := func() bool {
+			ph, err1 := proto.Head(tree, tree.Genesis())
+			oh, err2 := oracle.Head(tree, tree.Genesis())
+			if err1 != nil || err2 != nil || ph != oh {
+				return false
+			}
+			return tree.IsAncestor(tree.Genesis(), ph) && len(tree.Children(ph)) == 0
+		}
+		if !agree() {
+			return false
+		}
+		// Keep voting on the compacted tree: survivors stay addressable,
+		// folded targets park identically in both engines.
+		for v := 0; v < 8; v++ {
+			vote(v)
+		}
+		return agree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -2,6 +2,7 @@ package forkchoice
 
 import (
 	"fmt"
+	"unsafe"
 
 	"repro/internal/blocktree"
 	"repro/internal/types"
@@ -15,19 +16,29 @@ import (
 // Latest messages live in columnar per-validator slices. When a
 // validator's vote moves from block A to B — or its stake changes with a
 // justified-state advance — nothing is walked: the stake is queued as a
-// negative delta on A and a positive delta on B, and the next head query
-// propagates all pending deltas leaf-to-root in one O(tree) pass (the
-// array order is topological, so a single reverse sweep both settles every
-// subtree weight and refreshes the best-child/best-descendant caches).
-// A head query with no pending work is a pointer read: O(1), zero
-// allocations, independent of validator count.
+// negative delta on A and a positive delta on B, and the touched nodes
+// join a frontier worklist. The next head query settles only the paths
+// from touched nodes to the root: a max-index heap pops nodes children
+// first (the array order is topological, so a child's index always
+// exceeds its parent's), each pop folds the node's delta into its weight,
+// pushes the delta to its parent, and re-scans its children for the
+// best-child/best-descendant caches — O(changed paths), independent of
+// tree size. A head query with no pending work is a pointer read: O(1),
+// zero allocations, independent of validator count.
+//
+// The canonical chain (the best-child path from the array root) is cached
+// and maintained incrementally: settling records the shallowest canonical
+// position whose best-child pointer flipped and re-descends only from
+// there, so filtered head queries walk cached positions instead of
+// re-scanning siblings level by level.
 //
 // Votes targeting blocks the view has not received yet are parked in an
 // unresolved list and re-queued when the tree grows, exactly matching the
-// oracle's "ignore votes for missing blocks" semantics. PruneBelow bumps
-// the tree's Version, which voids the index space; the engine detects it
-// and rebuilds from the retained votes (an O(validators + tree) event that
-// happens only when finality advances).
+// oracle's "ignore votes for missing blocks" semantics. PruneBelow and
+// Compact bump the tree's Version, which voids the index space; the
+// engine detects it and rebuilds from the retained votes (an
+// O(validators + tree) event that happens only when finality advances or
+// the tree folds its cold spine).
 type ProtoArray struct {
 	// Per-validator columns (latest messages and applied weight state).
 	voteRoot     []types.Root
@@ -53,7 +64,17 @@ type ProtoArray struct {
 	deltas      []int64
 	bestChild   []int32
 	bestDesc    []int32
-	dirty       bool
+
+	// Settle frontier: node indices with a pending delta or a child whose
+	// weight/best pointers moved, kept as a max-index heap so children
+	// always pop before their parents.
+	touched   []int32
+	inTouched []bool
+
+	// Canonical-chain cache: canon is the best-child path from the array
+	// root; canonPos[i] is i's position on that path, -1 when off-chain.
+	canon    []int32
+	canonPos []int32
 }
 
 // NewProtoArray returns an empty incremental engine.
@@ -128,7 +149,7 @@ func (p *ProtoArray) UpdateStakes(n int, stake func(types.ValidatorIndex) types.
 
 // sync brings the node columns up to date with tree: rebuild on identity or
 // version change, extend on growth, then apply queued vote deltas and — if
-// anything moved — run the one-pass weight/best-pointer recompute.
+// anything moved — settle the touched frontier up to the root.
 func (p *ProtoArray) sync(tree *blocktree.Tree) {
 	if tree != p.tree || tree.Version() != p.treeVersion {
 		p.rebuild(tree)
@@ -136,14 +157,18 @@ func (p *ProtoArray) sync(tree *blocktree.Tree) {
 	}
 	if n := tree.Len(); n > len(p.weights) {
 		for len(p.weights) < n {
+			i := int32(len(p.weights))
 			p.weights = append(p.weights, 0)
 			p.deltas = append(p.deltas, 0)
 			p.bestChild = append(p.bestChild, blocktree.NoIndex)
-			p.bestDesc = append(p.bestDesc, blocktree.NoIndex)
+			p.bestDesc = append(p.bestDesc, i)
+			p.inTouched = append(p.inTouched, false)
+			p.canonPos = append(p.canonPos, -1)
+			// Even with no votes, a fresh leaf can win its parent's
+			// tie-break, so the parent must re-scan its children.
+			p.touch(tree.ParentIndex(i))
 		}
-		// New blocks arrived: even with no votes, a fresh leaf can win a
-		// tie-break, and parked votes may now resolve.
-		p.dirty = true
+		// Parked votes may now resolve against the new blocks.
 		for _, v := range p.unresolved {
 			p.inUnresolved[v] = false
 			p.markChanged(v)
@@ -151,8 +176,8 @@ func (p *ProtoArray) sync(tree *blocktree.Tree) {
 		p.unresolved = p.unresolved[:0]
 	}
 	p.applyChanged(tree)
-	if p.dirty {
-		p.recompute(tree)
+	if len(p.touched) > 0 {
+		p.settle(tree)
 	}
 }
 
@@ -176,12 +201,12 @@ func (p *ProtoArray) applyChanged(tree *blocktree.Tree) {
 		}
 		if p.appliedIdx[v] != blocktree.NoIndex && p.appliedStake[v] != 0 {
 			p.deltas[p.appliedIdx[v]] -= int64(p.appliedStake[v])
-			p.dirty = true
+			p.touch(p.appliedIdx[v])
 		}
 		if newIdx != blocktree.NoIndex {
 			if newStake != 0 {
 				p.deltas[newIdx] += int64(newStake)
-				p.dirty = true
+				p.touch(newIdx)
 			}
 			p.appliedIdx[v] = newIdx
 			p.appliedStake[v] = newStake
@@ -200,6 +225,116 @@ func (p *ProtoArray) parkUnresolved(v int32, resolvedIdx int32) {
 	if resolvedIdx == blocktree.NoIndex && p.hasVote[v] && !p.inUnresolved[v] {
 		p.inUnresolved[v] = true
 		p.unresolved = append(p.unresolved, v)
+	}
+}
+
+// touch enqueues node i on the settle frontier (deduped max-index heap).
+func (p *ProtoArray) touch(i int32) {
+	if i == blocktree.NoIndex || p.inTouched[i] {
+		return
+	}
+	p.inTouched[i] = true
+	p.touched = append(p.touched, i)
+	k := len(p.touched) - 1
+	for k > 0 {
+		up := (k - 1) / 2
+		if p.touched[up] >= p.touched[k] {
+			break
+		}
+		p.touched[up], p.touched[k] = p.touched[k], p.touched[up]
+		k = up
+	}
+}
+
+// popTouched removes and returns the highest node index on the frontier.
+func (p *ProtoArray) popTouched() int32 {
+	top := p.touched[0]
+	p.inTouched[top] = false
+	n := len(p.touched) - 1
+	p.touched[0] = p.touched[n]
+	p.touched = p.touched[:n]
+	k := 0
+	for {
+		c := 2*k + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && p.touched[c+1] > p.touched[c] {
+			c++
+		}
+		if p.touched[k] >= p.touched[c] {
+			break
+		}
+		p.touched[k], p.touched[c] = p.touched[c], p.touched[k]
+		k = c
+	}
+	return top
+}
+
+// settle drains the frontier children-first: each pop folds the node's
+// pending delta into its weight, refreshes its best-child/best-descendant
+// cache from its (already settled) children, and propagates the delta to
+// its parent — re-touching the parent only when something it can observe
+// actually moved. The array is topological (a child's index always exceeds
+// its parent's) and the heap pops by descending index, so every touched
+// node is processed exactly once and cost is proportional to the paths
+// from changed nodes to the root, not to tree size. When a best-child
+// pointer on the canonical chain flips, the chain is re-descended from the
+// shallowest flip only.
+func (p *ProtoArray) settle(tree *blocktree.Tree) {
+	minFlip := int32(-1)
+	for len(p.touched) > 0 {
+		i := p.popTouched()
+		d := p.deltas[i]
+		if d != 0 {
+			p.weights[i] = types.Gwei(int64(p.weights[i]) + d)
+			p.deltas[i] = 0
+		}
+		oldBC, oldBD := p.bestChild[i], p.bestDesc[i]
+		bc := blocktree.NoIndex
+		for c := tree.FirstChild(i); c != blocktree.NoIndex; c = tree.NextSibling(c) {
+			if bc == blocktree.NoIndex || p.weights[c] > p.weights[bc] ||
+				(p.weights[c] == p.weights[bc] && lessRoot(tree.BlockAt(c).Root, tree.BlockAt(bc).Root)) {
+				bc = c
+			}
+		}
+		p.bestChild[i] = bc
+		bd := i
+		if bc != blocktree.NoIndex {
+			bd = p.bestDesc[bc]
+		}
+		p.bestDesc[i] = bd
+		if bc != oldBC {
+			if pos := p.canonPos[i]; pos >= 0 && (minFlip < 0 || pos < minFlip) {
+				minFlip = pos
+			}
+		}
+		if pi := tree.ParentIndex(i); pi != blocktree.NoIndex {
+			if d != 0 {
+				p.deltas[pi] += d
+				p.touch(pi)
+			} else if bd != oldBD {
+				p.touch(pi)
+			}
+		}
+	}
+	if minFlip >= 0 {
+		p.extendCanon(minFlip)
+	}
+}
+
+// extendCanon truncates the canonical chain at position from and re-follows
+// best-child pointers down to the new tip.
+func (p *ProtoArray) extendCanon(from int32) {
+	for _, i := range p.canon[from+1:] {
+		p.canonPos[i] = -1
+	}
+	p.canon = p.canon[:from+1]
+	i := p.canon[from]
+	for p.bestChild[i] != blocktree.NoIndex {
+		i = p.bestChild[i]
+		p.canonPos[i] = int32(len(p.canon))
+		p.canon = append(p.canon, i)
 	}
 }
 
@@ -224,6 +359,24 @@ func (p *ProtoArray) rebuild(tree *blocktree.Tree) {
 		p.weights[i] = 0
 		p.deltas[i] = 0
 	}
+	p.touched = p.touched[:0]
+	if cap(p.inTouched) < n {
+		p.inTouched = make([]bool, n)
+	} else {
+		p.inTouched = p.inTouched[:n]
+		for i := range p.inTouched {
+			p.inTouched[i] = false
+		}
+	}
+	if cap(p.canonPos) < n {
+		p.canonPos = make([]int32, n)
+	} else {
+		p.canonPos = p.canonPos[:n]
+	}
+	for i := range p.canonPos {
+		p.canonPos[i] = -1
+	}
+	p.canon = p.canon[:0]
 	for _, v := range p.changed {
 		p.inChanged[v] = false
 	}
@@ -248,14 +401,17 @@ func (p *ProtoArray) rebuild(tree *blocktree.Tree) {
 			p.unresolved = append(p.unresolved, int32(v))
 		}
 	}
-	p.dirty = true
 	p.recompute(tree)
+	p.canon = append(p.canon, 0)
+	p.canonPos[0] = 0
+	p.extendCanon(0)
 }
 
 // recompute settles pending deltas into subtree weights and refreshes the
-// best-child/best-descendant caches in one reverse (leaf-to-root) pass.
-// The array is topological, so by the time a node is visited every child's
-// weight and best descendant are final.
+// best-child/best-descendant caches in one reverse (leaf-to-root) pass —
+// the full-array sweep, used only by rebuild; incremental updates go
+// through settle. The array is topological, so by the time a node is
+// visited every child's weight and best descendant are final.
 func (p *ProtoArray) recompute(tree *blocktree.Tree) {
 	for i := int32(len(p.weights)) - 1; i >= 0; i-- {
 		if d := p.deltas[i]; d != 0 {
@@ -279,7 +435,6 @@ func (p *ProtoArray) recompute(tree *blocktree.Tree) {
 			p.bestDesc[i] = p.bestDesc[bc]
 		}
 	}
-	p.dirty = false
 }
 
 // Head implements Engine: sync, then chase the cached best-descendant
@@ -295,9 +450,12 @@ func (p *ProtoArray) Head(tree *blocktree.Tree, start types.Root) (types.Root, e
 
 // HeadFiltered implements Engine. With a visibility filter the cached best
 // pointers may reference hidden blocks, so the descent excludes them on the
-// fly: at each node the best visible child is picked directly from the
-// settled weights — still O(depth · branching) over an already-synced
-// array, with no per-call weight rebuild.
+// fly. While the walk is on the canonical chain it follows the cached path
+// directly — the overall best child, when visible, is by definition the
+// best visible child, so each level costs one visibility check instead of
+// a sibling scan. Only when the canonical child is hidden (or the walk
+// starts off-chain) does it fall back to picking the best visible child
+// from the settled weights, exactly matching the oracle's descent.
 func (p *ProtoArray) HeadFiltered(tree *blocktree.Tree, start types.Root, visible func(types.Root) bool) (types.Root, error) {
 	if visible == nil {
 		return p.Head(tree, start)
@@ -306,6 +464,16 @@ func (p *ProtoArray) HeadFiltered(tree *blocktree.Tree, start types.Root, visibl
 	i, ok := tree.IndexOf(start)
 	if !ok {
 		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start)
+	}
+	if pos := p.canonPos[i]; pos >= 0 {
+		for int(pos)+1 < len(p.canon) {
+			c := p.canon[pos+1]
+			if !visible(tree.BlockAt(c).Root) {
+				break
+			}
+			pos++
+			i = c
+		}
 	}
 	for {
 		bc := blocktree.NoIndex
@@ -359,7 +527,35 @@ func (p *ProtoArray) CloneEngine() Engine {
 		deltas:       append([]int64(nil), p.deltas...),
 		bestChild:    append([]int32(nil), p.bestChild...),
 		bestDesc:     append([]int32(nil), p.bestDesc...),
-		dirty:        p.dirty,
+		touched:      append([]int32(nil), p.touched...),
+		inTouched:    append([]bool(nil), p.inTouched...),
+		canon:        append([]int32(nil), p.canon...),
+		canonPos:     append([]int32(nil), p.canonPos...),
 	}
 	return out
+}
+
+// Stats reports the sizes of the engine's retained columns: the memory
+// half of the leak-depth story. Bytes is an estimate from slice capacities
+// and element sizes (map overhead in the mirrored tree is reported by
+// blocktree.Tree.Stats, not here).
+type Stats struct {
+	Nodes      int // node-column height (mirrored tree nodes)
+	Validators int // validator-column height
+	Bytes      int // approximate retained bytes across all columns
+}
+
+// Stats returns the engine's current column sizes.
+func (p *ProtoArray) Stats() Stats {
+	rootSz := int(unsafe.Sizeof(types.Root{}))
+	bytes := cap(p.voteRoot)*rootSz +
+		cap(p.voteSlot)*8 + cap(p.hasVote) + cap(p.stakes)*8 +
+		cap(p.appliedIdx)*4 + cap(p.appliedStake)*8 +
+		cap(p.changed)*4 + cap(p.inChanged) +
+		cap(p.unresolved)*4 + cap(p.inUnresolved) +
+		cap(p.weights)*8 + cap(p.deltas)*8 +
+		cap(p.bestChild)*4 + cap(p.bestDesc)*4 +
+		cap(p.touched)*4 + cap(p.inTouched) +
+		cap(p.canon)*4 + cap(p.canonPos)*4
+	return Stats{Nodes: len(p.weights), Validators: len(p.voteRoot), Bytes: bytes}
 }

@@ -16,7 +16,7 @@ import (
 type sweepColumns struct {
 	hasBeta0, hasMode, hasSeed, hasN, hasHorizon, hasOutcome, hasErr bool
 	hasRate, hasGST                                                  bool
-	hasDuration                                                      bool
+	hasDuration, hasEps                                              bool
 	metrics                                                          []string
 }
 
@@ -34,7 +34,8 @@ func columnsOf(results []engine.Result) sweepColumns {
 		c.hasGST = c.hasGST || p.GST != 0
 		c.hasOutcome = c.hasOutcome || r.Outcome != ""
 		c.hasErr = c.hasErr || r.Err != ""
-		c.hasDuration = c.hasDuration || r.Meta != nil
+		c.hasDuration = c.hasDuration || (r.Meta != nil && (r.Meta.DurationMS != 0 || r.Meta.Cached))
+		c.hasEps = c.hasEps || (r.Meta != nil && r.Meta.EpochsPerSec != 0)
 		for _, m := range r.Metrics {
 			if !seen[m.Name] {
 				seen[m.Name] = true
@@ -74,6 +75,9 @@ func (c sweepColumns) headers() []string {
 	h = append(h, c.metrics...)
 	if c.hasDuration {
 		h = append(h, "ms")
+	}
+	if c.hasEps {
+		h = append(h, "ep/s")
 	}
 	if c.hasErr {
 		h = append(h, "error")
@@ -118,11 +122,19 @@ func (c sweepColumns) row(r engine.Result, format func(float64) string) []string
 	if c.hasDuration {
 		cell := ""
 		if r.Meta != nil {
-			if r.Meta.Cached {
+			switch {
+			case r.Meta.Cached:
 				cell = "cached"
-			} else {
+			case r.Meta.DurationMS != 0:
 				cell = fmt.Sprintf("%.3g", r.Meta.DurationMS)
 			}
+		}
+		row = append(row, cell)
+	}
+	if c.hasEps {
+		cell := ""
+		if r.Meta != nil && r.Meta.EpochsPerSec != 0 {
+			cell = fmt.Sprintf("%.4g", r.Meta.EpochsPerSec)
 		}
 		row = append(row, cell)
 	}

@@ -120,7 +120,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey(req.Scenario, req.Params.WithDefaults(sc.Defaults()))
 	if s.cache != nil {
 		if res, ok := s.cache.get(key); ok {
-			res.Meta = &engine.RunMeta{Cached: true}
+			res.Meta = engine.RunMeta{Cached: true}.Merged(res.Meta)
 			writeJSON(w, http.StatusOK, res)
 			return
 		}
@@ -206,7 +206,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		key, ok := s.cellKey(cell)
 		if ok && s.cache != nil {
 			if res, hit := s.cache.get(key); hit {
-				res.Meta = &engine.RunMeta{Cached: true}
+				res.Meta = engine.RunMeta{Cached: true}.Merged(res.Meta)
 				cached = append(cached, engine.Update{Index: i, Result: res})
 				continue
 			}
@@ -268,7 +268,7 @@ func timedRun(ctx context.Context, reg *engine.Registry, name string, p engine.P
 	if err != nil {
 		return engine.Result{}, err
 	}
-	res.Meta = &engine.RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	res.Meta = engine.RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}.Merged(res.Meta)
 	return res, nil
 }
 

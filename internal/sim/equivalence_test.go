@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/network"
 	"repro/internal/types"
 )
 
@@ -125,6 +126,19 @@ func TestCohortKernelMatchesPerValidatorOracle(t *testing.T) {
 			epochs: 8,
 		},
 		{
+			// A never-healing partition with an aggressive watermark: the
+			// compaction gates (no adversary, lossless links, GST = Never)
+			// all pass, so trees fold every epoch past the retention window
+			// in all four view/engine modes.
+			name: "lasting partition with aggressive spine compaction",
+			cfg: Config{
+				Validators: 16, Spec: types.CompressedSpec(1 << 16),
+				GST: network.Never, Delay: 1, Seed: 3,
+				PartitionOf: halfSplit(16), CompactWatermark: 32,
+			},
+			epochs: 30,
+		},
+		{
 			name: "idle byzantine bridges during partition",
 			cfg: Config{
 				Validators: 16, Spec: types.CompressedSpec(1 << 16),
@@ -195,6 +209,103 @@ func TestCohortKernelSharesViews(t *testing.T) {
 		t.Fatalf("512 validators materialized %d views, want 3", got)
 	}
 	if err := s.RunEpochs(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactionDoesNotChangeHistory is the tentpole's equivalence bar at
+// the simulation layer: spine compaction is a pure space optimization —
+// running the paper's lasting-partition leak with an aggressive watermark
+// produces the bit-identical per-epoch history and safety-violation epoch
+// as the same run with compaction disabled.
+func TestCompactionDoesNotChangeHistory(t *testing.T) {
+	base := Config{
+		Validators: 16, Spec: types.CompressedSpec(1 << 16),
+		GST: network.Never, Delay: 1, Seed: 3, PartitionOf: halfSplit(16),
+	}
+	const epochs = 30
+
+	off := base
+	off.CompactWatermark = -1
+	want, wantViolation := recordHistory(t, off, epochs)
+	if wantViolation == 0 {
+		t.Fatal("reference run never violated finality safety; the scenario lost its teeth")
+	}
+
+	on := base
+	on.CompactWatermark = 32
+	got, gotViolation := recordHistory(t, on, epochs)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("epoch %d metrics diverge under compaction:\n  compacted:  %+v\n  uncompacted: %+v",
+				want[i].Epoch, got[i], want[i])
+		}
+	}
+	if gotViolation != wantViolation {
+		t.Fatalf("violation epoch: compacted %d, uncompacted %d", gotViolation, wantViolation)
+	}
+
+	// And the optimization actually engaged: the compacted run's trees
+	// must have folded blocks, otherwise this test pins nothing.
+	s, err := New(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(epochs); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Tree.Folded == 0 {
+		t.Fatalf("compaction never fired (stats %+v); gates or watermark are wrong", st)
+	}
+}
+
+// TestSnapshotRestoreReplaysCompactedRun: Restore(Snapshot()) taken from a
+// mid-leak, already-compacted simulation replays the continuation
+// bit-identically — skip segments, fold counters, and engine columns all
+// survive the deep copy.
+func TestSnapshotRestoreReplaysCompactedRun(t *testing.T) {
+	cfg := Config{
+		Validators: 16, Spec: types.CompressedSpec(1 << 16),
+		GST: network.Never, Delay: 1, Seed: 3,
+		PartitionOf: halfSplit(16), CompactWatermark: 32,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(15); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Tree.Folded == 0 {
+		t.Fatalf("run not compacted at snapshot point (stats %+v)", st)
+	}
+	sn := s.Snapshot()
+
+	run := func() []EpochMetrics {
+		rec := &Recorder{}
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cfg.OnEpoch = rec.Hook
+		if err := r.Restore(sn); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RunEpochs(15); err != nil {
+			t.Fatal(err)
+		}
+		return rec.History
+	}
+	want := run()
+	got := run()
+	if len(want) == 0 {
+		t.Fatal("no epochs recorded after restore")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("two restores of the same compacted snapshot diverge")
+	}
+	// The original keeps running independently of its snapshot's clones.
+	if err := s.RunEpochs(15); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"repro/internal/blocktree"
 	"repro/internal/crypto"
 	"repro/internal/ffg"
+	"repro/internal/forkchoice"
 	"repro/internal/network"
 	"repro/internal/types"
 	"repro/internal/validator"
@@ -121,7 +122,29 @@ type Config struct {
 	// OnEpoch, if non-nil, is called after boundary processing of each
 	// new epoch.
 	OnEpoch func(s *Simulation, epoch types.Epoch)
+	// CompactWatermark controls cold-spine compaction of block trees
+	// during long finality stalls (blocktree.Compact). When a view's tree
+	// reaches the watermark node count at an epoch boundary, the unbranched
+	// spine older than an 8-epoch retention window is folded into skip
+	// segments, keeping fork-choice and memory cost flat at arbitrary leak
+	// depth. 0 means the default watermark (1024 nodes); < 0 disables
+	// compaction entirely; > 0 sets an explicit watermark. Compaction is
+	// behavior-neutral and automatically held off in configurations where
+	// in-flight or adversary-held messages could reference arbitrarily old
+	// roots (custom Adversary, lossy links, finite GST still in its
+	// settling window).
+	CompactWatermark int
 }
+
+// Compaction tuning: the default node-count watermark at which a view's
+// tree folds its cold spine, and the retention window (in epochs) below
+// which blocks are never folded — wide enough to cover every in-flight
+// message age under the gates maybeCompact enforces, and aligned with the
+// attestation pool's own 8-epoch pruning horizon.
+const (
+	defaultCompactWatermark = 1024
+	compactWindowEpochs     = 8
+)
 
 // embargo records a block a cohort member produced and self-applied, whose
 // broadcast copy has not yet reached the rest of the cohort: until `until`,
@@ -403,6 +426,7 @@ func (s *Simulation) Step() error {
 				return fmt.Errorf("sim: slot %d: %w", slot, err)
 			}
 		}
+		s.maybeCompact(epoch)
 		if s.Cfg.OnEpoch != nil {
 			s.Cfg.OnEpoch(s, epoch)
 		}
@@ -540,6 +564,92 @@ func (s *Simulation) attest(slot types.Slot) {
 			}
 		}
 	}
+}
+
+// maybeCompact folds the cold unbranched spine out of every view's block
+// tree (and the safety-audit oracle tree) once it crosses the compaction
+// watermark — the path that keeps per-epoch fork-choice cost flat when a
+// leak stalls finality and PruneBelow never fires. Compaction is
+// behavior-neutral only when nothing in flight or in an adversary's hand
+// can reference a folded root, so it is held off whenever a custom
+// Adversary is installed (the Bouncer pins roots captured at GST), links
+// are lossy (retransmission age is unbounded in the worst case), or a
+// finite GST's held pre-GST traffic — which can carry arbitrarily old
+// branches — has not yet fully drained.
+func (s *Simulation) maybeCompact(epoch types.Epoch) {
+	wm := s.Cfg.CompactWatermark
+	if wm < 0 {
+		return
+	}
+	if wm == 0 {
+		wm = defaultCompactWatermark
+	}
+	if s.Cfg.Adversary != nil || s.Cfg.DropRate != 0 {
+		return
+	}
+	if s.Cfg.GST != network.Never &&
+		s.slot < s.Cfg.GST+types.Slot(compactWindowEpochs*s.Cfg.Spec.SlotsPerEpoch) {
+		return
+	}
+	if epoch <= compactWindowEpochs {
+		return
+	}
+	olderThan := (epoch - compactWindowEpochs).StartSlot()
+	for _, c := range s.cohorts {
+		if c.Node.Tree.Len() >= wm {
+			c.Node.CompactTree(olderThan)
+		}
+	}
+	if s.oracle.Len() >= wm {
+		s.compactOracle(olderThan)
+	}
+}
+
+// compactOracle compacts the omniscient audit tree, pinning every
+// checkpoint root any view can still present to CheckFinalitySafety (the
+// audit resolves finalized-checkpoint ancestry against this tree).
+func (s *Simulation) compactOracle(olderThan types.Slot) {
+	pinned := make(map[types.Root]struct{}, 4*len(s.cohorts))
+	for _, c := range s.cohorts {
+		for _, cp := range c.Node.FFG.Justifieds() {
+			pinned[cp.Root] = struct{}{}
+		}
+		pinned[c.Node.FFG.Finalized().Root] = struct{}{}
+		pinned[c.Node.FFG.LatestJustified().Root] = struct{}{}
+	}
+	s.oracle.Compact(olderThan, func(r types.Root) bool {
+		_, ok := pinned[r]
+		return ok
+	})
+}
+
+// Stats aggregates block-tree and fork-choice column retention across all
+// materialized views plus the safety-audit oracle tree — the memory half
+// of the leak-depth story, surfaced through cmd/leaksim verbose output.
+type Stats struct {
+	Cohorts int
+	Tree    blocktree.Stats  // summed over cohort views
+	Oracle  blocktree.Stats  // the omniscient audit tree
+	Engine  forkchoice.Stats // summed over proto-array views (zero under the map oracle)
+}
+
+// Stats returns the simulation's current retention statistics.
+func (s *Simulation) Stats() Stats {
+	st := Stats{Cohorts: len(s.cohorts), Oracle: s.oracle.Stats()}
+	for _, c := range s.cohorts {
+		ts := c.Node.Tree.Stats()
+		st.Tree.Nodes += ts.Nodes
+		st.Tree.Segments += ts.Segments
+		st.Tree.Folded += ts.Folded
+		st.Tree.Bytes += ts.Bytes
+		if pa, ok := c.Node.Votes.(*forkchoice.ProtoArray); ok {
+			es := pa.Stats()
+			st.Engine.Nodes += es.Nodes
+			st.Engine.Validators += es.Validators
+			st.Engine.Bytes += es.Bytes
+		}
+	}
+	return st
 }
 
 // RunEpochs executes whole epochs from the current slot.
