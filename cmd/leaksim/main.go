@@ -12,6 +12,7 @@
 //	leaksim -scenario bounce-mc -sweep "beta0=0.32,0.33; seed=1:5:1" -csv
 //	leaksim -scenario sim/drops -sweep "rate=0:0.4:0.1" -n 1000      # full protocol, view-cohort kernel
 //	leaksim -scenario sim/gst -sweep "gst=4:20:4" -n 1000 -horizon 30
+//	leaksim -scenario sim/gst -sweep "horizon=8:22:2" -n 10000 -gst 40 -warm  # shared-prefix warm start
 //	leaksim -scenario sim/bounce -p0 0.7 -n 10000                    # paper-scale bouncing attack
 //
 // Sweeps run through the v2 client API: Ctrl-C cancels cooperatively, and
@@ -37,6 +38,7 @@ type options struct {
 	list     bool
 	sweep    string
 	workers  int
+	warm     bool
 	jsonOut  bool
 	csvOut   bool
 	verbose  bool
@@ -49,6 +51,7 @@ func main() {
 	flag.BoolVar(&o.list, "list", false, "list registered scenarios and exit")
 	flag.StringVar(&o.sweep, "sweep", "", `parameter grid, e.g. "p0=0.3:0.7:0.1; beta0=0.1,0.2; mode=double,semi; seed=1:3:1"`)
 	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = all CPUs)")
+	flag.BoolVar(&o.warm, "warm", false, "warm-start sweeps from shared simulation prefixes (bit-identical results; scenarios without prefix support run cold)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit results as JSON")
 	flag.BoolVar(&o.csvOut, "csv", false, "emit results as CSV")
 	flag.BoolVar(&o.verbose, "v", false, "log execution metadata per cell (throughput, tree/engine retention)")
@@ -89,7 +92,11 @@ func main() {
 }
 
 func run(ctx context.Context, w io.Writer, o options) error {
-	c, err := gasperleak.NewClient(gasperleak.WithWorkers(o.workers))
+	copts := []gasperleak.ClientOption{gasperleak.WithWorkers(o.workers)}
+	if o.warm {
+		copts = append(copts, gasperleak.WithWarmStart(0))
+	}
+	c, err := gasperleak.NewClient(copts...)
 	if err != nil {
 		return err
 	}
@@ -222,6 +229,15 @@ func emitVerbose(w io.Writer, results []gasperleak.ScenarioResult) error {
 		if s := m.Sim; s != nil {
 			line += fmt.Sprintf(" trees %d nodes (%d skip segments, %d blocks folded, %d KiB); oracle %d nodes; engines %d KiB",
 				s.TreeNodes, s.TreeSegments, s.TreeFolded, s.TreeBytes/1024, s.OracleNodes, s.EngineBytes/1024)
+		}
+		if wm := m.Warm; wm != nil {
+			if wm.Hit {
+				line += fmt.Sprintf("; warm hit @%d (+%d epochs saved)", wm.BranchEpoch, wm.EpochsSaved)
+			} else {
+				line += "; warm miss (ran cold)"
+			}
+			line += fmt.Sprintf(" [tree %d nodes, %d hits, %d rebuilt, peak %d KiB]",
+				wm.PrefixNodes, wm.SnapshotHits, wm.Rebuilt, wm.PeakResidentBytes/1024)
 		}
 		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err

@@ -8,6 +8,7 @@
 //	serve                          # listen on :8791
 //	serve -addr :9000 -workers 8   # bounded sweep pool
 //	serve -cache 2048              # larger LRU result cache
+//	serve -warm                    # warm-start sweeps from shared prefixes
 //
 //	curl localhost:8791/scenarios
 //	curl -X POST localhost:8791/run -d '{"scenario":"5.2.1","params":{"beta0":0.2}}'
@@ -33,18 +34,21 @@ func main() {
 	addr := flag.String("addr", ":8791", "listen address")
 	workers := flag.Int("workers", 0, "default sweep worker pool size (0 = all CPUs)")
 	cache := flag.Int("cache", server.DefaultCacheSize, "LRU result cache entries (negative disables caching)")
+	warm := flag.Bool("warm", false, `warm-start sweeps from shared simulation prefixes by default (per-request "warm" overrides)`)
+	warmBudget := flag.Int64("warm-budget", 0, "resident warm-start snapshot byte budget (0 = engine default, negative = unlimited)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *workers, *cache); err != nil {
+	cfg := server.Config{Workers: *workers, CacheSize: *cache, WarmStart: *warm, WarmBudget: *warmBudget}
+	if err := run(ctx, *addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, addr string, workers, cache int) error {
-	s, err := server.New(server.Config{Workers: workers, CacheSize: cache})
+func run(ctx context.Context, addr string, cfg server.Config) error {
+	s, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -58,7 +62,7 @@ func run(ctx context.Context, addr string, workers, cache int) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("serve: listening on %s (workers=%d, cache=%d)\n", addr, workers, cache)
+	fmt.Printf("serve: listening on %s (workers=%d, cache=%d, warm=%t)\n", addr, cfg.Workers, cfg.CacheSize, cfg.WarmStart)
 
 	select {
 	case err := <-errc:

@@ -8,10 +8,12 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/server"
 )
 
 func TestRunRejectsNegativeWorkers(t *testing.T) {
-	err := run(context.Background(), "127.0.0.1:0", -4, 0)
+	err := run(context.Background(), "127.0.0.1:0", server.Config{Workers: -4})
 	if err == nil || !strings.Contains(err.Error(), "-4") {
 		t.Fatalf("run(workers=-4) err = %v, want a clear validation error", err)
 	}
@@ -31,7 +33,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, addr, 1, 16) }()
+	go func() { done <- run(ctx, addr, server.Config{Workers: 1, CacheSize: 16}) }()
 
 	var resp *http.Response
 	deadline := time.Now().Add(3 * time.Second)

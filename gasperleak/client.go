@@ -19,12 +19,19 @@ type (
 	ScenarioInfo = engine.Info
 	// ScenarioRunMeta is the non-deterministic execution metadata of a
 	// ScenarioResult (wall-clock duration, sustained simulation
-	// throughput, cache provenance).
+	// throughput, cache provenance, warm-start provenance).
 	ScenarioRunMeta = engine.RunMeta
 	// ScenarioSimStats is the end-of-run retention summary simulation
 	// scenarios attach to their metadata (block-tree and fork-choice
 	// column sizes after compaction).
 	ScenarioSimStats = engine.SimStats
+	// SweepWarmStartOptions configures the snapshot-tree warm-start
+	// scheduler (see WithWarmStart).
+	SweepWarmStartOptions = engine.WarmStartOptions
+	// SweepWarmMeta is the warm-start provenance of one sweep cell
+	// (ScenarioRunMeta.Warm): what the cell reused and the scheduler's
+	// running counters.
+	SweepWarmMeta = engine.WarmMeta
 )
 
 // Client is the v2 entry point of the reproduction: a handle on a scenario
@@ -41,6 +48,7 @@ type (
 type Client struct {
 	reg     *engine.Registry
 	workers int
+	warm    *engine.WarmStartOptions
 }
 
 // ClientOption configures a Client (functional options).
@@ -54,6 +62,20 @@ func WithWorkers(n int) ClientOption {
 			return fmt.Errorf("gasperleak: workers = %d, want >= 0 (0 = all CPUs)", n)
 		}
 		c.workers = n
+		return nil
+	}
+}
+
+// WithWarmStart routes the client's sweeps through the snapshot-tree
+// warm-start scheduler: cells sharing a simulation prefix (same scenario,
+// same pre-branch parameters) are fanned out from one simulated prefix
+// instead of each re-simulating from genesis. Results stay bit-identical
+// to cold sweeps; scenarios that do not support warm-starting fall back
+// cell by cell. budget bounds resident snapshot bytes (0 = engine
+// default, negative = unlimited).
+func WithWarmStart(budget int64) ClientOption {
+	return func(c *Client) error {
+		c.warm = &engine.WarmStartOptions{MemoryBudget: budget}
 		return nil
 	}
 }
@@ -84,7 +106,7 @@ func NewClient(opts ...ClientOption) (*Client, error) {
 
 // options is the engine view of the client's execution policy.
 func (c *Client) options() engine.Options {
-	return engine.Options{Workers: c.workers, Registry: c.reg}
+	return engine.Options{Workers: c.workers, Registry: c.reg, WarmStart: c.warm}
 }
 
 // Workers reports the configured sweep pool width (0 = all CPUs).

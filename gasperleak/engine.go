@@ -5,6 +5,10 @@ import (
 	"io"
 
 	"repro/internal/engine"
+	// Install the snapshot-tree warm-start scheduler behind WithWarmStart
+	// (the engine package cannot import it; see
+	// engine.SetWarmStartScheduler).
+	_ "repro/internal/engine/warmstart"
 	"repro/internal/report"
 )
 

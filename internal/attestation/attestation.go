@@ -255,9 +255,22 @@ func (p *Pool) Clone() *Pool {
 	out := &Pool{byEpoch: make(map[types.Epoch]*epochVotes, len(p.byEpoch))}
 	for e, ev := range p.byEpoch {
 		cp := &epochVotes{votes: make([][]Data, len(ev.votes))}
+		// One backing array per epoch instead of one allocation per
+		// validator: at paper scale a clone is tens of thousands of
+		// 1-element slices, and the per-allocation overhead — not the
+		// bytes — dominates snapshot cost. The arena is append-safe: each
+		// sub-slice is sliced to full capacity zero, so a later Add on
+		// either copy grows its own slice without touching a neighbor.
+		total := 0
+		for _, datas := range ev.votes {
+			total += len(datas)
+		}
+		arena := make([]Data, 0, total)
 		for v, datas := range ev.votes {
 			if len(datas) > 0 {
-				cp.votes[v] = append([]Data(nil), datas...)
+				start := len(arena)
+				arena = append(arena, datas...)
+				cp.votes[v] = arena[start:len(arena):len(arena)]
 			}
 		}
 		out.byEpoch[e] = cp

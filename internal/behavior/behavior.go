@@ -103,6 +103,16 @@ type SemiActive struct {
 // gait; zero means not (yet) started.
 func (a *SemiActive) GaitFrom() types.Epoch { return a.gaitFrom }
 
+// Clone returns an independent copy of the adversary, gait state machine
+// included. sim.Snapshot deliberately leaves adversary state outside the
+// snapshot, so a warm-start prefix pairs each snapshot with a Clone taken
+// at the same epoch boundary: every continuation resumes from its own
+// copy of the gait exactly where the prefix left it.
+func (a *SemiActive) Clone() *SemiActive {
+	cp := *a
+	return &cp
+}
+
 // branchFor returns which branch the Byzantine validators act on during an
 // epoch.
 func (a *SemiActive) branchFor(epoch types.Epoch) int {

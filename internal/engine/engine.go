@@ -301,6 +301,9 @@ type RunMeta struct {
 	Sim *SimStats `json:"sim,omitempty"`
 	// Cached marks a result served from a cache instead of recomputed.
 	Cached bool `json:"cached,omitempty"`
+	// Warm carries snapshot-tree warm-start provenance when the cell ran
+	// through the warm-start sweep scheduler. Nil on cold runs.
+	Warm *WarmMeta `json:"warm,omitempty"`
 }
 
 // SimStats summarizes what a simulation still held in memory when it
@@ -327,6 +330,9 @@ func (m RunMeta) Merged(prior *RunMeta) *RunMeta {
 		}
 		if m.Sim == nil {
 			m.Sim = prior.Sim
+		}
+		if m.Warm == nil {
+			m.Warm = prior.Warm
 		}
 	}
 	return &m

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestRunMetaMergedCarriesWarm pins the satellite contract of PR 7: the
+// serving layers stamp their own duration/cache provenance via Merged, and
+// that must carry — not clobber — the warm-start provenance a sweep cell
+// arrived with.
+func TestRunMetaMergedCarriesWarm(t *testing.T) {
+	warm := &WarmMeta{Hit: true, BranchEpoch: 8, EpochsSaved: 8}
+	m := RunMeta{DurationMS: 5, Cached: true}.Merged(&RunMeta{EpochsPerSec: 2, Warm: warm})
+	if m.Warm != warm {
+		t.Fatalf("Merged dropped warm provenance: %+v", m.Warm)
+	}
+	if m.DurationMS != 5 || !m.Cached || m.EpochsPerSec != 2 {
+		t.Fatalf("Merged lost serving-layer fields: %+v", m)
+	}
+
+	// A layer that sets its own Warm keeps it.
+	own := &WarmMeta{Hit: false}
+	m = RunMeta{Warm: own}.Merged(&RunMeta{Warm: warm})
+	if m.Warm != own {
+		t.Fatalf("Merged overwrote the layer's own warm meta")
+	}
+}
+
+// TestDeriveSeedContract pins the seed derivation warm-start depends on:
+// DeriveSeed deliberately excludes the post-branch dimensions (rate, gst),
+// so grid cells differing only there share the pre-branch RNG stream and
+// can fan out from one snapshot. A future field added to the derivation
+// would silently break snapshot reuse — this test is the tripwire.
+func TestDeriveSeedContract(t *testing.T) {
+	g := Grid{
+		Scenario: "sim/gst",
+		P0:       []float64{0.4, 0.6},
+		Seeds:    []int64{7},
+		Horizons: []int{10, 12},
+		Rates:    []float64{0, 0.1},
+		GSTs:     []int{2, 4},
+		N:        100,
+	}
+	cells := g.Cells()
+	type preKey struct {
+		p0      float64
+		horizon int
+	}
+	seeds := make(map[preKey]int64)
+	for _, c := range cells {
+		k := preKey{c.Params.P0, c.Params.Horizon}
+		if s, ok := seeds[k]; ok {
+			// Same pre-branch coordinates, differing only in rate/gst:
+			// the seed must be shared.
+			if c.Params.Seed != s {
+				t.Fatalf("cells at %+v differ in seed across rate/gst: %d vs %d", k, s, c.Params.Seed)
+			}
+		} else {
+			seeds[k] = c.Params.Seed
+		}
+	}
+	// Distinct pre-branch coordinates must not collide (independence).
+	byCoord := make(map[int64]preKey)
+	for k, s := range seeds {
+		if prev, ok := byCoord[s]; ok {
+			t.Fatalf("seed %d collides across coordinates %+v and %+v", s, prev, k)
+		}
+		byCoord[s] = k
+	}
+	// And the derivation itself: rate and gst are not inputs at all.
+	if DeriveSeed(1, 0.5, 0.2, "m", 10) != DeriveSeed(1, 0.5, 0.2, "m", 10) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	if DeriveSeed(1, 0.5, 0.2, "m", 10) == DeriveSeed(1, 0.5, 0.2, "m", 11) {
+		t.Fatal("horizon should change the derived seed")
+	}
+}
+
+// TestForkableScenarioRegistration: the four sim scenarios in the default
+// registry implement ForkableScenario; sim/bounce deliberately does not.
+func TestForkableScenarioRegistration(t *testing.T) {
+	for _, name := range []string{ScenarioSimDrops, ScenarioSimGST, ScenarioSimLeak, ScenarioSimSemiActive} {
+		s, ok := Default.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if _, ok := s.(ForkableScenario); !ok {
+			t.Errorf("%s does not implement ForkableScenario", name)
+		}
+	}
+	s, _ := Default.Lookup(ScenarioSimBounce)
+	if _, ok := s.(ForkableScenario); ok {
+		t.Errorf("sim/bounce must not be forkable: the Bouncer carries unrewindable state")
+	}
+}
+
+// TestForkKeys: prefix keys exclude exactly the post-branch dimensions.
+func TestForkKeys(t *testing.T) {
+	s, _ := Default.Lookup(ScenarioSimGST)
+	fs := s.(ForkableScenario)
+	base := Params{P0: 0.5, N: 100, Horizon: 16, Seed: 3, GST: 4}
+	key1, branch1, ok := fs.Fork(base)
+	if !ok || branch1 != 4 {
+		t.Fatalf("Fork(%v) = %q, %d, %t", base, key1, branch1, ok)
+	}
+	// Different gst/horizon: same key, different branch.
+	other := base
+	other.GST, other.Horizon = 7, 20
+	key2, branch2, ok := fs.Fork(other)
+	if !ok || key2 != key1 {
+		t.Errorf("gst/horizon leaked into the gst prefix key: %q vs %q", key2, key1)
+	}
+	if branch2 != 7 {
+		t.Errorf("branch = %d, want 7", branch2)
+	}
+	// Different seed: different key.
+	reseeded := base
+	reseeded.Seed = 4
+	key3, _, _ := fs.Fork(reseeded)
+	if key3 == key1 {
+		t.Errorf("seed missing from the prefix key")
+	}
+	// gst=0 (no partition) has no prefix to share.
+	flat := base
+	flat.GST = 0
+	if _, _, ok := fs.Fork(flat); ok {
+		t.Errorf("gst=0 should not be forkable")
+	}
+}

@@ -54,34 +54,23 @@ func init() {
 		"Full-protocol probabilistic bouncing attack at paper scale (p0 = stay probability, gst = setup epochs)",
 		Params{P0: 0.7, Beta0: 0.25, N: 10000, Horizon: 24, Seed: 19, GST: 3},
 		runSimBounce))
-	// sim/drops defaults rate to 0 (the lossless baseline) and sim/gst
-	// defaults gst to 0 (heal immediately). Since defaulting became
-	// set-aware (Params.Explicit), a zero default is a choice, not a
-	// necessity: an explicit rate=0 or gst=0 cell survives even against
-	// a non-zero default.
-	Default.MustRegister(NewContextScenario(ScenarioSimDrops,
-		"Full-protocol link-outage robustness: synchronous 8-partition population under drop rate (rate=0 is the lossless baseline)",
-		Params{P0: 0.5, N: 1000, Horizon: 10, Seed: 1},
-		runSimDrops))
-	Default.MustRegister(NewContextScenario(ScenarioSimGST,
-		"Full-protocol partition heal: 50/50 split healing at the gst epoch (gst=0 is the no-partition baseline)",
-		Params{P0: 0.5, N: 1000, Horizon: 16, Seed: 3},
-		runSimGST))
-	Default.MustRegister(NewContextScenario(ScenarioSimLeak,
-		"Table 1 Scenario 5.1 at full protocol and full spec: lasting partition run to conflicting finalization (analytic anchor 4662 at p0=0.5)",
-		Params{P0: 0.5, N: 10000, Horizon: 6000, Seed: 1},
-		runSimLeak))
-	Default.MustRegister(NewContextScenario(ScenarioSimSemiActive,
-		"Table 3 at full protocol: semi-active Byzantine validators accelerate the leak and finalize both branches (full spec)",
-		Params{P0: 0.5, Beta0: 0.33, N: 10000, Horizon: 2000, Seed: 1},
-		runSimSemiActive))
+	// The other four sim scenarios register as ForkableScenarios (default
+	// variant: cohort views, proto-array fork choice), so warm-started
+	// sweeps can fan their cells out from shared prefixes.
+	for _, name := range []string{ScenarioSimDrops, ScenarioSimGST, ScenarioSimLeak, ScenarioSimSemiActive} {
+		s, _ := NewSimScenarioVariant(name, SimVariant{})
+		Default.MustRegister(s)
+	}
 }
 
 // simMeta stamps a simulation result with its sustained throughput —
 // simulated epochs per wall-clock second — so sweep and server consumers
 // see a cell's cost without running benchmarks. Serving layers merge
 // their own duration/cache fields on top (RunMeta.Merged) rather than
-// overwriting this.
+// overwriting this. On a warm-started cell the epoch count spans the whole
+// run (restored prefix included) while the elapsed time covers only the
+// resumed tail, so the figure reads as effective throughput including the
+// epochs the snapshot saved.
 func simMeta(s *sim.Simulation, elapsed time.Duration) *RunMeta {
 	st := s.Stats()
 	meta := &RunMeta{
@@ -105,7 +94,16 @@ func simMeta(s *sim.Simulation, elapsed time.Duration) *RunMeta {
 // cancellation between epochs (a protocol epoch is orders of magnitude
 // heavier than an aggregate-engine epoch).
 func runEpochsContext(ctx context.Context, s *sim.Simulation, epochs int, onEpoch func(epoch int) bool) error {
-	for epoch := 1; epoch <= epochs; epoch++ {
+	return runEpochsRangeContext(ctx, s, 0, epochs, onEpoch)
+}
+
+// runEpochsRangeContext advances the simulation from epoch `from`
+// (exclusive — the epochs already simulated, e.g. by a restored prefix) to
+// epoch `to` (inclusive), numbering onEpoch calls with absolute epoch
+// numbers so warm-started continuations observe exactly what a cold run
+// would have.
+func runEpochsRangeContext(ctx context.Context, s *sim.Simulation, from, to int, onEpoch func(epoch int) bool) error {
+	for epoch := from + 1; epoch <= to; epoch++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -124,7 +122,8 @@ func runEpochsContext(ctx context.Context, s *sim.Simulation, epochs int, onEpoc
 // Bouncer alternates branch justifications and places each honest
 // validator's duty view per epoch (stay probability p0). The adversary
 // stops 6 epochs before the horizon so the run also demonstrates liveness
-// recovery.
+// recovery. Not forkable: the Bouncer caches view pointers and carries its
+// own RNG cursor, which a Snapshot/Restore pair does not rewind.
 func runSimBounce(ctx context.Context, p Params) (Result, error) {
 	if p.GST <= 0 || p.Horizon <= p.GST {
 		return Result{}, fmt.Errorf("engine: sim/bounce wants 0 < gst < horizon, got gst=%d horizon=%d", p.GST, p.Horizon)
@@ -203,36 +202,44 @@ func runSimBounce(ctx context.Context, p Params) (Result, error) {
 	return out, nil
 }
 
-// runSimDrops runs a synchronous population spread over eight partitions
-// whose cross-partition links suffer outages at p.Rate, and reports how far
-// finality lags the healthy two-epoch trail.
-func runSimDrops(ctx context.Context, p Params) (Result, error) {
+// validateSimDrops rejects parameters the drops scenario cannot run.
+func validateSimDrops(p Params) error {
 	if p.Horizon < 4 {
-		return Result{}, fmt.Errorf("engine: sim/drops wants horizon >= 4 (finality needs a runway), got %d", p.Horizon)
+		return fmt.Errorf("engine: sim/drops wants horizon >= 4 (finality needs a runway), got %d", p.Horizon)
 	}
 	if p.Rate < 0 || p.Rate >= 1 {
-		return Result{}, fmt.Errorf("engine: sim/drops wants 0 <= rate < 1, got %v", p.Rate)
+		return fmt.Errorf("engine: sim/drops wants 0 <= rate < 1, got %v", p.Rate)
 	}
+	return nil
+}
+
+// simDropsConfig describes the drops population: synchronous (GST zero),
+// spread over eight partitions whose cross-partition links suffer outages
+// at p.Rate.
+func simDropsConfig(p Params, variant SimVariant) sim.Config {
 	parts := 8
 	if p.N < parts {
 		parts = p.N
 	}
-	s, err := sim.New(sim.Config{
-		Validators:  p.N,
-		Spec:        types.DefaultSpec(),
-		Delay:       1,
-		Seed:        p.Seed,
-		DropRate:    p.Rate,
-		PartitionOf: func(v types.ValidatorIndex) int { return int(v) % parts },
-	})
-	if err != nil {
-		return Result{}, err
+	return sim.Config{
+		Validators:        p.N,
+		Spec:              types.DefaultSpec(),
+		Delay:             1,
+		Seed:              p.Seed,
+		DropRate:          p.Rate,
+		PerValidatorViews: variant.PerValidatorViews,
+		OracleForkChoice:  variant.OracleForkChoice,
+		PartitionOf:       func(v types.ValidatorIndex) int { return int(v) % parts },
 	}
-	start := time.Now()
-	if err := runEpochsContext(ctx, s, p.Horizon, nil); err != nil {
-		return Result{}, err
-	}
-	elapsed := time.Since(start)
+}
+
+func newSimDrops(p Params, variant SimVariant) (*sim.Simulation, error) {
+	return sim.New(simDropsConfig(p, variant))
+}
+
+// finishSimDrops reports how far finality lags the healthy two-epoch
+// trail, from the end-of-horizon state.
+func finishSimDrops(s *sim.Simulation, p Params, elapsed time.Duration) Result {
 	final := s.MetricsAt(types.Epoch(p.Horizon))
 	minFin, maxFin := final.MinFinalized, final.MaxFinalized
 	// On a lossless run the last processed boundary (start of epoch h-1)
@@ -255,48 +262,74 @@ func runSimDrops(ctx context.Context, p Params) (Result, error) {
 		out.Outcome = "finality unharmed"
 	}
 	out.Meta = simMeta(s, elapsed)
-	return out, nil
+	return out
 }
 
-// runSimGST heals a p0-weighted two-way partition at the p.GST epoch and
-// reports whether safety survived and how finality recovered — the
-// mechanism-level boundary between the paper's Scenario 5.1 (never heals,
-// conflicting finalization) and a harmless outage.
-func runSimGST(ctx context.Context, p Params) (Result, error) {
-	if p.GST < 0 {
-		return Result{}, fmt.Errorf("engine: sim/gst wants gst >= 0, got %d", p.GST)
+// runSimDrops runs a synchronous population spread over eight partitions
+// whose cross-partition links suffer outages at p.Rate, and reports how far
+// finality lags the healthy two-epoch trail.
+func runSimDrops(ctx context.Context, p Params, variant SimVariant) (Result, error) {
+	if err := validateSimDrops(p); err != nil {
+		return Result{}, err
 	}
+	s, err := newSimDrops(p, variant)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	if err := runEpochsContext(ctx, s, p.Horizon, nil); err != nil {
+		return Result{}, err
+	}
+	return finishSimDrops(s, p, time.Since(start)), nil
+}
+
+// simGSTConfig describes the p0-weighted two-way partition population at
+// the given heal slot: the real gst for a straight-through run, or
+// network.FarFuture for a shareable prefix (held traffic retained, to be
+// retargeted onto each cell's own heal slot at Restore).
+func simGSTConfig(p Params, variant SimVariant, gst types.Slot) sim.Config {
 	nA := int(math.Round(float64(p.N) * p.P0))
-	spec := types.CompressedSpec(1 << 16)
-	s, err := sim.New(sim.Config{
-		Validators: p.N,
-		Spec:       spec,
-		GST:        types.Slot(uint64(p.GST) * spec.SlotsPerEpoch),
-		Delay:      1,
-		Seed:       p.Seed,
+	return sim.Config{
+		Validators:        p.N,
+		Spec:              types.CompressedSpec(1 << 16),
+		GST:               gst,
+		Delay:             1,
+		Seed:              p.Seed,
+		PerValidatorViews: variant.PerValidatorViews,
+		OracleForkChoice:  variant.OracleForkChoice,
 		PartitionOf: func(v types.ValidatorIndex) int {
 			if int(v) < nA {
 				return 0
 			}
 			return 1
 		},
-	})
-	if err != nil {
-		return Result{}, err
 	}
-	violation := 0.0
-	start := time.Now()
-	err = runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
-		if violation == 0 {
+}
+
+func newSimGST(p Params, variant SimVariant, gst types.Slot) (*sim.Simulation, error) {
+	return sim.New(simGSTConfig(p, variant, gst))
+}
+
+// simGSTSlot converts the gst epoch parameter to its heal slot.
+func simGSTSlot(p Params) types.Slot {
+	return types.Slot(uint64(p.GST) * types.CompressedSpec(1<<16).SlotsPerEpoch)
+}
+
+// gstObserver watches for the first conflicting finalization; the run
+// stops at the violation epoch.
+func gstObserver(s *sim.Simulation, violation *float64) func(epoch int) bool {
+	return func(epoch int) bool {
+		if *violation == 0 {
 			if v := s.CheckFinalitySafety(); v != nil {
-				violation = float64(epoch)
+				*violation = float64(epoch)
 			}
 		}
-		return violation == 0
-	})
-	if err != nil {
-		return Result{}, err
+		return *violation == 0
 	}
+}
+
+// finishSimGST reports whether safety survived and how finality recovered.
+func finishSimGST(s *sim.Simulation, p Params, violation float64, elapsed time.Duration) Result {
 	minFin := s.MetricsAt(types.Epoch(p.Horizon)).MinFinalized
 	recovered := violation == 0 && minFin >= types.Epoch(p.GST)
 	out := Result{
@@ -313,60 +346,128 @@ func runSimGST(ctx context.Context, p Params) (Result, error) {
 	case recovered:
 		out.Outcome = "healed, finality recovered"
 	}
-	out.Meta = simMeta(s, time.Since(start))
-	return out, nil
+	out.Meta = simMeta(s, elapsed)
+	return out
 }
 
-// leakPartitionSim builds the lasting-partition full-protocol simulation
+// runSimGST heals a p0-weighted two-way partition at the p.GST epoch and
+// reports whether safety survived and how finality recovered — the
+// mechanism-level boundary between the paper's Scenario 5.1 (never heals,
+// conflicting finalization) and a harmless outage.
+func runSimGST(ctx context.Context, p Params, variant SimVariant) (Result, error) {
+	if p.GST < 0 {
+		return Result{}, fmt.Errorf("engine: sim/gst wants gst >= 0, got %d", p.GST)
+	}
+	s, err := newSimGST(p, variant, simGSTSlot(p))
+	if err != nil {
+		return Result{}, err
+	}
+	violation := 0.0
+	start := time.Now()
+	if err := runEpochsContext(ctx, s, p.Horizon, gstObserver(s, &violation)); err != nil {
+		return Result{}, err
+	}
+	return finishSimGST(s, p, violation, time.Since(start)), nil
+}
+
+// leakPartitionConfig describes the lasting-partition full-protocol simulation
 // shared by sim/leak and sim/semiactive: honest validators split p0/(1-p0)
 // across a partition that NEVER heals (network.Never, so undeliverable
 // cross-partition traffic is discarded instead of accumulating for
 // thousands of epochs), under the FULL paper spec — the runs reproduce
 // Table 1 / Table 3 headline epochs, so no compressed quotient.
-func leakPartitionSim(p Params, byz []types.ValidatorIndex) (*sim.Simulation, error) {
+func leakPartitionConfig(p Params, byz []types.ValidatorIndex, variant SimVariant) sim.Config {
 	nHonest := p.N - len(byz)
 	nA := int(math.Round(float64(nHonest) * p.P0))
-	return sim.New(sim.Config{
-		Validators: p.N,
-		Spec:       types.DefaultSpec(),
-		Byzantine:  byz,
-		GST:        network.Never,
-		Delay:      1,
-		Seed:       p.Seed,
+	return sim.Config{
+		Validators:        p.N,
+		Spec:              types.DefaultSpec(),
+		Byzantine:         byz,
+		GST:               network.Never,
+		Delay:             1,
+		Seed:              p.Seed,
+		PerValidatorViews: variant.PerValidatorViews,
+		OracleForkChoice:  variant.OracleForkChoice,
 		PartitionOf: func(v types.ValidatorIndex) int {
 			if int(v) < nA {
 				return 0
 			}
 			return 1
 		},
-	})
+	}
 }
 
-// runToConflict advances the simulation one epoch at a time until the
-// honest views finalize conflicting checkpoints (or the horizon runs
-// out), sampling an optional metrics curve. It returns the epoch at which
-// the violation was first observed (0 = none within the horizon).
-func runToConflict(ctx context.Context, s *sim.Simulation, p Params, curve *[]CurvePoint, minStakeRatio *float64) (types.Epoch, error) {
+func leakPartitionSim(p Params, byz []types.ValidatorIndex, variant SimVariant) (*sim.Simulation, error) {
+	return sim.New(leakPartitionConfig(p, byz, variant))
+}
+
+// leakTrace accumulates the per-epoch observations of the long-horizon
+// conflicting-finalization runs: the sampled stake curve, the stake floor,
+// and the conflict epoch (0 = none yet). It doubles as the warm-start
+// prefix trace of sim/leak, so clone before appending from a shared
+// prefix.
+type leakTrace struct {
+	curve         []CurvePoint
+	minStakeRatio float64
+	conflict      types.Epoch
+}
+
+// clone deep-copies the curve so two continuations of one prefix never
+// share a backing array.
+func (t leakTrace) clone() leakTrace {
+	t.curve = append([]CurvePoint(nil), t.curve...)
+	return t
+}
+
+// leakObserver samples the stake curve and stops the run at the first
+// conflicting finalization, accumulating into tr.
+func leakObserver(s *sim.Simulation, p Params, tr *leakTrace) func(epoch int) bool {
 	initialStake := types.Gwei(uint64(p.N)) * s.Cfg.Spec.MaxEffectiveBalance
-	conflict := types.Epoch(0)
-	err := runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
+	return func(epoch int) bool {
 		m := s.MetricsAt(types.Epoch(epoch))
-		if r := float64(m.MinTotalStake) / float64(initialStake); r < *minStakeRatio {
-			*minStakeRatio = r
+		if r := float64(m.MinTotalStake) / float64(initialStake); r < tr.minStakeRatio {
+			tr.minStakeRatio = r
 		}
 		if p.Sample > 0 && epoch%p.Sample == 0 {
-			*curve = append(*curve, CurvePoint{
+			tr.curve = append(tr.curve, CurvePoint{
 				X: float64(epoch),
 				Y: float64(m.MinTotalStake) / float64(initialStake),
 			})
 		}
 		if v := s.CheckFinalitySafety(); v != nil {
-			conflict = types.Epoch(epoch)
+			tr.conflict = types.Epoch(epoch)
 			return false
 		}
 		return true
-	})
-	return conflict, err
+	}
+}
+
+// validateSimLeak rejects parameters the leak scenario cannot run.
+func validateSimLeak(p Params) error {
+	if p.P0 <= 0 || p.P0 >= 1 {
+		return fmt.Errorf("engine: sim/leak wants 0 < p0 < 1 (two non-empty branches), got %v", p.P0)
+	}
+	if p.N < 4 || p.Horizon < 8 {
+		return fmt.Errorf("engine: sim/leak wants n >= 4 and horizon >= 8, got n=%d horizon=%d", p.N, p.Horizon)
+	}
+	// Rounding must leave both branches populated, or the single-view run
+	// would burn the whole horizon unable to conflict by construction.
+	if nA := int(math.Round(float64(p.N) * p.P0)); nA < 2 || p.N-nA < 2 {
+		return fmt.Errorf("engine: sim/leak wants >= 2 validators per branch, got %d/%d (p0=%v n=%d)", nA, p.N-nA, p.P0, p.N)
+	}
+	return nil
+}
+
+// finishSimLeak assembles the Table 1 result against the continuous
+// analytic anchor.
+func finishSimLeak(p Params, s *sim.Simulation, tr leakTrace, elapsed time.Duration) (Result, error) {
+	bc, err := analytic.ContinuousParams().ConflictingFinalization(analytic.HonestOnly, p.P0, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	res := conflictResult(p, tr.conflict, "analytic_epoch", bc.ConflictEpoch, nil, tr.minStakeRatio, tr.curve)
+	res.Meta = simMeta(s, elapsed)
+	return res, nil
 }
 
 // runSimLeak is the paper's headline experiment — Table 1 Scenario 5.1 —
@@ -378,39 +479,20 @@ func runToConflict(ctx context.Context, s *sim.Simulation, p Params, curve *[]Cu
 // against the continuous-model analytic anchor (Equation 6; 4662 at
 // p0=0.5) and the aggregate integer engine's epoch (Table 1's own 4686 is
 // the paper-parameter variant of the same quantity).
-func runSimLeak(ctx context.Context, p Params) (Result, error) {
-	if p.P0 <= 0 || p.P0 >= 1 {
-		return Result{}, fmt.Errorf("engine: sim/leak wants 0 < p0 < 1 (two non-empty branches), got %v", p.P0)
+func runSimLeak(ctx context.Context, p Params, variant SimVariant) (Result, error) {
+	if err := validateSimLeak(p); err != nil {
+		return Result{}, err
 	}
-	if p.N < 4 || p.Horizon < 8 {
-		return Result{}, fmt.Errorf("engine: sim/leak wants n >= 4 and horizon >= 8, got n=%d horizon=%d", p.N, p.Horizon)
-	}
-	// Rounding must leave both branches populated, or the single-view run
-	// would burn the whole horizon unable to conflict by construction.
-	if nA := int(math.Round(float64(p.N) * p.P0)); nA < 2 || p.N-nA < 2 {
-		return Result{}, fmt.Errorf("engine: sim/leak wants >= 2 validators per branch, got %d/%d (p0=%v n=%d)", nA, p.N-nA, p.P0, p.N)
-	}
-	s, err := leakPartitionSim(p, nil)
+	s, err := leakPartitionSim(p, nil, variant)
 	if err != nil {
 		return Result{}, err
 	}
-
-	var curve []CurvePoint
-	minStakeRatio := 1.0
+	tr := leakTrace{minStakeRatio: 1}
 	start := time.Now()
-	conflict, err := runToConflict(ctx, s, p, &curve, &minStakeRatio)
-	if err != nil {
+	if err := runEpochsContext(ctx, s, p.Horizon, leakObserver(s, p, &tr)); err != nil {
 		return Result{}, err
 	}
-	elapsed := time.Since(start)
-
-	bc, err := analytic.ContinuousParams().ConflictingFinalization(analytic.HonestOnly, p.P0, 0)
-	if err != nil {
-		return Result{}, err
-	}
-	res := conflictResult(p, conflict, "analytic_epoch", bc.ConflictEpoch, nil, minStakeRatio, curve)
-	res.Meta = simMeta(s, elapsed)
-	return res, nil
+	return finishSimLeak(p, s, tr, time.Since(start))
 }
 
 // conflictResult assembles the shared result shape of the long-horizon
@@ -442,6 +524,56 @@ func conflictResult(p Params, conflict types.Epoch, anchorName string, anchor fl
 	return out
 }
 
+// validateSimSemiActive rejects parameters the semi-active scenario cannot
+// run.
+func validateSimSemiActive(p Params) error {
+	if p.P0 <= 0 || p.P0 >= 1 {
+		return fmt.Errorf("engine: sim/semiactive wants 0 < p0 < 1, got %v", p.P0)
+	}
+	nByz := int(math.Round(float64(p.N) * p.Beta0))
+	nHonest := p.N - nByz
+	if nHonest < 4 || nByz < 1 {
+		return fmt.Errorf("engine: sim/semiactive needs >= 4 honest and >= 1 byzantine validators, got %d/%d", nHonest, nByz)
+	}
+	nA := int(math.Round(float64(nHonest) * p.P0))
+	if nA < 2 || nHonest-nA < 2 {
+		return fmt.Errorf("engine: sim/semiactive wants >= 2 honest validators per branch, got %d/%d", nA, nHonest-nA)
+	}
+	return nil
+}
+
+// semiActiveSetup derives the Byzantine cohort and a fresh semi-active
+// adversary from validated params.
+func semiActiveSetup(p Params) ([]types.ValidatorIndex, *behavior.SemiActive) {
+	nByz := int(math.Round(float64(p.N) * p.Beta0))
+	nHonest := p.N - nByz
+	byz := make([]types.ValidatorIndex, nByz)
+	for i := range byz {
+		byz[i] = types.ValidatorIndex(nHonest + i)
+	}
+	nA := int(math.Round(float64(nHonest) * p.P0))
+	adv := &behavior.SemiActive{
+		Reps:         [2]types.ValidatorIndex{0, types.ValidatorIndex(nA)},
+		AutoFinalize: true,
+	}
+	return byz, adv
+}
+
+// finishSimSemiActive assembles the Table 3 result against the aggregate
+// two-branch engine (Tables 2-3) on identical parameters: the
+// mechanism-level anchor the full protocol should land next to.
+func finishSimSemiActive(ctx context.Context, p Params, s *sim.Simulation, adv *behavior.SemiActive, tr leakTrace, elapsed time.Duration) (Result, error) {
+	anchorRes, err := core.LeakSim{N: p.N, P0: p.P0, Beta0: p.Beta0, Mode: core.ByzSemiActive}.
+		RunContext(ctx, p.Horizon, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	res := conflictResult(p, tr.conflict, "aggregate_epoch", float64(anchorRes.ConflictEpoch),
+		[]Metric{{Name: "gait_epoch", Value: float64(adv.GaitFrom())}}, tr.minStakeRatio, tr.curve)
+	res.Meta = simMeta(s, elapsed)
+	return res, nil
+}
+
 // runSimSemiActive is Table 3 at full protocol: beta0 of the stake is
 // semi-active Byzantine — active on alternating branches every epoch,
 // never equivocating within an epoch, hence never slashable — which keeps
@@ -452,52 +584,20 @@ func conflictResult(p Params, conflict types.Epoch, anchorName string, anchor fl
 // branch to finalize each: conflicting finalization at the Table 3 epoch.
 // The aggregate integer engine's conflict epoch for the same parameters
 // is reported as the mechanism anchor.
-func runSimSemiActive(ctx context.Context, p Params) (Result, error) {
-	if p.P0 <= 0 || p.P0 >= 1 {
-		return Result{}, fmt.Errorf("engine: sim/semiactive wants 0 < p0 < 1, got %v", p.P0)
+func runSimSemiActive(ctx context.Context, p Params, variant SimVariant) (Result, error) {
+	if err := validateSimSemiActive(p); err != nil {
+		return Result{}, err
 	}
-	nByz := int(math.Round(float64(p.N) * p.Beta0))
-	nHonest := p.N - nByz
-	if nHonest < 4 || nByz < 1 {
-		return Result{}, fmt.Errorf("engine: sim/semiactive needs >= 4 honest and >= 1 byzantine validators, got %d/%d", nHonest, nByz)
-	}
-	byz := make([]types.ValidatorIndex, nByz)
-	for i := range byz {
-		byz[i] = types.ValidatorIndex(nHonest + i)
-	}
-	nA := int(math.Round(float64(nHonest) * p.P0))
-	if nA < 2 || nHonest-nA < 2 {
-		return Result{}, fmt.Errorf("engine: sim/semiactive wants >= 2 honest validators per branch, got %d/%d", nA, nHonest-nA)
-	}
-	adv := &behavior.SemiActive{
-		Reps:         [2]types.ValidatorIndex{0, types.ValidatorIndex(nA)},
-		AutoFinalize: true,
-	}
-	s, err := leakPartitionSim(p, byz)
+	byz, adv := semiActiveSetup(p)
+	s, err := leakPartitionSim(p, byz, variant)
 	if err != nil {
 		return Result{}, err
 	}
 	s.Cfg.Adversary = adv
-
-	var curve []CurvePoint
-	minStakeRatio := 1.0
+	tr := leakTrace{minStakeRatio: 1}
 	start := time.Now()
-	conflict, err := runToConflict(ctx, s, p, &curve, &minStakeRatio)
-	if err != nil {
+	if err := runEpochsContext(ctx, s, p.Horizon, leakObserver(s, p, &tr)); err != nil {
 		return Result{}, err
 	}
-	elapsed := time.Since(start)
-
-	// The aggregate two-branch engine (Tables 2-3) on identical
-	// parameters: the mechanism-level anchor the full protocol should
-	// land next to.
-	anchorRes, err := core.LeakSim{N: p.N, P0: p.P0, Beta0: p.Beta0, Mode: core.ByzSemiActive}.
-		RunContext(ctx, p.Horizon, 0)
-	if err != nil {
-		return Result{}, err
-	}
-	res := conflictResult(p, conflict, "aggregate_epoch", float64(anchorRes.ConflictEpoch),
-		[]Metric{{Name: "gait_epoch", Value: float64(adv.GaitFrom())}}, minStakeRatio, curve)
-	res.Meta = simMeta(s, elapsed)
-	return res, nil
+	return finishSimSemiActive(ctx, p, s, adv, tr, time.Since(start))
 }

@@ -168,6 +168,16 @@ func (g Grid) FillFrom(p Params) Grid {
 // round. Identical coordinates always derive the identical seed, distinct
 // coordinates derive (for all practical purposes) independent streams,
 // and the result never depends on grid shape or traversal order.
+//
+// The derivation DELIBERATELY excludes the post-branch dimensions rate
+// and gst: cells that differ only there share the pre-branch RNG stream
+// (common random numbers — every cell faces the same duty schedule,
+// Grid.Rates doc), and the warm-start scheduler
+// (internal/engine/warmstart) depends on exactly that to fan such cells
+// out from one shared snapshot. Adding rate or gst to this hash would
+// silently break snapshot reuse — TestDeriveSeedContract pins the
+// exclusion. Horizon IS included, so horizon sweeps share prefixes only
+// when the grid leaves the seed dimension unlisted.
 func DeriveSeed(base int64, p0, beta0 float64, mode string, horizon int) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -357,6 +367,13 @@ type Options struct {
 	Workers int
 	// Registry resolves scenario names; nil means the default registry.
 	Registry *Registry
+	// WarmStart, when non-nil, routes the sweep through the snapshot-tree
+	// warm-start scheduler (if one is installed — import
+	// internal/engine/warmstart): cells of ForkableScenario scenarios that
+	// share a parameter prefix fan out from one shared simulated prefix
+	// instead of each re-simulating epoch 0. Results are bit-identical to
+	// the cold sweep; only wall clock and Result.Meta change.
+	WarmStart *WarmStartOptions
 }
 
 // Update is one event of a streaming sweep: a finished cell's result plus
@@ -385,6 +402,9 @@ type Update struct {
 // Result.Meta. The result payloads (Meta aside) are bit-identical for any
 // worker count.
 func SweepStream(ctx context.Context, cells []Cell, opt Options) <-chan Update {
+	if opt.WarmStart != nil && warmScheduler != nil {
+		return warmScheduler(ctx, cells, opt)
+	}
 	reg := opt.Registry
 	if reg == nil {
 		reg = Default

@@ -1,0 +1,561 @@
+// Package warmstart is the snapshot-tree sweep scheduler: it groups a
+// sweep's cells by the parameter prefix they share (engine.ForkableScenario
+// Fork keys), simulates each shared prefix exactly once (RunTo), and fans
+// the cells out across the worker pool from deep-copied snapshots
+// (ResumeFrom) — turning a grid whose cells re-simulate identical
+// epoch-0..branch prefixes into one spine walk plus cheap resumes.
+//
+// The scheduler is an execution strategy, not a semantics change: results
+// are bit-identical to engine.Sweep for any worker count, snapshot-reuse
+// pattern, and eviction schedule (the equivalence suite enforces this).
+// Importing the package installs it; engine.Options.WarmStart turns it on
+// per sweep.
+//
+// Memory: resident snapshots are refcounted and budgeted
+// (engine.WarmStartOptions.MemoryBudget, via sim.Snapshot.Bytes). Over
+// budget, the cheapest-to-rebuild snapshots (lowest branch epoch) are
+// evicted; a cell that later needs an evicted checkpoint rebuilds it from
+// the nearest surviving ancestor, or from genesis. Scenarios that do not
+// implement ForkableScenario — and degenerate groups of one cell — run on
+// the ordinary cold path inside the same pool.
+package warmstart
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func init() {
+	engine.SetWarmStartScheduler(Stream)
+}
+
+// entry states. An entry is one planned checkpoint: (prefix key, branch
+// epoch).
+const (
+	statePending    = iota // spine has not reached this branch yet
+	stateLive              // snapshot resident, ready to resume from
+	stateEvicted           // dropped for budget; rebuild on demand
+	stateRebuilding        // one cell is rebuilding; siblings wait
+	stateFailed            // RunTo failed; every dependent cell fails
+	stateReleased          // last dependent cell finished; memory freed
+)
+
+type entry struct {
+	branch int
+	group  *group
+	// ready closes when the spine first publishes this entry (live or
+	// failed); resumes wait on it before consulting state.
+	ready chan struct{}
+	// rebuildCh is non-nil while state == stateRebuilding and closes when
+	// the rebuild settles (live, evicted, or failed).
+	rebuildCh chan struct{}
+	// refs counts cells that still need this checkpoint; 0 releases it.
+	refs int
+	// pins counts in-flight rebuilds reading this checkpoint as their
+	// ancestor; a pinned checkpoint is never handed out as Owned (its
+	// snapshot is being read concurrently).
+	pins   int
+	state  int
+	prefix *engine.Prefix
+	bytes  int64 // resident bytes charged (0 for aliases of an ancestor)
+	err    error
+}
+
+// group is one prefix-tree spine: the cells of one scenario sharing one
+// Fork key, checkpointed at their sorted distinct branch epochs.
+type group struct {
+	sch *sched
+	fs  engine.ForkableScenario
+	// params is the representative cell's defaulted params. RunTo
+	// implementations derive the prefix from pre-branch dimensions only
+	// (the ForkableScenario contract), so any group member's params serve.
+	params  engine.Params
+	entries map[int]*entry
+	order   []int // sorted branch epochs
+	// spineDone is set once runSpine has walked every branch: until then
+	// the spine may still be reading its latest prefix as the base of the
+	// next hop, so no checkpoint can be handed out as Owned.
+	spineDone bool
+}
+
+// sched is the per-sweep scheduler state: budget accounting and the
+// observability counters surfaced through engine.WarmMeta.
+type sched struct {
+	mu       sync.Mutex
+	budget   int64 // <= 0: unlimited
+	resident int64
+	peak     int64
+	hits     int
+	rebuilt  int
+	nodes    int
+	entries  []*entry // every entry across groups, for eviction scans
+}
+
+// Stream is the warm-start implementation of engine.SweepStream: same
+// channel contract (one Update per cell in completion order, channel
+// closed after the last; cancelled cells marked with the context error),
+// same bit-identical results, different execution plan.
+func Stream(ctx context.Context, cells []engine.Cell, opt engine.Options) <-chan engine.Update {
+	reg := opt.Registry
+	if reg == nil {
+		reg = engine.Default
+	}
+	out := make(chan engine.Update)
+	if len(cells) == 0 {
+		close(out)
+		return out
+	}
+	var ws engine.WarmStartOptions
+	if opt.WarmStart != nil {
+		ws = *opt.WarmStart
+	}
+	sch := &sched{budget: ws.Budget()}
+
+	// Plan: classify each cell as warm (forkable, shares a prefix with at
+	// least one other cell) or cold.
+	type warmCell struct {
+		idx    int
+		params engine.Params
+		branch int
+	}
+	pending := make(map[string][]warmCell)
+	pendingFS := make(map[string]engine.ForkableScenario)
+	var keys []string // insertion order, for a deterministic plan
+	var colds []int
+	for i, c := range cells {
+		s, ok := reg.Lookup(c.Scenario)
+		if !ok {
+			colds = append(colds, i) // surfaces the unknown-scenario error cold
+			continue
+		}
+		fs, ok := s.(engine.ForkableScenario)
+		if !ok {
+			colds = append(colds, i)
+			continue
+		}
+		p := c.Params.WithDefaults(s.Defaults())
+		key, branch, forkable := fs.Fork(p)
+		if !forkable || branch <= 0 {
+			colds = append(colds, i)
+			continue
+		}
+		k := c.Scenario + "\x00" + key
+		if _, seen := pending[k]; !seen {
+			keys = append(keys, k)
+			pendingFS[k] = fs
+		}
+		pending[k] = append(pending[k], warmCell{i, p, branch})
+	}
+
+	type resumeJob struct {
+		idx    int
+		params engine.Params
+		g      *group
+		e      *entry
+	}
+	var groups []*group
+	var resumes []resumeJob
+	for _, k := range keys {
+		wcs := pending[k]
+		if len(wcs) < 2 {
+			// A lone cell gains nothing from checkpointing — run it cold.
+			for _, wc := range wcs {
+				colds = append(colds, wc.idx)
+			}
+			continue
+		}
+		g := &group{sch: sch, fs: pendingFS[k], params: wcs[0].params, entries: make(map[int]*entry)}
+		for _, wc := range wcs {
+			e := g.entries[wc.branch]
+			if e == nil {
+				e = &entry{branch: wc.branch, group: g, ready: make(chan struct{}), state: statePending}
+				g.entries[wc.branch] = e
+				g.order = append(g.order, wc.branch)
+				sch.entries = append(sch.entries, e)
+			}
+			e.refs++
+			resumes = append(resumes, resumeJob{wc.idx, wc.params, g, e})
+		}
+		sort.Ints(g.order)
+		sch.nodes += len(g.order)
+		groups = append(groups, g)
+	}
+	sort.SliceStable(colds, func(a, b int) bool { return colds[a] < colds[b] })
+	// Shallow branches first: their checkpoints publish first.
+	sort.SliceStable(resumes, func(a, b int) bool { return resumes[a].e.branch < resumes[b].e.branch })
+
+	// One job queue for spines, colds, and resumes, in that order. The
+	// ordering is the no-deadlock argument: a resume blocks on its entry's
+	// ready channel, but by FIFO it is dequeued only after every spine job
+	// was dequeued — and spines never wait on anything — so a blocked
+	// resume's spine is always running or finished.
+	total := len(groups) + len(colds) + len(resumes)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > total {
+		workers = total
+	}
+	type indexed struct {
+		i   int
+		res engine.Result
+	}
+	finished := make(chan indexed)
+	jobs := make(chan func(), total)
+	for _, g := range groups {
+		g := g
+		jobs <- func() { g.runSpine(ctx) }
+	}
+	for _, i := range colds {
+		i := i
+		cell := cells[i]
+		jobs <- func() {
+			var res engine.Result
+			if err := ctx.Err(); err != nil {
+				// Cancelled before this cell started: mark it without
+				// computing (no Meta — no work was done).
+				res = failedCell(reg, cell, err)
+			} else {
+				start := time.Now()
+				r, err := reg.RunContext(ctx, cell.Scenario, cell.Params)
+				if err != nil {
+					r = failedCell(reg, cell, err)
+				}
+				r.Meta = engine.RunMeta{
+					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+					Warm:       sch.warmMeta(false, 0, 0),
+				}.Merged(r.Meta)
+				res = r
+			}
+			finished <- indexed{i, res}
+		}
+	}
+	for _, rj := range resumes {
+		rj := rj
+		cell := cells[rj.idx]
+		jobs <- func() {
+			var res engine.Result
+			if err := ctx.Err(); err != nil {
+				res = failedCell(reg, cell, err)
+				rj.g.sch.decref(rj.e)
+			} else {
+				start := time.Now()
+				pre, saved, err := rj.g.acquire(ctx, rj.e)
+				var r engine.Result
+				if err == nil {
+					r, err = rj.g.fs.ResumeFrom(ctx, pre, rj.params)
+				}
+				rj.g.sch.decref(rj.e)
+				if err != nil {
+					r = failedCell(reg, cell, err)
+				} else {
+					// Stamp provenance exactly as Registry.RunContext does
+					// on the cold path.
+					r.Scenario = rj.g.fs.Name()
+					r.Params = rj.params
+				}
+				r.Meta = engine.RunMeta{
+					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+					Warm:       rj.g.sch.warmMeta(true, rj.e.branch, saved),
+				}.Merged(r.Meta)
+				res = r
+			}
+			finished <- indexed{rj.idx, res}
+		}
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				job()
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	go func() {
+		defer close(out)
+		completed := 0
+		for f := range finished {
+			completed++
+			out <- engine.Update{Index: f.i, Result: f.res, Completed: completed, Total: len(cells)}
+		}
+	}()
+	return out
+}
+
+// runSpine walks the group's branch epochs in order, extending one prefix
+// chain and publishing a checkpoint at each. A RunTo failure fails that
+// branch's entry but keeps walking from the last good prefix, so one bad
+// extension does not doom deeper (independent) retries — under
+// cancellation every remaining entry fails fast with the context error.
+func (g *group) runSpine(ctx context.Context) {
+	var prev *engine.Prefix
+	for _, b := range g.order {
+		e := g.entries[b]
+		if err := ctx.Err(); err != nil {
+			g.sch.publishErr(e, err)
+			continue
+		}
+		pre, err := g.fs.RunTo(ctx, g.params, prev, b)
+		if err != nil {
+			g.sch.publishErr(e, err)
+			continue
+		}
+		g.sch.publish(e, pre, prev)
+		prev = pre
+	}
+	g.sch.mu.Lock()
+	g.spineDone = true
+	g.sch.mu.Unlock()
+}
+
+// acquire hands a resume its checkpoint, rebuilding it first if the budget
+// evicted it. Returns the prefix and the number of prefix epochs this cell
+// did not have to simulate (for WarmMeta.EpochsSaved).
+func (g *group) acquire(ctx context.Context, e *entry) (*engine.Prefix, int, error) {
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+	sch := g.sch
+	for {
+		sch.mu.Lock()
+		switch e.state {
+		case stateLive:
+			pre := e.prefix
+			sch.hits++
+			// Last consumer, spine finished, nothing aliasing or pinning
+			// this checkpoint: hand it over Owned, so the resume may adopt
+			// the snapshot's state instead of deep-copying it. The entry is
+			// consumed here — released and uncharged — because after
+			// adoption the snapshot no longer holds restorable state.
+			if e.refs == 1 && e.pins == 0 && g.spineDone && !g.aliasedLocked(e) {
+				owned := *pre
+				owned.Owned = true
+				sch.resident -= e.bytes
+				e.bytes = 0
+				e.prefix = nil
+				e.state = stateReleased
+				sch.mu.Unlock()
+				return &owned, owned.Epoch, nil
+			}
+			sch.mu.Unlock()
+			return pre, pre.Epoch, nil
+
+		case stateFailed:
+			err := e.err
+			sch.mu.Unlock()
+			return nil, 0, err
+
+		case stateEvicted:
+			e.state = stateRebuilding
+			e.rebuildCh = make(chan struct{})
+			ancEntry := g.nearestLiveAncestorLocked(e.branch)
+			var anc *engine.Prefix
+			if ancEntry != nil {
+				// Pin the ancestor for the duration of the rebuild: RunTo
+				// reads its snapshot, so it must not be handed to its own
+				// resume as Owned (adoption would mutate it mid-read).
+				// Eviction and release stay safe — the prefix pointer is
+				// immutable and held here.
+				anc = ancEntry.prefix
+				ancEntry.pins++
+			}
+			sch.mu.Unlock()
+
+			pre, err := g.fs.RunTo(ctx, g.params, anc, e.branch)
+
+			sch.mu.Lock()
+			if ancEntry != nil {
+				ancEntry.pins--
+			}
+			ch := e.rebuildCh
+			e.rebuildCh = nil
+			if err != nil {
+				if ctx.Err() != nil {
+					// Cancellation is not the checkpoint's fault: leave it
+					// evicted so the state machine stays consistent;
+					// waiting siblings observe their own context.
+					e.state = stateEvicted
+				} else {
+					e.state, e.err = stateFailed, err
+				}
+				sch.mu.Unlock()
+				close(ch)
+				return nil, 0, err
+			}
+			e.prefix = pre
+			e.state = stateLive
+			sch.rebuilt++
+			if anc == nil || pre != anc {
+				e.bytes = pre.Snap.Bytes()
+				sch.resident += e.bytes
+				if sch.resident > sch.peak {
+					sch.peak = sch.resident
+				}
+				sch.enforceBudgetLocked(e)
+			}
+			sch.mu.Unlock()
+			close(ch)
+			saved := 0
+			if anc != nil {
+				saved = anc.Epoch
+			}
+			return pre, saved, nil
+
+		case stateRebuilding:
+			ch := e.rebuildCh
+			sch.mu.Unlock()
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, 0, ctx.Err()
+			}
+
+		default:
+			// pending after ready, or released while this cell holds a
+			// ref: both would be scheduler bugs.
+			st := e.state
+			sch.mu.Unlock()
+			return nil, 0, fmt.Errorf("warmstart: checkpoint at branch %d in unexpected state %d", e.branch, st)
+		}
+	}
+}
+
+// nearestLiveAncestorLocked finds the deepest resident checkpoint strictly
+// below the given branch in this group, for rebuilding from. Caller holds
+// sch.mu.
+func (g *group) nearestLiveAncestorLocked(branch int) *entry {
+	for i := sort.SearchInts(g.order, branch) - 1; i >= 0; i-- {
+		if e := g.entries[g.order[i]]; e.state == stateLive {
+			return e
+		}
+	}
+	return nil
+}
+
+// aliasedLocked reports whether another entry still references the same
+// prefix (Done prefixes alias across deeper branches). Caller holds sch.mu.
+func (g *group) aliasedLocked(e *entry) bool {
+	for _, o := range g.entries {
+		if o != e && o.prefix == e.prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// publish marks an entry live with the spine's freshly extended prefix.
+// When RunTo returned the previous checkpoint unchanged (a Done prefix —
+// the scenario concluded before this branch), the entry aliases the same
+// snapshot and is charged zero bytes.
+func (s *sched) publish(e *entry, pre, prev *engine.Prefix) {
+	s.mu.Lock()
+	e.prefix = pre
+	e.state = stateLive
+	if pre != prev {
+		e.bytes = pre.Snap.Bytes()
+		s.resident += e.bytes
+		if s.resident > s.peak {
+			s.peak = s.resident
+		}
+		s.enforceBudgetLocked(e)
+	}
+	s.mu.Unlock()
+	close(e.ready)
+}
+
+func (s *sched) publishErr(e *entry, err error) {
+	s.mu.Lock()
+	e.state, e.err = stateFailed, err
+	s.mu.Unlock()
+	close(e.ready)
+}
+
+// enforceBudgetLocked evicts resident checkpoints, lowest branch epoch
+// first (the cheapest to rebuild), until the budget holds again — never
+// the entry just published (evicting it would thrash: its consumer is by
+// definition about to need it). Aliases are skipped: they hold no bytes of
+// their own, so evicting one frees nothing. Caller holds s.mu.
+//
+// Eviction is always safe: prefixes are immutable, so a resume already
+// holding the pointer is unaffected; later resumes rebuild.
+func (s *sched) enforceBudgetLocked(keep *entry) {
+	if s.budget <= 0 {
+		return
+	}
+	for s.resident > s.budget {
+		var victim *entry
+		for _, e := range s.entries {
+			if e == keep || e.state != stateLive || e.bytes == 0 {
+				continue
+			}
+			if victim == nil || e.branch < victim.branch {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // only the just-published snapshot remains; keep it
+		}
+		s.resident -= victim.bytes
+		victim.bytes = 0
+		victim.prefix = nil
+		victim.state = stateEvicted
+	}
+}
+
+// decref retires one cell's claim on a checkpoint; the last claim releases
+// the snapshot.
+func (s *sched) decref(e *entry) {
+	s.mu.Lock()
+	e.refs--
+	if e.refs <= 0 && e.state != stateRebuilding {
+		if e.state == stateLive {
+			s.resident -= e.bytes
+		}
+		e.bytes = 0
+		e.prefix = nil
+		e.state = stateReleased
+	}
+	s.mu.Unlock()
+}
+
+// warmMeta snapshots the sweep-wide counters for one cell's RunMeta.
+func (s *sched) warmMeta(hit bool, branch, saved int) *engine.WarmMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &engine.WarmMeta{
+		Hit:               hit,
+		BranchEpoch:       branch,
+		EpochsSaved:       saved,
+		PrefixNodes:       s.nodes,
+		SnapshotHits:      s.hits,
+		Rebuilt:           s.rebuilt,
+		PeakResidentBytes: s.peak,
+	}
+}
+
+// failedCell mirrors the cold sweep's failure shape: the defaulted params
+// when resolvable, so a failed cell still documents the run it attempted.
+func failedCell(reg *engine.Registry, cell engine.Cell, err error) engine.Result {
+	p := cell.Params
+	if s, ok := reg.Lookup(cell.Scenario); ok {
+		p = p.WithDefaults(s.Defaults())
+	}
+	return engine.Result{Scenario: cell.Scenario, Params: p, Err: err.Error()}
+}

@@ -84,15 +84,23 @@ func NewProtoArray() *ProtoArray {
 
 // ensureValidators grows the per-validator columns to hold n validators.
 func (p *ProtoArray) ensureValidators(n int) {
-	for len(p.voteRoot) < n {
-		p.voteRoot = append(p.voteRoot, types.Root{})
-		p.voteSlot = append(p.voteSlot, 0)
-		p.hasVote = append(p.hasVote, false)
-		p.stakes = append(p.stakes, 0)
-		p.appliedIdx = append(p.appliedIdx, blocktree.NoIndex)
-		p.appliedStake = append(p.appliedStake, 0)
-		p.inChanged = append(p.inChanged, false)
-		p.inUnresolved = append(p.inUnresolved, false)
+	have := len(p.voteRoot)
+	if have >= n {
+		return
+	}
+	// Grow each column in one step: element-at-a-time appends re-copy all
+	// eight columns on every size-class doubling, which at paper scale
+	// makes first-touch (UpdateStakes over the whole set) a hot spot.
+	p.voteRoot = append(p.voteRoot, make([]types.Root, n-have)...)
+	p.voteSlot = append(p.voteSlot, make([]types.Slot, n-have)...)
+	p.hasVote = append(p.hasVote, make([]bool, n-have)...)
+	p.stakes = append(p.stakes, make([]types.Gwei, n-have)...)
+	p.appliedStake = append(p.appliedStake, make([]types.Gwei, n-have)...)
+	p.inChanged = append(p.inChanged, make([]bool, n-have)...)
+	p.inUnresolved = append(p.inUnresolved, make([]bool, n-have)...)
+	p.appliedIdx = append(p.appliedIdx, make([]int32, n-have)...)
+	for i := have; i < n; i++ {
+		p.appliedIdx[i] = blocktree.NoIndex
 	}
 }
 
@@ -344,7 +352,12 @@ func (p *ProtoArray) rebuild(tree *blocktree.Tree) {
 	p.tree = tree
 	p.treeVersion = tree.Version()
 	n := tree.Len()
-	if cap(p.weights) < n {
+	// The four columns are appended in lockstep but their capacities can
+	// still diverge: CloneEngine's append(nil, ...) rounds each column to
+	// its own allocation size class, so a 4-byte column may hold exactly n
+	// entries while its 8-byte sibling was rounded up past n. Check every
+	// column before taking the reslice fast path.
+	if cap(p.weights) < n || cap(p.deltas) < n || cap(p.bestChild) < n || cap(p.bestDesc) < n {
 		p.weights = make([]types.Gwei, n)
 		p.deltas = make([]int64, n)
 		p.bestChild = make([]int32, n)

@@ -44,6 +44,16 @@ type NodeID = types.ValidatorIndex
 // Never; dropping just returns the memory.
 const Never types.Slot = 1 << 62
 
+// FarFuture is a finite stand-in for "a GST later than any slot this run
+// will reach". Unlike Never, deliveries scheduled against it are HELD in
+// inboxes rather than discarded, which is what a shared-prefix simulation
+// needs: a warm-start prefix runs with GST = FarFuture so every pre-GST
+// cross-partition message survives into the snapshot, and a continuation
+// restored from that snapshot rebases them onto its own heal slot with
+// RetargetGST. Runs that truly never heal should keep using Never and its
+// enqueue-time discard.
+const FarFuture types.Slot = Never >> 1
+
 // Config parameterizes a simulated network.
 type Config struct {
 	// Nodes is the number of endpoints (0..Nodes-1).
@@ -250,6 +260,64 @@ func (n *Network[M]) Clone() *Network[M] {
 		out.inbox[i] = cp
 	}
 	return out
+}
+
+// GST returns the slot at which this network's partitions heal.
+func (n *Network[M]) GST() types.Slot { return n.cfg.GST }
+
+// RetargetGST rebases the network onto a new heal slot: every delivery held
+// for the old GST (scheduled at or after oldGST + Delay — the band only
+// held cross-partition messages occupy, since a regular delivery is always
+// send slot + small delay) is moved to the same offset past the new GST,
+// and future reachability checks use the new GST. Within-slot message
+// order is preserved: held messages sharing a delivery slot move as one
+// slice, and their new slots precede anything a post-retarget sender will
+// enqueue — exactly the send-order interleaving a run with the new GST
+// from slot 0 would have produced. Deliveries rebased to at or past Never
+// are discarded, so retargeting onto Never reproduces its enqueue-time
+// discard semantics.
+//
+// This is the warm-start primitive: a shared-prefix snapshot taken under
+// GST = FarFuture is restored into a continuation whose config names the
+// real heal slot, and sim.Restore calls RetargetGST to make the held
+// traffic land where a cold run would have put it.
+func (n *Network[M]) RetargetGST(gst types.Slot) {
+	old := n.cfg.GST
+	n.cfg.GST = gst
+	if old == gst {
+		return
+	}
+	oldBase := old + n.cfg.Delay
+	newBase := gst + n.cfg.Delay
+	type heldEntry struct {
+		at   types.Slot
+		msgs []M
+	}
+	for _, box := range n.inbox {
+		// Two phases — collect the held band, then reinsert — so a moved
+		// slot can never be mistaken for a still-to-move one, whichever
+		// direction the retarget goes.
+		var held []heldEntry
+		for at, msgs := range box {
+			if at >= oldBase {
+				held = append(held, heldEntry{at, msgs})
+			}
+		}
+		for _, h := range held {
+			delete(box, h.at)
+		}
+		for _, h := range held {
+			moved := newBase + (h.at - oldBase)
+			if moved >= Never {
+				continue
+			}
+			// A restored prefix has no regular in-flight delivery at or
+			// past newBase yet, so prepending is only a safeguard: if
+			// anything does occupy the slot, the held messages were sent
+			// earlier and must drain first.
+			box[moved] = append(h.msgs, box[moved]...)
+		}
+	}
 }
 
 // Deliveries drains and returns the messages arriving at endpoint `to` in

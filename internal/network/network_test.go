@@ -324,3 +324,51 @@ func TestNetworkCloneIsolatesInboxes(t *testing.T) {
 		t.Errorf("clone sent counter = %d, want 1", sent)
 	}
 }
+
+// TestRetargetGSTMovesHeldBand pins the warm-start primitive: deliveries
+// held for the old GST move to the same offset past the new one, with
+// within-slot send order preserved and held traffic draining before
+// anything already queued at the destination slot.
+func TestRetargetGSTMovesHeldBand(t *testing.T) {
+	n := New[int](Config{Nodes: 2, GST: FarFuture, Delay: 1})
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 1)
+	// Two cross-partition sends in order: both held at FarFuture + Delay.
+	n.Broadcast(0, 3, 1)
+	n.Broadcast(0, 5, 2)
+	// A retransmission-style held delivery two slots deeper into the band.
+	n.SendDirect(0, 1, FarFuture+3, 3)
+	// Something already occupying the destination slot of the rebased band:
+	// the held messages were sent earlier and must drain first.
+	n.SendDirect(0, 1, 11, 99)
+
+	n.RetargetGST(10)
+	if got := n.GST(); got != 10 {
+		t.Fatalf("GST() = %d after retarget, want 10", got)
+	}
+	if got := n.Deliveries(1, 11); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 99 {
+		t.Errorf("rebased band at GST+Delay = %v, want [1 2 99]", got)
+	}
+	if got := n.Deliveries(1, 13); len(got) != 1 || got[0] != 3 {
+		t.Errorf("held offset not preserved: %v, want [3]", got)
+	}
+	if !n.Healed(10) || n.Healed(9) {
+		t.Error("reachability does not follow the retargeted GST")
+	}
+}
+
+// TestRetargetGSTOntoNeverDiscards: rebasing held traffic onto Never must
+// reproduce Never's enqueue-time discard semantics.
+func TestRetargetGSTOntoNeverDiscards(t *testing.T) {
+	n := New[int](Config{Nodes: 2, GST: FarFuture, Delay: 1})
+	n.SetPartition(0, 0)
+	n.SetPartition(1, 1)
+	n.Broadcast(0, 2, 7)
+	if got := n.PendingFor(1); got != 1 {
+		t.Fatalf("FarFuture network should hold the cross-partition message, pending = %d", got)
+	}
+	n.RetargetGST(Never)
+	if got := n.PendingFor(1); got != 0 {
+		t.Errorf("retarget onto Never kept %d held messages", got)
+	}
+}

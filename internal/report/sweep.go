@@ -16,7 +16,7 @@ import (
 type sweepColumns struct {
 	hasBeta0, hasMode, hasSeed, hasN, hasHorizon, hasOutcome, hasErr bool
 	hasRate, hasGST                                                  bool
-	hasDuration, hasEps                                              bool
+	hasDuration, hasEps, hasWarm                                     bool
 	metrics                                                          []string
 }
 
@@ -36,6 +36,7 @@ func columnsOf(results []engine.Result) sweepColumns {
 		c.hasErr = c.hasErr || r.Err != ""
 		c.hasDuration = c.hasDuration || (r.Meta != nil && (r.Meta.DurationMS != 0 || r.Meta.Cached))
 		c.hasEps = c.hasEps || (r.Meta != nil && r.Meta.EpochsPerSec != 0)
+		c.hasWarm = c.hasWarm || (r.Meta != nil && r.Meta.Warm != nil)
 		for _, m := range r.Metrics {
 			if !seen[m.Name] {
 				seen[m.Name] = true
@@ -78,6 +79,9 @@ func (c sweepColumns) headers() []string {
 	}
 	if c.hasEps {
 		h = append(h, "ep/s")
+	}
+	if c.hasWarm {
+		h = append(h, "warm")
 	}
 	if c.hasErr {
 		h = append(h, "error")
@@ -135,6 +139,17 @@ func (c sweepColumns) row(r engine.Result, format func(float64) string) []string
 		cell := ""
 		if r.Meta != nil && r.Meta.EpochsPerSec != 0 {
 			cell = fmt.Sprintf("%.4g", r.Meta.EpochsPerSec)
+		}
+		row = append(row, cell)
+	}
+	if c.hasWarm {
+		cell := ""
+		if r.Meta != nil && r.Meta.Warm != nil {
+			if wm := r.Meta.Warm; wm.Hit {
+				cell = fmt.Sprintf("+%dep", wm.EpochsSaved)
+			} else {
+				cell = "cold"
+			}
 		}
 		row = append(row, cell)
 	}

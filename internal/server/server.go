@@ -23,6 +23,9 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	// Install the snapshot-tree warm-start scheduler so warm sweeps work
+	// (the engine package cannot import it; see engine.SetWarmStartScheduler).
+	_ "repro/internal/engine/warmstart"
 )
 
 // DefaultCacheSize is the LRU capacity used when Config.CacheSize is 0.
@@ -38,13 +41,25 @@ type Config struct {
 	// CacheSize bounds the LRU result cache: 0 means DefaultCacheSize,
 	// negative disables caching.
 	CacheSize int
+	// WarmStart turns the snapshot-tree warm-start scheduler on by
+	// default for /sweep requests whose scenarios support it
+	// (engine.ForkableScenario); per-request "warm" overrides it either
+	// way. Results are bit-identical to cold sweeps, so warm and cold
+	// cells share the LRU cache freely.
+	WarmStart bool
+	// WarmBudget bounds resident warm-start snapshot bytes
+	// (engine.WarmStartOptions.MemoryBudget): 0 means the engine default,
+	// negative unlimited.
+	WarmBudget int64
 }
 
 // Server serves the scenario registry over HTTP.
 type Server struct {
-	reg     *engine.Registry
-	workers int
-	cache   *resultCache
+	reg        *engine.Registry
+	workers    int
+	cache      *resultCache
+	warm       bool
+	warmBudget int64
 }
 
 // New validates cfg and builds a Server.
@@ -56,7 +71,7 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = engine.Default
 	}
-	s := &Server{reg: reg, workers: cfg.Workers}
+	s := &Server{reg: reg, workers: cfg.Workers, warm: cfg.WarmStart, warmBudget: cfg.WarmBudget}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
 		if size == 0 {
@@ -155,6 +170,9 @@ type sweepRequest struct {
 	// Workers overrides the server's sweep pool for this request
 	// (0 = server default, negative rejected).
 	Workers int `json:"workers,omitempty"`
+	// Warm overrides the server's warm-start default for this request
+	// (absent = server default).
+	Warm *bool `json:"warm,omitempty"`
 }
 
 // handleSweep expands the requested sweep and streams one NDJSON update
@@ -190,6 +208,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	workers := req.Workers
 	if workers == 0 {
 		workers = s.workers
+	}
+	warm := s.warm
+	if req.Warm != nil {
+		warm = *req.Warm
 	}
 
 	// Split the sweep: cached cells are answered without recomputation,
@@ -233,7 +255,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, u := range cached {
 		emit(u)
 	}
-	for u := range engine.SweepStream(r.Context(), todo, engine.Options{Workers: workers, Registry: s.reg}) {
+	opt := engine.Options{Workers: workers, Registry: s.reg}
+	if warm {
+		opt.WarmStart = &engine.WarmStartOptions{MemoryBudget: s.warmBudget}
+	}
+	for u := range engine.SweepStream(r.Context(), todo, opt) {
 		p := meta[u.Index]
 		if s.cache != nil && p.ok && u.Result.Err == "" {
 			s.cache.add(p.key, u.Result.WithoutMeta())

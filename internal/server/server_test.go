@@ -430,3 +430,124 @@ func TestRunEndpointKeepsExplicitZeroParams(t *testing.T) {
 		t.Fatal("explicit-zero run was served from the defaulted run's cache entry")
 	}
 }
+
+// TestSweepWarmMatchesColdAndStampsMeta runs the same shared-prefix grid
+// warm (per-request override) and cold (server default) on a cache-less
+// server: warm cells must carry warm-start provenance in the stream, and
+// the payloads must be bit-identical to the cold sweep's.
+func TestSweepWarmMatchesColdAndStampsMeta(t *testing.T) {
+	ts := newTestServer(t, Config{CacheSize: -1})
+	grid := map[string]any{
+		"scenario": "sim/gst",
+		"sweep":    "horizon=4,6,8",
+		"params":   map[string]any{"n": 24, "gst": 12},
+	}
+
+	warmBody := map[string]any{"warm": true}
+	for k, v := range grid {
+		warmBody[k] = v
+	}
+	warm := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", warmBody))
+	if len(warm) != 3 {
+		t.Fatalf("warm sweep streamed %d updates, want 3", len(warm))
+	}
+	hits := 0
+	warmRes := make([]engine.Result, len(warm))
+	for _, u := range warm {
+		warmRes[u.Index] = u.Result
+		if u.Result.Err != "" {
+			t.Fatalf("warm cell %d failed: %s", u.Index, u.Result.Err)
+		}
+		wm := u.Result.Meta.Warm
+		if wm == nil {
+			t.Fatalf("warm cell %d meta = %+v, want warm-start provenance", u.Index, u.Result.Meta)
+		}
+		if wm.Hit {
+			hits++
+			if wm.EpochsSaved <= 0 {
+				t.Errorf("warm hit %d saved %d epochs, want > 0", u.Index, wm.EpochsSaved)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("shared-prefix grid produced no warm hits")
+	}
+
+	cold := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", grid))
+	coldRes := make([]engine.Result, len(cold))
+	for _, u := range cold {
+		coldRes[u.Index] = u.Result
+		if u.Result.Meta != nil && u.Result.Meta.Warm != nil {
+			t.Errorf("cold cell %d carries warm meta %+v", u.Index, u.Result.Meta.Warm)
+		}
+	}
+	if !reflect.DeepEqual(engine.StripMeta(warmRes), engine.StripMeta(coldRes)) {
+		t.Error("warm sweep payload diverges from cold sweep payload")
+	}
+}
+
+// TestSweepWarmSharesRunCache boots a server with warm-start on by
+// default and checks the cache interplay: a warm sweep's cells land in
+// the LRU stripped of metadata, so a later /run of the same parameter
+// point is served cached — same payload, no warm provenance leaking
+// through — and a per-request "warm": false override still runs cold.
+func TestSweepWarmSharesRunCache(t *testing.T) {
+	ts := newTestServer(t, Config{WarmStart: true, CacheSize: 16})
+	sweep := map[string]any{
+		"scenario": "sim/gst",
+		"sweep":    "horizon=4,6,8",
+		"params":   map[string]any{"n": 24, "gst": 12},
+	}
+	updates := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", sweep))
+	byHorizon := map[int]engine.Result{}
+	warmed := false
+	for _, u := range updates {
+		if u.Result.Err != "" {
+			t.Fatalf("sweep cell %d failed: %s", u.Index, u.Result.Err)
+		}
+		if u.Result.Meta == nil || u.Result.Meta.Warm == nil {
+			t.Fatalf("server-default warm sweep cell %d has no warm meta", u.Index)
+		}
+		warmed = warmed || u.Result.Meta.Warm.Hit
+		byHorizon[u.Result.Params.Horizon] = u.Result
+	}
+	if !warmed {
+		t.Error("server-default warm sweep produced no warm hits")
+	}
+
+	resp := postJSON(t, ts.URL+"/run", map[string]any{
+		"scenario": "sim/gst",
+		"params":   map[string]any{"n": 24, "gst": 12, "horizon": 6},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status = %d", resp.StatusCode)
+	}
+	var res engine.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Meta == nil || !res.Meta.Cached {
+		t.Fatalf("run meta = %+v, want served from the warm sweep's cache entry", res.Meta)
+	}
+	if res.Meta.Warm != nil {
+		t.Errorf("cached run leaked warm provenance: %+v", res.Meta.Warm)
+	}
+	if !reflect.DeepEqual(res.WithoutMeta(), byHorizon[6].WithoutMeta()) {
+		t.Error("cached run payload diverges from the warm sweep cell")
+	}
+
+	// The override works the other way too: "warm": false on a
+	// warm-default server runs cold.
+	coldBody := map[string]any{
+		"scenario": "sim/gst",
+		"sweep":    "horizon=10",
+		"params":   map[string]any{"n": 24, "gst": 12},
+		"warm":     false,
+	}
+	for _, u := range decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", coldBody)) {
+		if u.Result.Meta != nil && u.Result.Meta.Warm != nil {
+			t.Errorf(`"warm": false cell %d carries warm meta %+v`, u.Index, u.Result.Meta.Warm)
+		}
+	}
+}

@@ -44,7 +44,11 @@ const byzPartition = -1
 // one bridging cohort. With cfg.PerValidatorViews every validator is its
 // own cohort, which reproduces the pre-refactor one-node-per-validator
 // layout exactly and serves as the equivalence oracle in tests.
-func buildCohorts(cfg Config, byzantine map[types.ValidatorIndex]bool, genesis types.Root) (cohorts []*Cohort, cohortOf []int) {
+//
+// shell skips the per-cohort Node construction (see NewShell): the cohort
+// layout, membership, and partition assignment are built as usual but
+// every Cohort.Node is left nil for a later Restore/Adopt to install.
+func buildCohorts(cfg Config, byzantine map[types.ValidatorIndex]bool, genesis types.Root, shell bool) (cohorts []*Cohort, cohortOf []int) {
 	cohortOf = make([]int, cfg.Validators)
 	partitionOf := func(v types.ValidatorIndex) int {
 		if byzantine[v] {
@@ -57,17 +61,19 @@ func buildCohorts(cfg Config, byzantine map[types.ValidatorIndex]bool, genesis t
 	}
 
 	newCohort := func(first types.ValidatorIndex) *Cohort {
-		var votes forkchoice.Engine = forkchoice.NewProtoArray()
-		if cfg.OracleForkChoice {
-			votes = forkchoice.NewOracle()
-		}
 		c := &Cohort{
 			Index:     len(cohorts),
-			Node:      beacon.NewNodeWithForkChoice(first, cfg.Validators, cfg.Spec, genesis, votes),
 			Partition: partitionOf(first),
 			Byzantine: byzantine[first],
 		}
-		c.Node.EnforceSlashing = !c.Byzantine
+		if !shell {
+			var votes forkchoice.Engine = forkchoice.NewProtoArray()
+			if cfg.OracleForkChoice {
+				votes = forkchoice.NewOracle()
+			}
+			c.Node = beacon.NewNodeWithForkChoice(first, cfg.Validators, cfg.Spec, genesis, votes)
+			c.Node.EnforceSlashing = !c.Byzantine
+		}
 		cohorts = append(cohorts, c)
 		return c
 	}

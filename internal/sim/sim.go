@@ -184,6 +184,22 @@ var ErrBadConfig = errors.New("sim: invalid config")
 
 // New builds the simulation: cohorts, views, network.
 func New(cfg Config) (*Simulation, error) {
+	return build(cfg, false)
+}
+
+// NewShell builds a simulation whose cohort views are left unmaterialized:
+// configuration is validated and the cohort/network layout wired exactly as
+// New does, but the per-cohort beacon.Node construction — the dominant
+// constructor cost at paper scale (registry, proto-array columns, pool,
+// all sized to the validator count) — is skipped, because a Restore or
+// Adopt would discard it wholesale. The returned simulation MUST be given
+// state via Restore or Adopt before it is stepped; the warm-start resume
+// path is the intended caller.
+func NewShell(cfg Config) (*Simulation, error) {
+	return build(cfg, true)
+}
+
+func build(cfg Config, shell bool) (*Simulation, error) {
 	if cfg.Validators <= 0 {
 		return nil, fmt.Errorf("%w: validators = %d", ErrBadConfig, cfg.Validators)
 	}
@@ -238,7 +254,7 @@ func New(cfg Config) (*Simulation, error) {
 		byzantine: byzantine,
 		oracle:    blocktree.New(genesis),
 	}
-	s.cohorts, s.cohortOf = buildCohorts(cfg, byzantine, genesis)
+	s.cohorts, s.cohortOf = buildCohorts(cfg, byzantine, genesis, shell)
 	s.Net = wireNetwork(cfg, s.cohorts)
 	s.dutyView = make([]int, cfg.Validators)
 	copy(s.dutyView, s.cohortOf)

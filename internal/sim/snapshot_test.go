@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/network"
 	"repro/internal/types"
 )
 
@@ -147,5 +148,54 @@ func TestRestoreRejectsMismatchedShape(t *testing.T) {
 	}
 	if err := other.Restore(a.Snapshot()); err == nil {
 		t.Fatal("Restore accepted a snapshot with a mismatched shape")
+	}
+}
+
+// TestRestoreAcrossGST pins GST portability, the property that lets one
+// shared prefix fan out across a gst sweep: a prefix simulated under
+// GST = network.FarFuture (held cross-partition traffic retained),
+// snapshotted before the heal, and restored into a simulation whose
+// Config names the real heal slot reproduces the cold run with that GST
+// bit-identically.
+func TestRestoreAcrossGST(t *testing.T) {
+	const snapAt, total = 3, 12
+	realGST := types.Epoch(5).StartSlot()
+
+	cold := snapshotCfg(false, false)
+	cold.GST = realGST
+	ref, err := New(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runRecorded(t, ref, total)
+
+	prefixCfg := cold
+	prefixCfg.GST = network.FarFuture
+	prefix, err := New(prefixCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prefix.RunEpochs(snapAt); err != nil {
+		t.Fatal(err)
+	}
+	snap := prefix.Snapshot()
+	if snap.Bytes() <= 0 {
+		t.Fatalf("snapshot footprint = %d bytes, want > 0", snap.Bytes())
+	}
+
+	warm, err := New(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]EpochMetrics, 0, total)
+	for e := 0; e < snapAt; e++ {
+		got = append(got, warm.MetricsAt(types.Epoch(e+1)))
+	}
+	got = append(got, runRecorded(t, warm, total-snapAt)...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FarFuture prefix + Restore diverges from the cold GST run:\n  warm: %+v\n  cold: %+v", got, want)
 	}
 }

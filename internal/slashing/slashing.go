@@ -112,9 +112,20 @@ func (d *Detector) Clone() *Detector {
 		history: make([][]attestation.Data, len(d.history)),
 		slashed: append([]bool(nil), d.slashed...),
 	}
+	// One backing array for the whole history rather than one allocation
+	// per validator (allocation count, not bytes, dominates a paper-scale
+	// clone). Sub-slices are capped at their length, so appending to
+	// either copy's history reallocates instead of clobbering a neighbor.
+	total := 0
+	for _, datas := range d.history {
+		total += len(datas)
+	}
+	arena := make([]attestation.Data, 0, total)
 	for v, datas := range d.history {
 		if len(datas) > 0 {
-			out.history[v] = append([]attestation.Data(nil), datas...)
+			start := len(arena)
+			arena = append(arena, datas...)
+			out.history[v] = arena[start:len(arena):len(arena)]
 		}
 	}
 	return out
