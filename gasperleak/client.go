@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/report"
+	"repro/internal/store"
 )
 
 // Streaming-API re-exports.
@@ -32,6 +33,9 @@ type (
 	// (ScenarioRunMeta.Warm): what the cell reused and the scheduler's
 	// running counters.
 	SweepWarmMeta = engine.WarmMeta
+	// ResultStoreStats is the persistent result store's footprint and
+	// counter snapshot (see WithResultStore and Client.StoreStats).
+	ResultStoreStats = store.Stats
 )
 
 // Client is the v2 entry point of the reproduction: a handle on a scenario
@@ -49,6 +53,7 @@ type Client struct {
 	reg     *engine.Registry
 	workers int
 	warm    *engine.WarmStartOptions
+	store   *store.Results
 }
 
 // ClientOption configures a Client (functional options).
@@ -76,6 +81,25 @@ func WithWorkers(n int) ClientOption {
 func WithWarmStart(budget int64) ClientOption {
 	return func(c *Client) error {
 		c.warm = &engine.WarmStartOptions{MemoryBudget: budget}
+		return nil
+	}
+}
+
+// WithResultStore backs the client with the persistent content-addressed
+// result store rooted at dir (created if needed): runs and sweep cells
+// whose canonical (scenario, defaulted params) key is already on disk are
+// served from the store without recomputation, and fresh computes are
+// written through. The store is shared currency with the serve fabric —
+// the same directory, keys, and bytes — so results computed by a server
+// (or an earlier process) are hits here and vice versa. Call Close when
+// done.
+func WithResultStore(dir string) ClientOption {
+	return func(c *Client) error {
+		st, err := store.OpenResults(dir)
+		if err != nil {
+			return fmt.Errorf("gasperleak: opening result store: %w", err)
+		}
+		c.store = st
 		return nil
 	}
 }
@@ -112,6 +136,49 @@ func (c *Client) options() engine.Options {
 // Workers reports the configured sweep pool width (0 = all CPUs).
 func (c *Client) Workers() int { return c.workers }
 
+// StoreStats reports the persistent store's footprint and hit/miss
+// counters; ok is false when the client has no store.
+func (c *Client) StoreStats() (stats store.Stats, ok bool) {
+	if c.store == nil {
+		return store.Stats{}, false
+	}
+	return c.store.Stats(), true
+}
+
+// Close releases the client's persistent store (no-op without one).
+// Reads from an already-open store keep working after Close; writes stop.
+func (c *Client) Close() error {
+	if c.store == nil {
+		return nil
+	}
+	return c.store.Close()
+}
+
+// storeLookup consults the persistent store for one cell's canonical key.
+func (c *Client) storeLookup(cell SweepCell) (key string, res ScenarioResult, hit bool) {
+	if c.store == nil {
+		return "", ScenarioResult{}, false
+	}
+	key, ok := engine.CanonicalCellKey(c.reg, cell)
+	if !ok {
+		return "", ScenarioResult{}, false
+	}
+	res, hit = c.store.Get(key)
+	if hit {
+		res.Meta = engine.RunMeta{Cached: true}.Merged(res.Meta)
+	}
+	return key, res, hit
+}
+
+// storeSave writes a successful result through to the store (metadata
+// stripped; failures only cost a future recomputation).
+func (c *Client) storeSave(key string, res ScenarioResult) {
+	if c.store == nil || key == "" || res.Err != "" {
+		return
+	}
+	c.store.Put(key, res) //nolint:errcheck // a failed persist only costs a future recomputation
+}
+
 // Scenarios describes every registered scenario, sorted by name.
 func (c *Client) Scenarios() []ScenarioInfo { return c.reg.Infos() }
 
@@ -121,8 +188,18 @@ func (c *Client) Lookup(name string) (Scenario, bool) { return c.reg.Lookup(name
 // Run executes one scenario with cooperative cancellation: scenarios with
 // long internal loops (leaksim, bounce-mc, fig7-threshold, sim/partition)
 // observe ctx mid-run.
+// Repeated parameter points are served from the persistent store when one
+// is configured (WithResultStore), marked Cached in their metadata.
 func (c *Client) Run(ctx context.Context, name string, p ScenarioParams) (ScenarioResult, error) {
-	return c.reg.RunContext(ctx, name, p)
+	key, cached, hit := c.storeLookup(SweepCell{Scenario: name, Params: p})
+	if hit {
+		return cached, nil
+	}
+	res, err := c.reg.RunContext(ctx, name, p)
+	if err == nil {
+		c.storeSave(key, res)
+	}
+	return res, err
 }
 
 // SweepStream fans the cells out over the client's worker pool and yields
@@ -130,19 +207,72 @@ func (c *Client) Run(ctx context.Context, name string, p ScenarioParams) (Scenar
 // drain the channel; after ctx is cancelled the remaining cells are marked
 // with the context error and the stream closes promptly. Result payloads
 // are bit-identical for any worker count (Meta carries the timing).
+// With a persistent store (WithResultStore), cells already on disk are
+// emitted first without recomputation and fresh computes are written
+// through; payloads stay bit-identical either way.
 func (c *Client) SweepStream(ctx context.Context, cells []SweepCell) <-chan SweepUpdate {
-	return engine.SweepStream(ctx, cells, c.options())
+	if c.store == nil {
+		return engine.SweepStream(ctx, cells, c.options())
+	}
+	// Split the sweep exactly as the serving layer does: stored cells are
+	// answered immediately, the rest go through the engine and are saved.
+	type pending struct {
+		index int
+		key   string
+	}
+	var cached []SweepUpdate
+	var todo []SweepCell
+	var meta []pending
+	for i, cell := range cells {
+		if key, res, hit := c.storeLookup(cell); hit {
+			cached = append(cached, SweepUpdate{Index: i, Result: res})
+		} else {
+			todo = append(todo, cell)
+			meta = append(meta, pending{index: i, key: key})
+		}
+	}
+	out := make(chan SweepUpdate)
+	go func() {
+		defer close(out)
+		completed := 0
+		emit := func(u SweepUpdate) {
+			completed++
+			u.Completed = completed
+			u.Total = len(cells)
+			out <- u
+		}
+		for _, u := range cached {
+			emit(u)
+		}
+		for u := range engine.SweepStream(ctx, todo, c.options()) {
+			p := meta[u.Index]
+			c.storeSave(p.key, u.Result)
+			u.Index = p.index
+			emit(u)
+		}
+	}()
+	return out
 }
 
 // Sweep collects a streaming sweep into one result per cell, in cell
 // order. Unfinished cells after cancellation record the context error.
 func (c *Client) Sweep(ctx context.Context, cells []SweepCell) []ScenarioResult {
-	return engine.SweepContext(ctx, cells, c.options())
+	if c.store == nil {
+		return engine.SweepContext(ctx, cells, c.options())
+	}
+	results := make([]ScenarioResult, len(cells))
+	for u := range c.SweepStream(ctx, cells) {
+		results[u.Index] = u.Result
+	}
+	return results
 }
 
 // SweepGrid expands a parameter grid and sweeps it.
 func (c *Client) SweepGrid(ctx context.Context, g SweepGrid) []ScenarioResult {
-	return engine.SweepGridContext(ctx, g, c.options())
+	if c.store == nil {
+		return engine.SweepGridContext(ctx, g, c.options())
+	}
+	return c.Sweep(ctx, g.Cells())
 }
 
 // RenderTable1 renders the paper's Table 1 over the client's pool.

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// CellKey canonicalizes a scenario name and its fully-defaulted params into
+// the canonical result key every caching tier shares: the server's
+// in-memory LRU, the persistent content-addressed store (internal/store),
+// and the client-side read-through all key by exactly this string, so a
+// result computed anywhere is a hit everywhere. Params must already be
+// defaulted (Registry semantics): two requests that resolve to the same
+// effective run map to the same key even when one spells the defaults out
+// and the other omits them.
+//
+// The key is derived by reflection over Params rather than a handwritten
+// format string, so a future Params field is part of the key the moment it
+// exists — the handwritten predecessor silently omitted new fields, serving
+// stale results for any sweep over the new dimension until someone
+// remembered this file. Fields tagged `json:"-"` are skipped: they are
+// presence metadata, not parameters — after defaulting every Params carries
+// the same constant FieldAll mask, so the mask can never distinguish two
+// effective runs. TestCellKeyCoversEveryParamsField fails if a parameter
+// field ever stops influencing the key.
+func CellKey(scenario string, p Params) string {
+	var b strings.Builder
+	b.WriteString(scenario)
+	rv := reflect.ValueOf(p)
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if strings.HasPrefix(f.Tag.Get("json"), "-") {
+			continue
+		}
+		fmt.Fprintf(&b, "|%s=%v", f.Name, rv.Field(i).Interface())
+	}
+	return b.String()
+}
+
+// CanonicalCellKey resolves a cell's canonical result key against a
+// registry, defaulting the params from the scenario. ok = false means the
+// scenario is unknown, so its defaults cannot be applied and no canonical
+// key exists.
+func CanonicalCellKey(reg *Registry, c Cell) (string, bool) {
+	if reg == nil {
+		reg = Default
+	}
+	sc, ok := reg.Lookup(c.Scenario)
+	if !ok {
+		return "", false
+	}
+	return CellKey(c.Scenario, c.Params.WithDefaults(sc.Defaults())), true
+}

@@ -374,7 +374,21 @@ type Options struct {
 	// instead of each re-simulating epoch 0. Results are bit-identical to
 	// the cold sweep; only wall clock and Result.Meta change.
 	WarmStart *WarmStartOptions
+	// Dispatch, when non-nil, takes over cell execution entirely:
+	// SweepStream hands it the cells and the remaining options (Dispatch
+	// itself cleared, so a dispatcher may recurse into SweepStream for
+	// local execution) and returns its stream. This is the scale-out hook —
+	// the serving layer's coordinator routes cells to worker processes
+	// through it — and it carries the same contract as SweepStream: one
+	// Update per cell, payloads bit-identical to a local sweep, the
+	// channel closed after the last cell, prompt close after cancellation.
+	Dispatch DispatchFunc
 }
+
+// DispatchFunc executes a sweep's cells somewhere other than the local
+// worker pool (see Options.Dispatch). Update.Index is the cell's position
+// in the input slice, exactly as SweepStream reports it.
+type DispatchFunc func(ctx context.Context, cells []Cell, opt Options) <-chan Update
 
 // Update is one event of a streaming sweep: a finished cell's result plus
 // progress counts.
@@ -402,6 +416,11 @@ type Update struct {
 // Result.Meta. The result payloads (Meta aside) are bit-identical for any
 // worker count.
 func SweepStream(ctx context.Context, cells []Cell, opt Options) <-chan Update {
+	if opt.Dispatch != nil {
+		d := opt.Dispatch
+		opt.Dispatch = nil
+		return d(ctx, cells, opt)
+	}
 	if opt.WarmStart != nil && warmScheduler != nil {
 		return warmScheduler(ctx, cells, opt)
 	}

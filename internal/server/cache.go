@@ -2,41 +2,21 @@ package server
 
 import (
 	"container/list"
-	"fmt"
-	"reflect"
-	"strings"
 	"sync"
 
 	"repro/internal/engine"
 )
 
 // cacheKey canonicalizes a scenario name and its fully-defaulted params
-// into a cache key. Params must already be defaulted (Registry semantics):
-// two requests that resolve to the same effective run map to the same key
-// even when one spells the defaults out and the other omits them.
-//
-// The key is derived by reflection over engine.Params rather than a
-// handwritten format string, so a future Params field is part of the key
-// the moment it exists — the handwritten predecessor silently omitted new
-// fields, serving stale results for any sweep over the new dimension
-// until someone remembered this file. Fields tagged `json:"-"` are
-// skipped: they are presence metadata, not parameters — after defaulting
-// every Params carries the same constant FieldAll mask, so the mask can
-// never distinguish two effective runs. TestCacheKeyCoversEveryParamsField
-// fails if a parameter field ever stops influencing the key.
+// into a cache key. It is the canonical cell key shared by every tier —
+// the reflection-derived engine.CellKey the persistent store and the
+// client-side read-through also use — so a result computed anywhere in
+// the fabric is a hit everywhere. Params must already be defaulted
+// (Registry semantics); see engine.CellKey for the covering-every-field
+// contract (TestCellKeyCoversEveryParamsField pins it engine-side,
+// TestCacheKeyCoversEveryParamsField keeps this alias honest).
 func cacheKey(scenario string, p engine.Params) string {
-	var b strings.Builder
-	b.WriteString(scenario)
-	rv := reflect.ValueOf(p)
-	rt := rv.Type()
-	for i := 0; i < rt.NumField(); i++ {
-		f := rt.Field(i)
-		if strings.HasPrefix(f.Tag.Get("json"), "-") {
-			continue
-		}
-		fmt.Fprintf(&b, "|%s=%v", f.Name, rv.Field(i).Interface())
-	}
-	return b.String()
+	return engine.CellKey(scenario, p)
 }
 
 // resultCache is a thread-safe LRU of successful scenario results keyed by

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics aggregates the fabric's observability counters, served by
+// GET /metrics: where cells were answered from (computed vs cache tiers),
+// admission-control pressure (queue depth, in-flight, rejections), the
+// coordinator's dispatch ledger, and per-scenario compute-time sums.
+type metrics struct {
+	// Cells answered by each tier, across /run and /sweep.
+	cellsComputed  atomic.Uint64
+	cellsFromLRU   atomic.Uint64
+	cellsFromStore atomic.Uint64
+
+	// Admission control: cells currently admitted (queued or in flight)
+	// and requests refused with 429.
+	admitted atomic.Int64
+	rejected atomic.Uint64
+
+	// Coordinator ledger (zero when the server is a plain worker).
+	cellsRemote    atomic.Uint64 // cells computed by a remote worker
+	cellsRequeued  atomic.Uint64 // cells requeued off a failed/slow worker
+	workersLost    atomic.Uint64 // workers marked dead
+	remoteInflight atomic.Int64  // cells currently dispatched to workers
+
+	mu       sync.Mutex
+	scenario map[string]*scenarioTiming // per-scenario compute sums
+}
+
+// scenarioTiming sums computed-cell wall clock per scenario.
+type scenarioTiming struct {
+	Cells   uint64  `json:"cells"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+func newMetrics() *metrics {
+	return &metrics{scenario: make(map[string]*scenarioTiming)}
+}
+
+// recordComputed accounts one freshly computed cell and its wall clock.
+func (m *metrics) recordComputed(scenario string, ms float64) {
+	m.cellsComputed.Add(1)
+	m.mu.Lock()
+	st := m.scenario[scenario]
+	if st == nil {
+		st = &scenarioTiming{}
+		m.scenario[scenario] = st
+	}
+	st.Cells++
+	st.TotalMS += ms
+	m.mu.Unlock()
+}
+
+// snapshotScenarios copies the per-scenario sums in name order.
+func (m *metrics) snapshotScenarios() map[string]scenarioTiming {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]scenarioTiming, len(m.scenario))
+	names := make([]string, 0, len(m.scenario))
+	for name := range m.scenario {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out[name] = *m.scenario[name]
+	}
+	return out
+}

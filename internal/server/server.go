@@ -1,17 +1,25 @@
 // Package server exposes the scenario registry over HTTP/JSON: listing,
-// single runs, and streaming parameter sweeps, with an LRU result cache so
-// repeated grid cells are served without recomputation.
+// single runs, and streaming parameter sweeps, backed by a tiered result
+// cache (in-memory LRU → persistent content-addressed store → compute) and
+// optionally scaled out over worker processes (coordinator mode).
 //
 // Endpoints:
 //
 //	GET  /scenarios  registry listing (name, description, defaults)
 //	POST /run        one scenario run, JSON in / JSON out, cached
 //	POST /sweep      parameter sweep, NDJSON stream of per-cell results
-//	GET  /healthz    liveness plus registry and cache statistics
+//	GET  /healthz    liveness plus registry and cache/store statistics
+//	GET  /metrics    fabric observability: tier hit/miss counters, cells
+//	                 computed vs served from store, queue depth, in-flight
+//	                 dispatch, per-scenario timing sums, worker health
 //
-// Sweep responses stream one engine.Update JSON object per line in
-// completion order; cancellation (client disconnect) propagates through
-// the engine's context and aborts the remaining cells promptly.
+// Sweep responses stream one engine.Update JSON object per line —
+// completion order in-process, deterministic cell order in coordinator
+// mode; cancellation (client disconnect) propagates through the engine's
+// context and aborts the remaining cells promptly. Admission control
+// bounds the cells queued across requests: a request that would exceed
+// the bound is refused with 429 and a Retry-After header rather than
+// queued without limit.
 package server
 
 import (
@@ -26,10 +34,19 @@ import (
 	// Install the snapshot-tree warm-start scheduler so warm sweeps work
 	// (the engine package cannot import it; see engine.SetWarmStartScheduler).
 	_ "repro/internal/engine/warmstart"
+	"repro/internal/store"
 )
 
 // DefaultCacheSize is the LRU capacity used when Config.CacheSize is 0.
 const DefaultCacheSize = 512
+
+// DefaultQueueDepth bounds the cells admitted (queued or in flight)
+// across all requests when Config.QueueDepth is 0.
+const DefaultQueueDepth = 4096
+
+// DefaultMaxBodyBytes bounds request bodies when Config.MaxBodyBytes is 0:
+// 1 MiB, roomy for any realistic grid spec or explicit cell list.
+const DefaultMaxBodyBytes int64 = 1 << 20
 
 // Config parameterizes a Server.
 type Config struct {
@@ -41,16 +58,43 @@ type Config struct {
 	// CacheSize bounds the LRU result cache: 0 means DefaultCacheSize,
 	// negative disables caching.
 	CacheSize int
+	// StoreDir enables the persistent tier: a content-addressed result
+	// store rooted at this directory (created if needed). Results are
+	// keyed by the same canonical cell key as the LRU, written atomically
+	// with a checksummed header, and survive process restarts — a
+	// repeated grid is served from disk at cache speed by any later
+	// process over the same directory. Empty disables the tier.
+	StoreDir string
 	// WarmStart turns the snapshot-tree warm-start scheduler on by
 	// default for /sweep requests whose scenarios support it
 	// (engine.ForkableScenario); per-request "warm" overrides it either
 	// way. Results are bit-identical to cold sweeps, so warm and cold
-	// cells share the LRU cache freely.
+	// cells share the cache tiers freely.
 	WarmStart bool
 	// WarmBudget bounds resident warm-start snapshot bytes
 	// (engine.WarmStartOptions.MemoryBudget): 0 means the engine default,
 	// negative unlimited.
 	WarmBudget int64
+	// Shards lists worker base URLs (e.g. http://w1:8791). Non-empty puts
+	// the server in coordinator mode: sweep cells are dispatched to the
+	// workers over the NDJSON /sweep protocol, requeued from failed or
+	// slow workers onto the survivors, and merged in deterministic cell
+	// order. A plain serve instance is a valid worker.
+	Shards []string
+	// ShardInflight bounds concurrently dispatched cells per worker
+	// (0 = DefaultShardInflight).
+	ShardInflight int
+	// ShardCellTimeout bounds one remote cell's wall clock; an overrun
+	// condemns the worker and requeues the cell (0 = unbounded).
+	ShardCellTimeout time.Duration
+	// QueueDepth bounds the cells admitted (queued or in flight) across
+	// all requests; a request that would exceed it is refused with 429 +
+	// Retry-After. 0 means DefaultQueueDepth, negative unlimited.
+	QueueDepth int
+	// MaxBodyBytes bounds request bodies (http.MaxBytesReader); an
+	// oversized body is refused with 413. 0 means DefaultMaxBodyBytes,
+	// negative unlimited.
+	MaxBodyBytes int64
 }
 
 // Server serves the scenario registry over HTTP.
@@ -58,8 +102,13 @@ type Server struct {
 	reg        *engine.Registry
 	workers    int
 	cache      *resultCache
+	store      *store.Results
 	warm       bool
 	warmBudget int64
+	coord      *coordinator
+	queueDepth int
+	maxBody    int64
+	metrics    *metrics
 }
 
 // New validates cfg and builds a Server.
@@ -71,7 +120,13 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = engine.Default
 	}
-	s := &Server{reg: reg, workers: cfg.Workers, warm: cfg.WarmStart, warmBudget: cfg.WarmBudget}
+	s := &Server{
+		reg:        reg,
+		workers:    cfg.Workers,
+		warm:       cfg.WarmStart,
+		warmBudget: cfg.WarmBudget,
+		metrics:    newMetrics(),
+	}
 	if cfg.CacheSize >= 0 {
 		size := cfg.CacheSize
 		if size == 0 {
@@ -79,8 +134,44 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cache = newResultCache(size)
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.OpenResults(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening result store: %w", err)
+		}
+		s.store = st
+	}
+	if len(cfg.Shards) > 0 {
+		coord, err := newCoordinator(cfg.Shards, cfg.ShardInflight, cfg.ShardCellTimeout, s.metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+	}
+	s.queueDepth = cfg.QueueDepth
+	if s.queueDepth == 0 {
+		s.queueDepth = DefaultQueueDepth
+	}
+	s.maxBody = cfg.MaxBodyBytes
+	if s.maxBody == 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
 	return s, nil
 }
+
+// Close flushes and closes the persistent store tier (graceful shutdown
+// calls it after draining in-flight requests). The in-memory tiers need
+// no teardown.
+func (s *Server) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}
+
+// Store exposes the persistent tier (nil when disabled); tests use it to
+// inspect and damage entries.
+func (s *Server) Store() *store.Results { return s.store }
 
 // Handler returns the HTTP routing for the service.
 func (s *Server) Handler() http.Handler {
@@ -89,7 +180,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /run", s.handleRun)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// decodeBody decodes a JSON request body under the configured size bound.
+// It reports (handled=true) after writing the error response itself, so
+// handlers can simply return.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (handled bool) {
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body over %d bytes", tooBig.Limit)
+			return true
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return true
+	}
+	return false
+}
+
+// admit reserves queue slots for n cells, or refuses with 429 +
+// Retry-After when the bound would be exceeded. The returned release frees
+// the slots (call it exactly once; it is nil-safe to call on refusal).
+func (s *Server) admit(w http.ResponseWriter, n int) (release func(), ok bool) {
+	if n == 0 {
+		return func() {}, true
+	}
+	if s.queueDepth > 0 {
+		if queued := s.metrics.admitted.Add(int64(n)); queued > int64(s.queueDepth) {
+			s.metrics.admitted.Add(int64(-n))
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"queue full: %d cells admitted of %d; retry shortly", queued-int64(n), s.queueDepth)
+			return nil, false
+		}
+	} else {
+		s.metrics.admitted.Add(int64(n))
+	}
+	return func() { s.metrics.admitted.Add(int64(-n)) }, true
 }
 
 // writeJSON emits v as JSON with the given status.
@@ -111,6 +244,43 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.Infos())
 }
 
+// lookup consults the cache tiers in order — LRU, then the persistent
+// store. A store hit is promoted into the LRU so the next lookup stays in
+// memory. tier is "lru", "store", or "" on a miss.
+func (s *Server) lookup(key string) (engine.Result, string, bool) {
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			s.metrics.cellsFromLRU.Add(1)
+			return res, "lru", true
+		}
+	}
+	if s.store != nil {
+		if res, ok := s.store.Get(key); ok {
+			if s.cache != nil {
+				s.cache.add(key, res)
+			}
+			s.metrics.cellsFromStore.Add(1)
+			return res, "store", true
+		}
+	}
+	return engine.Result{}, "", false
+}
+
+// save writes a computed result through every cache tier (metadata
+// stripped: the tiers hold only the deterministic payload).
+func (s *Server) save(key string, res engine.Result) {
+	payload := res.WithoutMeta()
+	if s.cache != nil {
+		s.cache.add(key, payload)
+	}
+	if s.store != nil {
+		s.store.Put(key, payload) //nolint:errcheck // a failed persist only costs a future recomputation
+	}
+}
+
+// caching reports whether any cache tier is active.
+func (s *Server) caching() bool { return s.cache != nil || s.store != nil }
+
 // runRequest is the POST /run body. engine.Params decodes presence-aware
 // (its UnmarshalJSON marks every key present in the document), so an
 // explicit zero like {"rate": 0} survives defaulting as-is.
@@ -120,11 +290,12 @@ type runRequest struct {
 }
 
 // handleRun executes one scenario, serving repeated parameter points from
-// the cache.
+// the cache tiers (LRU, then disk). Coordinators compute /run in-process
+// too: a coordinator is a complete serve instance, and a single cell does
+// not fan out.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if s.decodeBody(w, r, &req) {
 		return
 	}
 	sc, ok := s.reg.Lookup(req.Scenario)
@@ -133,13 +304,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := cacheKey(req.Scenario, req.Params.WithDefaults(sc.Defaults()))
-	if s.cache != nil {
-		if res, ok := s.cache.get(key); ok {
-			res.Meta = engine.RunMeta{Cached: true}.Merged(res.Meta)
-			writeJSON(w, http.StatusOK, res)
-			return
-		}
+	if res, _, ok := s.lookup(key); ok {
+		res.Meta = engine.RunMeta{Cached: true}.Merged(res.Meta)
+		writeJSON(w, http.StatusOK, res)
+		return
 	}
+	release, ok := s.admit(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 	res, err := timedRun(r.Context(), s.reg, req.Scenario, req.Params)
 	if err != nil {
 		// A cancelled request context is a server-side abort (client
@@ -151,9 +325,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "scenario %q: %v", req.Scenario, err)
 		return
 	}
-	if s.cache != nil {
-		s.cache.add(key, res.WithoutMeta())
+	if res.Meta != nil {
+		s.metrics.recordComputed(req.Scenario, res.Meta.DurationMS)
 	}
+	s.save(key, res)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -176,12 +351,14 @@ type sweepRequest struct {
 }
 
 // handleSweep expands the requested sweep and streams one NDJSON update
-// per cell as it completes. Cells whose (scenario, canonical params) are
-// cached are emitted immediately without recomputation.
+// per cell. Cells whose (scenario, canonical params) are cached — in the
+// LRU or the persistent store — are emitted immediately without
+// recomputation; the rest are computed in-process (completion order) or,
+// in coordinator mode, dispatched over the workers and streamed in
+// deterministic cell order.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Workers < 0 {
@@ -214,8 +391,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		warm = *req.Warm
 	}
 
-	// Split the sweep: cached cells are answered without recomputation,
-	// the rest go through the streaming engine.
+	// Split the sweep: cells cached in any tier are answered without
+	// recomputation, the rest go through the streaming engine (or the
+	// coordinator's dispatch).
 	type pending struct {
 		index int
 		key   string
@@ -226,8 +404,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var meta []pending
 	for i, cell := range cells {
 		key, ok := s.cellKey(cell)
-		if ok && s.cache != nil {
-			if res, hit := s.cache.get(key); hit {
+		if ok && s.caching() {
+			if res, _, hit := s.lookup(key); hit {
 				res.Meta = engine.RunMeta{Cached: true}.Merged(res.Meta)
 				cached = append(cached, engine.Update{Index: i, Result: res})
 				continue
@@ -236,6 +414,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		todo = append(todo, cell)
 		meta = append(meta, pending{index: i, key: key, ok: ok})
 	}
+	release, ok := s.admit(w, len(todo))
+	if !ok {
+		return
+	}
+	defer release()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -259,17 +442,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if warm {
 		opt.WarmStart = &engine.WarmStartOptions{MemoryBudget: s.warmBudget}
 	}
+	if s.coord != nil {
+		opt.Dispatch = s.coord.dispatch
+	}
 	for u := range engine.SweepStream(r.Context(), todo, opt) {
 		p := meta[u.Index]
-		if s.cache != nil && p.ok && u.Result.Err == "" {
-			s.cache.add(p.key, u.Result.WithoutMeta())
+		if u.Result.Err == "" {
+			if p.ok {
+				s.save(p.key, u.Result)
+			}
+			// In coordinator mode the cells were computed elsewhere (the
+			// metrics ledger tracks them as remote; the local-fallback path
+			// records its own compute); only count in-process work here.
+			if u.Result.Meta != nil && s.coord == nil {
+				s.metrics.recordComputed(u.Result.Scenario, u.Result.Meta.DurationMS)
+			}
 		}
 		u.Index = p.index
 		emit(u)
 	}
 }
 
-// handleHealthz reports liveness plus registry and cache statistics.
+// handleHealthz reports liveness plus registry, cache, and store
+// statistics.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":    "ok",
@@ -283,7 +478,82 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"misses":  misses,
 		}
 	}
+	if s.store != nil {
+		body["store"] = s.store.Stats()
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// metricsResponse is the GET /metrics document.
+type metricsResponse struct {
+	// Cells accounts where every answered cell came from.
+	Cells struct {
+		Computed  uint64 `json:"computed"`
+		FromLRU   uint64 `json:"from_lru"`
+		FromStore uint64 `json:"from_store"`
+	} `json:"cells"`
+	// Queue is the admission-control state.
+	Queue struct {
+		Depth    int64  `json:"depth"`
+		Limit    int    `json:"limit"`
+		Rejected uint64 `json:"rejected"`
+	} `json:"queue"`
+	Cache *struct {
+		Entries int    `json:"entries"`
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+	} `json:"cache,omitempty"`
+	Store *store.Stats `json:"store,omitempty"`
+	// Coordinator is present only in coordinator mode.
+	Coordinator *struct {
+		Workers  []workerStats `json:"workers"`
+		Remote   uint64        `json:"cells_remote"`
+		Requeued uint64        `json:"cells_requeued"`
+		Lost     uint64        `json:"workers_lost"`
+		Inflight int64         `json:"inflight"`
+	} `json:"coordinator,omitempty"`
+	// Scenarios sums computed-cell wall clock per scenario.
+	Scenarios map[string]scenarioTiming `json:"scenarios"`
+}
+
+// handleMetrics serves the fabric's observability counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var resp metricsResponse
+	resp.Cells.Computed = s.metrics.cellsComputed.Load()
+	resp.Cells.FromLRU = s.metrics.cellsFromLRU.Load()
+	resp.Cells.FromStore = s.metrics.cellsFromStore.Load()
+	resp.Queue.Depth = s.metrics.admitted.Load()
+	resp.Queue.Limit = s.queueDepth
+	resp.Queue.Rejected = s.metrics.rejected.Load()
+	if s.cache != nil {
+		hits, misses := s.cache.stats()
+		resp.Cache = &struct {
+			Entries int    `json:"entries"`
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+		}{Entries: s.cache.len(), Hits: hits, Misses: misses}
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	if s.coord != nil {
+		resp.Coordinator = &struct {
+			Workers  []workerStats `json:"workers"`
+			Remote   uint64        `json:"cells_remote"`
+			Requeued uint64        `json:"cells_requeued"`
+			Lost     uint64        `json:"workers_lost"`
+			Inflight int64         `json:"inflight"`
+		}{
+			Workers:  s.coord.stats(),
+			Remote:   s.metrics.cellsRemote.Load(),
+			Requeued: s.metrics.cellsRequeued.Load(),
+			Lost:     s.metrics.workersLost.Load(),
+			Inflight: s.metrics.remoteInflight.Load(),
+		}
+	}
+	resp.Scenarios = s.metrics.snapshotScenarios()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // timedRun executes a scenario and stamps the result with its wall-clock
@@ -301,9 +571,5 @@ func timedRun(ctx context.Context, reg *engine.Registry, name string, p engine.P
 // cellKey resolves a cell's cache key (false for unknown scenarios, whose
 // defaults cannot be applied).
 func (s *Server) cellKey(c engine.Cell) (string, bool) {
-	sc, ok := s.reg.Lookup(c.Scenario)
-	if !ok {
-		return "", false
-	}
-	return cacheKey(c.Scenario, c.Params.WithDefaults(sc.Defaults())), true
+	return engine.CanonicalCellKey(s.reg, c)
 }

@@ -1,0 +1,91 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/engine"
+)
+
+// Results is the typed view of a Store holding engine.Result payloads —
+// the layer the server's tiered cache and the client's read-through use.
+// Keys are canonical cell keys (engine.CellKey); payloads are JSON-encoded
+// results with execution metadata stripped, so a stored entry is exactly
+// the deterministic payload and warm/cold/sharded producers write
+// bit-identical bytes for the same cell.
+type Results struct {
+	s *Store
+}
+
+// OpenResults opens (creating if needed) a result store rooted at dir.
+func OpenResults(dir string) (*Results, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{s: s}, nil
+}
+
+// Get returns the stored result for the canonical key. A payload that
+// passes the integrity header but no longer decodes (a result-schema
+// change across versions) is treated exactly like corruption: the entry is
+// dropped and the caller recomputes and rewrites it.
+func (r *Results) Get(key string) (engine.Result, bool) {
+	payload, ok := r.s.Get(key)
+	if !ok {
+		return engine.Result{}, false
+	}
+	var res engine.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		r.s.corrupt.Add(1)
+		r.s.hits.Add(^uint64(0)) // the raw read counted a hit; it wasn't
+		r.s.misses.Add(1)
+		r.s.removeEntry(r.s.path(key), entrySize(key, payload))
+		return engine.Result{}, false
+	}
+	return res, true
+}
+
+// entrySize reconstructs the on-disk size of an entry from its parts.
+func entrySize(key string, payload []byte) int64 {
+	return int64(headerSize + len(key) + len(payload))
+}
+
+// Put stores the result under the canonical key, stripped of execution
+// metadata (timings and cache/warm provenance are per-process facts; the
+// store holds only the deterministic payload).
+func (r *Results) Put(key string, res engine.Result) error {
+	payload, err := json.Marshal(res.WithoutMeta())
+	if err != nil {
+		return err
+	}
+	return r.s.Put(key, payload)
+}
+
+// PutRaw stores a pre-encoded payload; tests use it to plant undecodable
+// entries.
+func (r *Results) PutRaw(key string, payload []byte) error {
+	return r.s.Put(key, payload)
+}
+
+// Stats reports the underlying store's footprint and counters.
+func (r *Results) Stats() Stats { return r.s.Stats() }
+
+// Dir returns the store's root directory.
+func (r *Results) Dir() string { return r.s.Dir() }
+
+// Close flushes and closes the underlying store.
+func (r *Results) Close() error { return r.s.Close() }
+
+// CorruptForTest damages the on-disk entry for key by truncating it
+// mid-payload, simulating a torn write; it reports whether an entry
+// existed to damage. Exposed for the durability suites that live outside
+// this package (internal/server's restart and corruption tests).
+func CorruptForTest(r *Results, key string) (bool, error) {
+	path := r.s.path(key)
+	info, err := os.Stat(path)
+	if err != nil {
+		return false, nil
+	}
+	return true, os.Truncate(path, info.Size()/2)
+}

@@ -1,0 +1,276 @@
+// Package store is the persistent tier of the sweep fabric: a
+// content-addressed on-disk result store keyed by the canonical cell key
+// (engine.CellKey — scenario plus fully-defaulted params, the same string
+// the server's in-memory LRU keys by). Every cell of the reproduction is
+// seed-deterministic, so a stored payload is as good as a recomputation:
+// repeated grids survive process restarts at disk speed, and warm, cold,
+// and sharded sweeps all share one store.
+//
+// Durability model: entries are written to a temp file in the target
+// directory and renamed into place, so a reader never observes a
+// half-written entry under its final name. Every entry carries a
+// magic/version/length/checksum header plus the full key, so a torn write,
+// a truncation, a flipped bit, or a hash collision is detected on read and
+// treated as a miss (the bad file is removed so the next write repairs it)
+// — corruption can cost a recomputation, never an error.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry file layout (little-endian):
+//
+//	magic   [4]byte  "GLS1"
+//	keyLen  uint32
+//	payLen  uint32
+//	sum     uint64   FNV-64a over key bytes then payload bytes
+//	key     [keyLen]byte
+//	payload [payLen]byte
+const (
+	magic      = "GLS1"
+	headerSize = 4 + 4 + 4 + 8
+	// entryExt marks finished entries; temp files use a dot prefix and are
+	// ignored (and swept) by Open's scan.
+	entryExt = ".res"
+)
+
+// Stats is a point-in-time summary of a store: resident entries/bytes and
+// the lifetime operation counters since Open.
+type Stats struct {
+	Entries int64  `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	// Corrupt counts reads that found a damaged entry (torn write,
+	// truncation, checksum or key mismatch) and degraded to a miss.
+	Corrupt uint64 `json:"corrupt,omitempty"`
+}
+
+// Store is a thread-safe content-addressed byte store. The zero value is
+// not usable; construct with Open.
+type Store struct {
+	dir string
+
+	hits, misses, puts, corrupt atomic.Uint64
+	entries, bytes              atomic.Int64
+
+	mu     sync.Mutex // serializes writes and close
+	closed bool
+}
+
+// Open creates dir if needed, scans any existing entries into the
+// entry/byte counters (a restarted process resumes serving its
+// predecessor's results), and returns the store. Leftover temp files from
+// interrupted writes are swept.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(d.Name(), ".") {
+			os.Remove(path) // interrupted write; its rename never happened
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), entryExt) {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			s.entries.Add(1)
+			s.bytes.Add(info.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its content address: SHA-256 of the key, hex, split
+// into a 2-character shard directory plus file name.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, h[:2], h[2:]+entryExt)
+}
+
+// checksum is the entry integrity hash: FNV-64a over key then payload.
+func checksum(key string, payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// Get returns the payload stored under key. Any damage — missing file,
+// torn or truncated write, checksum mismatch, or a different key at the
+// same address — reads as a miss, and damaged files are removed so the
+// next Put repairs them; Get never returns an error.
+func (s *Store) Get(key string) ([]byte, bool) {
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decode(key, data)
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		s.removeEntry(path, int64(len(data)))
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// decode validates an entry read from disk and extracts its payload.
+func decode(key string, data []byte) ([]byte, bool) {
+	if len(data) < headerSize || string(data[:4]) != magic {
+		return nil, false
+	}
+	keyLen := binary.LittleEndian.Uint32(data[4:])
+	payLen := binary.LittleEndian.Uint32(data[8:])
+	sum := binary.LittleEndian.Uint64(data[12:])
+	if uint64(len(data)) != headerSize+uint64(keyLen)+uint64(payLen) {
+		return nil, false
+	}
+	gotKey := data[headerSize : headerSize+keyLen]
+	payload := data[headerSize+keyLen:]
+	if string(gotKey) != key || checksum(key, payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Contains reports whether a valid entry for key is on disk, without
+// counting a hit or a miss.
+func (s *Store) Contains(key string) bool {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return false
+	}
+	_, ok := decode(key, data)
+	return ok
+}
+
+// ErrClosed is returned by Put after Close.
+var ErrClosed = errors.New("store: closed")
+
+// Put stores payload under key, atomically: the entry is assembled in a
+// temp file in the target shard directory and renamed into place, so
+// concurrent readers see either the old entry or the new one, never a
+// partial write. Re-putting a key overwrites its entry.
+func (s *Store) Put(key string, payload []byte) error {
+	buf := make([]byte, headerSize+len(key)+len(payload))
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[12:], checksum(key, payload))
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	var prior int64 = -1
+	if info, err := os.Stat(path); err == nil {
+		prior = info.Size()
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if prior < 0 {
+		s.entries.Add(1)
+		s.bytes.Add(int64(len(buf)))
+	} else {
+		s.bytes.Add(int64(len(buf)) - prior)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// removeEntry deletes a damaged entry and adjusts the counters.
+func (s *Store) removeEntry(path string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(path); err == nil {
+		s.entries.Add(-1)
+		s.bytes.Add(-size)
+	}
+}
+
+// Stats reports the store's resident footprint and lifetime counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Entries: s.entries.Load(),
+		Bytes:   s.bytes.Load(),
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Puts:    s.puts.Load(),
+		Corrupt: s.corrupt.Load(),
+	}
+}
+
+// Close flushes the store directory (the rename-per-Put protocol keeps
+// entries durable on their own; the directory sync pins the names) and
+// rejects further writes. Reads keep working — a draining server can still
+// serve hits while shutting down.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if d, err := os.Open(s.dir); err == nil {
+		err = d.Sync()
+		d.Close()
+		if err != nil && !errors.Is(err, errors.ErrUnsupported) {
+			return fmt.Errorf("store: syncing %s: %w", s.dir, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "leaksim|P0=0.5|N=10000"
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store must miss")
+	}
+	payload := []byte(`{"scenario":"leaksim"}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want the stored payload", got, ok)
+	}
+	if !s.Contains(key) {
+		t.Error("Contains must see the entry")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if want := int64(headerSize + len(key) + len(payload)); st.Bytes != want {
+		t.Errorf("bytes = %d, want %d", st.Bytes, want)
+	}
+
+	// Overwrite adjusts bytes without duplicating the entry.
+	bigger := append(payload, []byte(` `)...)
+	if err := s.Put(key, bigger); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Entries != 1 || st.Bytes != int64(headerSize+len(key)+len(bigger)) {
+		t.Errorf("after overwrite: stats = %+v", st)
+	}
+}
+
+// entryPath exposes the content address for damage tests.
+func entryPath(t *testing.T, s *Store, key string) string {
+	t.Helper()
+	path := s.path(key)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no entry on disk for %q: %v", key, err)
+	}
+	return path
+}
+
+// TestStoreDamageReadsAsMiss covers the torn-write contract: every way an
+// entry can be damaged on disk — truncation mid-payload, truncation into
+// the header, a flipped payload byte, garbage content, an empty file —
+// must read as a miss (never an error), remove the bad entry, and let a
+// subsequent Put repair it.
+func TestStoreDamageReadsAsMiss(t *testing.T) {
+	key := "leaksim|P0=0.5"
+	payload := []byte(`{"scenario":"leaksim","metrics":[{"name":"m","value":1}]}`)
+	for _, tc := range []struct {
+		name   string
+		damage func(path string, size int64) error
+	}{
+		{"truncated payload", func(p string, n int64) error { return os.Truncate(p, n-5) }},
+		{"truncated header", func(p string, n int64) error { return os.Truncate(p, headerSize-3) }},
+		{"empty file", func(p string, n int64) error { return os.Truncate(p, 0) }},
+		{"flipped payload byte", func(p string, n int64) error {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			data[len(data)-3] ^= 0x40
+			return os.WriteFile(p, data, 0o644)
+		}},
+		{"garbage content", func(p string, n int64) error {
+			return os.WriteFile(p, []byte("not an entry at all"), 0o644)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := entryPath(t, s, key)
+			info, _ := os.Stat(path)
+			if err := tc.damage(path, info.Size()); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("damaged entry served as a hit: %q", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("damaged entry must be removed")
+			}
+			if st := s.Stats(); st.Corrupt != 1 || st.Entries != 0 {
+				t.Errorf("stats after damage = %+v, want 1 corrupt / 0 entries", st)
+			}
+			// The next write repairs the address.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Errorf("rewrite not served: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestStoreKeyMismatchReadsAsMiss plants another key's (valid) entry at
+// this key's content address: the embedded full key disagrees, so the read
+// must miss rather than serve a different cell's payload.
+func TestStoreKeyMismatchReadsAsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("other", []byte("other payload")); err != nil {
+		t.Fatal(err)
+	}
+	src := entryPath(t, s, "other")
+	dst := s.path("victim")
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(src)
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("victim"); ok {
+		t.Fatalf("foreign entry served as a hit: %q", got)
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.Stats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("late", nil); err != ErrClosed {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+
+	// A leftover temp file from an interrupted write is swept on reopen.
+	tmp := filepath.Join(dir, "ab")
+	os.MkdirAll(tmp, 0o755)
+	tmpFile := filepath.Join(tmp, ".put-12345")
+	os.WriteFile(tmpFile, []byte("half an entr"), 0o644)
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := re.Stats(); st.Entries != want.Entries || st.Bytes != want.Bytes {
+		t.Errorf("reopened stats = %+v, want %d entries / %d bytes", st, want.Entries, want.Bytes)
+	}
+	if _, err := os.Stat(tmpFile); !os.IsNotExist(err) {
+		t.Error("interrupted temp file must be swept on reopen")
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := re.Get(fmt.Sprintf("key-%d", i))
+		if !ok || string(got) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("key-%d not served after reopen: %q, %v", i, got, ok)
+		}
+	}
+}
+
+// TestStoreConcurrentAccess hammers one store from many goroutines mixing
+// puts, gets, and overwrites of shared and distinct keys; the race
+// detector (CI runs this package under -race) plus payload integrity are
+// the assertions.
+func TestStoreConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const rounds = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own := fmt.Sprintf("own-%d", g)
+			for i := 0; i < rounds; i++ {
+				if err := s.Put("shared", []byte("shared payload")); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get("shared"); ok && string(got) != "shared payload" {
+					t.Errorf("shared read tore: %q", got)
+					return
+				}
+				payload := []byte(fmt.Sprintf("payload-%d-%d", g, i))
+				if err := s.Put(own, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(own); !ok || !bytes.Equal(got, payload) {
+					t.Errorf("own read = %q, %v; want %q", got, ok, payload)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 || st.Entries != goroutines+1 {
+		t.Errorf("stats = %+v, want 0 corrupt / %d entries", st, goroutines+1)
+	}
+}
+
+func TestResultsRoundTripStripsMeta(t *testing.T) {
+	r, err := OpenResults(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Result{
+		Scenario: "leaksim",
+		Params:   engine.Params{P0: 0.5, N: 100}.WithDefaults(engine.Params{}),
+		Metrics:  []engine.Metric{{Name: "conflict_epoch", Value: 4668}},
+		Meta:     &engine.RunMeta{DurationMS: 123, Cached: true},
+	}
+	key := engine.CellKey(res.Scenario, res.Params)
+	if err := r.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get(key)
+	if !ok {
+		t.Fatal("stored result must hit")
+	}
+	if got.Meta != nil {
+		t.Errorf("stored entry carries execution metadata: %+v", got.Meta)
+	}
+	if !reflect.DeepEqual(got, res.WithoutMeta()) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, res.WithoutMeta())
+	}
+}
+
+// TestResultsUndecodablePayloadReadsAsMiss: an entry that passes the
+// integrity header but does not decode as a Result (schema drift) is
+// dropped and missed, never an error.
+func TestResultsUndecodablePayloadReadsAsMiss(t *testing.T) {
+	r, err := OpenResults(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PutRaw("k", []byte(`{"scenario": 42}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Get("k"); ok {
+		t.Fatalf("undecodable payload served as a hit: %+v", got)
+	}
+	st := r.Stats()
+	if st.Corrupt != 1 || st.Entries != 0 || st.Hits != 0 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want the bad entry dropped and recounted as a miss", st)
+	}
+	// CorruptForTest is the torn-write hook the cross-package suites use;
+	// pin its behavior here.
+	if err := r.Put("k2", engine.Result{Scenario: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := CorruptForTest(r, "k2"); !ok || err != nil {
+		t.Fatalf("CorruptForTest = %v, %v", ok, err)
+	}
+	if _, ok := r.Get("k2"); ok {
+		t.Error("truncated entry served as a hit")
+	}
+}
