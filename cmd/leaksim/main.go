@@ -14,9 +14,12 @@
 //	leaksim -scenario sim/gst -sweep "gst=4:20:4" -n 1000 -horizon 30
 //	leaksim -scenario sim/gst -sweep "horizon=8:22:2" -n 10000 -gst 40 -warm  # shared-prefix warm start
 //	leaksim -scenario sim/bounce -p0 0.7 -n 10000                    # paper-scale bouncing attack
+//	leaksim -scenario sim/leak -n 10000 -horizon 5000 -store .cache  # durable: Ctrl-C + re-run resumes
 //
 // Sweeps run through the v2 client API: Ctrl-C cancels cooperatively, and
-// the same grids are network-addressable via the serve command.
+// the same grids are network-addressable via the serve command. With a
+// -store, interrupted long-horizon cells flush a final checkpoint and the
+// printed resume command picks them up mid-run.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,15 +38,17 @@ import (
 
 // options collects the CLI flags.
 type options struct {
-	scenario string
-	list     bool
-	sweep    string
-	workers  int
-	warm     bool
-	jsonOut  bool
-	csvOut   bool
-	verbose  bool
-	params   gasperleak.ScenarioParams
+	scenario  string
+	list      bool
+	sweep     string
+	workers   int
+	warm      bool
+	store     string
+	ckptEvery int
+	jsonOut   bool
+	csvOut    bool
+	verbose   bool
+	params    gasperleak.ScenarioParams
 }
 
 func main() {
@@ -52,6 +58,8 @@ func main() {
 	flag.StringVar(&o.sweep, "sweep", "", `parameter grid, e.g. "p0=0.3:0.7:0.1; beta0=0.1,0.2; mode=double,semi; seed=1:3:1"`)
 	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = all CPUs)")
 	flag.BoolVar(&o.warm, "warm", false, "warm-start sweeps from shared simulation prefixes (bit-identical results; scenarios without prefix support run cold)")
+	flag.StringVar(&o.store, "store", "", "persistent result store directory: finished cells are reused across runs, and long-horizon simulation cells checkpoint mid-run so an interrupted sweep resumes instead of recomputing")
+	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "mid-cell checkpoint interval in simulated epochs (0 = engine default, negative disables checkpointing; no effect without -store)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit results as JSON")
 	flag.BoolVar(&o.csvOut, "csv", false, "emit results as CSV")
 	flag.BoolVar(&o.verbose, "v", false, "log execution metadata per cell (throughput, tree/engine retention)")
@@ -82,10 +90,18 @@ func main() {
 	})
 
 	// Ctrl-C cancels in-flight sweeps cooperatively: finished cells keep
-	// their results, unfinished ones record the context error.
+	// their results, unfinished ones record the context error. With a
+	// -store, each interrupted cell also flushes a final mid-run
+	// checkpoint on the way out, so the re-run below resumes near where
+	// it stopped.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Stdout, o); err != nil {
+	err := run(ctx, os.Stdout, o)
+	if ctx.Err() != nil && o.store != "" && o.ckptEvery >= 0 {
+		fmt.Fprintf(os.Stderr, "leaksim: interrupted; finished cells and mid-cell checkpoints are saved in %s\n", o.store)
+		fmt.Fprintf(os.Stderr, "leaksim: resume with: %s\n", strings.Join(os.Args, " "))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "leaksim:", err)
 		os.Exit(1)
 	}
@@ -96,10 +112,17 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	if o.warm {
 		copts = append(copts, gasperleak.WithWarmStart(0))
 	}
+	if o.store != "" {
+		copts = append(copts, gasperleak.WithResultStore(o.store))
+		if o.ckptEvery >= 0 {
+			copts = append(copts, gasperleak.WithCheckpoints(o.ckptEvery))
+		}
+	}
 	c, err := gasperleak.NewClient(copts...)
 	if err != nil {
 		return err
 	}
+	defer c.Close()
 	if o.list {
 		return list(w, c)
 	}
@@ -229,6 +252,13 @@ func emitVerbose(w io.Writer, results []gasperleak.ScenarioResult) error {
 		if s := m.Sim; s != nil {
 			line += fmt.Sprintf(" trees %d nodes (%d skip segments, %d blocks folded, %d KiB); oracle %d nodes; engines %d KiB",
 				s.TreeNodes, s.TreeSegments, s.TreeFolded, s.TreeBytes/1024, s.OracleNodes, s.EngineBytes/1024)
+		}
+		if ck := m.Checkpoint; ck != nil {
+			if ck.Resumed {
+				line += fmt.Sprintf("; checkpoint resume @%d (+%d epochs saved, %d written)", ck.ResumeEpoch, ck.EpochsSaved, ck.Written)
+			} else {
+				line += fmt.Sprintf("; checkpoints written %d", ck.Written)
+			}
 		}
 		if wm := m.Warm; wm != nil {
 			if wm.Hit {

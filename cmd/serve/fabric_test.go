@@ -25,6 +25,14 @@ type serveProc struct {
 	out  bytes.Buffer
 }
 
+// Write collects process stderr under the same lock as the stdout
+// scanner (exec writes stderr from its own goroutine).
+func (p *serveProc) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.Write(b)
+}
+
 // startServe launches the built binary with the given extra flags on an
 // ephemeral port and waits for its "listening on" line and /healthz.
 func startServe(t *testing.T, bin string, args ...string) *serveProc {
@@ -35,7 +43,7 @@ func startServe(t *testing.T, bin string, args ...string) *serveProc {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.cmd.Stderr = &p.out
+	p.cmd.Stderr = p
 	if err := p.cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -291,5 +299,122 @@ func TestFabricProcesses(t *testing.T) {
 	}
 	if health.Store == nil || health.Store.Entries < int64(len(cells)) {
 		t.Errorf("restarted /healthz store = %+v, want >= %d entries", health.Store, len(cells))
+	}
+}
+
+// TestFabricCrashResume is the durability acceptance test: a worker
+// sharing the coordinator's store directory is killed with SIGKILL while
+// deep inside one long-horizon cell. The coordinator requeues the cell,
+// its retry finds the dead worker's newest on-disk checkpoint, and the
+// stream completes bit-identical to an in-process sweep — with /metrics
+// proving the recovery resumed (epochs_saved > 0) instead of recomputing
+// from epoch 0.
+func TestFabricCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fabric test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building serve: %v\n%s", err, out)
+	}
+
+	// One long cell: deep enough that several checkpoint intervals pass
+	// before the kill, long enough that losing the prefix would be
+	// visible in the requeued retry.
+	cells := []engine.Cell{{Scenario: "sim/leak", Params: engine.Params{
+		P0: 0.5, N: 1000, Horizon: 3000, Seed: 1,
+	}}}
+	want := engine.Sweep(cells, engine.Options{})
+
+	storeDir := t.TempDir()
+	worker := startServe(t, bin, "-cache", "-1", "-store", storeDir, "-checkpoint-every", "200")
+	coord := startServe(t, bin,
+		"-store", storeDir,
+		"-checkpoint-every", "200",
+		"-shard", worker.url(),
+	)
+
+	done := make(chan []engine.Update, 1)
+	go func() {
+		body, err := json.Marshal(map[string]any{"cells": cells})
+		if err != nil {
+			done <- nil
+			return
+		}
+		resp, err := http.Post(coord.url()+"/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var updates []engine.Update
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 16<<20)
+		for sc.Scan() {
+			var u engine.Update
+			if json.Unmarshal(sc.Bytes(), &u) != nil {
+				done <- nil
+				return
+			}
+			updates = append(updates, u)
+		}
+		done <- updates
+	}()
+
+	// Kill the worker once it has durably checkpointed mid-cell: poll the
+	// shared store directory for a checkpoint entry (the only writes this
+	// sweep makes before completion).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if entries, err := filepath.Glob(filepath.Join(storeDir, "*", "*.res")); err == nil && len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never wrote a checkpoint; worker output:\n%s", worker.output())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	worker.kill()
+
+	var updates []engine.Update
+	select {
+	case updates = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("sweep never finished after the worker crash; coordinator output:\n%s", coord.output())
+	}
+	if updates == nil {
+		t.Fatalf("sweep failed after the worker crash; coordinator output:\n%s", coord.output())
+	}
+	got := resultsByIndex(t, updates, len(cells))
+	if !reflect.DeepEqual(engine.StripMeta(got), engine.StripMeta(want)) {
+		t.Error("crash-resumed sweep diverges from in-process sweep")
+	}
+
+	// The coordinator's metrics prove the retry resumed from the dead
+	// worker's checkpoint rather than recomputing the prefix.
+	resp, err := http.Get(coord.url() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Checkpoints *struct {
+			Resumed     uint64 `json:"resumed"`
+			EpochsSaved uint64 `json:"epochs_saved"`
+			GCDeleted   uint64 `json:"gc_deleted"`
+		} `json:"checkpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Checkpoints == nil {
+		t.Fatalf("coordinator metrics omit the checkpoints block; output:\n%s", coord.output())
+	}
+	if m.Checkpoints.Resumed < 1 || m.Checkpoints.EpochsSaved == 0 {
+		t.Errorf("metrics checkpoints = %+v, want a resume with epochs_saved > 0", m.Checkpoints)
+	}
+	if m.Checkpoints.GCDeleted == 0 {
+		t.Error("completed cell left its checkpoint on disk (no GC)")
 	}
 }

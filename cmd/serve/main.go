@@ -12,6 +12,7 @@
 //	serve -cache 2048              # larger LRU result cache
 //	serve -warm                    # warm-start sweeps from shared prefixes
 //	serve -store /var/lib/gasperleak  # disk-backed result store
+//	serve -store /var/lib/gasperleak -checkpoint-every 500  # crash-resumable long cells
 //	serve -shard http://w1:8791,http://w2:8791  # coordinate two workers
 //
 //	curl localhost:8791/scenarios
@@ -43,6 +44,7 @@ func main() {
 	warm := flag.Bool("warm", false, `warm-start sweeps from shared simulation prefixes by default (per-request "warm" overrides)`)
 	warmBudget := flag.Int64("warm-budget", 0, "resident warm-start snapshot byte budget (0 = engine default, negative = unlimited)")
 	storeDir := flag.String("store", "", "persistent result store directory (empty disables the disk tier)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "mid-cell checkpoint interval in simulated epochs for long-horizon sweep cells, persisted in the -store directory so killed or drained cells resume instead of recomputing (0 = engine default, negative disables; no effect without -store)")
 	shard := flag.String("shard", "", "comma-separated worker base URLs; non-empty makes this instance a sweep coordinator")
 	shardInflight := flag.Int("shard-inflight", 0, "concurrently dispatched cells per worker (0 = default)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell dispatch timeout before a worker is retired (0 = unbounded)")
@@ -58,6 +60,7 @@ func main() {
 		WarmStart:        *warm,
 		WarmBudget:       *warmBudget,
 		StoreDir:         *storeDir,
+		CheckpointEvery:  *ckptEvery,
 		ShardInflight:    *shardInflight,
 		ShardCellTimeout: *cellTimeout,
 		QueueDepth:       *queue,

@@ -36,6 +36,13 @@ type (
 	// ResultStoreStats is the persistent result store's footprint and
 	// counter snapshot (see WithResultStore and Client.StoreStats).
 	ResultStoreStats = store.Stats
+	// CheckpointStats is the durable-checkpoint tier's counter snapshot
+	// (see WithCheckpoints and Client.CheckpointStats).
+	CheckpointStats = store.CheckpointStats
+	// ScenarioCheckpointMeta is the durable-checkpoint provenance of one
+	// sweep cell (ScenarioRunMeta.Checkpoint): whether it resumed from an
+	// on-disk checkpoint and how many epochs the resume skipped.
+	ScenarioCheckpointMeta = engine.CheckpointMeta
 )
 
 // Client is the v2 entry point of the reproduction: a handle on a scenario
@@ -50,10 +57,13 @@ type (
 // NewClient so every CLI and service layered on the client validates
 // -workers uniformly.
 type Client struct {
-	reg     *engine.Registry
-	workers int
-	warm    *engine.WarmStartOptions
-	store   *store.Results
+	reg       *engine.Registry
+	workers   int
+	warm      *engine.WarmStartOptions
+	store     *store.Results
+	ckpts     *store.Checkpoints
+	ckptEvery int
+	wantCkpt  bool
 }
 
 // ClientOption configures a Client (functional options).
@@ -104,6 +114,24 @@ func WithResultStore(dir string) ClientOption {
 	}
 }
 
+// WithCheckpoints turns on durable mid-cell checkpointing for the
+// client's sweeps, sharing the WithResultStore directory (NewClient
+// rejects the combination without one): long-horizon simulation cells
+// persist a restartable snapshot every `every` epochs, and a re-run of
+// an interrupted sweep resumes each cell from its newest on-disk
+// checkpoint instead of recomputing from epoch 0 — with bit-identical
+// results. every = 0 uses the engine default interval; negative keeps
+// resume probes but disables periodic writes. Cancellation (Ctrl-C in
+// the CLIs) flushes a final checkpoint per in-flight cell before the
+// sweep unwinds, and completed cells delete theirs.
+func WithCheckpoints(every int) ClientOption {
+	return func(c *Client) error {
+		c.wantCkpt = true
+		c.ckptEvery = every
+		return nil
+	}
+}
+
 // WithRegistry points the client at a custom scenario registry instead of
 // the built-in one.
 func WithRegistry(reg *ScenarioRegistry) ClientOption {
@@ -125,12 +153,24 @@ func NewClient(opts ...ClientOption) (*Client, error) {
 			return nil, err
 		}
 	}
+	// Resolved after all options so WithCheckpoints and WithResultStore
+	// compose in either order.
+	if c.wantCkpt {
+		if c.store == nil {
+			return nil, fmt.Errorf("gasperleak: WithCheckpoints requires WithResultStore (checkpoints live in the store directory)")
+		}
+		c.ckpts = c.store.Checkpoints()
+	}
 	return c, nil
 }
 
 // options is the engine view of the client's execution policy.
 func (c *Client) options() engine.Options {
-	return engine.Options{Workers: c.workers, Registry: c.reg, WarmStart: c.warm}
+	o := engine.Options{Workers: c.workers, Registry: c.reg, WarmStart: c.warm}
+	if c.ckpts != nil {
+		o.Checkpoint = &engine.CheckpointOptions{Every: c.ckptEvery, Store: c.ckpts}
+	}
+	return o
 }
 
 // Workers reports the configured sweep pool width (0 = all CPUs).
@@ -143,6 +183,15 @@ func (c *Client) StoreStats() (stats store.Stats, ok bool) {
 		return store.Stats{}, false
 	}
 	return c.store.Stats(), true
+}
+
+// CheckpointStats reports the durable-checkpoint tier's counters; ok is
+// false when the client has no checkpoint tier (see WithCheckpoints).
+func (c *Client) CheckpointStats() (stats CheckpointStats, ok bool) {
+	if c.ckpts == nil {
+		return CheckpointStats{}, false
+	}
+	return c.ckpts.Stats(), true
 }
 
 // Close releases the client's persistent store (no-op without one).
@@ -191,9 +240,23 @@ func (c *Client) Lookup(name string) (Scenario, bool) { return c.reg.Lookup(name
 // Repeated parameter points are served from the persistent store when one
 // is configured (WithResultStore), marked Cached in their metadata.
 func (c *Client) Run(ctx context.Context, name string, p ScenarioParams) (ScenarioResult, error) {
-	key, cached, hit := c.storeLookup(SweepCell{Scenario: name, Params: p})
+	cell := SweepCell{Scenario: name, Params: p}
+	key, cached, hit := c.storeLookup(cell)
 	if hit {
 		return cached, nil
+	}
+	// With a checkpoint tier, eligible long-horizon runs persist mid-run
+	// state and resume across invocations (an interrupted run flushes a
+	// final checkpoint on the way out).
+	if c.ckpts != nil {
+		res, handled, err := engine.RunCheckpointed(ctx, c.reg, cell,
+			&engine.CheckpointOptions{Every: c.ckptEvery, Store: c.ckpts})
+		if handled {
+			if err == nil {
+				c.storeSave(key, res)
+			}
+			return res, err
+		}
 	}
 	res, err := c.reg.RunContext(ctx, name, p)
 	if err == nil {

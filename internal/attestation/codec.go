@@ -1,0 +1,90 @@
+package attestation
+
+import (
+	"sort"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// EncodeData serializes one attestation data value.
+func EncodeData(w *codec.Writer, d Data) {
+	w.U64(uint64(d.Slot))
+	w.Raw(d.Head[:])
+	w.U64(uint64(d.Source.Epoch))
+	w.Raw(d.Source.Root[:])
+	w.U64(uint64(d.Target.Epoch))
+	w.Raw(d.Target.Root[:])
+}
+
+// DecodeData reads one attestation data value.
+func DecodeData(r *codec.Reader) Data {
+	var d Data
+	d.Slot = types.Slot(r.U64())
+	r.Raw(d.Head[:])
+	d.Source.Epoch = types.Epoch(r.U64())
+	r.Raw(d.Source.Root[:])
+	d.Target.Epoch = types.Epoch(r.U64())
+	r.Raw(d.Target.Root[:])
+	return d
+}
+
+// EncodeTo serializes the pool for the durable snapshot codec: target
+// epochs in sorted order, then each epoch's per-validator vote columns
+// with the vote slices in their original order (Add dedups by linear
+// scan, so slice order is observable state, not presentation).
+func (p *Pool) EncodeTo(w *codec.Writer) {
+	epochs := make([]types.Epoch, 0, len(p.byEpoch))
+	for e := range p.byEpoch {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	w.Len(len(epochs))
+	for _, e := range epochs {
+		w.U64(uint64(e))
+		votes := p.byEpoch[e].votes
+		w.Len(len(votes))
+		for _, vs := range votes {
+			w.Len(len(vs))
+			for _, d := range vs {
+				EncodeData(w, d)
+			}
+		}
+	}
+}
+
+// DecodePool reconstructs a pool serialized by EncodeTo.
+func DecodePool(r *codec.Reader) *Pool {
+	p := NewPool()
+	ne := r.Len()
+	if r.Err() != nil {
+		return nil
+	}
+	for i := 0; i < ne; i++ {
+		e := types.Epoch(r.U64())
+		nv := r.Len()
+		if r.Err() != nil {
+			return nil
+		}
+		ev := &epochVotes{votes: make([][]Data, nv)}
+		for v := 0; v < nv; v++ {
+			nd := r.Len()
+			if r.Err() != nil {
+				return nil
+			}
+			if nd == 0 {
+				continue
+			}
+			vs := make([]Data, nd)
+			for k := 0; k < nd; k++ {
+				vs[k] = DecodeData(r)
+			}
+			ev.votes[v] = vs
+		}
+		p.byEpoch[e] = ev
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return p
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"time"
+)
+
+// DefaultCheckpointEvery is the checkpoint interval (in simulated epochs)
+// when CheckpointOptions.Every is zero: frequent enough that a crashed
+// Table 1 cell (~4,700 epochs) loses only a small slice of its run, rare
+// enough that encoding and persisting the snapshot stays a rounding error
+// against the simulation itself.
+const DefaultCheckpointEvery = 500
+
+// checkpointChunk bounds a single RunTo step inside the checkpointed
+// loop. Stepping in sub-interval chunks costs only an extra in-memory
+// snapshot per chunk (the ForkableScenario contract makes any split
+// bit-identical) and buys a fresh resume point on cooperative
+// cancellation: a drained or interrupted cell persists its newest chunk
+// boundary as a final checkpoint, so a SIGINT loses at most one chunk of
+// epochs, not one full checkpoint interval. kill -9 still loses at most
+// one interval. A variable only so tests can shrink it.
+var checkpointChunk = 128
+
+// CheckpointStore is the durable home of mid-cell checkpoints
+// (internal/store.Checkpoints is the production implementation). The
+// contract mirrors the result store's: Save is atomic (temp+rename),
+// Load answers only intact payloads — a torn, truncated, corrupt, or
+// version-skewed entry is a silent miss, never an error — and Delete is
+// idempotent.
+type CheckpointStore interface {
+	// LoadCheckpoint returns the newest valid checkpoint payload for the
+	// cell, if any.
+	LoadCheckpoint(cellKey string) ([]byte, bool)
+	// SaveCheckpoint atomically persists the cell's current checkpoint,
+	// replacing any previous one.
+	SaveCheckpoint(cellKey string, payload []byte) error
+	// DeleteCheckpoint removes the cell's checkpoint (cell completed, or
+	// its payload proved undecodable).
+	DeleteCheckpoint(cellKey string)
+}
+
+// CheckpointOptions turns on durable mid-cell checkpointing for sweep
+// cells of checkpointable scenarios (the forkable protocol-simulator
+// scenarios): a starting cell probes the store for its newest valid
+// checkpoint and resumes from it instead of recomputing from epoch 0,
+// and while running it persists a fresh checkpoint every Every epochs.
+// Results are bit-identical to an uninterrupted cold run — the resumed
+// trace carries everything the cold run would have observed.
+type CheckpointOptions struct {
+	// Every is the checkpoint interval in simulated epochs (0 =
+	// DefaultCheckpointEvery; negative disables periodic writes, leaving
+	// only resume probes).
+	Every int
+	// Store persists the checkpoints. Nil disables checkpointing.
+	Store CheckpointStore
+}
+
+// CheckpointMeta is the durable-checkpoint provenance of one sweep cell,
+// carried in RunMeta and (like all of RunMeta) excluded from determinism
+// comparisons.
+type CheckpointMeta struct {
+	// Resumed marks a cell that found a valid on-disk checkpoint and
+	// skipped re-simulating its prefix.
+	Resumed bool `json:"resumed,omitempty"`
+	// ResumeEpoch is the epoch of the checkpoint the cell resumed from.
+	ResumeEpoch int `json:"resume_epoch,omitempty"`
+	// EpochsSaved counts the epochs the resume did not re-simulate.
+	EpochsSaved int `json:"epochs_saved,omitempty"`
+	// Written counts the checkpoints this cell persisted while running.
+	Written int `json:"written,omitempty"`
+}
+
+// CheckpointableScenario is the optional ForkableScenario extension that
+// opts a scenario into durable checkpoints: its Prefix — snapshot plus
+// accumulated trace — can round-trip through a byte stream. The decoded
+// prefix must satisfy the same contract as a live one: ResumeFrom yields
+// a Result bit-identical to the uninterrupted run's.
+type CheckpointableScenario interface {
+	ForkableScenario
+	// EncodePrefix serializes a prefix (snapshot, epoch, trace, done).
+	EncodePrefix(w io.Writer, pre *Prefix) error
+	// DecodePrefix reconstructs a prefix serialized by EncodePrefix. The
+	// returned prefix is Owned (its snapshot has exactly one consumer).
+	// Any damage or version skew returns an error; callers treat it as
+	// "no checkpoint".
+	DecodePrefix(r io.Reader) (*Prefix, error)
+}
+
+// savePrefixPayload encodes a prefix and persists it under the cell's
+// checkpoint key. Best-effort: an encode or store failure is returned
+// for accounting but never aborts the run.
+func savePrefixPayload(cs CheckpointableScenario, st CheckpointStore, cellKey string, pre *Prefix) error {
+	var buf bytes.Buffer
+	if err := cs.EncodePrefix(&buf, pre); err != nil {
+		return err
+	}
+	return st.SaveCheckpoint(cellKey, buf.Bytes())
+}
+
+// decodePrefixPayload reconstructs a prefix from a stored checkpoint
+// payload. Any error means the payload is unusable (version skew,
+// schema drift) and the caller starts cold.
+func decodePrefixPayload(cs CheckpointableScenario, payload []byte) (*Prefix, error) {
+	return cs.DecodePrefix(bytes.NewReader(payload))
+}
+
+// RunCheckpointed executes one cell under the durable-checkpoint policy
+// outside a sweep — the single-run entry point for callers (the client
+// API, CLIs) whose long-horizon runs should survive interruption.
+// handled reports whether the cell was eligible; when false the caller
+// runs its plain path.
+func RunCheckpointed(ctx context.Context, reg *Registry, cell Cell, ck *CheckpointOptions) (res Result, handled bool, err error) {
+	if reg == nil {
+		reg = Default
+	}
+	return runCellCheckpointed(ctx, reg, cell, ck)
+}
+
+// runCellCheckpointed executes one cell under the durable-checkpoint
+// policy: probe the store, resume from the newest valid checkpoint (or
+// start cold), persist a fresh checkpoint every interval while running,
+// delete the checkpoint once the cell completes. handled is false when
+// the cell cannot be checkpointed (scenario not checkpointable, invalid
+// params, degenerate branch) — the caller then runs the plain cold path.
+//
+// On cooperative cancellation the newest completed chunk is flushed as a
+// final checkpoint before the context error is returned, so a drained
+// worker's in-flight cells resume nearly where they stopped.
+func runCellCheckpointed(ctx context.Context, reg *Registry, cell Cell, ck *CheckpointOptions) (res Result, handled bool, err error) {
+	if ck == nil || ck.Store == nil {
+		return Result{}, false, nil
+	}
+	sc, ok := reg.Lookup(cell.Scenario)
+	if !ok {
+		return Result{}, false, nil
+	}
+	cs, ok := sc.(CheckpointableScenario)
+	if !ok {
+		return Result{}, false, nil
+	}
+	p := cell.Params.WithDefaults(sc.Defaults())
+	_, branch, ok := cs.Fork(p)
+	if !ok || branch <= 0 {
+		return Result{}, false, nil
+	}
+	cellKey, ok := CanonicalCellKey(reg, cell)
+	if !ok {
+		return Result{}, false, nil
+	}
+
+	every := ck.Every
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+
+	meta := &CheckpointMeta{}
+	var pre *Prefix
+	if payload, found := ck.Store.LoadCheckpoint(cellKey); found {
+		if dec, derr := decodePrefixPayload(cs, payload); derr == nil {
+			pre = dec
+			meta.Resumed = true
+			meta.ResumeEpoch = dec.Epoch
+			meta.EpochsSaved = dec.Epoch
+		} else {
+			// The store's framing was intact but the inner payload was
+			// not (codec version skew, schema drift): same verdict as
+			// corruption — clear it and start cold.
+			ck.Store.DeleteCheckpoint(cellKey)
+		}
+	}
+
+	save := func(pre *Prefix) {
+		if perr := savePrefixPayload(cs, ck.Store, cellKey, pre); perr == nil {
+			meta.Written++
+		}
+		// A failed persist only costs resume depth, never the run.
+	}
+
+	// The stepping granularity: never larger than the checkpoint interval
+	// (an Every below the chunk size still checkpoints every Every
+	// epochs), never larger than the chunk bound.
+	step := checkpointChunk
+	if every > 0 && every < step {
+		step = every
+	}
+
+	start := time.Now()
+	lastSaved := -1
+	if pre != nil {
+		lastSaved = pre.Epoch
+	}
+	for pre == nil || (!pre.Done && pre.Epoch < branch) {
+		cur := 0
+		if pre != nil {
+			cur = pre.Epoch
+		}
+		next := cur + step
+		if every > step {
+			// Land exactly on interval boundaries so periodic saves
+			// happen at multiples of Every from the start.
+			if rem := every - cur%every; rem < step {
+				next = cur + rem
+			}
+		}
+		if next > branch {
+			next = branch
+		}
+		np, rerr := cs.RunTo(ctx, p, pre, next)
+		if rerr != nil {
+			// Cooperative cancellation (or a genuine failure) mid-cell:
+			// flush the newest completed chunk so the next attempt
+			// resumes here instead of at the last interval boundary.
+			if pre != nil && pre.Epoch > lastSaved {
+				save(pre)
+			}
+			return Result{}, true, rerr
+		}
+		pre = np
+		if pre.Done || pre.Epoch >= branch || (every > 0 && pre.Epoch-lastSaved >= every) {
+			save(pre)
+			lastSaved = pre.Epoch
+		}
+	}
+
+	// This runner is the prefix's final consumer: nothing else references
+	// the in-memory snapshot (the durable copy is independent bytes), so
+	// ResumeFrom may adopt it instead of cloning.
+	pre.Owned = true
+	res, err = cs.ResumeFrom(ctx, pre, p)
+	if err != nil {
+		return Result{}, true, err
+	}
+	ck.Store.DeleteCheckpoint(cellKey)
+	// Same stamping Registry.RunContext applies on the plain path.
+	res.Scenario = sc.Name()
+	res.Params = p
+	res.Meta = RunMeta{
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Checkpoint: meta,
+	}.Merged(res.Meta)
+	// The scenario stamped throughput over ResumeFrom's tail alone; here
+	// the chunked RunTo loop did the work, so restate it over the whole
+	// checkpointed wall clock. Like warm start, a resumed cell counts the
+	// epochs its checkpoint skipped — effective throughput.
+	if secs := float64(res.Meta.DurationMS) / 1000; secs > 0 && p.Horizon > 0 {
+		res.Meta.EpochsPerSec = float64(p.Horizon) / secs
+	}
+	return res, true, nil
+}

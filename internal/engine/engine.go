@@ -304,6 +304,10 @@ type RunMeta struct {
 	// Warm carries snapshot-tree warm-start provenance when the cell ran
 	// through the warm-start sweep scheduler. Nil on cold runs.
 	Warm *WarmMeta `json:"warm,omitempty"`
+	// Checkpoint carries durable-checkpoint provenance when the cell ran
+	// with a checkpoint store configured (Options.Checkpoint). Nil
+	// otherwise.
+	Checkpoint *CheckpointMeta `json:"checkpoint,omitempty"`
 }
 
 // SimStats summarizes what a simulation still held in memory when it
@@ -333,6 +337,9 @@ func (m RunMeta) Merged(prior *RunMeta) *RunMeta {
 		}
 		if m.Warm == nil {
 			m.Warm = prior.Warm
+		}
+		if m.Checkpoint == nil {
+			m.Checkpoint = prior.Checkpoint
 		}
 	}
 	return &m

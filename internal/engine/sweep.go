@@ -374,6 +374,16 @@ type Options struct {
 	// instead of each re-simulating epoch 0. Results are bit-identical to
 	// the cold sweep; only wall clock and Result.Meta change.
 	WarmStart *WarmStartOptions
+	// Checkpoint, when non-nil (with a non-nil Store), runs checkpointable
+	// cells under the durable-checkpoint policy: each cell probes the
+	// store for its newest valid checkpoint and resumes from it, persists
+	// a fresh checkpoint every interval while running, and deletes its
+	// checkpoint on completion. Orthogonal to WarmStart: the in-memory
+	// snapshot tree amortizes warm sweeps within a process, durable
+	// checkpoints survive process death — a sweep routed through the
+	// warm-start scheduler skips checkpointing (the scheduler owns cell
+	// execution), so crash resume applies on the plain local-pool path.
+	Checkpoint *CheckpointOptions
 	// Dispatch, when non-nil, takes over cell execution entirely:
 	// SweepStream hands it the cells and the remaining options (Dispatch
 	// itself cleared, so a dispatcher may recurse into SweepStream for
@@ -466,6 +476,13 @@ func SweepStream(ctx context.Context, cells []Cell, opt Options) <-chan Update {
 					// Cancelled before this cell started: mark it
 					// without computing (no Meta — no work was done).
 					res = failedCell(reg, cell, err)
+				} else if r, handled, err := runCellCheckpointed(ctx, reg, cell, opt.Checkpoint); handled {
+					// Durable-checkpoint path: r already carries its
+					// duration and checkpoint provenance in Meta.
+					if err != nil {
+						r = failedCell(reg, cell, err)
+					}
+					res = r
 				} else {
 					start := time.Now()
 					r, err := reg.RunContext(ctx, cell.Scenario, cell.Params)

@@ -27,6 +27,10 @@ type metrics struct {
 	workersLost    atomic.Uint64 // workers marked dead
 	remoteInflight atomic.Int64  // cells currently dispatched to workers
 
+	// Durable-checkpoint ledger (zero without a checkpoint store).
+	cellsResumed          atomic.Uint64 // cells resumed from an on-disk checkpoint
+	checkpointEpochsSaved atomic.Uint64 // epochs those resumes did not re-simulate
+
 	mu       sync.Mutex
 	scenario map[string]*scenarioTiming // per-scenario compute sums
 }

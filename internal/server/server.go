@@ -65,6 +65,15 @@ type Config struct {
 	// repeated grid is served from disk at cache speed by any later
 	// process over the same directory. Empty disables the tier.
 	StoreDir string
+	// CheckpointEvery sets the durable mid-cell checkpoint interval in
+	// simulated epochs for sweep cells of checkpointable scenarios
+	// (engine.CheckpointableScenario). Checkpoints live in the StoreDir
+	// store under their own namespace: a worker killed mid-cell resumes
+	// its cell from the newest valid checkpoint instead of recomputing
+	// from epoch 0, with results bit-identical to the uninterrupted run.
+	// 0 means engine.DefaultCheckpointEvery; negative disables
+	// checkpointing. No effect without StoreDir.
+	CheckpointEvery int
 	// WarmStart turns the snapshot-tree warm-start scheduler on by
 	// default for /sweep requests whose scenarios support it
 	// (engine.ForkableScenario); per-request "warm" overrides it either
@@ -103,6 +112,8 @@ type Server struct {
 	workers    int
 	cache      *resultCache
 	store      *store.Results
+	ckpts      *store.Checkpoints
+	ckptEvery  int
 	warm       bool
 	warmBudget int64
 	coord      *coordinator
@@ -140,6 +151,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: opening result store: %w", err)
 		}
 		s.store = st
+		if cfg.CheckpointEvery >= 0 {
+			// The checkpoint tier shares the result store's directory:
+			// a worker's -store holds its results and its in-flight
+			// checkpoints, so crash resume needs no extra configuration.
+			s.ckpts = st.Checkpoints()
+			s.ckptEvery = cfg.CheckpointEvery
+		}
 	}
 	if len(cfg.Shards) > 0 {
 		coord, err := newCoordinator(cfg.Shards, cfg.ShardInflight, cfg.ShardCellTimeout, s.metrics)
@@ -172,6 +190,10 @@ func (s *Server) Close() error {
 // Store exposes the persistent tier (nil when disabled); tests use it to
 // inspect and damage entries.
 func (s *Server) Store() *store.Results { return s.store }
+
+// Checkpoints exposes the durable checkpoint tier (nil when disabled);
+// tests use it to plant, inspect, and damage mid-cell checkpoints.
+func (s *Server) Checkpoints() *store.Checkpoints { return s.ckpts }
 
 // Handler returns the HTTP routing for the service.
 func (s *Server) Handler() http.Handler {
@@ -442,6 +464,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if warm {
 		opt.WarmStart = &engine.WarmStartOptions{MemoryBudget: s.warmBudget}
 	}
+	if s.ckpts != nil {
+		opt.Checkpoint = &engine.CheckpointOptions{Every: s.ckptEvery, Store: s.ckpts}
+	}
 	if s.coord != nil {
 		opt.Dispatch = s.coord.dispatch
 	}
@@ -450,6 +475,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if u.Result.Err == "" {
 			if p.ok {
 				s.save(p.key, u.Result)
+			}
+			// Resume provenance rides RunMeta whether the cell ran here
+			// or on a remote worker; either way this server streamed it.
+			if u.Result.Meta != nil && u.Result.Meta.Checkpoint != nil && u.Result.Meta.Checkpoint.Resumed {
+				s.metrics.cellsResumed.Add(1)
+				s.metrics.checkpointEpochsSaved.Add(uint64(u.Result.Meta.Checkpoint.EpochsSaved))
 			}
 			// In coordinator mode the cells were computed elsewhere (the
 			// metrics ledger tracks them as remote; the local-fallback path
@@ -481,6 +512,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		body["store"] = s.store.Stats()
 	}
+	if s.ckpts != nil {
+		body["checkpoints"] = checkpointMetrics{
+			CheckpointStats: s.ckpts.Stats(),
+			Resumed:         s.metrics.cellsResumed.Load(),
+			EpochsSaved:     s.metrics.checkpointEpochsSaved.Load(),
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -504,6 +542,10 @@ type metricsResponse struct {
 		Misses  uint64 `json:"misses"`
 	} `json:"cache,omitempty"`
 	Store *store.Stats `json:"store,omitempty"`
+	// Checkpoints is present only when a checkpoint store is configured:
+	// the store-side ledger (written/bytes/loaded/missed/gc_deleted) plus
+	// the sweep-side resume wins.
+	Checkpoints *checkpointMetrics `json:"checkpoints,omitempty"`
 	// Coordinator is present only in coordinator mode.
 	Coordinator *struct {
 		Workers  []workerStats `json:"workers"`
@@ -514,6 +556,16 @@ type metricsResponse struct {
 	} `json:"coordinator,omitempty"`
 	// Scenarios sums computed-cell wall clock per scenario.
 	Scenarios map[string]scenarioTiming `json:"scenarios"`
+}
+
+// checkpointMetrics is the /metrics checkpoints block: the checkpoint
+// store's own counters plus the cells this server streamed that resumed
+// from a durable checkpoint (and the epochs those resumes skipped),
+// whether the cell ran locally or on a remote worker.
+type checkpointMetrics struct {
+	store.CheckpointStats
+	Resumed     uint64 `json:"resumed"`
+	EpochsSaved uint64 `json:"epochs_saved"`
 }
 
 // handleMetrics serves the fabric's observability counters.
@@ -536,6 +588,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &st
+	}
+	if s.ckpts != nil {
+		resp.Checkpoints = &checkpointMetrics{
+			CheckpointStats: s.ckpts.Stats(),
+			Resumed:         s.metrics.cellsResumed.Load(),
+			EpochsSaved:     s.metrics.checkpointEpochsSaved.Load(),
+		}
 	}
 	if s.coord != nil {
 		resp.Coordinator = &struct {

@@ -551,3 +551,123 @@ func TestSweepWarmSharesRunCache(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepCheckpointResumeAndMetrics: a server configured with a
+// checkpoint store resumes a sweep cell from a planted mid-cell
+// checkpoint — exactly what a crash-requeued worker leaves behind —
+// streams a payload identical to the cold run, deletes the checkpoint on
+// completion, and surfaces the resume in GET /metrics and /healthz.
+func TestSweepCheckpointResumeAndMetrics(t *testing.T) {
+	s, err := New(Config{StoreDir: t.TempDir(), CheckpointEvery: 8, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Plant the checkpoint a killed worker would have left at epoch 16.
+	cell := engine.Cell{Scenario: engine.ScenarioSimLeak, Params: engine.Params{P0: 0.5, N: 16, Horizon: 40, Seed: 1}}
+	sc, ok := engine.Default.Lookup(cell.Scenario)
+	if !ok {
+		t.Fatal("sim/leak not registered")
+	}
+	cs := sc.(engine.CheckpointableScenario)
+	p := cell.Params.WithDefaults(sc.Defaults())
+	pre, err := cs.RunTo(context.Background(), p, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := cs.EncodePrefix(&blob, pre); err != nil {
+		t.Fatal(err)
+	}
+	key, ok := engine.CanonicalCellKey(nil, cell)
+	if !ok {
+		t.Fatal("no canonical key")
+	}
+	if err := s.Checkpoints().SaveCheckpoint(key, blob.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	updates := decodeNDJSON(t, postJSON(t, ts.URL+"/sweep", map[string]any{"cells": []engine.Cell{cell}}))
+	if len(updates) != 1 {
+		t.Fatalf("streamed %d updates, want 1", len(updates))
+	}
+	got := updates[0].Result
+	cold, err := engine.Default.RunContext(context.Background(), cell.Scenario, cell.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.WithoutMeta(), cold.WithoutMeta()) {
+		t.Errorf("resumed sweep payload diverges from cold run:\n  got:  %+v\n  cold: %+v", got.WithoutMeta(), cold.WithoutMeta())
+	}
+	if ck := got.Meta.Checkpoint; ck == nil || !ck.Resumed || ck.ResumeEpoch != 16 || ck.EpochsSaved != 16 {
+		t.Fatalf("checkpoint meta = %+v, want a resume from epoch 16", got.Meta.Checkpoint)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Checkpoints == nil {
+		t.Fatal("metrics omit the checkpoints block despite a checkpoint store")
+	}
+	if m.Checkpoints.Resumed != 1 || m.Checkpoints.EpochsSaved != 16 {
+		t.Errorf("metrics resumed=%d epochs_saved=%d, want 1 and 16", m.Checkpoints.Resumed, m.Checkpoints.EpochsSaved)
+	}
+	if m.Checkpoints.Written == 0 || m.Checkpoints.Loaded != 1 {
+		t.Errorf("metrics written=%d loaded=%d, want written>0 loaded=1", m.Checkpoints.Written, m.Checkpoints.Loaded)
+	}
+	if m.Checkpoints.GCDeleted == 0 {
+		t.Error("completed cell did not GC its checkpoint")
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := health["checkpoints"]; !ok {
+		t.Error("healthz omits the checkpoints block despite a checkpoint store")
+	}
+
+	// The completed cell's checkpoint is gone from disk.
+	if _, ok := s.Checkpoints().LoadCheckpoint(key); ok {
+		t.Error("completed cell's checkpoint survived on disk")
+	}
+}
+
+// TestServerCheckpointsDisabled: a negative CheckpointEvery opts the
+// server out of the checkpoint tier even when a store is configured.
+func TestServerCheckpointsDisabled(t *testing.T) {
+	s, err := New(Config{StoreDir: t.TempDir(), CheckpointEvery: -1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Checkpoints() != nil {
+		t.Fatal("negative CheckpointEvery still opened a checkpoint tier")
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Checkpoints != nil {
+		t.Fatalf("metrics advertise checkpoints while disabled: %+v", m.Checkpoints)
+	}
+}

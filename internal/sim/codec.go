@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/attestation"
+	"repro/internal/beacon"
+	"repro/internal/blocktree"
+	"repro/internal/codec"
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// Durable snapshot framing: a magic, a format version, a payload length,
+// and an FNV-64a checksum over the payload. The container makes torn or
+// bit-flipped files detectable before any field is trusted; the format
+// version makes a snapshot written by a different codec revision
+// detectable (a version-skew read fails like corruption — callers treat
+// both as "no checkpoint" and run cold).
+const (
+	snapshotMagic   = "GLSN"
+	snapshotVersion = uint32(1)
+	// snapshotMaxBytes bounds the declared payload length, so a corrupt
+	// header cannot drive an arbitrary allocation (a full-spec
+	// 10k-validator snapshot is a few MiB; 1 GiB is far past any real
+	// grid's cell).
+	snapshotMaxBytes = 1 << 30
+)
+
+// ErrSnapshotCodec wraps every decode failure of ReadSnapshot: torn
+// files, checksum mismatches, version skew, and structurally impossible
+// payloads all surface as this one error class, which the checkpoint
+// layer maps to a silent miss.
+var ErrSnapshotCodec = fmt.Errorf("sim: snapshot codec")
+
+func encodeMessage(w *codec.Writer, m Message) {
+	switch {
+	case m.Block != nil:
+		w.Byte(1)
+		b := *m.Block
+		w.U64(uint64(b.Slot))
+		w.Raw(b.Root[:])
+		w.Raw(b.Parent[:])
+		w.U64(uint64(b.Proposer))
+	case m.Att != nil:
+		w.Byte(2)
+		w.U64(uint64(m.Att.Validator))
+		attestation.EncodeData(w, m.Att.Data)
+	case m.Batch != nil:
+		w.Byte(3)
+		attestation.EncodeData(w, m.Batch.Data)
+		w.Len(len(m.Batch.Validators))
+		for _, v := range m.Batch.Validators {
+			w.U64(uint64(v))
+		}
+	default:
+		w.Byte(0)
+	}
+}
+
+func decodeMessage(r *codec.Reader) Message {
+	switch tag := r.Byte(); tag {
+	case 1:
+		var b blocktree.Block
+		b.Slot = types.Slot(r.U64())
+		r.Raw(b.Root[:])
+		r.Raw(b.Parent[:])
+		b.Proposer = types.ValidatorIndex(r.U64())
+		return Message{Block: &b}
+	case 2:
+		var a attestation.Attestation
+		a.Validator = types.ValidatorIndex(r.U64())
+		a.Data = attestation.DecodeData(r)
+		return Message{Att: &a}
+	case 3:
+		var batch AttBatch
+		batch.Data = attestation.DecodeData(r)
+		nv := r.Len()
+		if r.Err() != nil {
+			return Message{}
+		}
+		batch.Validators = make([]types.ValidatorIndex, nv)
+		for i := 0; i < nv; i++ {
+			batch.Validators[i] = types.ValidatorIndex(r.U64())
+		}
+		return Message{Batch: &batch}
+	default:
+		r.Corrupt("sim: unknown message tag %d", tag)
+		return Message{}
+	}
+}
+
+// WriteTo serializes the snapshot — every cohort view, the duty-view
+// assignments, live embargoes, the safety-audit oracle, and all held
+// network traffic — as one versioned, checksummed binary blob. A
+// ReadSnapshot of the bytes restores bit-identically: continuing a
+// decoded snapshot produces the same results (same conflict epoch) as
+// continuing the in-memory original. Implements io.WriterTo.
+func (sn *Snapshot) WriteTo(dst io.Writer) (int64, error) {
+	if sn.nodes == nil {
+		return 0, fmt.Errorf("%w: snapshot already adopted", ErrBadConfig)
+	}
+	var payload bytes.Buffer
+	w := codec.NewWriter(&payload)
+	w.Int(sn.validators)
+	w.U64(uint64(sn.slot))
+	w.Len(len(sn.nodes))
+	for _, n := range sn.nodes {
+		n.EncodeTo(w)
+	}
+	w.Len(len(sn.dutyView))
+	for _, v := range sn.dutyView {
+		w.Int(v)
+	}
+	w.Len(len(sn.embargoes))
+	for _, e := range sn.embargoes {
+		w.Int(e.cohort)
+		w.U64(uint64(e.producer))
+		w.Raw(e.root[:])
+		w.U64(uint64(e.until))
+	}
+	sn.oracle.EncodeTo(w)
+	sn.net.EncodeTo(w, encodeMessage)
+	if err := w.Err(); err != nil {
+		return 0, fmt.Errorf("%w: encode: %v", ErrSnapshotCodec, err)
+	}
+
+	sum := fnv.New64a()
+	sum.Write(payload.Bytes())
+	var header [20]byte
+	copy(header[:4], snapshotMagic)
+	binary.LittleEndian.PutUint32(header[4:8], snapshotVersion)
+	binary.LittleEndian.PutUint32(header[8:12], uint32(payload.Len()))
+	binary.LittleEndian.PutUint64(header[12:20], sum.Sum64())
+	if _, err := dst.Write(header[:]); err != nil {
+		return 0, err
+	}
+	n, err := dst.Write(payload.Bytes())
+	return int64(len(header) + n), err
+}
+
+// ReadSnapshot decodes a snapshot serialized by WriteTo. Any damage —
+// a torn or truncated file, a flipped bit, a snapshot written by a
+// different codec version, a structurally impossible payload — returns
+// an error wrapping ErrSnapshotCodec; no partially-decoded snapshot ever
+// escapes. The decoded snapshot is a full deep state: Restore, Adopt,
+// and Attach accept it exactly like an in-memory one.
+func ReadSnapshot(src io.Reader) (*Snapshot, error) {
+	var header [20]byte
+	if _, err := io.ReadFull(src, header[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrSnapshotCodec, err)
+	}
+	if string(header[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotCodec)
+	}
+	if v := binary.LittleEndian.Uint32(header[4:8]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrSnapshotCodec, v, snapshotVersion)
+	}
+	size := binary.LittleEndian.Uint32(header[8:12])
+	if size > snapshotMaxBytes {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrSnapshotCodec, size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(src, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshotCodec, err)
+	}
+	sum := fnv.New64a()
+	sum.Write(payload)
+	if sum.Sum64() != binary.LittleEndian.Uint64(header[12:20]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrSnapshotCodec)
+	}
+
+	r := codec.NewReader(bytes.NewReader(payload))
+	sn := &Snapshot{}
+	sn.validators = r.Int()
+	sn.slot = types.Slot(r.U64())
+	nn := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCodec, err)
+	}
+	sn.nodes = make([]*beacon.Node, nn)
+	for i := 0; i < nn; i++ {
+		sn.nodes[i] = beacon.DecodeNode(r)
+		if sn.nodes[i] == nil {
+			return nil, fmt.Errorf("%w: node %d: %v", ErrSnapshotCodec, i, r.Err())
+		}
+	}
+	nd := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCodec, err)
+	}
+	sn.dutyView = make([]int, nd)
+	for i := 0; i < nd; i++ {
+		sn.dutyView[i] = r.Int()
+	}
+	ne := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCodec, err)
+	}
+	sn.embargoes = make([]embargo, ne)
+	for i := range sn.embargoes {
+		e := &sn.embargoes[i]
+		e.cohort = r.Int()
+		e.producer = types.ValidatorIndex(r.U64())
+		r.Raw(e.root[:])
+		e.until = types.Slot(r.U64())
+	}
+	sn.oracle = blocktree.DecodeTree(r)
+	if sn.oracle == nil {
+		return nil, fmt.Errorf("%w: oracle: %v", ErrSnapshotCodec, r.Err())
+	}
+	sn.net = network.DecodeNetwork(r, decodeMessage)
+	if sn.net == nil {
+		return nil, fmt.Errorf("%w: network: %v", ErrSnapshotCodec, r.Err())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCodec, err)
+	}
+	sn.bytes = snapshotBytes(sn)
+	return sn, nil
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/types"
+)
+
+// codecModes is the 2×2 view-layout × fork-choice matrix every codec
+// property is checked across.
+var codecModes = []struct {
+	name                           string
+	perValidator, oracleForkChoice bool
+}{
+	{"cohort+proto-array", false, false},
+	{"cohort+map-oracle", false, true},
+	{"per-validator+proto-array", true, false},
+	{"per-validator+map-oracle", true, true},
+}
+
+// compactedCfg is the compaction-exercising complement of snapshotCfg:
+// lossless synchronous links under a permanent partition (the compaction
+// gates require DropRate = 0 and GST = Never), with a watermark low
+// enough that every view's tree has folded skip segments by the snapshot
+// point.
+func compactedCfg(perValidator, oracleForkChoice bool) Config {
+	return Config{
+		Validators: 16, Spec: types.CompressedSpec(1 << 16),
+		GST: network.Never, Delay: 1, Seed: 3,
+		PartitionOf: halfSplit(16), CompactWatermark: 32,
+		PerValidatorViews: perValidator, OracleForkChoice: oracleForkChoice,
+	}
+}
+
+// encodeSnapshot serializes through the full durable frame and sanity
+// checks the declared length.
+func encodeSnapshot(t *testing.T, sn *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := sn.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotCodecRoundTrip is the codec contract: a decoded snapshot
+// restores bit-identically — continuing it reproduces the original
+// continuation's per-epoch metrics exactly — and re-encoding it
+// reproduces the original bytes (the codec is canonical). Checked across
+// the 2×2 view-layout × fork-choice matrix, for both a messaging-rich
+// state (link outages, shuffled duties, held pre-GST cross-partition
+// traffic, live embargoes) and a mid-leak compacted state (folded skip
+// segments in every tree).
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    func(perValidator, oracleForkChoice bool) Config
+		snapAt int
+		total  int
+		// compacted requires the state to actually carry folded segments,
+		// otherwise the case pins nothing.
+		compacted bool
+	}{
+		{"held-traffic", snapshotCfg, 6, 18, false},
+		{"compacted", compactedCfg, 15, 27, true},
+	}
+	for _, tc := range cases {
+		for _, mode := range codecModes {
+			t.Run(tc.name+"/"+mode.name, func(t *testing.T) {
+				cfg := tc.cfg(mode.perValidator, mode.oracleForkChoice)
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.RunEpochs(tc.snapAt); err != nil {
+					t.Fatal(err)
+				}
+				if tc.compacted {
+					if st := s.Stats(); st.Tree.Folded == 0 {
+						t.Fatalf("run not compacted at snapshot point (stats %+v)", st)
+					}
+				}
+				snap := s.Snapshot()
+				suffix := runRecorded(t, s, tc.total-tc.snapAt)
+
+				blob := encodeSnapshot(t, snap)
+				decoded, err := ReadSnapshot(bytes.NewReader(blob))
+				if err != nil {
+					t.Fatalf("ReadSnapshot: %v", err)
+				}
+				if got, want := decoded.Slot(), snap.Slot(); got != want {
+					t.Fatalf("decoded slot = %d, want %d", got, want)
+				}
+				if decoded.Bytes() <= 0 {
+					t.Fatalf("decoded snapshot footprint = %d, want > 0", decoded.Bytes())
+				}
+
+				// Canonical form: encode(decode(blob)) == blob.
+				if reblob := encodeSnapshot(t, decoded); !bytes.Equal(reblob, blob) {
+					t.Fatalf("re-encoded snapshot differs: %d vs %d bytes", len(reblob), len(blob))
+				}
+
+				// Continuation equivalence: the decoded snapshot's run must
+				// match the original's bit-for-bit.
+				warm, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := warm.Restore(decoded); err != nil {
+					t.Fatalf("Restore(decoded): %v", err)
+				}
+				replay := runRecorded(t, warm, tc.total-tc.snapAt)
+				if !reflect.DeepEqual(replay, suffix) {
+					t.Fatalf("decoded snapshot's continuation diverged:\n  decoded:  %+v\n  original: %+v", replay, suffix)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotCodecRejectsDamage: every damaged form of a valid blob —
+// truncation at any layer, a flipped bit in header or payload, a version
+// skew — fails ReadSnapshot with ErrSnapshotCodec; no partially-decoded
+// snapshot escapes.
+func TestSnapshotCodecRejectsDamage(t *testing.T) {
+	s, err := New(snapshotCfg(false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(4); err != nil {
+		t.Fatal(err)
+	}
+	blob := encodeSnapshot(t, s.Snapshot())
+
+	damage := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"torn-header", func(b []byte) []byte { return b[:10] }},
+		{"torn-payload", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated-tail", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"version-skew", func(b []byte) []byte { b[4]++; return b }},
+		{"length-lie", func(b []byte) []byte { b[8] ^= 0x80; return b }},
+		{"checksum-flip", func(b []byte) []byte { b[12] ^= 0x01; return b }},
+		{"payload-bit-flip", func(b []byte) []byte { b[20+len(b)/3] ^= 0x10; return b }},
+		{"payload-last-byte", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			bad := d.mut(append([]byte(nil), blob...))
+			sn, err := ReadSnapshot(bytes.NewReader(bad))
+			if err == nil {
+				t.Fatal("ReadSnapshot accepted damaged input")
+			}
+			if !errors.Is(err, ErrSnapshotCodec) {
+				t.Fatalf("error %v does not wrap ErrSnapshotCodec", err)
+			}
+			if sn != nil {
+				t.Fatal("damaged read returned a non-nil snapshot")
+			}
+		})
+	}
+}
+
+// TestSnapshotCodecAdoptedSnapshot: a snapshot whose state was moved out
+// by Adopt refuses to encode rather than writing an empty shell.
+func TestSnapshotCodecAdoptedSnapshot(t *testing.T) {
+	cfg := snapshotCfg(false, false)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunEpochs(2); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	shell, err := NewShell(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shell.Adopt(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTo accepted an adopted (moved-out) snapshot")
+	}
+}

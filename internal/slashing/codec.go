@@ -1,0 +1,78 @@
+package slashing
+
+import (
+	"repro/internal/attestation"
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// EncodeTo serializes the detector for the durable snapshot codec: the
+// per-validator attestation history (slice order preserved — Observe
+// dedups by linear scan) and the already-reported marks.
+func (d *Detector) EncodeTo(w *codec.Writer) {
+	w.Len(len(d.history))
+	for _, hs := range d.history {
+		w.Len(len(hs))
+		for _, a := range hs {
+			attestation.EncodeData(w, a)
+		}
+	}
+	w.Len(len(d.slashed))
+	for _, s := range d.slashed {
+		w.Bool(s)
+	}
+}
+
+// DecodeDetector reconstructs a detector serialized by EncodeTo.
+func DecodeDetector(r *codec.Reader) *Detector {
+	d := NewDetector()
+	nv := r.Len()
+	if r.Err() != nil {
+		return nil
+	}
+	d.history = make([][]attestation.Data, nv)
+	for v := 0; v < nv; v++ {
+		nh := r.Len()
+		if r.Err() != nil {
+			return nil
+		}
+		if nh == 0 {
+			continue
+		}
+		hs := make([]attestation.Data, nh)
+		for i := 0; i < nh; i++ {
+			hs[i] = attestation.DecodeData(r)
+		}
+		d.history[v] = hs
+	}
+	ns := r.Len()
+	if r.Err() != nil {
+		return nil
+	}
+	d.slashed = make([]bool, ns)
+	for i := 0; i < ns; i++ {
+		d.slashed[i] = r.Bool()
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return d
+}
+
+// EncodeEvidence serializes one piece of slashing evidence.
+func EncodeEvidence(w *codec.Writer, e Evidence) {
+	w.U64(uint64(e.Validator))
+	w.Int(int(e.Kind))
+	attestation.EncodeData(w, e.First)
+	attestation.EncodeData(w, e.Second)
+}
+
+// DecodeEvidence reads one piece of slashing evidence.
+func DecodeEvidence(r *codec.Reader) Evidence {
+	var e Evidence
+	e.Validator = types.ValidatorIndex(r.U64())
+	e.Kind = Kind(r.Int())
+	e.First = attestation.DecodeData(r)
+	e.Second = attestation.DecodeData(r)
+	return e
+}

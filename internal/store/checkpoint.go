@@ -1,0 +1,126 @@
+package store
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// checkpointKeyPrefix namespaces checkpoint entries away from result
+// entries inside one shared store directory: the content address is the
+// SHA-256 of the full key, so a cell's checkpoint and its result can
+// never collide even though both are keyed by the same canonical cell
+// key. One entry per cell — Save overwrites, which IS the retention
+// policy (only the newest epoch survives), and a completed cell's Delete
+// leaves nothing behind, so the checkpoint tier cannot grow beyond one
+// in-flight entry per running cell.
+const checkpointKeyPrefix = "checkpoint\x00"
+
+// CheckpointStats is a point-in-time summary of the checkpoint tier's
+// lifetime counters since Open.
+type CheckpointStats struct {
+	// Written counts checkpoint saves; Bytes their cumulative payload
+	// size.
+	Written uint64 `json:"written"`
+	Bytes   uint64 `json:"bytes"`
+	// Loaded counts successful checkpoint probes (a starting cell found a
+	// valid checkpoint); Missed counts probes that found nothing valid.
+	Loaded uint64 `json:"loaded"`
+	Missed uint64 `json:"missed"`
+	// GCDeleted counts checkpoints removed after their cell completed.
+	GCDeleted uint64 `json:"gc_deleted"`
+}
+
+// Checkpoints is the durable mid-cell checkpoint tier: an opaque-payload
+// namespace inside a Store, keyed by canonical cell key. It inherits the
+// store's whole durability contract — temp+rename atomic writes, torn/
+// truncated/bit-flipped entries read as silent misses with the damaged
+// file removed, orphaned temp files swept at Open — so a crash at any
+// instant costs at most one recomputed checkpoint interval, never an
+// error. It implements engine.CheckpointStore.
+type Checkpoints struct {
+	s *Store
+
+	written, bytes, loaded, missed, gcDeleted atomic.Uint64
+}
+
+// NewCheckpoints layers a checkpoint tier over an open store. Result and
+// checkpoint tiers share the directory and the write path; only the key
+// namespace and counters differ.
+func NewCheckpoints(s *Store) *Checkpoints { return &Checkpoints{s: s} }
+
+// OpenCheckpoints opens (creating if needed) a checkpoint store rooted at
+// dir, sweeping any orphaned temp files left by a crashed writer.
+func OpenCheckpoints(dir string) (*Checkpoints, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewCheckpoints(s), nil
+}
+
+// Checkpoints returns the checkpoint tier sharing this result store's
+// directory and underlying store — the serve fabric's layout, where a
+// worker's -store holds both its results and its in-flight checkpoints.
+func (r *Results) Checkpoints() *Checkpoints { return NewCheckpoints(r.s) }
+
+// SaveCheckpoint atomically persists the cell's current checkpoint,
+// replacing any older one (newest-epoch retention by construction).
+func (c *Checkpoints) SaveCheckpoint(cellKey string, payload []byte) error {
+	err := c.s.Put(checkpointKeyPrefix+cellKey, payload)
+	if err == nil {
+		c.written.Add(1)
+		c.bytes.Add(uint64(len(payload)))
+	}
+	return err
+}
+
+// LoadCheckpoint returns the newest valid checkpoint for the cell. Any
+// damage — a missing entry, a torn or truncated file, a checksum
+// mismatch — reads as a miss; the engine then starts the cell cold.
+func (c *Checkpoints) LoadCheckpoint(cellKey string) ([]byte, bool) {
+	payload, ok := c.s.Get(checkpointKeyPrefix + cellKey)
+	if ok {
+		c.loaded.Add(1)
+	} else {
+		c.missed.Add(1)
+	}
+	return payload, ok
+}
+
+// DeleteCheckpoint removes the cell's checkpoint; the engine calls it
+// when the cell completes (and when a decoded payload proves invalid, so
+// the next writer starts clean).
+func (c *Checkpoints) DeleteCheckpoint(cellKey string) {
+	if c.s.Delete(checkpointKeyPrefix + cellKey) {
+		c.gcDeleted.Add(1)
+	}
+}
+
+// Stats reports the checkpoint tier's lifetime counters.
+func (c *Checkpoints) Stats() CheckpointStats {
+	return CheckpointStats{
+		Written:   c.written.Load(),
+		Bytes:     c.bytes.Load(),
+		Loaded:    c.loaded.Load(),
+		Missed:    c.missed.Load(),
+		GCDeleted: c.gcDeleted.Load(),
+	}
+}
+
+// Contains reports whether a valid checkpoint exists for the cell,
+// without counting a hit or miss.
+func (c *Checkpoints) Contains(cellKey string) bool {
+	return c.s.Contains(checkpointKeyPrefix + cellKey)
+}
+
+// CorruptCheckpointForTest truncates the on-disk checkpoint entry for a
+// cell mid-payload, simulating a torn write; it reports whether an entry
+// existed to damage.
+func CorruptCheckpointForTest(c *Checkpoints, cellKey string) (bool, error) {
+	path := c.s.path(checkpointKeyPrefix + cellKey)
+	info, err := os.Stat(path)
+	if err != nil {
+		return false, nil
+	}
+	return true, os.Truncate(path, info.Size()/2)
+}

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openCheckpoints(t *testing.T) *Checkpoints {
+	t.Helper()
+	c, err := OpenCheckpoints(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCheckpointsRoundTrip(t *testing.T) {
+	c := openCheckpoints(t)
+	const key = "sim/leak|p0=0.5;n=10000"
+	payload := bytes.Repeat([]byte("epoch-state"), 100)
+
+	if _, ok := c.LoadCheckpoint(key); ok {
+		t.Fatal("empty store answered a checkpoint")
+	}
+	if err := c.SaveCheckpoint(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.LoadCheckpoint(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("LoadCheckpoint = (%d bytes, %t), want the saved payload", len(got), ok)
+	}
+	st := c.Stats()
+	if st.Written != 1 || st.Loaded != 1 || st.Missed != 1 {
+		t.Fatalf("stats %+v, want written=1 loaded=1 missed=1", st)
+	}
+	if st.Bytes != uint64(len(payload)) {
+		t.Fatalf("stats bytes = %d, want %d", st.Bytes, len(payload))
+	}
+}
+
+// TestCheckpointsNewestEpochRetention: one entry per cell — a later save
+// replaces the earlier checkpoint, so the tier never accumulates stale
+// epochs for a cell.
+func TestCheckpointsNewestEpochRetention(t *testing.T) {
+	c := openCheckpoints(t)
+	const key = "cell"
+	for i, payload := range []string{"epoch-500", "epoch-1000", "epoch-1500"} {
+		if err := c.SaveCheckpoint(key, []byte(payload)); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	got, ok := c.LoadCheckpoint(key)
+	if !ok || string(got) != "epoch-1500" {
+		t.Fatalf("LoadCheckpoint = (%q, %t), want newest epoch only", got, ok)
+	}
+	if st := c.s.Stats(); st.Entries != 1 {
+		t.Fatalf("store holds %d entries, want 1 (overwrite retention)", st.Entries)
+	}
+}
+
+// TestCheckpointsDeleteOnCompletion: a completed cell's delete removes the
+// entry (counted as GC) and is idempotent.
+func TestCheckpointsDeleteOnCompletion(t *testing.T) {
+	c := openCheckpoints(t)
+	const key = "cell"
+	if err := c.SaveCheckpoint(key, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	c.DeleteCheckpoint(key)
+	if _, ok := c.LoadCheckpoint(key); ok {
+		t.Fatal("deleted checkpoint still loads")
+	}
+	c.DeleteCheckpoint(key) // idempotent
+	if st := c.Stats(); st.GCDeleted != 1 {
+		t.Fatalf("gc_deleted = %d, want 1 (second delete is a no-op)", st.GCDeleted)
+	}
+	if st := c.s.Stats(); st.Entries != 0 {
+		t.Fatalf("store holds %d entries after delete, want 0", st.Entries)
+	}
+}
+
+// TestCheckpointsDamageReadsAsSilentMiss is the durability verdict table:
+// a torn write, a truncation, a flipped payload bit, a flipped checksum,
+// and a header version/magic skew all read as a silent miss — never an
+// error — and the engine's next probe sees a clean cold start.
+func TestCheckpointsDamageReadsAsSilentMiss(t *testing.T) {
+	const key = "cell"
+	payload := bytes.Repeat([]byte{0xAB, 0xCD}, 512)
+	cases := []struct {
+		name string
+		mut  func(t *testing.T, path string)
+	}{
+		{"torn-write", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated-to-header", func(t *testing.T, path string) {
+			if err := os.Truncate(path, headerSize-3); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"payload-bit-flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-7] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"checksum-flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := binary.LittleEndian.Uint64(data[12:])
+			binary.LittleEndian.PutUint64(data[12:], sum^1)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"version-skew", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(data[:4], "GLS9")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := openCheckpoints(t)
+			if err := c.SaveCheckpoint(key, payload); err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(t, c.s.path(checkpointKeyPrefix+key))
+
+			if got, ok := c.LoadCheckpoint(key); ok {
+				t.Fatalf("damaged checkpoint loaded (%d bytes)", len(got))
+			}
+			// The damaged file is cleared, so the next probe is a clean
+			// cold start and the next save repairs the entry.
+			if c.Contains(key) {
+				t.Fatal("damaged entry still on disk after the miss")
+			}
+			if err := c.SaveCheckpoint(key, payload); err != nil {
+				t.Fatalf("re-save after damage: %v", err)
+			}
+			if got, ok := c.LoadCheckpoint(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatal("repaired checkpoint does not load")
+			}
+		})
+	}
+}
+
+// TestCheckpointsSweepOrphanedTemp: a temp file left by a crashed writer
+// is swept at Open and never surfaces as a checkpoint.
+func TestCheckpointsSweepOrphanedTemp(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(shard, ".put-crashed")
+	if err := os.WriteFile(orphan, []byte("half-written checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived Open (stat err %v)", err)
+	}
+	if st := c.s.Stats(); st.Entries != 0 {
+		t.Fatalf("orphan counted as an entry: %+v", st)
+	}
+}
+
+// TestCheckpointsShareStoreWithResults: a result entry and a checkpoint
+// under the same canonical cell key coexist in one store directory — the
+// namespace prefix keeps their content addresses apart — and deleting the
+// checkpoint leaves the result untouched.
+func TestCheckpointsShareStoreWithResults(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "sim/leak|cell"
+	if err := s.Put(key, []byte("result-payload")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCheckpoints(s)
+	if err := c.SaveCheckpoint(key, []byte("checkpoint-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "result-payload" {
+		t.Fatalf("result entry disturbed: (%q, %t)", got, ok)
+	}
+	if got, ok := c.LoadCheckpoint(key); !ok || string(got) != "checkpoint-payload" {
+		t.Fatalf("checkpoint entry disturbed: (%q, %t)", got, ok)
+	}
+	c.DeleteCheckpoint(key)
+	if got, ok := s.Get(key); !ok || string(got) != "result-payload" {
+		t.Fatalf("checkpoint GC deleted the result entry: (%q, %t)", got, ok)
+	}
+}
+
+// TestCorruptCheckpointForTest pins the test helper the fabric crash suite
+// leans on: it reports entry presence and leaves a torn file behind.
+func TestCorruptCheckpointForTest(t *testing.T) {
+	c := openCheckpoints(t)
+	if ok, err := CorruptCheckpointForTest(c, "absent"); ok || err != nil {
+		t.Fatalf("CorruptCheckpointForTest(absent) = (%t, %v), want (false, nil)", ok, err)
+	}
+	if err := c.SaveCheckpoint("cell", bytes.Repeat([]byte("x"), 256)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := CorruptCheckpointForTest(c, "cell"); !ok || err != nil {
+		t.Fatalf("CorruptCheckpointForTest(cell) = (%t, %v), want (true, nil)", ok, err)
+	}
+	if _, ok := c.LoadCheckpoint("cell"); ok {
+		t.Fatal("torn checkpoint loaded")
+	}
+}
+
+// TestCheckpointKeyPrefixUnprintable documents why the namespace prefix
+// can never collide with a canonical cell key: cell keys are printable
+// scenario/param strings, the prefix embeds a NUL.
+func TestCheckpointKeyPrefixUnprintable(t *testing.T) {
+	if !strings.ContainsRune(checkpointKeyPrefix, 0) {
+		t.Fatal("checkpoint namespace prefix lost its NUL separator")
+	}
+}

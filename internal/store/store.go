@@ -232,6 +232,26 @@ func (s *Store) Put(key string, payload []byte) error {
 	return nil
 }
 
+// Delete removes the entry stored under key, if present, and reports
+// whether an entry was removed. Deleting a missing key is a no-op. The
+// checkpoint tier uses it to garbage-collect a completed cell's
+// checkpoint; result entries are never deleted in normal operation.
+func (s *Store) Delete(key string) bool {
+	path := s.path(key)
+	info, err := os.Stat(path)
+	if err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(path); err != nil {
+		return false
+	}
+	s.entries.Add(-1)
+	s.bytes.Add(-info.Size())
+	return true
+}
+
 // removeEntry deletes a damaged entry and adjusts the counters.
 func (s *Store) removeEntry(path string, size int64) {
 	s.mu.Lock()
