@@ -1,0 +1,87 @@
+// Command gasperlint runs the project's static-analysis suite — the
+// build-time enforcement of the determinism, codec-coverage, and
+// no-alloc contracts every headline result rests on.
+//
+// Usage:
+//
+//	go run ./cmd/gasperlint ./...
+//	go run ./cmd/gasperlint -only detrange,codecfields ./internal/sim
+//
+// Diagnostics print as file:line:col: analyzer: message, one per line;
+// the exit status is 1 if any diagnostic was reported. The suite is
+// documented in internal/lint and in the README's "correctness tooling"
+// section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gasperlint [-only a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "gasperlint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gasperlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gasperlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gasperlint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@
 package attestation
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/crypto"
@@ -164,6 +165,8 @@ type LinkWeight struct {
 // allocate. Equivocating validators count toward every distinct link they
 // voted for, exactly as on-chain inclusion would credit them on each
 // branch.
+//
+//gasper:noalloc
 func (p *Pool) AppendLinkTally(dst []LinkWeight, e types.Epoch, stake func(types.ValidatorIndex) types.Gwei) []LinkWeight {
 	ev := p.byEpoch[e]
 	if ev == nil {
@@ -302,4 +305,20 @@ type Link struct {
 func (l Link) String() string {
 	return fmt.Sprintf("%d/%s -> %d/%s",
 		l.Source.Epoch, l.Source.Root, l.Target.Epoch, l.Target.Root)
+}
+
+// Less orders links by (source epoch, source root, target epoch, target
+// root): the canonical order used wherever a map-derived set of links must
+// be processed deterministically.
+func (l Link) Less(o Link) bool {
+	if l.Source.Epoch != o.Source.Epoch {
+		return l.Source.Epoch < o.Source.Epoch
+	}
+	if c := bytes.Compare(l.Source.Root[:], o.Source.Root[:]); c != 0 {
+		return c < 0
+	}
+	if l.Target.Epoch != o.Target.Epoch {
+		return l.Target.Epoch < o.Target.Epoch
+	}
+	return bytes.Compare(l.Target.Root[:], o.Target.Root[:]) < 0
 }

@@ -60,6 +60,8 @@ type Node struct {
 	// a block one cohort member produced this slot is still in flight to
 	// the rest, the only within-cohort view difference the protocol
 	// creates (see internal/sim).
+	//gasper:nocodec per-slot filter the simulator installs; snapshots restore unfiltered
+	//gasper:shallow Clone deliberately drops it; the simulator reinstalls it each slot
 	visible func(types.Root) bool
 
 	// pending buffers blocks whose parent has not arrived yet,
@@ -75,14 +77,16 @@ type Node struct {
 	// so a steady-state epoch transition performs no allocation (a method
 	// value materialized at the call site would allocate its receiver
 	// binding on every boundary).
+	//gasper:nocodec scratch buffer; each node re-grows its own
+	//gasper:shallow scratch buffer; clones re-grow their own
 	tallyScratch []attestation.LinkWeight
-	stakeFn      func(types.ValidatorIndex) types.Gwei
+	stakeFn      func(types.ValidatorIndex) types.Gwei //gasper:nocodec rebound to the decoded Registry by DecodeNode
 	// activityVotes/activityRoot parameterize activeFn, the reusable
 	// activity predicate handed to the incentive sweep — constructed once
 	// so the boundary does not allocate a fresh closure per epoch.
-	activityVotes [][]attestation.Data
-	activityRoot  types.Root
-	activeFn      func(types.ValidatorIndex) bool
+	activityVotes [][]attestation.Data            //gasper:nocodec per-boundary working set; the next boundary repopulates it
+	activityRoot  types.Root                      //gasper:nocodec per-boundary working set; the next boundary repopulates it
+	activeFn      func(types.ValidatorIndex) bool //gasper:nocodec closure rebound by DecodeNode over the decoded state
 	// slashEvidence collects offenses observed and (if enforcing)
 	// applied.
 	slashEvidence []slashing.Evidence

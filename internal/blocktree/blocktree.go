@@ -70,7 +70,7 @@ type node struct {
 // value is not usable; construct with New.
 type Tree struct {
 	nodes   []node
-	index   map[types.Root]int32
+	index   map[types.Root]int32 //gasper:nocodec root index; DecodeTree rebuilds it from the parent links
 	version uint64
 	// folded is the lifetime count of blocks removed by Compact.
 	folded int

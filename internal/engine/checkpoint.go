@@ -187,7 +187,7 @@ func runCellCheckpointed(ctx context.Context, reg *Registry, cell Cell, ck *Chec
 		step = every
 	}
 
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	lastSaved := -1
 	if pre != nil {
 		lastSaved = pre.Epoch
@@ -238,7 +238,7 @@ func runCellCheckpointed(ctx context.Context, reg *Registry, cell Cell, ck *Chec
 	res.Scenario = sc.Name()
 	res.Params = p
 	res.Meta = RunMeta{
-		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond), //gasper:nondet wall-clock duration metadata only; never part of result identity
 		Checkpoint: meta,
 	}.Merged(res.Meta)
 	// The scenario stamped throughput over ResumeFrom's tail alone; here

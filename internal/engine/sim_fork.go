@@ -245,13 +245,13 @@ func resumeSimDrops(ctx context.Context, pre *Prefix, p Params, v SimVariant) (R
 	if err != nil {
 		return Result{}, err
 	}
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if !pre.Done {
 		if err := runEpochsRangeContext(ctx, s, pre.Epoch, p.Horizon, nil); err != nil {
 			return Result{}, err
 		}
 	}
-	return finishSimDrops(s, p, time.Since(start)), nil
+	return finishSimDrops(s, p, time.Since(start)), nil //gasper:nondet wall-clock duration metadata only; never part of result identity
 }
 
 // --- sim/gst ---------------------------------------------------------
@@ -338,13 +338,13 @@ func resumeSimGST(ctx context.Context, pre *Prefix, p Params, v SimVariant) (Res
 		}
 	}
 	tr := pre.Trace.(gstTrace)
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if !pre.Done {
 		if err := runEpochsRangeContext(ctx, s, pre.Epoch, p.Horizon, gstObserver(s, &tr.violation)); err != nil {
 			return Result{}, err
 		}
 	}
-	return finishSimGST(s, p, tr.violation, time.Since(start)), nil
+	return finishSimGST(s, p, tr.violation, time.Since(start)), nil //gasper:nondet wall-clock duration metadata only; never part of result identity
 }
 
 // --- sim/leak --------------------------------------------------------
@@ -388,13 +388,13 @@ func resumeSimLeak(ctx context.Context, pre *Prefix, p Params, v SimVariant) (Re
 		return Result{}, err
 	}
 	tr := pre.Trace.(leakTrace).clone()
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if !pre.Done {
 		if err := runEpochsRangeContext(ctx, s, pre.Epoch, p.Horizon, leakObserver(s, p, &tr)); err != nil {
 			return Result{}, err
 		}
 	}
-	return finishSimLeak(p, s, tr, time.Since(start))
+	return finishSimLeak(p, s, tr, time.Since(start)) //gasper:nondet wall-clock duration metadata only; never part of result identity
 }
 
 // --- sim/semiactive --------------------------------------------------
@@ -465,11 +465,11 @@ func resumeSimSemiActive(ctx context.Context, pre *Prefix, p Params, v SimVarian
 	tr := prev.leakTrace.clone()
 	adv := prev.adv.Clone()
 	s.Cfg.Adversary = adv
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if !pre.Done {
 		if err := runEpochsRangeContext(ctx, s, pre.Epoch, p.Horizon, leakObserver(s, p, &tr)); err != nil {
 			return Result{}, err
 		}
 	}
-	return finishSimSemiActive(ctx, p, s, adv, tr, time.Since(start))
+	return finishSimSemiActive(ctx, p, s, adv, tr, time.Since(start)) //gasper:nondet wall-clock duration metadata only; never part of result identity
 }

@@ -168,7 +168,7 @@ func runSimBounce(ctx context.Context, p Params) (Result, error) {
 	initialStake := types.Gwei(uint64(p.N)) * spec.MaxEffectiveBalance
 	finalizedAtStop := types.Epoch(0)
 	minStakeRatio := 1.0
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	err = runEpochsContext(ctx, s, p.Horizon, func(epoch int) bool {
 		m := s.MetricsAt(types.Epoch(epoch))
 		if r := float64(m.MinTotalStake) / float64(initialStake); r < minStakeRatio {
@@ -198,7 +198,7 @@ func runSimBounce(ctx context.Context, p Params) (Result, error) {
 	if stop != 0 && finalizedAtStop <= types.Epoch(p.GST) {
 		out.Outcome = fmt.Sprintf("finality stalled for %d epochs", int64(stop)-int64(p.GST))
 	}
-	out.Meta = simMeta(s, time.Since(start))
+	out.Meta = simMeta(s, time.Since(start)) //gasper:nondet wall-clock duration metadata only; never part of result identity
 	return out, nil
 }
 
@@ -276,11 +276,11 @@ func runSimDrops(ctx context.Context, p Params, variant SimVariant) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if err := runEpochsContext(ctx, s, p.Horizon, nil); err != nil {
 		return Result{}, err
 	}
-	return finishSimDrops(s, p, time.Since(start)), nil
+	return finishSimDrops(s, p, time.Since(start)), nil //gasper:nondet wall-clock duration metadata only; never part of result identity
 }
 
 // simGSTConfig describes the p0-weighted two-way partition population at
@@ -363,11 +363,11 @@ func runSimGST(ctx context.Context, p Params, variant SimVariant) (Result, error
 		return Result{}, err
 	}
 	violation := 0.0
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if err := runEpochsContext(ctx, s, p.Horizon, gstObserver(s, &violation)); err != nil {
 		return Result{}, err
 	}
-	return finishSimGST(s, p, violation, time.Since(start)), nil
+	return finishSimGST(s, p, violation, time.Since(start)), nil //gasper:nondet wall-clock duration metadata only; never part of result identity
 }
 
 // leakPartitionConfig describes the lasting-partition full-protocol simulation
@@ -488,11 +488,11 @@ func runSimLeak(ctx context.Context, p Params, variant SimVariant) (Result, erro
 		return Result{}, err
 	}
 	tr := leakTrace{minStakeRatio: 1}
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if err := runEpochsContext(ctx, s, p.Horizon, leakObserver(s, p, &tr)); err != nil {
 		return Result{}, err
 	}
-	return finishSimLeak(p, s, tr, time.Since(start))
+	return finishSimLeak(p, s, tr, time.Since(start)) //gasper:nondet wall-clock duration metadata only; never part of result identity
 }
 
 // conflictResult assembles the shared result shape of the long-horizon
@@ -595,9 +595,9 @@ func runSimSemiActive(ctx context.Context, p Params, variant SimVariant) (Result
 	}
 	s.Cfg.Adversary = adv
 	tr := leakTrace{minStakeRatio: 1}
-	start := time.Now()
+	start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 	if err := runEpochsContext(ctx, s, p.Horizon, leakObserver(s, p, &tr)); err != nil {
 		return Result{}, err
 	}
-	return finishSimSemiActive(ctx, p, s, adv, tr, time.Since(start))
+	return finishSimSemiActive(ctx, p, s, adv, tr, time.Since(start)) //gasper:nondet wall-clock duration metadata only; never part of result identity
 }

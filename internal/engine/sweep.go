@@ -484,12 +484,12 @@ func SweepStream(ctx context.Context, cells []Cell, opt Options) <-chan Update {
 					}
 					res = r
 				} else {
-					start := time.Now()
+					start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 					r, err := reg.RunContext(ctx, cell.Scenario, cell.Params)
 					if err != nil {
 						r = failedCell(reg, cell, err)
 					}
-					r.Meta = RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}.Merged(r.Meta)
+					r.Meta = RunMeta{DurationMS: float64(time.Since(start)) / float64(time.Millisecond)}.Merged(r.Meta) //gasper:nondet wall-clock duration metadata only; never part of result identity
 					res = r
 				}
 				finished <- indexed{i, res}

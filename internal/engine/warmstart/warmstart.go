@@ -223,13 +223,13 @@ func Stream(ctx context.Context, cells []engine.Cell, opt engine.Options) <-chan
 				// computing (no Meta — no work was done).
 				res = failedCell(reg, cell, err)
 			} else {
-				start := time.Now()
+				start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 				r, err := reg.RunContext(ctx, cell.Scenario, cell.Params)
 				if err != nil {
 					r = failedCell(reg, cell, err)
 				}
 				r.Meta = engine.RunMeta{
-					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+					DurationMS: float64(time.Since(start)) / float64(time.Millisecond), //gasper:nondet wall-clock duration metadata only; never part of result identity
 					Warm:       sch.warmMeta(false, 0, 0),
 				}.Merged(r.Meta)
 				res = r
@@ -246,7 +246,7 @@ func Stream(ctx context.Context, cells []engine.Cell, opt engine.Options) <-chan
 				res = failedCell(reg, cell, err)
 				rj.g.sch.decref(rj.e)
 			} else {
-				start := time.Now()
+				start := time.Now() //gasper:nondet wall-clock duration metadata only; never part of result identity
 				pre, saved, err := rj.g.acquire(ctx, rj.e)
 				var r engine.Result
 				if err == nil {
@@ -262,7 +262,7 @@ func Stream(ctx context.Context, cells []engine.Cell, opt engine.Options) <-chan
 					r.Params = rj.params
 				}
 				r.Meta = engine.RunMeta{
-					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+					DurationMS: float64(time.Since(start)) / float64(time.Millisecond), //gasper:nondet wall-clock duration metadata only; never part of result identity
 					Warm:       rj.g.sch.warmMeta(true, rj.e.branch, saved),
 				}.Merged(r.Meta)
 				res = r
@@ -327,7 +327,7 @@ func (g *group) runSpine(ctx context.Context) {
 // evicted it. Returns the prefix and the number of prefix epochs this cell
 // did not have to simulate (for WarmMeta.EpochsSaved).
 func (g *group) acquire(ctx context.Context, e *entry) (*engine.Prefix, int, error) {
-	select {
+	select { //gasper:nondet completion-vs-cancellation: the value path is deterministic and cancellation aborts the cell
 	case <-e.ready:
 	case <-ctx.Done():
 		return nil, 0, ctx.Err()
@@ -421,7 +421,7 @@ func (g *group) acquire(ctx context.Context, e *entry) (*engine.Prefix, int, err
 		case stateRebuilding:
 			ch := e.rebuildCh
 			sch.mu.Unlock()
-			select {
+			select { //gasper:nondet completion-vs-cancellation: the value path is deterministic and cancellation aborts the cell
 			case <-ch:
 			case <-ctx.Done():
 				return nil, 0, ctx.Err()

@@ -14,6 +14,7 @@ package ffg
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/attestation"
 	"repro/internal/types"
@@ -143,6 +144,7 @@ func (e *Engine) ProcessEpoch(epoch types.Epoch, weights map[attestation.Link]ty
 	for link, w := range weights {
 		tally = append(tally, attestation.LinkWeight{Link: link, Weight: w})
 	}
+	sort.Slice(tally, func(i, j int) bool { return tally[i].Link.Less(tally[j].Link) })
 	return e.ProcessTally(epoch, tally, total, now)
 }
 
@@ -158,6 +160,8 @@ func (e *Engine) ProcessEpoch(epoch types.Epoch, weights map[attestation.Link]ty
 //
 // A boundary call that advances nothing — the steady state of a leak —
 // performs no allocation.
+//
+//gasper:noalloc
 func (e *Engine) ProcessTally(epoch types.Epoch, tally []attestation.LinkWeight, total types.Gwei, now types.Epoch) Result {
 	var res Result
 	if total == 0 {
@@ -176,7 +180,7 @@ func (e *Engine) ProcessTally(epoch types.Epoch, tally []attestation.LinkWeight,
 		}
 		if !e.Justified(link.Target) {
 			e.markJustified(link.Target)
-			res.NewlyJustified = append(res.NewlyJustified, link.Target)
+			res.NewlyJustified = append(res.NewlyJustified, link.Target) //gasper:alloc justification advance only; the steady-state leak boundary never reaches this
 		}
 		// Finalization: consecutive justified checkpoints joined by a
 		// supermajority link finalize the source.
@@ -184,7 +188,7 @@ func (e *Engine) ProcessTally(epoch types.Epoch, tally []attestation.LinkWeight,
 			if link.Source.Epoch > e.finalized.Epoch || (e.finalized == e.genesis && link.Source == e.genesis) {
 				e.finalized = link.Source
 				e.lastFinalizedAt = now
-				res.NewlyFinalized = append(res.NewlyFinalized, link.Source)
+				res.NewlyFinalized = append(res.NewlyFinalized, link.Source) //gasper:alloc finalization advance only; the steady-state leak boundary never reaches this
 				e.pruneJustified()
 			}
 		}

@@ -171,6 +171,7 @@ func (s *Store) HeadFiltered(tree *blocktree.Tree, start types.Root, stake func(
 // instead of being dropped.
 func (s *Store) subtreeWeights(tree *blocktree.Tree, stake func(types.ValidatorIndex) types.Gwei) (map[types.Root]types.Gwei, error) {
 	byRoot := make(map[types.Root]types.Gwei, 16)
+	//gasper:ordered commutative uint64 stake accumulation per target root; stake() is a pure column lookup
 	for v, m := range s.latest {
 		w := stake(v)
 		if w == 0 || !tree.Has(m.Root) {
@@ -180,6 +181,7 @@ func (s *Store) subtreeWeights(tree *blocktree.Tree, stake func(types.ValidatorI
 	}
 	weights := make(map[types.Root]types.Gwei, tree.Len())
 	genesis := tree.Genesis()
+	//gasper:ordered each target adds its weight along its own ancestor path; per-block sums commute
 	for root, w := range byRoot {
 		cur := root
 		for {

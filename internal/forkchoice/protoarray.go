@@ -41,40 +41,42 @@ import (
 // the tree folds its cold spine).
 type ProtoArray struct {
 	// Per-validator columns (latest messages and applied weight state).
-	voteRoot     []types.Root
-	voteSlot     []types.Slot
-	hasVote      []bool
-	stakes       []types.Gwei
-	appliedIdx   []int32 // node currently credited with the vote; NoIndex if none
+	voteRoot []types.Root
+	voteSlot []types.Slot
+	hasVote  []bool
+	stakes   []types.Gwei
+	//gasper:nocodec applied-vote cache; the first sync after decode re-applies every vote
+	appliedIdx []int32 // node currently credited with the vote; NoIndex if none
+	//gasper:nocodec applied-vote cache; the first sync after decode re-applies every vote
 	appliedStake []types.Gwei
 	voted        int
 
 	// Worklists. changed holds validators whose vote or stake moved since
 	// the last apply; unresolved holds validators whose current vote
 	// target is not in the tree (re-queued when blocks arrive).
-	changed      []int32
-	inChanged    []bool
-	unresolved   []int32
-	inUnresolved []bool
+	changed      []int32 //gasper:nocodec worklist; decode marks every vote changed, repopulating it
+	inChanged    []bool  //gasper:nocodec worklist membership; repopulated with changed
+	unresolved   []int32 //gasper:nocodec worklist; re-derived when the first sync re-applies votes
+	inUnresolved []bool  //gasper:nocodec worklist membership; repopulated with unresolved
 
 	// Per-node columns, mirroring the cached tree's index space.
-	tree        *blocktree.Tree
-	treeVersion uint64
-	weights     []types.Gwei
-	deltas      []int64
-	bestChild   []int32
-	bestDesc    []int32
+	tree        *blocktree.Tree //gasper:nocodec borrowed tree handle; the owner re-syncs after decode
+	treeVersion uint64          //gasper:nocodec cache version; zero forces the first sync to rebuild
+	weights     []types.Gwei    //gasper:nocodec per-node cache over the tree; rebuilt by the first sync
+	deltas      []int64         //gasper:nocodec per-node cache over the tree; rebuilt by the first sync
+	bestChild   []int32         //gasper:nocodec per-node cache over the tree; rebuilt by the first sync
+	bestDesc    []int32         //gasper:nocodec per-node cache over the tree; rebuilt by the first sync
 
 	// Settle frontier: node indices with a pending delta or a child whose
 	// weight/best pointers moved, kept as a max-index heap so children
 	// always pop before their parents.
-	touched   []int32
-	inTouched []bool
+	touched   []int32 //gasper:nocodec settle frontier; re-derived by the first sync
+	inTouched []bool  //gasper:nocodec settle frontier membership; re-derived by the first sync
 
 	// Canonical-chain cache: canon is the best-child path from the array
 	// root; canonPos[i] is i's position on that path, -1 when off-chain.
-	canon    []int32
-	canonPos []int32
+	canon    []int32 //gasper:nocodec canonical-chain cache; rebuilt by the first sync
+	canonPos []int32 //gasper:nocodec canonical-chain cache; rebuilt by the first sync
 }
 
 // NewProtoArray returns an empty incremental engine.
@@ -452,11 +454,13 @@ func (p *ProtoArray) recompute(tree *blocktree.Tree) {
 
 // Head implements Engine: sync, then chase the cached best-descendant
 // pointer from start.
+//
+//gasper:noalloc
 func (p *ProtoArray) Head(tree *blocktree.Tree, start types.Root) (types.Root, error) {
 	p.sync(tree)
 	si, ok := tree.IndexOf(start)
 	if !ok {
-		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start)
+		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start) //gasper:alloc error exit: unknown start root aborts the query
 	}
 	return tree.BlockAt(p.bestDesc[si]).Root, nil
 }
@@ -469,6 +473,8 @@ func (p *ProtoArray) Head(tree *blocktree.Tree, start types.Root) (types.Root, e
 // a sibling scan. Only when the canonical child is hidden (or the walk
 // starts off-chain) does it fall back to picking the best visible child
 // from the settled weights, exactly matching the oracle's descent.
+//
+//gasper:noalloc
 func (p *ProtoArray) HeadFiltered(tree *blocktree.Tree, start types.Root, visible func(types.Root) bool) (types.Root, error) {
 	if visible == nil {
 		return p.Head(tree, start)
@@ -476,7 +482,7 @@ func (p *ProtoArray) HeadFiltered(tree *blocktree.Tree, start types.Root, visibl
 	p.sync(tree)
 	i, ok := tree.IndexOf(start)
 	if !ok {
-		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start)
+		return types.Root{}, fmt.Errorf("%w: %s", ErrUnknownStart, start) //gasper:alloc error exit: unknown start root aborts the query
 	}
 	if pos := p.canonPos[i]; pos >= 0 {
 		for int(pos)+1 < len(p.canon) {

@@ -63,6 +63,8 @@ type Summary struct {
 // impure closures a chance to disagree with the penalty stage.) The
 // Ejected slice is the only allocation and only happens in epochs that
 // actually eject.
+//
+//gasper:noalloc
 func (e Engine) ProcessEpoch(reg *validator.Registry, active func(types.ValidatorIndex) bool, inLeak bool, epoch types.Epoch) Summary {
 	var sum Summary
 	spec := e.Spec
@@ -110,7 +112,7 @@ func (e Engine) ProcessEpoch(reg *validator.Registry, active func(types.Validato
 		if cols.Stakes[i] <= spec.EjectionBalance {
 			cols.Status[i] = validator.Ejected
 			cols.Exit[i] = epoch
-			sum.Ejected = append(sum.Ejected, types.ValidatorIndex(i))
+			sum.Ejected = append(sum.Ejected, types.ValidatorIndex(i)) //gasper:alloc only epochs that eject allocate; the steady-state sweep never appends
 			continue
 		}
 

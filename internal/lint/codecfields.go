@@ -1,0 +1,385 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CodecFields cross-checks every snapshot codec and Clone method against
+// its struct definition, turning "new field silently dropped from
+// checkpoints" from a runtime-corruption bug into a build break — the
+// static twin of the server's reflection-derived cache-key test.
+//
+// Codec shape (the PR 5/9 convention): an encode side is a method named
+// EncodeTo/encodeTo taking a *codec.Writer, or a function Encode*/encode*
+// taking a *codec.Writer plus the subject value; a decode side is a
+// function Decode*/decode* taking a *codec.Reader and returning the
+// subject. For every subject type defined in the package with both sides
+// present, every struct field must be referenced by BOTH sides, unless
+// the field declaration carries //gasper:nocodec <reason> (derived state
+// the decoder rebuilds).
+//
+// Clone methods (Clone*/clone* on the subject) must reference every
+// field too; a whole-struct copy (`out := *t`) covers value-typed fields
+// but NOT reference-typed ones (slice/map/pointer/chan/func/interface),
+// which alias the original unless explicitly deep-copied or waived with
+// //gasper:shallow <reason>.
+var CodecFields = &Analyzer{
+	Name: "codecfields",
+	Doc: "require every struct field to be covered by both codec sides " +
+		"and deep-copied by Clone, unless waived with //gasper:nocodec / //gasper:shallow",
+	Run: runCodecFields,
+}
+
+// codecFunc is one side of a codec (or a Clone) for one subject type.
+type codecFunc struct {
+	decl *ast.FuncDecl
+	kind string // "encode", "decode", "clone"
+}
+
+func runCodecFields(pass *Pass) {
+	subjects := map[*types.TypeName][]codecFunc{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case fd.Recv != nil && (name == "EncodeTo" || name == "encodeTo"):
+				if pass.hasCodecParam(fd, "Writer") {
+					if s := pass.receiverSubject(fd); s != nil {
+						subjects[s] = append(subjects[s], codecFunc{fd, "encode"})
+					}
+				}
+			case fd.Recv == nil && (strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "encode")):
+				if pass.hasCodecParam(fd, "Writer") {
+					if s := pass.paramSubject(fd); s != nil {
+						subjects[s] = append(subjects[s], codecFunc{fd, "encode"})
+					}
+				}
+			case fd.Recv == nil && (strings.HasPrefix(name, "Decode") || strings.HasPrefix(name, "decode")):
+				if pass.hasCodecParam(fd, "Reader") {
+					if s := pass.resultSubject(fd); s != nil {
+						subjects[s] = append(subjects[s], codecFunc{fd, "decode"})
+					}
+				}
+			case fd.Recv != nil && (strings.HasPrefix(name, "Clone") || strings.HasPrefix(name, "clone")):
+				if s := pass.receiverSubject(fd); s != nil {
+					subjects[s] = append(subjects[s], codecFunc{fd, "clone"})
+				}
+			}
+		}
+	}
+
+	names := make([]*types.TypeName, 0, len(subjects))
+	for s := range subjects {
+		names = append(names, s)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Name() < names[j].Name() })
+
+	for _, subj := range names {
+		if subj.Pkg() != pass.Pkg {
+			continue // cross-package subjects have no local field comments to waive with
+		}
+		st, ok := subj.Type().Underlying().(*types.Struct)
+		if !ok || st.NumFields() == 0 {
+			continue
+		}
+		fns := subjects[subj]
+		var enc, dec, clones []codecFunc
+		for _, fn := range fns {
+			switch fn.kind {
+			case "encode":
+				enc = append(enc, fn)
+			case "decode":
+				dec = append(dec, fn)
+			case "clone":
+				clones = append(clones, fn)
+			}
+		}
+		astFields := pass.structASTFields(subj, st)
+
+		// Codec coverage needs both sides present (write-only or read-only
+		// helpers are not a durable codec).
+		if len(enc) > 0 && len(dec) > 0 {
+			for _, side := range [2][]codecFunc{enc, dec} {
+				for _, fn := range side {
+					refs, all := pass.fieldRefs(fn.decl, subj)
+					if all {
+						continue
+					}
+					for i := 0; i < st.NumFields(); i++ {
+						field := st.Field(i)
+						if field.Name() == "_" || refs[field.Name()] {
+							continue
+						}
+						if af := astFields[i]; af != nil && fieldWaived(af, dirNoCodec) {
+							continue
+						}
+						pass.Reportf(fieldPos(astFields[i], subj), "field %s.%s is not referenced by %s %s; "+
+							"snapshots will silently drop it — encode/decode it or waive with //gasper:nocodec <reason>",
+							subj.Name(), field.Name(), fn.kind, fn.decl.Name.Name)
+					}
+				}
+			}
+		}
+
+		for _, fn := range clones {
+			refs, all := pass.fieldRefs(fn.decl, subj)
+			wholeCopy := all || pass.hasWholeCopy(fn.decl, subj)
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if field.Name() == "_" || refs[field.Name()] {
+					continue
+				}
+				if wholeCopy && shallowSafe(field.Type()) {
+					continue
+				}
+				if af := astFields[i]; af != nil && fieldWaived(af, dirShallow) {
+					continue
+				}
+				if wholeCopy {
+					pass.Reportf(fieldPos(astFields[i], subj), "reference-typed field %s.%s is shallow-aliased by the "+
+						"whole-struct copy in %s; deep-copy it or waive with //gasper:shallow <reason>",
+						subj.Name(), field.Name(), fn.decl.Name.Name)
+				} else {
+					pass.Reportf(fieldPos(astFields[i], subj), "field %s.%s is not referenced by %s; "+
+						"clones will drop it — copy it or waive with //gasper:shallow <reason>",
+						subj.Name(), field.Name(), fn.decl.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// hasCodecParam reports whether fd has a parameter of type *P where P is
+// a named type called typeName ("Writer"/"Reader") living in a package
+// named "codec" — or in the current package, so analyzer fixtures can
+// define their own stand-ins.
+func (p *Pass) hasCodecParam(fd *ast.FuncDecl, typeName string) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		tv, ok := p.Info.Types[f.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() != typeName || obj.Pkg() == nil {
+			continue
+		}
+		if obj.Pkg().Name() == "codec" || obj.Pkg() == p.Pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverSubject resolves a method's receiver to its named type.
+func (p *Pass) receiverSubject(fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := p.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return namedTypeName(tv.Type)
+}
+
+// paramSubject finds the subject value parameter of a free encode
+// function: the first non-Writer parameter with a named struct type.
+func (p *Pass) paramSubject(fd *ast.FuncDecl) *types.TypeName {
+	for _, f := range fd.Type.Params.List {
+		tv, ok := p.Info.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if tn := namedTypeName(tv.Type); tn != nil && tn.Name() != "Writer" {
+			if _, isStruct := tn.Type().Underlying().(*types.Struct); isStruct {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// resultSubject finds the subject of a decode function: the first named
+// struct type among its results.
+func (p *Pass) resultSubject(fd *ast.FuncDecl) *types.TypeName {
+	if fd.Type.Results == nil {
+		return nil
+	}
+	for _, f := range fd.Type.Results.List {
+		tv, ok := p.Info.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if tn := namedTypeName(tv.Type); tn != nil {
+			if _, isStruct := tn.Type().Underlying().(*types.Struct); isStruct {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// namedTypeName unwraps pointers and generic instantiations down to the
+// declaring *types.TypeName.
+func namedTypeName(t types.Type) *types.TypeName {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Origin().Obj()
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldRefs walks fn's body and returns the set of subject field names it
+// references — via selector expressions, keyed composite literals of the
+// subject type, or (all=true) an unkeyed composite literal covering every
+// field positionally.
+func (p *Pass) fieldRefs(fn *ast.FuncDecl, subj *types.TypeName) (refs map[string]bool, all bool) {
+	refs = map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := p.Info.Selections[node]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if namedTypeName(sel.Recv()) == subj {
+				refs[node.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[node]
+			if !ok || namedTypeName(tv.Type) != subj {
+				return true
+			}
+			if len(node.Elts) == 0 {
+				return true
+			}
+			for _, e := range node.Elts {
+				kv, isKV := e.(*ast.KeyValueExpr)
+				if !isKV {
+					all = true // positional literal: compiler enforces all fields
+					return true
+				}
+				if id, isIdent := kv.Key.(*ast.Ident); isIdent {
+					refs[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return refs, all
+}
+
+// hasWholeCopy reports whether fn's body copies a whole subject value
+// (`out := *t`, `*out = *t`, passing *t to a helper, returning *t) —
+// which covers every value-typed field at once.
+func (p *Pass) hasWholeCopy(fn *ast.FuncDecl, subj *types.TypeName) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.StarExpr, *ast.Ident, *ast.CallExpr:
+			e := n.(ast.Expr)
+			tv, ok := p.Info.Types[e]
+			if ok && tv.Value == nil && tv.IsValue() {
+				if namedTypeName(tv.Type) == subj {
+					if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// structASTFields pairs the flattened AST field declarations of subj's
+// struct type with the type-checker's field order, so field waivers and
+// report positions resolve to source. Index i corresponds to
+// st.Field(i); entries may be nil if the declaration is not found.
+func (p *Pass) structASTFields(subj *types.TypeName, st *types.Struct) []*ast.Field {
+	out := make([]*ast.Field, st.NumFields())
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != subj.Name() {
+				return true
+			}
+			if p.Info.Defs[ts.Name] != subj {
+				return true
+			}
+			stAST, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return false
+			}
+			i := 0
+			for _, field := range stAST.Fields.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1 // embedded
+				}
+				for k := 0; k < n && i < len(out); k++ {
+					out[i] = field
+					i++
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+// fieldPos returns the best position to report a field finding at.
+func fieldPos(af *ast.Field, subj *types.TypeName) token.Pos {
+	if af != nil {
+		return af.Pos()
+	}
+	return subj.Pos()
+}
+
+// shallowSafe reports whether a field type is safe to share via a
+// whole-struct copy: values all the way down. Slices, maps, pointers,
+// channels, functions, interfaces, and type parameters alias.
+func shallowSafe(t types.Type) bool {
+	switch tt := t.Underlying().(type) {
+	case *types.Basic:
+		return true
+	case *types.Array:
+		return shallowSafe(tt.Elem())
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if !shallowSafe(tt.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive verbs. Waivers (`ordered`, `nondet`, `alloc`, `nocodec`,
+// `shallow`) require a reason after the verb; `noalloc` is an annotation
+// that turns the noalloc analyzer on for the function it documents.
+const (
+	dirOrdered = "ordered" // detrange: iteration order is harmless here
+	dirNondet  = "nondet"  // detsource: nondeterminism source is off the result path
+	dirAlloc   = "alloc"   // noalloc: this construct may allocate (cold path)
+	dirNoCodec = "nocodec" // codecfields: field is derived, rebuilt on decode
+	dirShallow = "shallow" // codecfields: Clone may alias this field
+	dirNoAlloc = "noalloc" // annotation: function must not allocate
+)
+
+var waiverVerbs = map[string]bool{
+	dirOrdered: true,
+	dirNondet:  true,
+	dirAlloc:   true,
+	dirNoCodec: true,
+	dirShallow: true,
+}
+
+// directive is one parsed //gasper:<verb> <reason> comment.
+type directive struct {
+	verb   string
+	reason string
+	pos    token.Position
+}
+
+// directiveIndex maps (file, line) to the directives written on that
+// line. A waiver applies to a flagged construct when it sits on the same
+// line as the construct or on the line directly above it — the two
+// places a human writes an inline or leading comment.
+type directiveIndex struct {
+	byLine   map[string]map[int][]directive
+	problems []Diagnostic
+}
+
+const directivePrefix = "//gasper:"
+
+// indexDirectives scans every comment in the package for gasper
+// directives. Malformed ones (unknown verb, waiver without a reason) are
+// recorded as diagnostics so a typo cannot silently disable a check.
+func indexDirectives(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{byLine: make(map[string]map[int][]directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				body := strings.TrimPrefix(c.Text, directivePrefix)
+				verb, reason, _ := strings.Cut(body, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				switch {
+				case verb == dirNoAlloc:
+					// Annotation; reason optional.
+				case waiverVerbs[verb]:
+					if reason == "" {
+						idx.problems = append(idx.problems, Diagnostic{
+							Analyzer: "gasperdirective",
+							Pos:      pos,
+							Message:  "//gasper:" + verb + " waiver needs a reason",
+						})
+						continue
+					}
+				default:
+					idx.problems = append(idx.problems, Diagnostic{
+						Analyzer: "gasperdirective",
+						Pos:      pos,
+						Message:  "unknown directive //gasper:" + verb,
+					})
+					continue
+				}
+				m := idx.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]directive)
+					idx.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], directive{verb: verb, reason: reason, pos: pos})
+			}
+		}
+	}
+	return idx
+}
+
+// waived reports whether a construct at pos carries a verb waiver on its
+// own line or the line directly above.
+func (p *Pass) waived(pos token.Pos, verb string) bool {
+	position := p.Fset.Position(pos)
+	m := p.dirs.byLine[position.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		for _, d := range m[line] {
+			if d.verb == verb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldWaived reports whether a struct field declaration carries a verb
+// waiver in its doc or trailing comment.
+func fieldWaived(field *ast.Field, verb string) bool {
+	for _, cg := range [2]*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, directivePrefix+verb) {
+				rest := strings.TrimPrefix(c.Text, directivePrefix+verb)
+				if rest == "" || strings.HasPrefix(rest, " ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// funcAnnotated reports whether fn's doc comment carries the given
+// annotation verb (e.g. //gasper:noalloc).
+func funcAnnotated(fn *ast.FuncDecl, verb string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == directivePrefix+verb || strings.HasPrefix(c.Text, directivePrefix+verb+" ") {
+			return true
+		}
+	}
+	return false
+}

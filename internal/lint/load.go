@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load parses and type-checks the packages matching patterns (relative to
+// dir), resolving imports from `go list -export` compiler export data —
+// a standard-library-only stand-in for go/packages that works offline.
+// Test files are excluded on purpose: tests may legitimately use wall
+// clocks, global randomness, and unordered iteration.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, exports)
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, gf := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, gf)
+		}
+		pkg, err := checkFiles(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks a single directory of Go files outside the module
+// (analyzer test fixtures). Imports still resolve through export data,
+// discovered by listing the standard library packages the files import.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Parse once without type information to discover the import set.
+	probe := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		pf, err := parser.ParseFile(probe, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range pf.Imports {
+			path := im.Path.Value
+			importSet[path[1:len(path)-1]] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		args := append([]string{
+			"list", "-e", "-export", "-deps",
+			"-json=ImportPath,Export,Error",
+		}, sortedKeys(importSet)...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list fixture imports: %v", err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var e listEntry
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, exports)
+	return checkFiles(fset, imp, filepath.Base(dir), dir, files)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportDataImporter resolves imports from compiler export-data files.
+func exportDataImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// checkFiles parses and type-checks one package's files.
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

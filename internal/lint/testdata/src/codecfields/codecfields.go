@@ -1,0 +1,74 @@
+// Package codecfields is a gasperlint test fixture. Writer and Reader are
+// in-package stand-ins for internal/codec; the analyzer accepts them so
+// fixtures stay self-contained. Each want expectation comment asserts a
+// diagnostic substring on that line.
+package codecfields
+
+type Writer struct{ buf []byte }
+
+func (w *Writer) U64(v uint64) {}
+
+type Reader struct{ buf []byte }
+
+func (r *Reader) U64() uint64 { return 0 }
+
+// Thing has a field the encoder forgot and a derived cache field with
+// documented waivers.
+type Thing struct {
+	A uint64
+	B uint64 // want "field Thing.B is not referenced by encode EncodeTo"
+	//gasper:nocodec fixture: derived, rebuilt on decode
+	//gasper:shallow fixture: derived, rebuilt lazily by the clone
+	cache map[uint64]uint64
+}
+
+func (t *Thing) EncodeTo(w *Writer) {
+	w.U64(t.A) // B is missing: the seeded violation
+}
+
+func DecodeThing(r *Reader) *Thing {
+	t := &Thing{}
+	t.A = r.U64()
+	t.B = r.U64()
+	return t
+}
+
+func (t *Thing) Clone() *Thing {
+	return &Thing{A: t.A, B: t.B}
+}
+
+// Flat is fully covered: every field on both codec sides, whole-struct
+// copy in Clone, all fields value-typed. No diagnostics.
+type Flat struct {
+	X uint64
+	Y [4]uint64
+}
+
+func (f *Flat) EncodeTo(w *Writer) {
+	w.U64(f.X)
+	for _, y := range f.Y {
+		w.U64(y)
+	}
+}
+
+func DecodeFlat(r *Reader) Flat {
+	var f Flat
+	f.X = r.U64()
+	for i := range f.Y {
+		f.Y[i] = r.U64()
+	}
+	return f
+}
+
+func (f *Flat) Clone() Flat { return *f }
+
+// Holder's whole-struct copy covers n but aliases data.
+type Holder struct {
+	data []uint64 // want "reference-typed field Holder.data is shallow-aliased by the whole-struct copy in Clone"
+	n    uint64
+}
+
+func (h *Holder) Clone() *Holder {
+	out := *h
+	return &out
+}

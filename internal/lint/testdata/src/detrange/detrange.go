@@ -1,0 +1,119 @@
+// Package detrange is a gasperlint test fixture. Each want
+// expectation comment asserts a diagnostic substring on that line; lines without one
+// must stay clean — they pin the prover's accepted patterns.
+package detrange
+
+import "sort"
+
+// bad folds map values with a non-commutative polynomial hash: iteration
+// order changes the result, and nothing waives it.
+func bad(m map[string]int) int {
+	out := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		out = out*31 + v
+	}
+	return out
+}
+
+// accumOK is commutative integer accumulation: provably order-insensitive.
+func accumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatBad accumulates floats: addition is not associative, so the sum
+// drifts with iteration order.
+func floatBad(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		sum += v
+	}
+	return sum
+}
+
+// perKeyOK writes each key's slot in another map: independent per key.
+func perKeyOK(m, dst map[string]int) {
+	for k, v := range m {
+		dst[k] = v * 2
+	}
+}
+
+// maskOK is the comma-ok + commutative OR pattern.
+func maskOK(m map[string]bool, keys map[string]int) int {
+	mask := 0
+	for k := range m {
+		if v, ok := keys[k]; ok {
+			mask |= v
+		}
+	}
+	return mask
+}
+
+// freshOK writes only through per-iteration fresh memory.
+func freshOK(m map[string][]int, out map[string][]int) {
+	for k, vs := range m {
+		cp := make([]int, 0, len(vs))
+		cp = append(cp, vs...)
+		out[k] = cp
+	}
+}
+
+// copyOK is the append-to-nil-base copy idiom.
+func copyOK(m map[string][]int, out map[string][]int) {
+	for k, vs := range m {
+		out[k] = append([]int(nil), vs...)
+	}
+}
+
+// searchOK is a pure existential search: whichever key matches first, the
+// answer is the same.
+func searchOK(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneOK deletes entries from the ranged map itself: well-defined and
+// per-key independent.
+func pruneOK(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// collectOK appends keys and sorts them in the very next statement.
+func collectOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectBad appends keys but never sorts: the slice order is the map's.
+func collectBad(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// waived is collectBad with an explicit waiver.
+func waived(m map[string]int) []string {
+	var keys []string
+	//gasper:ordered fixture: caller treats the result as a set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

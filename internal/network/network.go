@@ -29,6 +29,8 @@
 package network
 
 import (
+	"sort"
+
 	"repro/internal/types"
 )
 
@@ -303,6 +305,7 @@ func (n *Network[M]) RetargetGST(gst types.Slot) {
 				held = append(held, heldEntry{at, msgs})
 			}
 		}
+		sort.Slice(held, func(i, j int) bool { return held[i].at < held[j].at })
 		for _, h := range held {
 			delete(box, h.at)
 		}

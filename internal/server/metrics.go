@@ -41,6 +41,16 @@ type scenarioTiming struct {
 	TotalMS float64 `json:"total_ms"`
 }
 
+// namedScenarioTiming is one row of the /metrics scenarios block: a
+// scenario's timing sums tagged with its name. Rows render as a
+// name-sorted array rather than a JSON object, so the byte order of the
+// response is fixed by construction instead of by the JSON encoder's
+// map-key handling.
+type namedScenarioTiming struct {
+	Name string `json:"name"`
+	scenarioTiming
+}
+
 func newMetrics() *metrics {
 	return &metrics{scenario: make(map[string]*scenarioTiming)}
 }
@@ -59,18 +69,18 @@ func (m *metrics) recordComputed(scenario string, ms float64) {
 	m.mu.Unlock()
 }
 
-// snapshotScenarios copies the per-scenario sums in name order.
-func (m *metrics) snapshotScenarios() map[string]scenarioTiming {
+// snapshotScenarios copies the per-scenario sums as a name-sorted slice.
+func (m *metrics) snapshotScenarios() []namedScenarioTiming {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[string]scenarioTiming, len(m.scenario))
 	names := make([]string, 0, len(m.scenario))
 	for name := range m.scenario {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	out := make([]namedScenarioTiming, 0, len(names))
 	for _, name := range names {
-		out[name] = *m.scenario[name]
+		out = append(out, namedScenarioTiming{Name: name, scenarioTiming: *m.scenario[name]})
 	}
 	return out
 }

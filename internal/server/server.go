@@ -554,8 +554,9 @@ type metricsResponse struct {
 		Lost     uint64        `json:"workers_lost"`
 		Inflight int64         `json:"inflight"`
 	} `json:"coordinator,omitempty"`
-	// Scenarios sums computed-cell wall clock per scenario.
-	Scenarios map[string]scenarioTiming `json:"scenarios"`
+	// Scenarios sums computed-cell wall clock per scenario, sorted by
+	// name so the rendered order is fixed by construction.
+	Scenarios []namedScenarioTiming `json:"scenarios"`
 }
 
 // checkpointMetrics is the /metrics checkpoints block: the checkpoint
